@@ -1,0 +1,58 @@
+//! Criterion end-to-end benchmarks: how fast the *simulator* runs.
+//!
+//! Wall-clock cost of simulating small instances of the paper's workloads;
+//! useful for catching performance regressions in the event loop, the disk
+//! model, or the NFS pipeline. (The figures themselves report *simulated*
+//! throughput and live in the `fig*` binaries.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use nfssim::WorldConfig;
+use readahead_core::{NfsHeurConfig, ReadaheadPolicy};
+use testbed::{LocalBench, NfsBench, Rig, StrideBench};
+
+fn bench_local_run(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulate_local");
+    g.sample_size(10);
+    g.bench_function("ide1_4_readers_8mb", |b| {
+        b.iter(|| {
+            let mut bench = LocalBench::new(Rig::ide(1), &[4], 8, 1);
+            black_box(bench.run(4).throughput_mbs)
+        });
+    });
+    g.finish();
+}
+
+fn bench_nfs_run(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulate_nfs");
+    g.sample_size(10);
+    g.bench_function("udp_4_readers_8mb", |b| {
+        b.iter(|| {
+            let mut bench =
+                NfsBench::new(Rig::ide(1), WorldConfig::default(), &[4], 8, 1);
+            black_box(bench.run(4).throughput_mbs)
+        });
+    });
+    g.finish();
+}
+
+fn bench_stride_run(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulate_stride");
+    g.sample_size(10);
+    let cfg = WorldConfig {
+        policy: ReadaheadPolicy::cursor(),
+        heur: NfsHeurConfig::improved(),
+        ..WorldConfig::default()
+    };
+    g.bench_function("cursor_s4_8mb", |b| {
+        b.iter(|| {
+            let mut bench = StrideBench::new(Rig::scsi(1), cfg, 8, 1);
+            black_box(bench.run(4))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_local_run, bench_nfs_run, bench_stride_run);
+criterion_main!(benches);

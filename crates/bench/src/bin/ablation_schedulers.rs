@@ -1,0 +1,48 @@
+//! Ablation: kernel disk scheduler matrix (local benchmark).
+//!
+//! §5.3 laments that operating systems do not let administrators pick a
+//! scheduler per workload. Here the full matrix: throughput and fairness
+//! (last/first completion ratio) for 8 concurrent readers on each rig.
+
+use iosched::SchedulerKind;
+use nfs_bench::BASE_SEED;
+use testbed::{LocalBench, Rig};
+
+fn main() {
+    let per_mb = match std::env::var("NFS_BENCH_SCALE").as_deref() {
+        Ok("quick") => 4,
+        _ => 32,
+    };
+    let readers = 8;
+    println!("scheduler matrix: local, {readers} readers x {per_mb} MB");
+    println!(
+        "{:<22} {:<10} | {:>10} | {:>14}",
+        "rig", "scheduler", "MB/s", "last/first"
+    );
+    for rig_base in [Rig::ide(1), Rig::scsi(1).no_tags(), Rig::scsi(1)] {
+        for kind in [
+            SchedulerKind::Fcfs,
+            SchedulerKind::Elevator,
+            SchedulerKind::Scan,
+            SchedulerKind::NCscan,
+            SchedulerKind::Sstf,
+        ] {
+            let rig = rig_base.with_scheduler(kind);
+            let mut b = LocalBench::new(rig, &[readers], per_mb * readers as u64, BASE_SEED);
+            let r = b.run(readers);
+            let spread = r.completion_secs[readers - 1] / r.completion_secs[0];
+            let label = if rig_base.tagged_queues {
+                format!("{} (tags)", rig.label())
+            } else {
+                rig.label()
+            };
+            println!(
+                "{:<22} {:<10} | {:>10.2} | {:>14.2}",
+                label,
+                format!("{kind:?}"),
+                r.throughput_mbs,
+                spread
+            );
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Extension: shared cursor pool vs per-handle cursors (§8 future work).
+//!
+//! A synthetic head-to-head on the heuristic layer itself: `H` file
+//! handles each read an `s`-stride pattern; the per-handle scheme reserves
+//! `max_cursors` per handle while the shared pool holds a single global
+//! budget. The score is the fraction of observations that earned
+//! read-ahead (effective seqcount >= 2).
+
+use readahead_core::{
+    CursorConfig, HeurRecord, ReadaheadPolicy, SharedCursorPool,
+};
+
+const BLK: u64 = 8_192;
+
+fn stride_offsets(s: u64, per: u64) -> Vec<u64> {
+    let mut v = Vec::new();
+    for i in 0..per {
+        for k in 0..s {
+            v.push((k * 1_000_000 + i) * BLK);
+        }
+    }
+    v
+}
+
+fn main() {
+    println!("shared cursor pool vs per-handle cursors (synthetic stride streams)");
+    println!(
+        "{:>8} {:>8} {:>8} | {:>14} | {:>14} | {:>12}",
+        "handles", "stride", "budget", "per-handle %", "shared-pool %", "pool size"
+    );
+    // (active handles, stride width, total handles sized for). The last
+    // scenarios are the Section 8 motivation: one MPI-like job with a wide
+    // stride on a server sized for 16 handles - the per-handle cap (8)
+    // cannot follow 16 subcomponents, the shared pool can because the other
+    // handles are idle.
+    for (handles, s, sized_for) in [
+        (4u64, 2u64, 4u64),
+        (4, 8, 4),
+        (8, 8, 8),
+        (16, 4, 16),
+        (1, 16, 16),
+        (2, 12, 16),
+    ] {
+        // Equal total memory: per-handle reserves 8 cursors per handle.
+        let per_handle_cfg = CursorConfig::default(); // 8 cursors each
+        let budget = sized_for as usize * per_handle_cfg.max_cursors;
+        let policy = ReadaheadPolicy::Cursor(per_handle_cfg);
+        let mut records: Vec<HeurRecord> =
+            (0..handles).map(|_| HeurRecord::fresh(0, 0)).collect();
+        let mut pool = SharedCursorPool::new(budget, 64 * 1024);
+        let per = 64;
+        let offsets = stride_offsets(s, per);
+        let (mut ph_hits, mut sp_hits, mut total) = (0u64, 0u64, 0u64);
+        let mut clock = 0;
+        for &off in &offsets {
+            for h in 0..handles {
+                clock += 1;
+                total += 1;
+                if policy.observe(&mut records[h as usize], off, BLK, clock) >= 2 {
+                    ph_hits += 1;
+                }
+                if pool.observe(h, off, BLK) >= 2 {
+                    sp_hits += 1;
+                }
+            }
+        }
+        println!(
+            "{:>8} {:>8} {:>8} | {:>14.1} | {:>14.1} | {:>12}",
+            handles,
+            s,
+            budget,
+            100.0 * ph_hits as f64 / total as f64,
+            100.0 * sp_hits as f64 / total as f64,
+            pool.live()
+        );
+    }
+}

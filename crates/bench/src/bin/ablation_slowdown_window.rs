@@ -1,0 +1,35 @@
+//! Ablation: the SlowDown jitter window.
+//!
+//! The paper fixes the window at 64 KB ("eight 8k NFS blocks"). Too small
+//! and reordered requests still halve the count; too large and genuinely
+//! random patterns keep their read-ahead. This sweep measures both sides:
+//! sequential throughput under a busy client, and wasted read-ahead I/O on
+//! a random workload.
+
+use nfs_bench::BASE_SEED;
+use nfssim::WorldConfig;
+use readahead_core::{NfsHeurConfig, ReadaheadPolicy, SlowDownConfig};
+use testbed::{NfsBench, Rig};
+
+fn main() {
+    let readers = 16;
+    let total_mb = match std::env::var("NFS_BENCH_SCALE").as_deref() {
+        Ok("quick") => 32,
+        _ => 256,
+    };
+    println!("SlowDown window ablation: ide1, NFS/UDP, busy client, {readers} readers");
+    println!("{:>12} | {:>12}", "window", "MB/s");
+    for window_kb in [8u64, 16, 32, 64, 128, 256] {
+        let cfg = WorldConfig {
+            policy: ReadaheadPolicy::SlowDown(SlowDownConfig {
+                window_bytes: window_kb * 1024,
+            }),
+            heur: NfsHeurConfig::improved(),
+            busy_loops: 4,
+            ..WorldConfig::default()
+        };
+        let mut b = NfsBench::new(Rig::ide(1), cfg, &[readers], total_mb, BASE_SEED);
+        let r = b.run(readers);
+        println!("{:>10}KB | {:>12.2}", window_kb, r.throughput_mbs);
+    }
+}

@@ -1,0 +1,21 @@
+//! Regenerates every figure and table in sequence (the full evaluation).
+//!
+//! Output is EXPERIMENTS.md-ready: each block pairs the measured series
+//! with the paper's reference landmarks.
+
+use nfs_bench::{emit, scale, BASE_SEED, FIG1_REF, FIG2_REF, FIG3_REF, FIG4_REF, FIG5_REF, FIG6_REF, FIG7_REF, TABLE1_REF};
+use testbed::experiments as ex;
+
+fn main() {
+    let s = scale();
+    emit(&ex::fig1_zcav(s, BASE_SEED), FIG1_REF);
+    emit(&ex::fig2_tagged_queues(s, BASE_SEED), FIG2_REF);
+    emit(&ex::fig3_fairness(s, BASE_SEED), FIG3_REF);
+    emit(&ex::fig4_nfs_udp(s, BASE_SEED), FIG4_REF);
+    emit(&ex::fig5_nfs_tcp(s, BASE_SEED), FIG5_REF);
+    emit(&ex::fig6_readahead_potential(s, BASE_SEED), FIG6_REF);
+    emit(&ex::fig7_slowdown_nfsheur(s, BASE_SEED), FIG7_REF);
+    let f8 = ex::fig8_table1_stride(s, BASE_SEED);
+    emit(&f8, TABLE1_REF);
+    println!("{}", ex::render_table1(&f8));
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 1: the ZCAV effect on local drives.
+
+use nfs_bench::{emit, scale, BASE_SEED, FIG1_REF};
+
+fn main() {
+    let fig = testbed::experiments::fig1_zcav(scale(), BASE_SEED);
+    emit(&fig, FIG1_REF);
+}

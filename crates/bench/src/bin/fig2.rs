@@ -1,0 +1,8 @@
+//! Regenerates Figure 2: tagged command queues and ZCAV on the SCSI drive.
+
+use nfs_bench::{emit, scale, BASE_SEED, FIG2_REF};
+
+fn main() {
+    let fig = testbed::experiments::fig2_tagged_queues(scale(), BASE_SEED);
+    emit(&fig, FIG2_REF);
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 3: completion-time fairness, Elevator vs N-CSCAN.
+
+use nfs_bench::{emit, scale, BASE_SEED, FIG3_REF};
+
+fn main() {
+    let fig = testbed::experiments::fig3_fairness(scale(), BASE_SEED);
+    emit(&fig, FIG3_REF);
+}

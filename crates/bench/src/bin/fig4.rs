@@ -1,0 +1,8 @@
+//! Regenerates Figure 4: NFS over UDP, default and no-tags.
+
+use nfs_bench::{emit, scale, BASE_SEED, FIG4_REF};
+
+fn main() {
+    let fig = testbed::experiments::fig4_nfs_udp(scale(), BASE_SEED);
+    emit(&fig, FIG4_REF);
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 5: NFS over TCP, default and no-tags.
+
+use nfs_bench::{emit, scale, BASE_SEED, FIG5_REF};
+
+fn main() {
+    let fig = testbed::experiments::fig5_nfs_tcp(scale(), BASE_SEED);
+    emit(&fig, FIG5_REF);
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 6: Always vs Default read-ahead, idle vs busy client.
+
+use nfs_bench::{emit, scale, BASE_SEED, FIG6_REF};
+
+fn main() {
+    let fig = testbed::experiments::fig6_readahead_potential(scale(), BASE_SEED);
+    emit(&fig, FIG6_REF);
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 7: SlowDown and the new nfsheur table.
+
+use nfs_bench::{emit, scale, BASE_SEED, FIG7_REF};
+
+fn main() {
+    let fig = testbed::experiments::fig7_slowdown_nfsheur(scale(), BASE_SEED);
+    emit(&fig, FIG7_REF);
+}

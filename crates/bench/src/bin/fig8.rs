@@ -1,0 +1,8 @@
+//! Regenerates Figure 8: stride-read throughput, cursor vs default.
+
+use nfs_bench::{emit, scale, BASE_SEED, TABLE1_REF};
+
+fn main() {
+    let fig = testbed::experiments::fig8_table1_stride(scale(), BASE_SEED);
+    emit(&fig, TABLE1_REF);
+}

@@ -1,0 +1,10 @@
+//! Regenerates Table 1 in the paper's own layout.
+
+use nfs_bench::{scale, BASE_SEED, TABLE1_REF};
+
+fn main() {
+    let fig = testbed::experiments::fig8_table1_stride(scale(), BASE_SEED);
+    println!("{}", testbed::experiments::render_table1(&fig));
+    println!("--- paper reference ---");
+    println!("{TABLE1_REF}");
+}

@@ -1,0 +1,388 @@
+//! The sequentiality heuristics: Default, Always, SlowDown, and Cursor.
+//!
+//! These are the paper's §6–§7 in executable form. Each policy observes a
+//! read (`offset`, `len`) against a file's cached [`HeurRecord`] and
+//! returns the *effective seqcount* the file system should use to size
+//! read-ahead for that read.
+//!
+//! * **Default** (FreeBSD 4.x): exact sequential match increments the
+//!   count; *any* mismatch resets it — which is why a few percent of
+//!   reordered NFS requests can disable read-ahead for an overwhelmingly
+//!   sequential stream (§6).
+//! * **Always**: hard-wired maximum; the paper's upper-bound control
+//!   (Figure 6's "Always Read-ahead" line).
+//! * **SlowDown** (§6.2): additive-increase/multiplicative-decrease, like
+//!   TCP congestion control. A mismatch within 64 KB (eight 8 KB NFS
+//!   blocks) is treated as request jitter and leaves the count alone; a
+//!   larger jump halves it. Truly random patterns still collapse to zero
+//!   after a few halvings.
+//! * **Cursor** (§7): several independent `(offset, seqcount)` cursors per
+//!   file handle, matched with the SlowDown window, LRU-recycled. A stride
+//!   pattern — the interleaving of `s` sequential subcomponents — lands
+//!   each subcomponent on its own cursor, and each earns read-ahead.
+
+use crate::record::{Cursor, HeurRecord, SEQCOUNT_INIT, SEQCOUNT_MAX};
+
+/// SlowDown matching window: "within 64k (eight 8k NFS blocks)".
+pub const SLOWDOWN_WINDOW_BYTES: u64 = 64 * 1024;
+
+/// Default limit on cursors per file handle ("a small and constant
+/// number", §8; eight covers the paper's widest stride experiment).
+pub const DEFAULT_MAX_CURSORS: usize = 8;
+
+/// Configuration for [`ReadaheadPolicy::SlowDown`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlowDownConfig {
+    /// Offset slack treated as jitter rather than randomness.
+    pub window_bytes: u64,
+}
+
+impl Default for SlowDownConfig {
+    fn default() -> Self {
+        SlowDownConfig {
+            window_bytes: SLOWDOWN_WINDOW_BYTES,
+        }
+    }
+}
+
+/// Configuration for [`ReadaheadPolicy::Cursor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CursorConfig {
+    /// Offset slack for matching a read to a cursor.
+    pub window_bytes: u64,
+    /// Maximum cursors per file handle; LRU recycled beyond this.
+    pub max_cursors: usize,
+}
+
+impl Default for CursorConfig {
+    fn default() -> Self {
+        CursorConfig {
+            window_bytes: SLOWDOWN_WINDOW_BYTES,
+            max_cursors: DEFAULT_MAX_CURSORS,
+        }
+    }
+}
+
+/// Which read-ahead heuristic the server runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadaheadPolicy {
+    /// FreeBSD 4.x stock behaviour: reset on any out-of-order request.
+    Default,
+    /// Force maximal read-ahead unconditionally (upper-bound control).
+    Always,
+    /// The SlowDown heuristic of §6.2.
+    SlowDown(SlowDownConfig),
+    /// The cursor heuristic of §7 (SlowDown matching within each cursor).
+    Cursor(CursorConfig),
+}
+
+impl ReadaheadPolicy {
+    /// Convenience constructor with the paper's parameters.
+    pub fn slowdown() -> Self {
+        ReadaheadPolicy::SlowDown(SlowDownConfig::default())
+    }
+
+    /// Convenience constructor with the paper's parameters.
+    pub fn cursor() -> Self {
+        ReadaheadPolicy::Cursor(CursorConfig::default())
+    }
+
+    /// Short label for benchmark output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ReadaheadPolicy::Default => "default",
+            ReadaheadPolicy::Always => "always",
+            ReadaheadPolicy::SlowDown(_) => "slowdown",
+            ReadaheadPolicy::Cursor(_) => "cursor",
+        }
+    }
+
+    /// Observes a read and returns the effective seqcount for it.
+    ///
+    /// `clock` is a monotone stamp used only for cursor LRU.
+    pub fn observe(&self, rec: &mut HeurRecord, offset: u64, len: u64, clock: u64) -> u32 {
+        match self {
+            ReadaheadPolicy::Default => {
+                let c = rec.primary();
+                if offset == c.next_offset {
+                    c.grow();
+                } else {
+                    // "a single out-of-order request can drop the
+                    // sequentiality score to zero" (§1) — the stock
+                    // behaviour SlowDown exists to fix.
+                    c.seqcount = 0;
+                }
+                c.next_offset = offset + len;
+                c.last_use = clock;
+                c.seqcount
+            }
+            ReadaheadPolicy::Always => {
+                let c = rec.primary();
+                c.next_offset = offset + len;
+                c.seqcount = SEQCOUNT_MAX;
+                c.last_use = clock;
+                SEQCOUNT_MAX
+            }
+            ReadaheadPolicy::SlowDown(cfg) => {
+                let window = cfg.window_bytes;
+                let c = rec.primary();
+                Self::slowdown_update(c, offset, len, window, clock)
+            }
+            ReadaheadPolicy::Cursor(cfg) => {
+                // Exact match first, then nearest within the window.
+                let exact = rec
+                    .cursors
+                    .iter()
+                    .position(|c| c.next_offset == offset);
+                let near = exact.or_else(|| {
+                    rec.cursors
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, c)| c.next_offset.abs_diff(offset) <= cfg.window_bytes)
+                        .min_by_key(|(_, c)| c.next_offset.abs_diff(offset))
+                        .map(|(i, _)| i)
+                });
+                match near {
+                    Some(i) => {
+                        let c = &mut rec.cursors[i];
+                        Self::slowdown_update(c, offset, len, cfg.window_bytes, clock)
+                    }
+                    None => {
+                        // No cursor matches: allocate one, recycling the
+                        // least recently used if at the per-file limit.
+                        if rec.cursors.len() >= cfg.max_cursors.max(1) {
+                            let lru = rec
+                                .cursors
+                                .iter()
+                                .enumerate()
+                                .min_by_key(|(_, c)| c.last_use)
+                                .map(|(i, _)| i)
+                                .expect("non-empty");
+                            rec.cursors[lru] = Cursor::fresh(offset + len, clock);
+                            rec.cursors[lru].seqcount
+                        } else {
+                            rec.cursors.push(Cursor::fresh(offset + len, clock));
+                            SEQCOUNT_INIT
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The SlowDown state transition shared by SlowDown and Cursor.
+    fn slowdown_update(c: &mut Cursor, offset: u64, len: u64, window: u64, clock: u64) -> u32 {
+        if offset == c.next_offset {
+            c.grow();
+            c.next_offset = offset + len;
+        } else if offset.abs_diff(c.next_offset) <= window {
+            // Jitter: "we do not know whether the access pattern is
+            // becoming random or whether we are simply seeing jitter in the
+            // request order, so we leave seqCount alone." Advance the
+            // expected offset only forward so a straggler does not walk the
+            // cursor backwards.
+            c.next_offset = c.next_offset.max(offset + len);
+        } else {
+            // A real jump: "we reduce seqCount, but not all the way to
+            // zero. If the non-sequential trend continues, repeatedly
+            // dividing seqCount in half will quickly chop it down to zero."
+            c.seqcount /= 2;
+            c.next_offset = offset + len;
+        }
+        c.last_use = clock;
+        c.seqcount
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BLK: u64 = 8_192;
+
+    fn run(policy: ReadaheadPolicy, offsets: &[u64]) -> Vec<u32> {
+        let mut rec = HeurRecord::fresh(0, 0);
+        offsets
+            .iter()
+            .enumerate()
+            .map(|(i, &o)| policy.observe(&mut rec, o, BLK, i as u64 + 1))
+            .collect()
+    }
+
+    fn seq(n: u64) -> Vec<u64> {
+        (0..n).map(|i| i * BLK).collect()
+    }
+
+    #[test]
+    fn default_grows_on_sequential() {
+        let counts = run(ReadaheadPolicy::Default, &seq(10));
+        assert_eq!(counts, vec![2, 3, 4, 5, 6, 7, 8, 9, 10, 11]);
+    }
+
+    #[test]
+    fn default_resets_on_single_swap() {
+        // Blocks 0..6 with 3 and 4 swapped: ... 2, 4, 3, 5 ...
+        let offsets: Vec<u64> = [0u64, 1, 2, 4, 3, 5, 6, 7]
+            .iter()
+            .map(|b| b * BLK)
+            .collect();
+        let counts = run(ReadaheadPolicy::Default, &offsets);
+        // The swap resets the count twice (at "4" and again at "5").
+        assert_eq!(counts[3], 0, "out-of-order request resets to zero");
+        assert_eq!(counts[4], 0, "straggler also mismatches");
+        assert!(counts[7] <= 3, "recovery is slow: {counts:?}");
+    }
+
+    #[test]
+    fn always_is_always_max() {
+        let counts = run(ReadaheadPolicy::Always, &[0, 999_999, 0, 5 * BLK]);
+        assert!(counts.iter().all(|&c| c == SEQCOUNT_MAX));
+    }
+
+    #[test]
+    fn slowdown_tolerates_single_swap() {
+        let offsets: Vec<u64> = [0u64, 1, 2, 4, 3, 5, 6, 7]
+            .iter()
+            .map(|b| b * BLK)
+            .collect();
+        let counts = run(ReadaheadPolicy::slowdown(), &offsets);
+        // Count never collapses; the swap leaves it unchanged.
+        assert!(counts[3] >= 4, "{counts:?}");
+        assert!(counts[7] >= counts[2], "{counts:?}");
+        assert!(counts.windows(2).all(|w| w[1] + 1 >= w[0]), "{counts:?}");
+    }
+
+    #[test]
+    fn slowdown_halves_on_big_jump() {
+        let mut rec = HeurRecord::fresh(0, 0);
+        let p = ReadaheadPolicy::slowdown();
+        for i in 0..40u64 {
+            p.observe(&mut rec, i * BLK, BLK, i);
+        }
+        let grown = rec.max_seqcount();
+        assert!(grown >= 40);
+        let after = p.observe(&mut rec, 100_000_000, BLK, 100);
+        assert_eq!(after, grown / 2);
+    }
+
+    #[test]
+    fn slowdown_collapses_under_random_pattern() {
+        // "if the access pattern is truly random, it will quickly disable
+        // read-ahead."
+        let offsets: Vec<u64> = (0..12).map(|i| (i * 7_919 + 1_000) * BLK).collect();
+        let counts = run(ReadaheadPolicy::slowdown(), &offsets);
+        assert_eq!(*counts.last().unwrap(), 0, "{counts:?}");
+    }
+
+    #[test]
+    fn slowdown_window_boundary_is_inclusive() {
+        let p = ReadaheadPolicy::slowdown();
+        let mut rec = HeurRecord::fresh(0, 0);
+        for i in 0..10u64 {
+            p.observe(&mut rec, i * BLK, BLK, i);
+        }
+        let sc = rec.max_seqcount();
+        // Exactly 64 KB past the expected offset: still jitter.
+        let next = rec.primary().next_offset;
+        let c = p.observe(&mut rec, next + SLOWDOWN_WINDOW_BYTES, BLK, 99);
+        assert_eq!(c, sc, "inclusive window must not halve");
+        // One byte beyond: halved.
+        let next = rec.primary().next_offset;
+        let c2 = p.observe(&mut rec, next + SLOWDOWN_WINDOW_BYTES + 1, BLK, 100);
+        assert_eq!(c2, sc / 2);
+    }
+
+    #[test]
+    fn cursor_detects_two_stride_pattern() {
+        // Blocks 0, N/2, 1, N/2+1, ... (§7's 2-stride example).
+        let n = 64u64;
+        let mut offsets = Vec::new();
+        for i in 0..n / 2 {
+            offsets.push(i * BLK);
+            offsets.push((n / 2 + i) * BLK);
+        }
+        let counts = run(ReadaheadPolicy::cursor(), &offsets);
+        // Late in the run, both interleaved streams earn high counts.
+        let tail = &counts[counts.len() - 8..];
+        assert!(
+            tail.iter().all(|&c| c >= 20),
+            "both subcomponents should be sequential: {tail:?}"
+        );
+    }
+
+    #[test]
+    fn cursor_detects_eight_stride_pattern() {
+        let s = 8u64;
+        let per = 16u64;
+        let mut offsets = Vec::new();
+        for i in 0..per {
+            for k in 0..s {
+                offsets.push((k * 1_000 + i) * BLK); // Subcomponents far apart.
+            }
+        }
+        let counts = run(ReadaheadPolicy::cursor(), &offsets);
+        let tail = &counts[counts.len() - s as usize..];
+        assert!(tail.iter().all(|&c| c >= 12), "{tail:?}");
+    }
+
+    #[test]
+    fn default_treats_stride_as_random() {
+        let mut offsets = Vec::new();
+        for i in 0..32u64 {
+            offsets.push(i * BLK);
+            offsets.push((1_000 + i) * BLK);
+        }
+        let counts = run(ReadaheadPolicy::Default, &offsets);
+        assert!(
+            counts.iter().skip(1).all(|&c| c <= 1),
+            "stride must look random to the default heuristic: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn cursor_random_pattern_allocates_but_never_grows() {
+        let offsets: Vec<u64> = (0..64).map(|i| (i * 7_919 + 13) % 100_000 * BLK).collect();
+        let mut rec = HeurRecord::fresh(0, 0);
+        let p = ReadaheadPolicy::cursor();
+        let mut maxc = 0;
+        for (i, &o) in offsets.iter().enumerate() {
+            maxc = maxc.max(p.observe(&mut rec, o, BLK, i as u64));
+        }
+        assert!(maxc <= 2, "random pattern must not earn read-ahead: {maxc}");
+        assert!(rec.cursors.len() <= DEFAULT_MAX_CURSORS);
+    }
+
+    #[test]
+    fn cursor_limit_recycles_lru() {
+        let cfg = CursorConfig {
+            max_cursors: 2,
+            ..CursorConfig::default()
+        };
+        let p = ReadaheadPolicy::Cursor(cfg);
+        let mut rec = HeurRecord::fresh(0, 0);
+        // Three widely separated streams with only two cursors.
+        p.observe(&mut rec, 0, BLK, 1);
+        p.observe(&mut rec, 10_000_000, BLK, 2);
+        p.observe(&mut rec, 20_000_000, BLK, 3); // Recycles the LRU (stream 1... cursor 0).
+        assert_eq!(rec.cursors.len(), 2);
+        // Stream at offset 0's cursor is gone; continuing it allocates anew
+        // with a fresh count.
+        let c = p.observe(&mut rec, BLK, BLK, 4);
+        assert_eq!(c, SEQCOUNT_INIT);
+    }
+
+    #[test]
+    fn cursor_single_sequential_stream_equals_slowdown() {
+        let a = run(ReadaheadPolicy::cursor(), &seq(32));
+        let b = run(ReadaheadPolicy::slowdown(), &seq(32));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(ReadaheadPolicy::Default.label(), "default");
+        assert_eq!(ReadaheadPolicy::Always.label(), "always");
+        assert_eq!(ReadaheadPolicy::slowdown().label(), "slowdown");
+        assert_eq!(ReadaheadPolicy::cursor().label(), "cursor");
+    }
+}

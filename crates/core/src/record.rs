@@ -1,0 +1,102 @@
+//! Per-file-handle heuristic state.
+
+/// The ceiling the OS imposes on sequentiality counts: "seqCount is never
+/// allowed to grow higher than 127, due to the implementation of the lower
+/// levels of the operating system" (§6.2).
+pub const SEQCOUNT_MAX: u32 = 127;
+
+/// The value a fresh (or reset) record starts from: "when a new file is
+/// accessed, it is given an initial sequentiality metric seqCount = 1".
+pub const SEQCOUNT_INIT: u32 = 1;
+
+/// One read cursor: an expected next offset plus its sequentiality count.
+///
+/// The conventional implementation keeps exactly one of these per file
+/// handle; the cursor heuristic of §7 keeps several so that each sequential
+/// subcomponent of a stride pattern is tracked independently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cursor {
+    /// Offset we expect the next sequential read to start at
+    /// (`prevOffset` in the paper's terminology is the offset after the
+    /// last operation).
+    pub next_offset: u64,
+    /// Current sequentiality count, 0..=127.
+    pub seqcount: u32,
+    /// LRU stamp for cursor recycling.
+    pub last_use: u64,
+}
+
+impl Cursor {
+    /// A cursor freshly created for a read ending at `next_offset`.
+    pub fn fresh(next_offset: u64, now: u64) -> Self {
+        Cursor {
+            next_offset,
+            seqcount: SEQCOUNT_INIT,
+            last_use: now,
+        }
+    }
+
+    /// Increments the count, saturating at [`SEQCOUNT_MAX`].
+    pub fn grow(&mut self) {
+        self.seqcount = (self.seqcount + 1).min(SEQCOUNT_MAX);
+    }
+}
+
+/// Heuristic state cached per active file handle in the `nfsheur` table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HeurRecord {
+    /// Active cursors; single-cursor heuristics use only `cursors[0]`.
+    pub cursors: Vec<Cursor>,
+}
+
+impl HeurRecord {
+    /// A record for a file first seen with a read ending at `next_offset`.
+    pub fn fresh(next_offset: u64, now: u64) -> Self {
+        HeurRecord {
+            cursors: vec![Cursor::fresh(next_offset, now)],
+        }
+    }
+
+    /// The primary cursor (single-cursor heuristics).
+    pub fn primary(&mut self) -> &mut Cursor {
+        &mut self.cursors[0]
+    }
+
+    /// Largest seqcount across cursors (diagnostics).
+    pub fn max_seqcount(&self) -> u32 {
+        self.cursors.iter().map(|c| c.seqcount).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_record_has_one_cursor_at_init() {
+        let r = HeurRecord::fresh(8_192, 0);
+        assert_eq!(r.cursors.len(), 1);
+        assert_eq!(r.cursors[0].seqcount, SEQCOUNT_INIT);
+        assert_eq!(r.cursors[0].next_offset, 8_192);
+    }
+
+    #[test]
+    fn grow_saturates_at_cap() {
+        let mut c = Cursor::fresh(0, 0);
+        for _ in 0..500 {
+            c.grow();
+        }
+        assert_eq!(c.seqcount, SEQCOUNT_MAX);
+    }
+
+    #[test]
+    fn max_seqcount_scans_cursors() {
+        let mut r = HeurRecord::fresh(0, 0);
+        r.cursors.push(Cursor {
+            next_offset: 100,
+            seqcount: 55,
+            last_use: 1,
+        });
+        assert_eq!(r.max_seqcount(), 55);
+    }
+}

@@ -1,0 +1,328 @@
+//! The `nfsheur` table (§6.3).
+//!
+//! NFS v2/v3 are stateless — there is no open/close — so the FreeBSD server
+//! caches per-file heuristic state in a small open-hash table with a
+//! limited probe count, ejecting the least recently used entry *among the
+//! probed slots* when no slot matches. The paper's finding: with more than
+//! a handful of concurrently active files the stock table ejects entries
+//! constantly, the sequentiality state is lost before it can be used, and
+//! no heuristic — however clever — can help. Enlarging the table (and
+//! probing further) fixes read-ahead almost by itself.
+//!
+//! [`NfsHeurConfig::freebsd_default`] models the stock table;
+//! [`NfsHeurConfig::improved`] is the paper's enlarged one.
+
+use crate::policy::ReadaheadPolicy;
+use crate::record::HeurRecord;
+
+/// Table geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NfsHeurConfig {
+    /// Number of slots.
+    pub slots: usize,
+    /// Linear probes per lookup ("a small and limited number").
+    pub probes: usize,
+}
+
+impl NfsHeurConfig {
+    /// The stock FreeBSD 4.x table: tiny, chosen "when network bandwidth,
+    /// file system size, and NFS traffic were two orders of magnitude
+    /// smaller". Eight slots with two probes reproduces the paper's
+    /// observation that the default heuristic falls away from
+    /// Always-Read-ahead once more than four files are concurrently active.
+    pub fn freebsd_default() -> Self {
+        NfsHeurConfig {
+            slots: 8,
+            probes: 2,
+        }
+    }
+
+    /// The paper's enlarged table with more generous probing.
+    pub fn improved() -> Self {
+        NfsHeurConfig {
+            slots: 1_024,
+            probes: 8,
+        }
+    }
+}
+
+/// Counters for instrumentation (disabled-by-default tracing lives in the
+/// server; these are cheap enough to keep always on).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NfsHeurStats {
+    /// Lookups that found the file's entry.
+    pub hits: u64,
+    /// Lookups that found no entry (first access or previously ejected).
+    pub misses: u64,
+    /// Entries ejected while still potentially live.
+    pub ejections: u64,
+}
+
+#[derive(Debug)]
+struct Slot {
+    key: u64,
+    rec: HeurRecord,
+    last_use: u64,
+}
+
+/// The per-file-handle heuristic cache.
+#[derive(Debug)]
+pub struct NfsHeur {
+    config: NfsHeurConfig,
+    slots: Vec<Option<Slot>>,
+    clock: u64,
+    stats: NfsHeurStats,
+}
+
+impl NfsHeur {
+    /// Creates a table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has zero slots or zero probes.
+    pub fn new(config: NfsHeurConfig) -> Self {
+        assert!(config.slots > 0 && config.probes > 0, "degenerate nfsheur");
+        NfsHeur {
+            config,
+            slots: (0..config.slots).map(|_| None).collect(),
+            clock: 0,
+            stats: NfsHeurStats::default(),
+        }
+    }
+
+    /// Table geometry.
+    pub fn config(&self) -> NfsHeurConfig {
+        self.config
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> NfsHeurStats {
+        self.stats
+    }
+
+    /// Number of live entries.
+    pub fn live(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Observes a read of `len` bytes at `offset` on the file identified by
+    /// `key` (derived from the file handle), returning the effective
+    /// seqcount per `policy`.
+    ///
+    /// This is the server's whole interaction with the table: probe, and on
+    /// a miss eject the least recently used probed entry — losing all of
+    /// its heuristic state, which is precisely the §6.3 failure mode.
+    pub fn observe(
+        &mut self,
+        key: u64,
+        offset: u64,
+        len: u64,
+        policy: &ReadaheadPolicy,
+    ) -> u32 {
+        self.clock += 1;
+        let clock = self.clock;
+        let base = self.hash(key);
+        // Probe for the key, remembering the best ejection victim.
+        let mut victim: Option<usize> = None;
+        let mut victim_stamp = u64::MAX;
+        for p in 0..self.config.probes {
+            let i = (base + p) % self.config.slots;
+            match &self.slots[i] {
+                Some(s) if s.key == key => {
+                    self.stats.hits += 1;
+                    let slot = self.slots[i].as_mut().expect("just matched");
+                    slot.last_use = clock;
+                    return policy.observe(&mut slot.rec, offset, len, clock);
+                }
+                Some(s) => {
+                    if s.last_use < victim_stamp {
+                        victim_stamp = s.last_use;
+                        victim = Some(i);
+                    }
+                }
+                None => {
+                    // Prefer an empty slot over ejecting someone.
+                    if victim_stamp != 0 {
+                        victim_stamp = 0;
+                        victim = Some(i);
+                    }
+                }
+            }
+        }
+        self.stats.misses += 1;
+        let i = victim.expect("probes > 0 guarantees a victim");
+        if self.slots[i].is_some() {
+            self.stats.ejections += 1;
+        }
+        // A new entry starts at the initial count with the expected offset
+        // just past this read — the paper's "initial sequentiality metric".
+        self.slots[i] = Some(Slot {
+            key,
+            rec: HeurRecord::fresh(offset + len, clock),
+            last_use: clock,
+        });
+        crate::record::SEQCOUNT_INIT
+    }
+
+    /// Drops every entry (server reboot between benchmark configurations).
+    pub fn clear(&mut self) {
+        for s in &mut self.slots {
+            *s = None;
+        }
+    }
+
+    fn hash(&self, key: u64) -> usize {
+        // SplitMix64 finalizer: uniform slot distribution. The stock
+        // table's weakness is its *size*, not a pathological hash.
+        let mut z = key.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        (z % self.config.slots as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::SEQCOUNT_INIT;
+
+    const BLK: u64 = 8_192;
+
+    #[test]
+    fn first_access_starts_at_init() {
+        let mut t = NfsHeur::new(NfsHeurConfig::improved());
+        let c = t.observe(42, 0, BLK, &ReadaheadPolicy::Default);
+        assert_eq!(c, SEQCOUNT_INIT);
+        assert_eq!(t.stats().misses, 1);
+    }
+
+    #[test]
+    fn sequential_stream_grows_across_lookups() {
+        let mut t = NfsHeur::new(NfsHeurConfig::improved());
+        let p = ReadaheadPolicy::Default;
+        let mut last = 0;
+        for b in 0..20u64 {
+            last = t.observe(42, b * BLK, BLK, &p);
+        }
+        assert!(last >= 20, "count {last}");
+        assert_eq!(t.stats().hits, 19);
+        assert_eq!(t.stats().ejections, 0);
+    }
+
+    #[test]
+    fn few_files_fit_the_default_table() {
+        let mut t = NfsHeur::new(NfsHeurConfig::freebsd_default());
+        let p = ReadaheadPolicy::Default;
+        // Two concurrent sequential streams: no thrash expected.
+        for b in 0..50u64 {
+            for key in [1u64, 2] {
+                t.observe(key, b * BLK, BLK, &p);
+            }
+        }
+        assert_eq!(t.stats().ejections, 0);
+        let c1 = t.observe(1, 50 * BLK, BLK, &p);
+        assert!(c1 > 40, "stream kept its state: {c1}");
+    }
+
+    #[test]
+    fn many_files_thrash_the_default_table() {
+        // 32 concurrently active files against 16 slots / 2 probes:
+        // constant ejection, exactly the paper's failure mode.
+        let mut t = NfsHeur::new(NfsHeurConfig::freebsd_default());
+        let p = ReadaheadPolicy::Default;
+        let mut final_counts = vec![0u32; 32];
+        for b in 0..100u64 {
+            for key in 0..32u64 {
+                final_counts[key as usize] = t.observe(key, b * BLK, BLK, &p);
+            }
+        }
+        assert!(t.stats().ejections > 1_000, "{:?}", t.stats());
+        // A lucky file whose probe window has little contention can keep
+        // its state, but the majority must be losing theirs constantly.
+        let starved = final_counts.iter().filter(|&&c| c < 20).count();
+        assert!(
+            starved >= 16,
+            "most streams should be thrashing: {final_counts:?}"
+        );
+    }
+
+    #[test]
+    fn improved_table_carries_many_files() {
+        let mut t = NfsHeur::new(NfsHeurConfig::improved());
+        let p = ReadaheadPolicy::Default;
+        let mut min_final = u32::MAX;
+        for b in 0..100u64 {
+            for key in 0..32u64 {
+                let c = t.observe(key, b * BLK, BLK, &p);
+                if b == 99 {
+                    min_final = min_final.min(c);
+                }
+            }
+        }
+        assert_eq!(t.stats().ejections, 0, "{:?}", t.stats());
+        assert!(min_final >= 100, "all 32 streams at full count: {min_final}");
+    }
+
+    #[test]
+    fn ejection_loses_heuristic_state() {
+        // Force a collision: table with 1 slot.
+        let mut t = NfsHeur::new(NfsHeurConfig { slots: 1, probes: 1 });
+        let p = ReadaheadPolicy::Default;
+        for b in 0..10u64 {
+            t.observe(7, b * BLK, BLK, &p);
+        }
+        // Another file ejects key 7...
+        t.observe(8, 0, BLK, &p);
+        // ...so key 7 restarts from scratch despite reading sequentially.
+        let c = t.observe(7, 10 * BLK, BLK, &p);
+        assert_eq!(c, SEQCOUNT_INIT);
+        assert!(t.stats().ejections >= 2);
+    }
+
+    #[test]
+    fn lru_among_probed_is_the_victim() {
+        // Two slots, two probes: fill with A (older) and B (newer), then C
+        // must eject A.
+        let mut t = NfsHeur::new(NfsHeurConfig { slots: 2, probes: 2 });
+        let p = ReadaheadPolicy::Default;
+        t.observe(100, 0, BLK, &p); // A
+        t.observe(200, 0, BLK, &p); // B
+        t.observe(200, BLK, BLK, &p); // Touch B.
+        t.observe(300, 0, BLK, &p); // C ejects A.
+        let c_b = t.observe(200, 2 * BLK, BLK, &p);
+        assert!(c_b >= 3, "B survived: {c_b}");
+        let c_a = t.observe(100, BLK, BLK, &p);
+        assert_eq!(c_a, SEQCOUNT_INIT, "A was ejected");
+    }
+
+    #[test]
+    fn clear_empties_table() {
+        let mut t = NfsHeur::new(NfsHeurConfig::improved());
+        let p = ReadaheadPolicy::Default;
+        t.observe(1, 0, BLK, &p);
+        t.observe(2, 0, BLK, &p);
+        assert_eq!(t.live(), 2);
+        t.clear();
+        assert_eq!(t.live(), 0);
+    }
+
+    #[test]
+    fn cursor_policy_composes_with_table() {
+        let mut t = NfsHeur::new(NfsHeurConfig::improved());
+        let p = ReadaheadPolicy::cursor();
+        // 2-stride pattern on one file handle.
+        let mut last = 0;
+        for i in 0..40u64 {
+            last = t.observe(9, i * BLK, BLK, &p);
+            last = last.min(t.observe(9, (10_000 + i) * BLK, BLK, &p));
+        }
+        assert!(last >= 30, "both stride components grow: {last}");
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn zero_slots_rejected() {
+        let _ = NfsHeur::new(NfsHeurConfig { slots: 0, probes: 1 });
+    }
+}

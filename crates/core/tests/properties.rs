@@ -1,0 +1,132 @@
+//! Property-based tests on the heuristic invariants.
+
+use proptest::prelude::*;
+use readahead_core::{
+    HeurRecord, NfsHeur, NfsHeurConfig, ReadaheadPolicy, SharedCursorPool, SEQCOUNT_MAX,
+};
+
+const BLK: u64 = 8_192;
+
+fn policies() -> Vec<ReadaheadPolicy> {
+    vec![
+        ReadaheadPolicy::Default,
+        ReadaheadPolicy::Always,
+        ReadaheadPolicy::slowdown(),
+        ReadaheadPolicy::cursor(),
+    ]
+}
+
+proptest! {
+    /// seqcount stays within [0, 127] under any access pattern.
+    #[test]
+    fn seqcount_is_bounded(offsets in prop::collection::vec(0u64..1u64 << 40, 1..200)) {
+        for policy in policies() {
+            let mut rec = HeurRecord::fresh(0, 0);
+            for (i, &o) in offsets.iter().enumerate() {
+                let c = policy.observe(&mut rec, o, BLK, i as u64);
+                prop_assert!(c <= SEQCOUNT_MAX, "{} returned {c}", policy.label());
+            }
+        }
+    }
+
+    /// On perfectly sequential input every policy reaches a high count
+    /// (i.e. nobody disables read-ahead for the common case).
+    #[test]
+    fn sequential_input_earns_readahead(start in 0u64..1u64 << 30, n in 40u64..120) {
+        for policy in policies() {
+            let mut rec = HeurRecord::fresh(start, 0);
+            let mut last = 0;
+            for b in 0..n {
+                last = policy.observe(&mut rec, start + b * BLK, BLK, b);
+            }
+            prop_assert!(last >= 30, "{}: {last}", policy.label());
+        }
+    }
+
+    /// SlowDown never does worse than Default on any pattern, in the sense
+    /// of the final count after a sequential tail (resilience property).
+    #[test]
+    fn slowdown_recovers_at_least_as_fast(
+        noise in prop::collection::vec(0u64..1u64 << 30, 0..20),
+        tail in 10u64..40,
+    ) {
+        let run = |policy: &ReadaheadPolicy| {
+            let mut rec = HeurRecord::fresh(0, 0);
+            let mut clock = 0;
+            for &o in &noise {
+                policy.observe(&mut rec, o, BLK, clock);
+                clock += 1;
+            }
+            let base = 1u64 << 35;
+            let mut last = 0;
+            for b in 0..tail {
+                last = policy.observe(&mut rec, base + b * BLK, BLK, clock);
+                clock += 1;
+            }
+            last
+        };
+        let d = run(&ReadaheadPolicy::Default);
+        let s = run(&ReadaheadPolicy::slowdown());
+        // After `tail` sequential reads Default is at tail+1 at most; the
+        // AIMD variant can only be >= because it never resets to 1.
+        prop_assert!(s + 1 >= d, "slowdown {s} vs default {d}");
+    }
+
+    /// A k-swapped sequential stream (adjacent transpositions, the NFS
+    /// reorder model) keeps SlowDown's count monotone-ish: it never drops
+    /// below half its running maximum.
+    #[test]
+    fn slowdown_resists_adjacent_swaps(swaps in prop::collection::vec(1u64..60, 0..12)) {
+        let mut blocks: Vec<u64> = (0..64).collect();
+        for &s in &swaps {
+            let i = (s as usize) % 62;
+            blocks.swap(i, i + 1);
+        }
+        let policy = ReadaheadPolicy::slowdown();
+        let mut rec = HeurRecord::fresh(0, 0);
+        let mut max_seen: u32 = 0;
+        for (i, &b) in blocks.iter().enumerate() {
+            let c = policy.observe(&mut rec, b * BLK, BLK, i as u64);
+            prop_assert!(
+                c + 1 >= max_seen / 2,
+                "count collapsed: {c} after max {max_seen}"
+            );
+            max_seen = max_seen.max(c);
+        }
+    }
+
+    /// The nfsheur table conserves nothing it shouldn't: observing through
+    /// the table never yields a count above the policy cap, and the number
+    /// of live entries never exceeds the slot count.
+    #[test]
+    fn table_invariants(
+        keys in prop::collection::vec(0u64..50, 1..300),
+        slots in 1usize..64,
+        probes in 1usize..8,
+    ) {
+        let mut t = NfsHeur::new(NfsHeurConfig { slots, probes });
+        let policy = ReadaheadPolicy::slowdown();
+        for (i, &k) in keys.iter().enumerate() {
+            let c = t.observe(k, (i as u64) * BLK, BLK, &policy);
+            prop_assert!(c <= SEQCOUNT_MAX);
+            prop_assert!(t.live() <= slots);
+        }
+        let s = t.stats();
+        prop_assert_eq!(s.hits + s.misses, keys.len() as u64);
+    }
+
+    /// Pool invariant: live cursors never exceed capacity and counts stay
+    /// bounded.
+    #[test]
+    fn pool_invariants(
+        ops in prop::collection::vec((0u64..8, 0u64..1u64 << 30), 1..300),
+        cap in 1usize..32,
+    ) {
+        let mut p = SharedCursorPool::new(cap, 64 * 1024);
+        for &(key, offset) in &ops {
+            let c = p.observe(key, offset, BLK);
+            prop_assert!(c <= SEQCOUNT_MAX);
+            prop_assert!(p.live() <= cap);
+        }
+    }
+}

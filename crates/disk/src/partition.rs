@@ -1,0 +1,143 @@
+//! Disk partitioning.
+//!
+//! The paper divides each test disk into four partitions of approximately
+//! equal size, numbered 1 through 4; partition 1 occupies the outermost
+//! (fastest) cylinders and partition 4 the innermost. `scsi1`, `ide4`, etc.
+//! in the figures name a (drive, partition) pair.
+
+use crate::geometry::DiskGeometry;
+use crate::types::Lba;
+
+/// A contiguous LBA range of a drive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Partition {
+    /// Absolute LBA of the first sector.
+    pub start: Lba,
+    /// Length in sectors.
+    pub sectors: u64,
+}
+
+impl Partition {
+    /// Translates a partition-relative LBA to an absolute one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address (plus `span` sectors) exceeds the partition.
+    pub fn abs(&self, rel: Lba, span: u64) -> Lba {
+        assert!(
+            rel + span <= self.sectors,
+            "address {rel}+{span} beyond partition of {} sectors",
+            self.sectors
+        );
+        self.start + rel
+    }
+
+    /// Partition capacity in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.sectors * crate::types::SECTOR_BYTES
+    }
+}
+
+/// The four-way split used throughout the paper's experiments.
+#[derive(Debug, Clone)]
+pub struct PartitionTable {
+    parts: [Partition; 4],
+}
+
+impl PartitionTable {
+    /// Splits a drive into four equal-sector partitions, outermost first.
+    pub fn quarters(geometry: &DiskGeometry) -> Self {
+        let total = geometry.total_sectors();
+        let quarter = total / 4;
+        let mut parts = [Partition { start: 0, sectors: 0 }; 4];
+        let mut at = 0;
+        for (i, p) in parts.iter_mut().enumerate() {
+            let len = if i == 3 { total - at } else { quarter };
+            *p = Partition {
+                start: at,
+                sectors: len,
+            };
+            at += len;
+        }
+        PartitionTable { parts }
+    }
+
+    /// Partition `n`, 1-based as in the paper (`scsi1` = partition 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= n <= 4`.
+    pub fn get(&self, n: usize) -> Partition {
+        assert!((1..=4).contains(&n), "partitions are numbered 1..=4");
+        self.parts[n - 1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom() -> DiskGeometry {
+        DiskGeometry::zoned(1_000, 2, 7_200.0, 200, 120, 5)
+    }
+
+    #[test]
+    fn quarters_cover_whole_disk() {
+        let g = geom();
+        let t = PartitionTable::quarters(&g);
+        let total: u64 = (1..=4).map(|i| t.get(i).sectors).sum();
+        assert_eq!(total, g.total_sectors());
+        assert_eq!(t.get(1).start, 0);
+        for i in 1..4 {
+            assert_eq!(
+                t.get(i).start + t.get(i).sectors,
+                t.get(i + 1).start,
+                "partitions must be contiguous"
+            );
+        }
+    }
+
+    #[test]
+    fn partition_one_is_fastest() {
+        let g = geom();
+        let t = PartitionTable::quarters(&g);
+        let rate = |p: Partition| {
+            let mid = p.start + p.sectors / 2;
+            g.media_rate(g.cylinder_of(mid))
+        };
+        assert!(rate(t.get(1)) > rate(t.get(4)), "ZCAV: outer beats inner");
+    }
+
+    #[test]
+    fn abs_translates_and_checks() {
+        let g = geom();
+        let t = PartitionTable::quarters(&g);
+        let p2 = t.get(2);
+        assert_eq!(p2.abs(0, 1), p2.start);
+        assert_eq!(p2.abs(100, 16), p2.start + 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond partition")]
+    fn abs_rejects_overflow() {
+        let g = geom();
+        let t = PartitionTable::quarters(&g);
+        let p = t.get(1);
+        let _ = p.abs(p.sectors - 1, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "numbered")]
+    fn partition_zero_rejected() {
+        let g = geom();
+        let t = PartitionTable::quarters(&g);
+        let _ = t.get(0);
+    }
+
+    #[test]
+    fn bytes_accounts_sector_size() {
+        let g = geom();
+        let t = PartitionTable::quarters(&g);
+        assert_eq!(t.get(1).bytes(), t.get(1).sectors * 512);
+    }
+}

@@ -1,0 +1,123 @@
+//! Basic disk request types.
+
+use simcore::SimTime;
+
+/// A logical block address, in 512-byte sectors from the start of the drive.
+pub type Lba = u64;
+
+/// Bytes per sector; every LBA addresses one of these.
+pub const SECTOR_BYTES: u64 = 512;
+
+/// Identifier assigned by the drive to each submitted request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RequestId(pub u64);
+
+/// Direction of a disk request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DiskOp {
+    /// Transfer from media to host.
+    Read,
+    /// Transfer from host to media.
+    Write,
+}
+
+/// A request submitted to the drive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiskRequest {
+    /// First sector of the transfer.
+    pub lba: Lba,
+    /// Number of sectors to transfer (must be non-zero).
+    pub sectors: u64,
+    /// Read or write.
+    pub op: DiskOp,
+    /// Opaque tag the caller can use to route the completion.
+    pub tag: u64,
+}
+
+impl DiskRequest {
+    /// Convenience constructor for a read request.
+    pub fn read(lba: Lba, sectors: u64, tag: u64) -> Self {
+        DiskRequest {
+            lba,
+            sectors,
+            op: DiskOp::Read,
+            tag,
+        }
+    }
+
+    /// Convenience constructor for a write request.
+    pub fn write(lba: Lba, sectors: u64, tag: u64) -> Self {
+        DiskRequest {
+            lba,
+            sectors,
+            op: DiskOp::Write,
+            tag,
+        }
+    }
+
+    /// One past the last sector of the transfer.
+    pub fn end(&self) -> Lba {
+        self.lba + self.sectors
+    }
+
+    /// Transfer size in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.sectors * SECTOR_BYTES
+    }
+}
+
+/// A finished request handed back to the host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// The drive-assigned id returned by `Disk::submit`.
+    pub id: RequestId,
+    /// The original request.
+    pub request: DiskRequest,
+    /// When the request was submitted.
+    pub submitted_at: SimTime,
+    /// When the request finished.
+    pub completed_at: SimTime,
+    /// Whether the read was served from the drive's cache (always `false`
+    /// for writes).
+    pub cache_hit: bool,
+}
+
+impl Completion {
+    /// Total time the request spent in the drive (queueing + service).
+    pub fn latency(&self) -> simcore::SimDuration {
+        self.completed_at.since(self.submitted_at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_accessors() {
+        let r = DiskRequest::read(100, 16, 7);
+        assert_eq!(r.end(), 116);
+        assert_eq!(r.bytes(), 8192);
+        assert_eq!(r.op, DiskOp::Read);
+        assert_eq!(r.tag, 7);
+    }
+
+    #[test]
+    fn write_constructor() {
+        let w = DiskRequest::write(0, 1, 0);
+        assert_eq!(w.op, DiskOp::Write);
+        assert_eq!(w.bytes(), 512);
+    }
+
+    #[test]
+    fn completion_latency() {
+        let c = Completion {
+            id: RequestId(1),
+            request: DiskRequest::read(0, 1, 0),
+            submitted_at: SimTime::from_nanos(100),
+            completed_at: SimTime::from_nanos(600),
+            cache_hit: false,
+        };
+        assert_eq!(c.latency().as_nanos(), 500);
+    }
+}

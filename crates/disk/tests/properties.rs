@@ -1,0 +1,134 @@
+//! Property-based tests on the drive model's physical invariants.
+
+use diskmodel::{Completion, Disk, DiskRequest, DriveModel, TcqConfig};
+use proptest::prelude::*;
+use simcore::{SimRng, SimTime};
+
+fn drain(disk: &mut Disk) -> Vec<Completion> {
+    let mut out = Vec::new();
+    while let Some(t) = disk.next_completion() {
+        out.extend(disk.advance(t));
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every submitted request completes exactly once, in any
+    /// configuration, for any request mix.
+    #[test]
+    fn conservation_of_requests(
+        reqs in prop::collection::vec((0u64..30_000_000u64, 1u64..256, prop::bool::ANY), 1..60),
+        tcq_on in prop::bool::ANY,
+        scsi in prop::bool::ANY,
+    ) {
+        let model = if scsi { DriveModel::IbmDdysScsi } else { DriveModel::WdWd200bbIde };
+        let mut disk = if tcq_on {
+            model.build(SimRng::new(1))
+        } else {
+            model.build_no_tcq(SimRng::new(1))
+        };
+        let mut ids = Vec::new();
+        for (i, &(lba, sectors, is_write)) in reqs.iter().enumerate() {
+            let req = if is_write {
+                DiskRequest::write(lba, sectors, i as u64)
+            } else {
+                DiskRequest::read(lba, sectors, i as u64)
+            };
+            ids.push(disk.submit(SimTime::from_nanos(i as u64 * 10_000), req));
+        }
+        let done = drain(&mut disk);
+        prop_assert_eq!(done.len(), reqs.len());
+        let mut seen: Vec<u64> = done.iter().map(|c| c.request.tag).collect();
+        seen.sort_unstable();
+        let expected: Vec<u64> = (0..reqs.len() as u64).collect();
+        prop_assert_eq!(seen, expected);
+        prop_assert_eq!(disk.outstanding(), 0);
+    }
+
+    /// Completions never precede submissions, and service takes at least
+    /// the command overhead.
+    #[test]
+    fn causality_and_minimum_service(
+        reqs in prop::collection::vec((0u64..30_000_000u64, 1u64..128), 1..40),
+    ) {
+        let mut disk = DriveModel::IbmDdysScsi.build(SimRng::new(2));
+        for (i, &(lba, sectors)) in reqs.iter().enumerate() {
+            disk.submit(
+                SimTime::from_nanos(i as u64 * 50_000),
+                DiskRequest::read(lba, sectors, i as u64),
+            );
+        }
+        for c in drain(&mut disk) {
+            prop_assert!(c.completed_at > c.submitted_at);
+            let us = c.latency().as_secs_f64() * 1e6;
+            prop_assert!(us >= 100.0, "suspiciously fast: {us} us");
+        }
+    }
+
+    /// Writes are never cache hits, and a read right after an overlapping
+    /// write is never a cache hit either (write-through invalidation).
+    #[test]
+    fn write_invalidation(lba in 0u64..30_000_000u64, sectors in 1u64..128) {
+        let mut disk = DriveModel::IbmDdysScsi.build(SimRng::new(3));
+        disk.submit(SimTime::ZERO, DiskRequest::read(lba, sectors, 0));
+        let t1 = disk.next_completion().expect("busy");
+        disk.advance(t1);
+        disk.submit(t1, DiskRequest::write(lba, 1, 1));
+        let t2 = disk.next_completion().expect("busy");
+        let w = disk.advance(t2);
+        prop_assert!(!w[0].cache_hit);
+        disk.submit(t2, DiskRequest::read(lba, sectors, 2));
+        let t3 = disk.next_completion().expect("busy");
+        let r = disk.advance(t3);
+        prop_assert!(!r[0].cache_hit, "stale data served after write");
+    }
+
+    /// ZCAV: a long sequential read in the outer half is never slower than
+    /// the same-length read in the inner half (fresh drives, same seed).
+    #[test]
+    fn zcav_monotonicity(mb in 1u64..8) {
+        let sectors = mb * 2_048;
+        let time_for = |start_lba: u64| {
+            let mut disk = DriveModel::WdWd200bbIde.build(SimRng::new(4));
+            let mut at = SimTime::ZERO;
+            let mut lba = start_lba;
+            let mut left = sectors;
+            while left > 0 {
+                let n = left.min(128);
+                disk.submit(at, DiskRequest::read(lba, n, 0));
+                at = disk.next_completion().expect("busy");
+                disk.advance(at);
+                lba += n;
+                left -= n;
+            }
+            at.as_secs_f64()
+        };
+        let total = DriveModel::WdWd200bbIde.geometry().total_sectors();
+        let outer = time_for(0);
+        let inner = time_for(total - sectors - 1_000);
+        prop_assert!(inner > outer, "inner {inner} should exceed outer {outer}");
+    }
+
+    /// The drive clock never runs backwards across completions.
+    #[test]
+    fn monotone_completions(
+        reqs in prop::collection::vec(0u64..30_000_000u64, 2..60),
+        tcq_on in prop::bool::ANY,
+    ) {
+        let model = DriveModel::IbmDdysScsi;
+        let mut disk = if tcq_on {
+            model.build(SimRng::new(5))
+        } else {
+            model.build_no_tcq(SimRng::new(5))
+        };
+        for (i, &lba) in reqs.iter().enumerate() {
+            disk.submit(SimTime::ZERO, DiskRequest::read(lba, 16, i as u64));
+        }
+        let done = drain(&mut disk);
+        for w in done.windows(2) {
+            prop_assert!(w[1].completed_at >= w[0].completed_at);
+        }
+    }
+}

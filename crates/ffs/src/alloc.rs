@@ -1,0 +1,236 @@
+//! Block allocation and file layout.
+//!
+//! A deliberately FFS-flavoured allocator: the partition is divided into
+//! cylinder groups, files are laid out as long contiguous runs within a
+//! group, and an optional *aging* knob fragments the layout the way months
+//! of create/delete traffic would (cf. Smith & Seltzer's file-system aging
+//! work, which the paper cites when explaining why it benchmarks fresh file
+//! systems). A fresh file system is the worst case for the paper's
+//! read-ahead improvements, so aging only ever strengthens its results.
+
+use diskmodel::{Lba, Partition};
+use simcore::SimRng;
+
+/// File-system block size in sectors (8 KB blocks of 512-byte sectors).
+pub const BLOCK_SECTORS: u64 = 16;
+
+/// File-system block size in bytes.
+pub const BLOCK_BYTES: u64 = BLOCK_SECTORS * diskmodel::SECTOR_BYTES;
+
+/// An inode: a file's identity, size, and block map.
+#[derive(Debug, Clone)]
+pub struct Inode {
+    /// Inode number (also used as the NFS file-handle payload).
+    pub ino: u64,
+    /// File length in bytes.
+    pub size: u64,
+    /// Absolute disk LBA of each 8 KB file block, in file order.
+    pub blocks: Vec<Lba>,
+}
+
+impl Inode {
+    /// Number of blocks in the file.
+    pub fn num_blocks(&self) -> u64 {
+        self.blocks.len() as u64
+    }
+
+    /// The disk address of file block `fblk`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fblk` is beyond the end of the file.
+    pub fn lba_of(&self, fblk: u64) -> Lba {
+        self.blocks[usize::try_from(fblk).expect("block index fits usize")]
+    }
+
+    /// Whether file blocks `a` and `a + 1` are physically adjacent.
+    pub fn contiguous(&self, a: u64) -> bool {
+        let a = a as usize;
+        a + 1 < self.blocks.len() && self.blocks[a + 1] == self.blocks[a] + BLOCK_SECTORS
+    }
+}
+
+/// Allocator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct AllocConfig {
+    /// Cylinder-group size in bytes (FFS defaults are tens of MB).
+    pub cg_bytes: u64,
+    /// Fraction of cluster-sized runs that get displaced, 0.0 = fresh.
+    pub aging: f64,
+    /// Gap (in blocks) inserted when a run is displaced.
+    pub aging_gap_blocks: u64,
+}
+
+impl Default for AllocConfig {
+    fn default() -> Self {
+        AllocConfig {
+            cg_bytes: 32 * 1024 * 1024,
+            aging: 0.0,
+            aging_gap_blocks: 64,
+        }
+    }
+}
+
+/// A bump allocator with cylinder-group awareness and optional aging.
+#[derive(Debug)]
+pub struct Allocator {
+    partition: Partition,
+    config: AllocConfig,
+    /// Next free sector, relative to the partition.
+    cursor: u64,
+    next_ino: u64,
+}
+
+impl Allocator {
+    /// Creates an allocator over a partition.
+    pub fn new(partition: Partition, config: AllocConfig) -> Self {
+        Allocator {
+            partition,
+            config,
+            cursor: 0,
+            next_ino: 2, // Inode 0 is invalid, 1 is the root, files start at 2.
+        }
+    }
+
+    /// Bytes still allocatable.
+    pub fn free_bytes(&self) -> u64 {
+        (self.partition.sectors - self.cursor) * diskmodel::SECTOR_BYTES
+    }
+
+    /// Allocates a file of `size` bytes, returning its inode.
+    ///
+    /// `rng` drives aging decisions only; a fresh file system (aging 0)
+    /// never consults it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the partition has insufficient space.
+    pub fn create_file(&mut self, size: u64, rng: &mut SimRng) -> Inode {
+        let nblocks = size.div_ceil(BLOCK_BYTES);
+        let mut blocks = Vec::with_capacity(usize::try_from(nblocks).expect("fits"));
+        // Allocate in cluster-sized runs of 8 blocks so aging displaces
+        // realistic units.
+        let run = 8u64;
+        let mut remaining = nblocks;
+        while remaining > 0 {
+            let take = remaining.min(run);
+            if self.config.aging > 0.0 && rng.chance(self.config.aging) {
+                // Displace this run: leave a gap as if intervening files
+                // occupied the space.
+                self.cursor += self.config.aging_gap_blocks * BLOCK_SECTORS;
+            }
+            for _ in 0..take {
+                let abs = self.partition.abs(self.cursor, BLOCK_SECTORS);
+                blocks.push(abs);
+                self.cursor += BLOCK_SECTORS;
+            }
+            remaining -= take;
+        }
+        let ino = self.next_ino;
+        self.next_ino += 1;
+        Inode { ino, size, blocks }
+    }
+
+    /// Cylinder-group index of a partition-relative byte offset
+    /// (diagnostics; layout policy keeps whole files inside few groups).
+    pub fn cg_of(&self, rel_bytes: u64) -> u64 {
+        rel_bytes / self.config.cg_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn part() -> Partition {
+        Partition {
+            start: 1_000_000,
+            sectors: 4_000_000, // ~2 GB
+        }
+    }
+
+    #[test]
+    fn fresh_files_are_contiguous() {
+        let mut a = Allocator::new(part(), AllocConfig::default());
+        let mut rng = SimRng::new(1);
+        let f = a.create_file(1024 * 1024, &mut rng); // 128 blocks
+        assert_eq!(f.num_blocks(), 128);
+        for i in 0..127 {
+            assert!(f.contiguous(i), "block {i} not contiguous");
+        }
+        assert_eq!(f.lba_of(0), 1_000_000);
+    }
+
+    #[test]
+    fn files_do_not_overlap() {
+        let mut a = Allocator::new(part(), AllocConfig::default());
+        let mut rng = SimRng::new(1);
+        let f1 = a.create_file(64 * 1024, &mut rng);
+        let f2 = a.create_file(64 * 1024, &mut rng);
+        let f1_end = f1.lba_of(f1.num_blocks() - 1) + BLOCK_SECTORS;
+        assert!(f2.lba_of(0) >= f1_end);
+        assert_ne!(f1.ino, f2.ino);
+    }
+
+    #[test]
+    fn size_rounds_up_to_blocks() {
+        let mut a = Allocator::new(part(), AllocConfig::default());
+        let mut rng = SimRng::new(1);
+        let f = a.create_file(BLOCK_BYTES + 1, &mut rng);
+        assert_eq!(f.num_blocks(), 2);
+        assert_eq!(f.size, BLOCK_BYTES + 1);
+    }
+
+    #[test]
+    fn aging_fragments_layout() {
+        let cfg = AllocConfig {
+            aging: 0.5,
+            ..AllocConfig::default()
+        };
+        let mut a = Allocator::new(part(), cfg);
+        let mut rng = SimRng::new(42);
+        let f = a.create_file(4 * 1024 * 1024, &mut rng); // 512 blocks
+        let discontinuities = (0..f.num_blocks() - 1)
+            .filter(|&i| !f.contiguous(i))
+            .count();
+        assert!(
+            discontinuities >= 10,
+            "aging 0.5 should fragment: {discontinuities} breaks"
+        );
+    }
+
+    #[test]
+    fn fresh_allocation_ignores_rng() {
+        let mut a1 = Allocator::new(part(), AllocConfig::default());
+        let mut a2 = Allocator::new(part(), AllocConfig::default());
+        let f1 = a1.create_file(1024 * 1024, &mut SimRng::new(1));
+        let f2 = a2.create_file(1024 * 1024, &mut SimRng::new(999));
+        assert_eq!(f1.blocks, f2.blocks);
+    }
+
+    #[test]
+    fn free_bytes_decreases() {
+        let mut a = Allocator::new(part(), AllocConfig::default());
+        let before = a.free_bytes();
+        a.create_file(1024 * 1024, &mut SimRng::new(1));
+        assert_eq!(before - a.free_bytes(), 1024 * 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond partition")]
+    fn overflow_panics() {
+        let small = Partition {
+            start: 0,
+            sectors: 32,
+        };
+        let mut a = Allocator::new(small, AllocConfig::default());
+        a.create_file(1024 * 1024, &mut SimRng::new(1));
+    }
+
+    #[test]
+    fn cg_index() {
+        let a = Allocator::new(part(), AllocConfig::default());
+        assert_eq!(a.cg_of(0), 0);
+        assert_eq!(a.cg_of(32 * 1024 * 1024), 1);
+    }
+}

@@ -1,0 +1,675 @@
+//! The file system proper: inodes + buffer cache + cluster read-ahead.
+//!
+//! The read path mirrors FreeBSD's: a read of file block *b* that misses
+//! the buffer cache triggers a *cluster read* — one disk request covering
+//! `b` and up to seven physically contiguous following blocks — and, when
+//! the caller's sequentiality count (`seqcount`) is high enough,
+//! asynchronous read-ahead of further clusters. How much read-ahead is
+//! performed scales with `seqcount`, which is exactly the knob the NFS
+//! server's `nfsheur` heuristics drive (§6 of the paper): the FreeBSD NFS
+//! server passes its per-file-handle sequentiality estimate into `VOP_READ`
+//! because stateless NFS has no open file descriptor to carry one.
+//!
+//! All operations are asynchronous: [`FileSystem::read`] returns a
+//! [`ReadId`]; completions surface from [`FileSystem::advance`].
+
+use std::collections::HashMap;
+
+use diskmodel::{Disk, DiskRequest, TcqConfig};
+use iosched::SchedulerKind;
+use simcore::{SimRng, SimTime};
+
+use crate::alloc::{AllocConfig, Allocator, Inode, BLOCK_BYTES, BLOCK_SECTORS};
+use crate::bcache::{BlockKey, BufferCache};
+use crate::bio::BioLayer;
+
+/// The ceiling the OS imposes on sequentiality counts (the paper: "seqCount
+/// is never allowed to grow higher than 127, due to the implementation of
+/// the lower levels of the operating system").
+pub const SEQCOUNT_MAX: u32 = 127;
+
+/// File-system tuning parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct FsConfig {
+    /// Blocks per cluster read (FreeBSD: 64 KB / 8 KB = 8).
+    pub cluster_blocks: u64,
+    /// Ceiling on the read-ahead window, in blocks.
+    pub max_readahead_blocks: u64,
+    /// Buffer-cache capacity in blocks (sized from machine RAM).
+    pub cache_blocks: usize,
+    /// Minimum `seqcount` at which read-ahead kicks in.
+    pub readahead_threshold: u32,
+    /// Allocation policy.
+    pub alloc: AllocConfig,
+}
+
+impl Default for FsConfig {
+    fn default() -> Self {
+        FsConfig {
+            cluster_blocks: 8,
+            max_readahead_blocks: 32,
+            cache_blocks: 20_000, // ~160 MB of a 256 MB server
+            readahead_threshold: 2,
+            alloc: AllocConfig::default(),
+        }
+    }
+}
+
+/// Identifies an outstanding read or write operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ReadId(pub u64);
+
+/// A finished operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpDone {
+    /// The id returned by `read`/`write`.
+    pub id: ReadId,
+    /// Caller-provided routing tag.
+    pub tag: u64,
+    /// When the operation was issued.
+    pub issued_at: SimTime,
+    /// When the last needed block arrived.
+    pub done_at: SimTime,
+}
+
+/// Running counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FsStats {
+    /// Synchronous (demand) disk reads issued.
+    pub sync_reads: u64,
+    /// Asynchronous read-ahead disk reads issued.
+    pub readahead_reads: u64,
+    /// Blocks delivered from the buffer cache without disk I/O.
+    pub cache_hit_blocks: u64,
+    /// Blocks that required disk I/O.
+    pub miss_blocks: u64,
+    /// Writes issued.
+    pub writes: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct IoSpan {
+    ino: u64,
+    first_blk: u64,
+    nblocks: u64,
+}
+
+#[derive(Debug)]
+struct Ticket {
+    tag: u64,
+    issued_at: SimTime,
+    outstanding: usize,
+}
+
+/// An FFS-like file system on one partition of one drive.
+#[derive(Debug)]
+pub struct FileSystem {
+    config: FsConfig,
+    bio: BioLayer,
+    alloc: Allocator,
+    inodes: HashMap<u64, Inode>,
+    cache: BufferCache,
+    io_spans: HashMap<u64, IoSpan>,
+    next_io_tag: u64,
+    waiters: HashMap<BlockKey, Vec<ReadId>>,
+    tickets: HashMap<ReadId, Ticket>,
+    ready: Vec<OpDone>,
+    next_read_id: u64,
+    stats: FsStats,
+}
+
+impl FileSystem {
+    /// Formats a file system on `partition` of `disk`.
+    pub fn format(
+        disk: Disk,
+        partition: diskmodel::Partition,
+        sched: SchedulerKind,
+        config: FsConfig,
+    ) -> Self {
+        FileSystem {
+            bio: BioLayer::new(disk, sched),
+            alloc: Allocator::new(partition, config.alloc),
+            inodes: HashMap::new(),
+            cache: BufferCache::new(config.cache_blocks),
+            io_spans: HashMap::new(),
+            next_io_tag: 0,
+            waiters: HashMap::new(),
+            tickets: HashMap::new(),
+            ready: Vec::new(),
+            next_read_id: 0,
+            config,
+            stats: FsStats::default(),
+        }
+    }
+
+    /// Creates a file of `size` bytes and returns its inode number.
+    pub fn create_file(&mut self, size: u64, rng: &mut SimRng) -> u64 {
+        let inode = self.alloc.create_file(size, rng);
+        let ino = inode.ino;
+        self.inodes.insert(ino, inode);
+        ino
+    }
+
+    /// Looks up an inode.
+    pub fn inode(&self, ino: u64) -> Option<&Inode> {
+        self.inodes.get(&ino)
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> FsStats {
+        self.stats
+    }
+
+    /// The block-I/O layer (scheduler and drive access).
+    pub fn bio(&self) -> &BioLayer {
+        &self.bio
+    }
+
+    /// Mutable access to the block-I/O layer.
+    pub fn bio_mut(&mut self) -> &mut BioLayer {
+        &mut self.bio
+    }
+
+    /// Switches the kernel disk scheduler at runtime.
+    pub fn set_scheduler(&mut self, kind: SchedulerKind) {
+        self.bio.set_scheduler(kind);
+    }
+
+    /// Reconfigures the drive's tagged command queue.
+    pub fn set_tcq(&mut self, tcq: TcqConfig) {
+        self.bio.set_tcq(tcq);
+    }
+
+    /// Drops all cached data, in the kernel and in the drive (§4.3.1's
+    /// cache-defeating discipline between benchmark runs).
+    pub fn flush_caches(&mut self) {
+        self.cache.flush();
+        self.bio.disk_mut().flush_cache();
+    }
+
+    /// Starts a read of `bytes` at byte `offset` of `ino`.
+    ///
+    /// `seqcount` is the caller's sequentiality estimate (0..=127), which
+    /// controls how much read-ahead is performed. `tag` is returned in the
+    /// completion for routing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inode does not exist or the range is beyond EOF.
+    pub fn read(
+        &mut self,
+        now: SimTime,
+        ino: u64,
+        offset: u64,
+        bytes: u64,
+        seqcount: u32,
+        tag: u64,
+    ) -> ReadId {
+        assert!(bytes > 0, "zero-length read");
+        let inode = self.inodes.get(&ino).expect("read of unknown inode").clone();
+        assert!(
+            offset + bytes <= inode.size.max(inode.num_blocks() * BLOCK_BYTES),
+            "read beyond EOF: {offset}+{bytes} > {}",
+            inode.size
+        );
+        let id = ReadId(self.next_read_id);
+        self.next_read_id += 1;
+        let first_blk = offset / BLOCK_BYTES;
+        let last_blk = (offset + bytes - 1) / BLOCK_BYTES;
+
+        let mut outstanding = 0usize;
+        let mut blk = first_blk;
+        while blk <= last_blk {
+            let key = (ino, blk);
+            if self.cache.lookup(key) {
+                self.stats.cache_hit_blocks += 1;
+                blk += 1;
+                continue;
+            }
+            if self.cache.is_pending(key) {
+                self.stats.miss_blocks += 1;
+                self.waiters.entry(key).or_default().push(id);
+                outstanding += 1;
+                blk += 1;
+                continue;
+            }
+            // Demand read. Only a caller that looks sequential earns a
+            // cluster read; with no sequentiality evidence FreeBSD reads
+            // the one block it was asked for — this is precisely the cost
+            // of a collapsed seqcount (§6 of the paper).
+            let max_run = if seqcount >= self.config.readahead_threshold {
+                self.config.cluster_blocks
+            } else {
+                1
+            };
+            let run = self
+                .cluster_run(&inode, blk, max_run)
+                // Never split a multi-block request into single-block I/Os.
+                .max(self.cluster_run(&inode, blk, last_blk - blk + 1).min(last_blk - blk + 1));
+            for b in blk..blk + run {
+                self.cache.mark_pending((ino, b));
+            }
+            self.stats.miss_blocks += 1;
+            self.waiters.entry(key).or_default().push(id);
+            outstanding += 1;
+            // Blocks of this cluster that the read also needs get waiters.
+            for b in (blk + 1)..(blk + run).min(last_blk + 1) {
+                self.stats.miss_blocks += 1;
+                self.waiters.entry((ino, b)).or_default().push(id);
+                outstanding += 1;
+            }
+            self.submit_io(now, &inode, blk, run, false);
+            blk += run;
+        }
+
+        // Read-ahead beyond the requested range, scaled by seqcount.
+        if seqcount >= self.config.readahead_threshold {
+            let window = u64::from(seqcount.min(SEQCOUNT_MAX))
+                .min(self.config.max_readahead_blocks);
+            self.readahead(now, &inode, last_blk + 1, window);
+        }
+
+        self.tickets.insert(
+            id,
+            Ticket {
+                tag,
+                issued_at: now,
+                outstanding,
+            },
+        );
+        if outstanding == 0 {
+            self.complete(id, now);
+        }
+        id
+    }
+
+    /// Starts a write of `bytes` at `offset` (write-through, no delayed
+    /// write modelling; used by the mixed-workload extension).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inode does not exist or the range is beyond EOF.
+    pub fn write(&mut self, now: SimTime, ino: u64, offset: u64, bytes: u64, tag: u64) -> ReadId {
+        assert!(bytes > 0, "zero-length write");
+        let inode = self.inodes.get(&ino).expect("write to unknown inode").clone();
+        assert!(offset + bytes <= inode.num_blocks() * BLOCK_BYTES, "write beyond EOF");
+        let id = ReadId(self.next_read_id);
+        self.next_read_id += 1;
+        let first_blk = offset / BLOCK_BYTES;
+        let last_blk = (offset + bytes - 1) / BLOCK_BYTES;
+        let mut outstanding = 0;
+        let mut blk = first_blk;
+        while blk <= last_blk {
+            self.cache.invalidate((ino, blk));
+            let run = self
+                .contiguous_run(&inode, blk)
+                .min(last_blk - blk + 1)
+                .min(self.config.cluster_blocks);
+            let io_tag = self.next_io_tag;
+            self.next_io_tag += 1;
+            self.io_spans.insert(
+                io_tag,
+                IoSpan {
+                    ino,
+                    first_blk: blk,
+                    nblocks: run,
+                },
+            );
+            // Writes complete the ticket directly via io_spans; reuse the
+            // waiter list on the first block of each span.
+            self.waiters.entry((u64::MAX, io_tag)).or_default().push(id);
+            outstanding += 1;
+            self.bio.submit(
+                now,
+                DiskRequest::write(inode.lba_of(blk), run * BLOCK_SECTORS, io_tag),
+            );
+            self.stats.writes += 1;
+            blk += run;
+        }
+        self.tickets.insert(
+            id,
+            Ticket {
+                tag,
+                issued_at: now,
+                outstanding,
+            },
+        );
+        if outstanding == 0 {
+            self.complete(id, now);
+        }
+        id
+    }
+
+    /// Earliest instant at which `advance` will produce a completion.
+    pub fn next_event(&self) -> Option<SimTime> {
+        let ready = self.ready.iter().map(|d| d.done_at).min();
+        match (ready, self.bio.next_event()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Delivers every operation that finishes at or before `now`.
+    pub fn advance(&mut self, now: SimTime) -> Vec<OpDone> {
+        for c in self.bio.advance(now) {
+            let span = self
+                .io_spans
+                .remove(&c.request.tag)
+                .expect("completion for unknown io tag");
+            match c.request.op {
+                diskmodel::DiskOp::Read => {
+                    for b in span.first_blk..span.first_blk + span.nblocks {
+                        let key = (span.ino, b);
+                        self.cache.fill(key);
+                        if let Some(waiting) = self.waiters.remove(&key) {
+                            for id in waiting {
+                                self.block_arrived(id, c.completed_at);
+                            }
+                        }
+                    }
+                }
+                diskmodel::DiskOp::Write => {
+                    if let Some(waiting) = self.waiters.remove(&(u64::MAX, c.request.tag)) {
+                        for id in waiting {
+                            self.block_arrived(id, c.completed_at);
+                        }
+                    }
+                }
+            }
+        }
+        let mut out: Vec<OpDone> = Vec::new();
+        let mut keep = Vec::new();
+        for d in self.ready.drain(..) {
+            if d.done_at <= now {
+                out.push(d);
+            } else {
+                keep.push(d);
+            }
+        }
+        self.ready = keep;
+        out.sort_by_key(|d| (d.done_at, d.id));
+        out
+    }
+
+    /// Length of the physically contiguous, uncached, unpending run starting
+    /// at `blk`, capped at `max` blocks and the file end.
+    fn cluster_run(&self, inode: &Inode, blk: u64, max: u64) -> u64 {
+        let mut run = 1;
+        while run < max
+            && blk + run < inode.num_blocks()
+            && inode.contiguous(blk + run - 1)
+            && !self.cache.peek((inode.ino, blk + run))
+            && !self.cache.is_pending((inode.ino, blk + run))
+        {
+            run += 1;
+        }
+        run
+    }
+
+    /// Length of the physically contiguous run starting at `blk` (ignores
+    /// cache state; used by the write path).
+    fn contiguous_run(&self, inode: &Inode, blk: u64) -> u64 {
+        let mut run = 1;
+        while blk + run < inode.num_blocks() && inode.contiguous(blk + run - 1) {
+            run += 1;
+        }
+        run
+    }
+
+    /// Issues asynchronous read-ahead covering up to `window` blocks
+    /// starting at `from`.
+    ///
+    /// Read-ahead is issued in cluster-aligned chunks (as FreeBSD's
+    /// `cluster_read` does): a sliding 8 KB-granular window would otherwise
+    /// degenerate into single-block I/Os at the frontier.
+    fn readahead(&mut self, now: SimTime, inode: &Inode, from: u64, window: u64) {
+        let end = (from + window).min(inode.num_blocks());
+        let cluster = self.config.cluster_blocks;
+        // First cluster boundary at or after `from`.
+        let mut blk = from.div_ceil(cluster) * cluster;
+        while blk < end {
+            let key = (inode.ino, blk);
+            if self.cache.peek(key) || self.cache.is_pending(key) {
+                blk += cluster;
+                continue;
+            }
+            let run = self.cluster_run(inode, blk, cluster);
+            for b in blk..blk + run {
+                self.cache.mark_pending((inode.ino, b));
+            }
+            self.submit_io(now, inode, blk, run, true);
+            blk += cluster;
+        }
+    }
+
+    fn submit_io(&mut self, now: SimTime, inode: &Inode, first_blk: u64, nblocks: u64, ra: bool) {
+        let io_tag = self.next_io_tag;
+        self.next_io_tag += 1;
+        self.io_spans.insert(
+            io_tag,
+            IoSpan {
+                ino: inode.ino,
+                first_blk,
+                nblocks,
+            },
+        );
+        if ra {
+            self.stats.readahead_reads += 1;
+        } else {
+            self.stats.sync_reads += 1;
+        }
+        self.bio.submit(
+            now,
+            DiskRequest::read(inode.lba_of(first_blk), nblocks * BLOCK_SECTORS, io_tag),
+        );
+    }
+
+    fn block_arrived(&mut self, id: ReadId, at: SimTime) {
+        let Some(t) = self.tickets.get_mut(&id) else {
+            return;
+        };
+        t.outstanding = t.outstanding.saturating_sub(1);
+        if t.outstanding == 0 {
+            self.complete(id, at);
+        }
+    }
+
+    fn complete(&mut self, id: ReadId, at: SimTime) {
+        let t = self.tickets.remove(&id).expect("double completion");
+        self.ready.push(OpDone {
+            id,
+            tag: t.tag,
+            issued_at: t.issued_at,
+            done_at: at,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diskmodel::{DriveModel, PartitionTable};
+
+    fn make_fs() -> FileSystem {
+        let model = DriveModel::WdWd200bbIde;
+        let disk = model.build(SimRng::new(11));
+        let part = PartitionTable::quarters(disk.geometry()).get(1);
+        FileSystem::format(disk, part, SchedulerKind::Elevator, FsConfig::default())
+    }
+
+    fn run_until(fs: &mut FileSystem, mut pending: usize) -> Vec<OpDone> {
+        let mut done = Vec::new();
+        let mut guard = 0;
+        while pending > 0 {
+            guard += 1;
+            assert!(guard < 1_000_000, "event loop stuck");
+            let t = fs.next_event().expect("no events while reads pending");
+            for d in fs.advance(t) {
+                pending -= 1;
+                done.push(d);
+            }
+        }
+        done
+    }
+
+    #[test]
+    fn read_of_uncached_block_hits_disk() {
+        let mut fs = make_fs();
+        let mut rng = SimRng::new(1);
+        let ino = fs.create_file(1024 * 1024, &mut rng);
+        fs.read(SimTime::ZERO, ino, 0, 8192, 0, 7);
+        let done = run_until(&mut fs, 1);
+        assert_eq!(done[0].tag, 7);
+        assert!(done[0].done_at > SimTime::ZERO);
+        assert_eq!(fs.stats().sync_reads, 1);
+    }
+
+    #[test]
+    fn cached_read_completes_at_issue_time() {
+        let mut fs = make_fs();
+        let mut rng = SimRng::new(1);
+        let ino = fs.create_file(1024 * 1024, &mut rng);
+        fs.read(SimTime::ZERO, ino, 0, 8192, 0, 0);
+        let done = run_until(&mut fs, 1);
+        let t1 = done[0].done_at;
+        // Same block again: served from the buffer cache instantly.
+        fs.read(t1, ino, 0, 8192, 0, 1);
+        let done2 = run_until(&mut fs, 1);
+        assert_eq!(done2[0].done_at, t1);
+        assert_eq!(fs.stats().cache_hit_blocks, 1);
+    }
+
+    #[test]
+    fn cluster_read_covers_following_blocks() {
+        let mut fs = make_fs();
+        let mut rng = SimRng::new(1);
+        let ino = fs.create_file(1024 * 1024, &mut rng);
+        // seqcount 2 = sequential evidence, so the demand read clusters.
+        fs.read(SimTime::ZERO, ino, 0, 8192, 2, 0);
+        let done = run_until(&mut fs, 1);
+        // Blocks 1..8 arrived with the cluster; reading them is free.
+        fs.read(done[0].done_at, ino, 7 * 8192, 8192, 0, 1);
+        let done2 = run_until(&mut fs, 1);
+        assert_eq!(done2[0].done_at, done[0].done_at);
+        assert_eq!(fs.stats().sync_reads, 1, "no second disk read");
+    }
+
+    #[test]
+    fn high_seqcount_triggers_readahead() {
+        let mut fs = make_fs();
+        let mut rng = SimRng::new(1);
+        let ino = fs.create_file(4 * 1024 * 1024, &mut rng);
+        fs.read(SimTime::ZERO, ino, 0, 8192, 127, 0);
+        run_until(&mut fs, 1);
+        assert!(
+            fs.stats().readahead_reads >= 3,
+            "window of 32 blocks should issue several RA clusters: {:?}",
+            fs.stats()
+        );
+        // Drain the read-ahead I/O.
+        while let Some(t) = fs.next_event() {
+            fs.advance(t);
+        }
+        // Block 31 must now be cached.
+        let t = SimTime::from_nanos(u64::MAX / 2);
+        fs.read(t, ino, 31 * 8192, 8192, 0, 1);
+        let done = run_until(&mut fs, 1);
+        assert_eq!(done[0].done_at, t, "read-ahead data should be resident");
+    }
+
+    #[test]
+    fn zero_seqcount_reads_no_ahead() {
+        let mut fs = make_fs();
+        let mut rng = SimRng::new(1);
+        let ino = fs.create_file(1024 * 1024, &mut rng);
+        fs.read(SimTime::ZERO, ino, 0, 8192, 0, 0);
+        run_until(&mut fs, 1);
+        assert_eq!(fs.stats().readahead_reads, 0);
+    }
+
+    #[test]
+    fn concurrent_readers_of_same_block_share_one_io() {
+        let mut fs = make_fs();
+        let mut rng = SimRng::new(1);
+        let ino = fs.create_file(1024 * 1024, &mut rng);
+        fs.read(SimTime::ZERO, ino, 0, 8192, 0, 0);
+        fs.read(SimTime::ZERO, ino, 0, 8192, 0, 1);
+        let done = run_until(&mut fs, 2);
+        assert_eq!(done.len(), 2);
+        assert_eq!(fs.stats().sync_reads, 1, "second read piggybacks");
+        assert_eq!(done[0].done_at, done[1].done_at);
+    }
+
+    #[test]
+    fn multi_block_read_waits_for_all() {
+        let mut fs = make_fs();
+        let mut rng = SimRng::new(1);
+        let ino = fs.create_file(1024 * 1024, &mut rng);
+        // 64 KB read spanning 8 blocks.
+        fs.read(SimTime::ZERO, ino, 0, 65_536, 0, 0);
+        let done = run_until(&mut fs, 1);
+        assert_eq!(done.len(), 1);
+        assert_eq!(fs.stats().miss_blocks, 8);
+    }
+
+    #[test]
+    fn flush_caches_forces_disk_again() {
+        let mut fs = make_fs();
+        let mut rng = SimRng::new(1);
+        let ino = fs.create_file(1024 * 1024, &mut rng);
+        fs.read(SimTime::ZERO, ino, 0, 8192, 0, 0);
+        let done = run_until(&mut fs, 1);
+        fs.flush_caches();
+        fs.read(done[0].done_at, ino, 0, 8192, 0, 1);
+        let done2 = run_until(&mut fs, 1);
+        assert!(done2[0].done_at > done[0].done_at);
+        assert_eq!(fs.stats().sync_reads, 2);
+    }
+
+    #[test]
+    fn write_completes_and_invalidates() {
+        let mut fs = make_fs();
+        let mut rng = SimRng::new(1);
+        let ino = fs.create_file(1024 * 1024, &mut rng);
+        fs.read(SimTime::ZERO, ino, 0, 8192, 0, 0);
+        let done = run_until(&mut fs, 1);
+        fs.write(done[0].done_at, ino, 0, 8192, 1);
+        let done2 = run_until(&mut fs, 1);
+        assert!(done2[0].done_at > done[0].done_at);
+        // Read after write goes to disk again (write-through invalidation).
+        fs.read(done2[0].done_at, ino, 0, 8192, 0, 2);
+        let done3 = run_until(&mut fs, 1);
+        assert!(done3[0].done_at > done2[0].done_at);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond EOF")]
+    fn read_past_eof_panics() {
+        let mut fs = make_fs();
+        let mut rng = SimRng::new(1);
+        let ino = fs.create_file(8192, &mut rng);
+        fs.read(SimTime::ZERO, ino, 16_384, 8192, 0, 0);
+    }
+
+    #[test]
+    fn sequential_stream_is_mostly_cache_hits() {
+        let mut fs = make_fs();
+        let mut rng = SimRng::new(1);
+        let ino = fs.create_file(2 * 1024 * 1024, &mut rng); // 256 blocks
+        let mut now = SimTime::ZERO;
+        let mut seq: u32 = 1;
+        for b in 0..256u64 {
+            fs.read(now, ino, b * 8192, 8192, seq, b);
+            let done = run_until(&mut fs, 1);
+            now = done[0].done_at;
+            seq = (seq + 1).min(SEQCOUNT_MAX);
+        }
+        let s = fs.stats();
+        let total_ios = s.sync_reads + s.readahead_reads;
+        assert!(
+            total_ios <= 45,
+            "sequential stream should cluster into ~32 I/Os: {s:?}"
+        );
+        assert_eq!(s.cache_hit_blocks + s.miss_blocks, 256, "stats: {s:?}");
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests on the file system's invariants.
+
+use diskmodel::{DriveModel, PartitionTable};
+use ffs::{FileSystem, FsConfig, OpDone};
+use iosched::SchedulerKind;
+use proptest::prelude::*;
+use simcore::{SimRng, SimTime};
+
+fn make_fs(seed: u64, sched: SchedulerKind) -> FileSystem {
+    let disk = DriveModel::WdWd200bbIde.build(SimRng::new(seed));
+    let part = PartitionTable::quarters(disk.geometry()).get(1);
+    FileSystem::format(disk, part, sched, FsConfig::default())
+}
+
+fn drain(fs: &mut FileSystem) -> Vec<OpDone> {
+    let mut out = Vec::new();
+    while let Some(t) = fs.next_event() {
+        out.extend(fs.advance(t));
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every read completes exactly once, regardless of pattern, seqcount,
+    /// or scheduler.
+    #[test]
+    fn reads_complete_exactly_once(
+        blocks in prop::collection::vec((0u64..128, 0u32..=127), 1..80),
+        sched in prop::sample::select(vec![
+            SchedulerKind::Fcfs,
+            SchedulerKind::Elevator,
+            SchedulerKind::NCscan,
+            SchedulerKind::Sstf,
+            SchedulerKind::Scan,
+        ]),
+    ) {
+        let mut fs = make_fs(7, sched);
+        let mut rng = SimRng::new(7);
+        let ino = fs.create_file(128 * 8_192, &mut rng);
+        for (i, &(blk, seq)) in blocks.iter().enumerate() {
+            fs.read(SimTime::ZERO, ino, blk * 8_192, 8_192, seq, i as u64);
+        }
+        let done = drain(&mut fs);
+        prop_assert_eq!(done.len(), blocks.len(), "{:?}", sched);
+        let mut tags: Vec<u64> = done.iter().map(|d| d.tag).collect();
+        tags.sort_unstable();
+        let expected: Vec<u64> = (0..blocks.len() as u64).collect();
+        prop_assert_eq!(tags, expected);
+    }
+
+    /// Reads and writes interleaved also conserve; writes always hit disk.
+    #[test]
+    fn mixed_ops_conserve(ops in prop::collection::vec((0u64..64, prop::bool::ANY), 1..60)) {
+        let mut fs = make_fs(8, SchedulerKind::Elevator);
+        let mut rng = SimRng::new(8);
+        let ino = fs.create_file(64 * 8_192, &mut rng);
+        for (i, &(blk, is_write)) in ops.iter().enumerate() {
+            if is_write {
+                fs.write(SimTime::ZERO, ino, blk * 8_192, 8_192, i as u64);
+            } else {
+                fs.read(SimTime::ZERO, ino, blk * 8_192, 8_192, 0, i as u64);
+            }
+        }
+        let done = drain(&mut fs);
+        prop_assert_eq!(done.len(), ops.len());
+        let writes = ops.iter().filter(|(_, w)| *w).count() as u64;
+        prop_assert_eq!(fs.stats().writes, writes);
+    }
+
+    /// The cache accounting always balances: hits + misses equals the
+    /// number of blocks requested.
+    #[test]
+    fn cache_accounting_balances(blocks in prop::collection::vec(0u64..64, 1..80)) {
+        let mut fs = make_fs(9, SchedulerKind::Elevator);
+        let mut rng = SimRng::new(9);
+        let ino = fs.create_file(64 * 8_192, &mut rng);
+        let mut now = SimTime::ZERO;
+        for (i, &blk) in blocks.iter().enumerate() {
+            fs.read(now, ino, blk * 8_192, 8_192, 0, i as u64);
+            // Serialize so hits are well-defined.
+            for d in drain(&mut fs) {
+                now = now.max(d.done_at);
+            }
+        }
+        let s = fs.stats();
+        prop_assert_eq!(s.cache_hit_blocks + s.miss_blocks, blocks.len() as u64);
+    }
+
+    /// A read issued after a completed identical read at the same time
+    /// base completes no later than the first did (cache monotonicity).
+    #[test]
+    fn rereads_are_never_slower(blk in 0u64..64, seq in 0u32..=127) {
+        let mut fs = make_fs(10, SchedulerKind::Elevator);
+        let mut rng = SimRng::new(10);
+        let ino = fs.create_file(64 * 8_192, &mut rng);
+        fs.read(SimTime::ZERO, ino, blk * 8_192, 8_192, seq, 0);
+        let first = drain(&mut fs).pop().expect("completes");
+        let d1 = first.done_at.since(first.issued_at);
+        fs.read(first.done_at, ino, blk * 8_192, 8_192, seq, 1);
+        let second = drain(&mut fs).pop().expect("completes");
+        let d2 = second.done_at.since(second.issued_at);
+        prop_assert!(d2 <= d1, "reread slower: {d2:?} vs {d1:?}");
+    }
+}

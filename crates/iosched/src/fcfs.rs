@@ -1,0 +1,75 @@
+//! First-come first-served scheduling.
+
+use std::collections::VecDeque;
+
+use diskmodel::Lba;
+
+use crate::{IoScheduler, QueuedRequest};
+
+/// FIFO dispatch; the baseline every textbook starts from.
+#[derive(Debug, Default)]
+pub struct Fcfs {
+    queue: VecDeque<QueuedRequest>,
+}
+
+impl Fcfs {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Fcfs::default()
+    }
+}
+
+impl IoScheduler for Fcfs {
+    fn enqueue(&mut self, qr: QueuedRequest) {
+        self.queue.push_back(qr);
+    }
+
+    fn dispatch(&mut self, _head: Lba) -> Option<QueuedRequest> {
+        self.queue.pop_front()
+    }
+
+    fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn drain(&mut self) -> Vec<QueuedRequest> {
+        self.queue.drain(..).collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "fcfs"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qr;
+
+    #[test]
+    fn dispatches_in_arrival_order() {
+        let mut s = Fcfs::new();
+        s.enqueue(qr(500, 0));
+        s.enqueue(qr(5, 1));
+        s.enqueue(qr(900, 2));
+        let order: Vec<u64> = std::iter::from_fn(|| s.dispatch(0).map(|q| q.seq)).collect();
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_dispatch_is_none() {
+        let mut s = Fcfs::new();
+        assert!(s.dispatch(0).is_none());
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn drain_returns_everything() {
+        let mut s = Fcfs::new();
+        for i in 0..3 {
+            s.enqueue(qr(i, i));
+        }
+        assert_eq!(s.drain().len(), 3);
+        assert_eq!(s.len(), 0);
+    }
+}

@@ -1,0 +1,241 @@
+//! Kernel disk-request schedulers.
+//!
+//! The FreeBSD scheduler of the era (`bufqdisksort`) is a cyclical variant
+//! of the elevator scan: requests are kept sorted by block number in the
+//! direction of the current sweep, and — crucially — a newly arrived request
+//! that sorts *ahead* of the head joins the **current** sweep. A process
+//! reading sequentially can therefore keep inserting its next request in
+//! front of everyone else and monopolize the disk (§5.3 of the paper): great
+//! throughput, terrible fairness (Figure 3, left).
+//!
+//! N-step CSCAN freezes the schedule for the sweep in progress; arrivals go
+//! to the *next* sweep. Every waiting process is served once per sweep:
+//! fair, but the head now moves across the whole request span every sweep,
+//! and throughput halves (Figure 3, right).
+//!
+//! All schedulers implement [`IoScheduler`] and can be swapped at runtime
+//! via [`AnyScheduler`], mirroring the sysctl switch the authors patched
+//! into FreeBSD.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod elevator;
+mod fcfs;
+mod ncscan;
+mod scan;
+mod sstf;
+
+pub use elevator::Elevator;
+pub use fcfs::Fcfs;
+pub use ncscan::NCscan;
+pub use scan::Scan;
+pub use sstf::Sstf;
+
+use diskmodel::{DiskRequest, Lba};
+use simcore::SimTime;
+
+/// A request waiting in the kernel's queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueuedRequest {
+    /// The request to be sent to the drive.
+    pub req: DiskRequest,
+    /// When it entered the queue.
+    pub queued_at: SimTime,
+    /// Monotone arrival sequence number (assigned by the caller).
+    pub seq: u64,
+}
+
+/// A kernel disk scheduler: requests go in, dispatch order comes out.
+pub trait IoScheduler {
+    /// Adds a request to the queue.
+    fn enqueue(&mut self, qr: QueuedRequest);
+
+    /// Removes and returns the next request to send to the drive, given the
+    /// head's most recent position.
+    fn dispatch(&mut self, head: Lba) -> Option<QueuedRequest>;
+
+    /// Number of queued requests.
+    fn len(&self) -> usize;
+
+    /// Whether the queue is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Removes every queued request (used when switching algorithms).
+    fn drain(&mut self) -> Vec<QueuedRequest>;
+
+    /// Human-readable algorithm name.
+    fn name(&self) -> &'static str;
+}
+
+/// Selects one of the provided scheduling algorithms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchedulerKind {
+    /// First-come first-served.
+    Fcfs,
+    /// Cyclical elevator scan (`bufqdisksort` clone) — the FreeBSD default.
+    Elevator,
+    /// N-step CSCAN: the current sweep's schedule is frozen.
+    NCscan,
+    /// Shortest seek (LBA distance) first.
+    Sstf,
+    /// True bidirectional SCAN (reverses at the ends of the span).
+    Scan,
+}
+
+impl SchedulerKind {
+    /// Instantiates the algorithm.
+    pub fn build(self) -> AnyScheduler {
+        match self {
+            SchedulerKind::Fcfs => AnyScheduler::Fcfs(Fcfs::new()),
+            SchedulerKind::Elevator => AnyScheduler::Elevator(Elevator::new()),
+            SchedulerKind::NCscan => AnyScheduler::NCscan(NCscan::new()),
+            SchedulerKind::Sstf => AnyScheduler::Sstf(Sstf::new()),
+            SchedulerKind::Scan => AnyScheduler::Scan(Scan::new()),
+        }
+    }
+}
+
+/// An enum-dispatched scheduler supporting runtime switching.
+///
+/// The paper's patch adds "a switch that can be used to toggle at runtime
+/// which disk scheduling algorithm is in use"; [`AnyScheduler::switch`]
+/// re-queues all pending requests into the new algorithm.
+#[derive(Debug)]
+pub enum AnyScheduler {
+    /// See [`Fcfs`].
+    Fcfs(Fcfs),
+    /// See [`Elevator`].
+    Elevator(Elevator),
+    /// See [`NCscan`].
+    NCscan(NCscan),
+    /// See [`Sstf`].
+    Sstf(Sstf),
+    /// See [`Scan`].
+    Scan(Scan),
+}
+
+impl AnyScheduler {
+    /// Which algorithm is currently active.
+    pub fn kind(&self) -> SchedulerKind {
+        match self {
+            AnyScheduler::Fcfs(_) => SchedulerKind::Fcfs,
+            AnyScheduler::Elevator(_) => SchedulerKind::Elevator,
+            AnyScheduler::NCscan(_) => SchedulerKind::NCscan,
+            AnyScheduler::Sstf(_) => SchedulerKind::Sstf,
+            AnyScheduler::Scan(_) => SchedulerKind::Scan,
+        }
+    }
+
+    /// Switches algorithms at runtime, carrying queued requests over.
+    pub fn switch(&mut self, kind: SchedulerKind) {
+        if kind == self.kind() {
+            return;
+        }
+        let pending = self.drain();
+        let mut fresh = kind.build();
+        for qr in pending {
+            fresh.enqueue(qr);
+        }
+        *self = fresh;
+    }
+
+    fn inner(&self) -> &dyn IoScheduler {
+        match self {
+            AnyScheduler::Fcfs(s) => s,
+            AnyScheduler::Elevator(s) => s,
+            AnyScheduler::NCscan(s) => s,
+            AnyScheduler::Sstf(s) => s,
+            AnyScheduler::Scan(s) => s,
+        }
+    }
+
+    fn inner_mut(&mut self) -> &mut dyn IoScheduler {
+        match self {
+            AnyScheduler::Fcfs(s) => s,
+            AnyScheduler::Elevator(s) => s,
+            AnyScheduler::NCscan(s) => s,
+            AnyScheduler::Sstf(s) => s,
+            AnyScheduler::Scan(s) => s,
+        }
+    }
+}
+
+impl IoScheduler for AnyScheduler {
+    fn enqueue(&mut self, qr: QueuedRequest) {
+        self.inner_mut().enqueue(qr);
+    }
+
+    fn dispatch(&mut self, head: Lba) -> Option<QueuedRequest> {
+        self.inner_mut().dispatch(head)
+    }
+
+    fn len(&self) -> usize {
+        self.inner().len()
+    }
+
+    fn drain(&mut self) -> Vec<QueuedRequest> {
+        self.inner_mut().drain()
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner().name()
+    }
+}
+
+#[cfg(test)]
+pub(crate) fn qr(lba: Lba, seq: u64) -> QueuedRequest {
+    QueuedRequest {
+        req: DiskRequest::read(lba, 16, seq),
+        queued_at: SimTime::ZERO,
+        seq,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn switch_preserves_requests() {
+        let mut s = SchedulerKind::Elevator.build();
+        for i in 0..5 {
+            s.enqueue(qr(i * 1_000, i));
+        }
+        s.switch(SchedulerKind::NCscan);
+        assert_eq!(s.kind(), SchedulerKind::NCscan);
+        assert_eq!(s.len(), 5);
+        let mut seen = Vec::new();
+        while let Some(q) = s.dispatch(0) {
+            seen.push(q.seq);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn switch_to_same_kind_is_noop() {
+        let mut s = SchedulerKind::Fcfs.build();
+        s.enqueue(qr(5, 0));
+        s.switch(SchedulerKind::Fcfs);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        use std::collections::HashSet;
+        let names: HashSet<&str> = [
+            SchedulerKind::Fcfs,
+            SchedulerKind::Elevator,
+            SchedulerKind::NCscan,
+            SchedulerKind::Sstf,
+            SchedulerKind::Scan,
+        ]
+        .into_iter()
+        .map(|k| k.build().name())
+        .collect();
+        assert_eq!(names.len(), 5);
+    }
+}

@@ -1,0 +1,147 @@
+//! True bidirectional SCAN (the textbook elevator).
+//!
+//! Unlike the cyclical C-LOOK variant FreeBSD ships ([`crate::Elevator`]),
+//! SCAN reverses direction at the ends of the request span instead of
+//! sweeping one way and warping back. Included as an ablation baseline:
+//! it shares the cyclical elevator's unfairness (a stream feeding requests
+//! just ahead of the head still monopolizes the sweep) but halves the
+//! worst-case wait for requests near the reversal points.
+
+use std::collections::BTreeMap;
+
+use diskmodel::Lba;
+
+use crate::{IoScheduler, QueuedRequest};
+
+/// Sweep direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    Up,
+    Down,
+}
+
+/// Bidirectional elevator scan.
+#[derive(Debug)]
+pub struct Scan {
+    queue: BTreeMap<(Lba, u64), QueuedRequest>,
+    direction: Direction,
+}
+
+impl Default for Scan {
+    fn default() -> Self {
+        Scan {
+            queue: BTreeMap::new(),
+            direction: Direction::Up,
+        }
+    }
+}
+
+impl Scan {
+    /// Creates an empty queue sweeping upward.
+    pub fn new() -> Self {
+        Scan::default()
+    }
+}
+
+impl IoScheduler for Scan {
+    fn enqueue(&mut self, qr: QueuedRequest) {
+        self.queue.insert((qr.req.lba, qr.seq), qr);
+    }
+
+    fn dispatch(&mut self, head: Lba) -> Option<QueuedRequest> {
+        if self.queue.is_empty() {
+            return None;
+        }
+        let key = match self.direction {
+            Direction::Up => self
+                .queue
+                .range((head, 0)..)
+                .map(|(k, _)| *k)
+                .next()
+                .or_else(|| {
+                    // Nothing above the head: reverse.
+                    self.direction = Direction::Down;
+                    self.queue.keys().next_back().copied()
+                }),
+            Direction::Down => self
+                .queue
+                .range(..(head, u64::MAX))
+                .map(|(k, _)| *k)
+                .next_back()
+                .or_else(|| {
+                    self.direction = Direction::Up;
+                    self.queue.keys().next().copied()
+                }),
+        }?;
+        self.queue.remove(&key)
+    }
+
+    fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn drain(&mut self) -> Vec<QueuedRequest> {
+        let out = self.queue.values().copied().collect();
+        self.queue.clear();
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "scan"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qr;
+
+    #[test]
+    fn sweeps_up_then_reverses() {
+        let mut s = Scan::new();
+        for lba in [100u64, 300, 500] {
+            s.enqueue(qr(lba, lba));
+        }
+        // Head at 200: take 300, then 500 (up), then reverse to 100.
+        let mut head = 200;
+        let mut order = Vec::new();
+        while let Some(q) = s.dispatch(head) {
+            head = q.req.lba;
+            order.push(q.req.lba);
+        }
+        assert_eq!(order, vec![300, 500, 100]);
+    }
+
+    #[test]
+    fn sweeps_down_after_reversal() {
+        let mut s = Scan::new();
+        s.enqueue(qr(500, 0));
+        s.enqueue(qr(100, 1));
+        s.enqueue(qr(50, 2));
+        let mut head = 600;
+        // Nothing above 600: reverse and walk down.
+        let mut order = Vec::new();
+        while let Some(q) = s.dispatch(head) {
+            head = q.req.lba;
+            order.push(q.req.lba);
+        }
+        assert_eq!(order, vec![500, 100, 50]);
+    }
+
+    #[test]
+    fn empty_queue_dispatches_none() {
+        let mut s = Scan::new();
+        assert!(s.dispatch(0).is_none());
+        assert_eq!(s.name(), "scan");
+    }
+
+    #[test]
+    fn drain_conserves() {
+        let mut s = Scan::new();
+        for i in 0..5u64 {
+            s.enqueue(qr(i * 10, i));
+        }
+        assert_eq!(s.drain().len(), 5);
+        assert!(s.is_empty());
+    }
+}

@@ -1,0 +1,103 @@
+//! Shortest-seek-time-first (by LBA distance).
+//!
+//! Included as an ablation baseline: greedier than the elevator, with even
+//! worse starvation properties. The kernel does not know rotational
+//! position, so "seek time" is approximated by LBA distance — exactly the
+//! information asymmetry (§5.2) that lets the drive's own SPTF scheduler
+//! beat the kernel when the advertised geometry diverges from reality.
+
+use diskmodel::Lba;
+
+use crate::{IoScheduler, QueuedRequest};
+
+/// Greedy nearest-request-first scheduling.
+#[derive(Debug, Default)]
+pub struct Sstf {
+    queue: Vec<QueuedRequest>,
+}
+
+impl Sstf {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Sstf::default()
+    }
+}
+
+impl IoScheduler for Sstf {
+    fn enqueue(&mut self, qr: QueuedRequest) {
+        self.queue.push(qr);
+    }
+
+    fn dispatch(&mut self, head: Lba) -> Option<QueuedRequest> {
+        if self.queue.is_empty() {
+            return None;
+        }
+        let (idx, _) = self
+            .queue
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, q)| (q.req.lba.abs_diff(head), q.seq))?;
+        Some(self.queue.swap_remove(idx))
+    }
+
+    fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn drain(&mut self) -> Vec<QueuedRequest> {
+        std::mem::take(&mut self.queue)
+    }
+
+    fn name(&self) -> &'static str {
+        "sstf"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qr;
+
+    #[test]
+    fn picks_nearest_to_head() {
+        let mut s = Sstf::new();
+        s.enqueue(qr(100, 0));
+        s.enqueue(qr(500, 1));
+        s.enqueue(qr(480, 2));
+        assert_eq!(s.dispatch(485).unwrap().req.lba, 480);
+        assert_eq!(s.dispatch(480).unwrap().req.lba, 500);
+        assert_eq!(s.dispatch(500).unwrap().req.lba, 100);
+    }
+
+    #[test]
+    fn tie_breaks_by_arrival() {
+        let mut s = Sstf::new();
+        s.enqueue(qr(110, 0));
+        s.enqueue(qr(90, 1));
+        // Both are 10 away from head=100; the earlier arrival wins.
+        assert_eq!(s.dispatch(100).unwrap().seq, 0);
+    }
+
+    #[test]
+    fn starves_distant_requests_under_load() {
+        let mut s = Sstf::new();
+        s.enqueue(qr(1_000_000, 99)); // far away
+        let mut head = 0;
+        for i in 0..50u64 {
+            s.enqueue(qr(head + 16, i));
+            let q = s.dispatch(head).unwrap();
+            head = q.req.end();
+            assert_ne!(q.seq, 99, "distant request must starve under stream");
+        }
+    }
+
+    #[test]
+    fn drain_and_len() {
+        let mut s = Sstf::new();
+        s.enqueue(qr(1, 0));
+        s.enqueue(qr(2, 1));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.drain().len(), 2);
+        assert!(s.dispatch(0).is_none());
+    }
+}

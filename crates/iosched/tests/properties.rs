@@ -1,0 +1,115 @@
+//! Property-based tests: every scheduler must be a permutation machine —
+//! whatever goes in comes out exactly once, regardless of interleaving.
+
+use diskmodel::DiskRequest;
+use iosched::{AnyScheduler, IoScheduler, QueuedRequest, SchedulerKind};
+use proptest::prelude::*;
+
+fn qr(lba: u64, seq: u64) -> QueuedRequest {
+    QueuedRequest {
+        req: DiskRequest::read(lba, 16, seq),
+        queued_at: simcore::SimTime::ZERO,
+        seq,
+    }
+}
+
+fn kinds() -> Vec<SchedulerKind> {
+    vec![
+        SchedulerKind::Fcfs,
+        SchedulerKind::Elevator,
+        SchedulerKind::NCscan,
+        SchedulerKind::Sstf,
+        SchedulerKind::Scan,
+    ]
+}
+
+proptest! {
+    /// Enqueue a batch then drain via dispatch: conservation holds.
+    #[test]
+    fn dispatch_is_a_permutation(lbas in prop::collection::vec(0u64..1_000_000, 1..64)) {
+        for kind in kinds() {
+            let mut s = kind.build();
+            for (i, &lba) in lbas.iter().enumerate() {
+                s.enqueue(qr(lba, i as u64));
+            }
+            let mut seen: Vec<u64> =
+                std::iter::from_fn(|| s.dispatch(0).map(|q| q.seq)).collect();
+            seen.sort_unstable();
+            let expected: Vec<u64> = (0..lbas.len() as u64).collect();
+            prop_assert_eq!(seen, expected, "kind {:?}", kind);
+        }
+    }
+
+    /// Interleaved enqueue/dispatch with arbitrary head positions also
+    /// conserves requests.
+    #[test]
+    fn interleaved_operations_conserve(
+        ops in prop::collection::vec((0u64..1_000_000, prop::bool::ANY), 1..128),
+    ) {
+        for kind in kinds() {
+            let mut s = kind.build();
+            let mut enqueued = 0u64;
+            let mut dispatched = Vec::new();
+            let mut head = 0;
+            for (lba, do_dispatch) in &ops {
+                if *do_dispatch {
+                    if let Some(q) = s.dispatch(head) {
+                        head = q.req.end();
+                        dispatched.push(q.seq);
+                    }
+                } else {
+                    s.enqueue(qr(*lba, enqueued));
+                    enqueued += 1;
+                }
+            }
+            while let Some(q) = s.dispatch(head) {
+                head = q.req.end();
+                dispatched.push(q.seq);
+            }
+            dispatched.sort_unstable();
+            let expected: Vec<u64> = (0..enqueued).collect();
+            prop_assert_eq!(dispatched, expected, "kind {:?}", kind);
+        }
+    }
+
+    /// Switching algorithms mid-stream never loses or duplicates requests.
+    #[test]
+    fn runtime_switch_conserves(
+        lbas in prop::collection::vec(0u64..1_000_000, 1..64),
+        switch_at in 0usize..64,
+    ) {
+        let mut s: AnyScheduler = SchedulerKind::Elevator.build();
+        for (i, &lba) in lbas.iter().enumerate() {
+            if i == switch_at {
+                s.switch(SchedulerKind::NCscan);
+            }
+            s.enqueue(qr(lba, i as u64));
+        }
+        s.switch(SchedulerKind::Sstf);
+        let mut seen: Vec<u64> = std::iter::from_fn(|| s.dispatch(0).map(|q| q.seq)).collect();
+        seen.sort_unstable();
+        let expected: Vec<u64> = (0..lbas.len() as u64).collect();
+        prop_assert_eq!(seen, expected);
+    }
+
+    /// The elevator always dispatches the nearest request at-or-after the
+    /// head (wrapping), i.e. it really is a cyclic scan.
+    #[test]
+    fn elevator_respects_scan_order(
+        lbas in prop::collection::vec(0u64..1_000_000, 2..64),
+        head in 0u64..1_000_000,
+    ) {
+        let mut s = SchedulerKind::Elevator.build();
+        for (i, &lba) in lbas.iter().enumerate() {
+            s.enqueue(qr(lba, i as u64));
+        }
+        let picked = s.dispatch(head).unwrap().req.lba;
+        let ge: Vec<u64> = lbas.iter().copied().filter(|&l| l >= head).collect();
+        let expected = if ge.is_empty() {
+            *lbas.iter().min().unwrap()
+        } else {
+            *ge.iter().min().unwrap()
+        };
+        prop_assert_eq!(picked, expected);
+    }
+}

@@ -1,0 +1,250 @@
+//! RPC transports: UDP datagrams and a TCP stream.
+//!
+//! §5.4 of the paper: SUN RPC originally ran over UDP — light-weight,
+//! connectionless, but a lost fragment loses the whole datagram and nothing
+//! enforces ordering. TCP adds reliability, in-order delivery, and flow
+//! control at the cost of per-segment processing and head-of-line blocking.
+//! The transports here expose exactly those semantics; retransmission *of
+//! RPCs* over UDP is the RPC layer's job (see `nfssim`), while TCP
+//! retransmits internally and never loses a message.
+
+use simcore::{SimDuration, SimRng, SimTime};
+
+use crate::link::{Delivery, LinkProfile, LinkStats, OneWayLink};
+
+/// Which RPC transport a mount uses (`mount_nfs` defaults to UDP; `amd`
+/// defaults to TCP on FreeBSD — the trap in §5.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransportKind {
+    /// Connectionless datagrams.
+    Udp,
+    /// One reliable, ordered byte stream (shared by all RPCs of a mount).
+    Tcp,
+}
+
+/// A one-way UDP path.
+#[derive(Debug)]
+pub struct UdpChannel {
+    link: OneWayLink,
+}
+
+impl UdpChannel {
+    /// Creates a UDP channel over the given link.
+    pub fn new(profile: LinkProfile, rng: SimRng) -> Self {
+        UdpChannel {
+            link: OneWayLink::new(profile, rng),
+        }
+    }
+
+    /// Sends a datagram; it either arrives whole or not at all.
+    pub fn send(&mut self, now: SimTime, bytes: u64) -> Delivery {
+        self.link.send(now, bytes)
+    }
+
+    /// Link counters.
+    pub fn stats(&self) -> LinkStats {
+        self.link.stats()
+    }
+}
+
+/// A one-way TCP stream.
+///
+/// Reliability is modelled, not simulated segment-by-segment: a message
+/// whose frames would have been lost is delivered anyway, but delayed by a
+/// retransmission penalty (one RTT + the resend), and deliveries are
+/// monotone (in-order) — a delayed segment head-of-line blocks everything
+/// behind it, which is TCP's defining cost on lossy paths.
+#[derive(Debug)]
+pub struct TcpStream {
+    link: OneWayLink,
+    rtt: SimDuration,
+    last_delivery: SimTime,
+    retransmits: u64,
+}
+
+impl TcpStream {
+    /// Creates a stream over the given link profile. `rtt` should be the
+    /// full round-trip estimate used for retransmission penalties.
+    pub fn new(profile: LinkProfile, rtt: SimDuration, rng: SimRng) -> Self {
+        TcpStream {
+            link: OneWayLink::new(profile, rng),
+            rtt,
+            last_delivery: SimTime::ZERO,
+            retransmits: 0,
+        }
+    }
+
+    /// Sends `bytes` on the stream; always delivered, in order.
+    pub fn send(&mut self, now: SimTime, bytes: u64) -> SimTime {
+        let mut at = match self.link.send(now, bytes) {
+            Delivery::At(t) => t,
+            Delivery::Lost => {
+                // Fast retransmit: one RTT of stall plus the resend. If the
+                // resend is lost too, back off further.
+                self.retransmits += 1;
+                let mut penalty = self.rtt;
+                loop {
+                    match self.link.send(now + penalty, bytes) {
+                        Delivery::At(t) => break t,
+                        Delivery::Lost => {
+                            self.retransmits += 1;
+                            penalty = penalty + self.rtt + self.rtt;
+                        }
+                    }
+                }
+            }
+        };
+        // In-order delivery: nothing overtakes an earlier segment.
+        if at < self.last_delivery {
+            at = self.last_delivery;
+        }
+        self.last_delivery = at;
+        at
+    }
+
+    /// Number of internal retransmissions so far.
+    pub fn retransmits(&self) -> u64 {
+        self.retransmits
+    }
+
+    /// Link counters.
+    pub fn stats(&self) -> LinkStats {
+        self.link.stats()
+    }
+}
+
+/// Either transport behind one interface.
+#[derive(Debug)]
+pub enum Transport {
+    /// See [`UdpChannel`].
+    Udp(UdpChannel),
+    /// See [`TcpStream`].
+    Tcp(TcpStream),
+}
+
+impl Transport {
+    /// Builds a transport of the requested kind over a link profile.
+    pub fn new(kind: TransportKind, profile: LinkProfile, rtt: SimDuration, rng: SimRng) -> Self {
+        match kind {
+            TransportKind::Udp => Transport::Udp(UdpChannel::new(profile, rng)),
+            TransportKind::Tcp => Transport::Tcp(TcpStream::new(profile, rtt, rng)),
+        }
+    }
+
+    /// Which kind this is.
+    pub fn kind(&self) -> TransportKind {
+        match self {
+            Transport::Udp(_) => TransportKind::Udp,
+            Transport::Tcp(_) => TransportKind::Tcp,
+        }
+    }
+
+    /// Sends a message; UDP may lose it, TCP never does.
+    pub fn send(&mut self, now: SimTime, bytes: u64) -> Delivery {
+        match self {
+            Transport::Udp(u) => u.send(now, bytes),
+            Transport::Tcp(t) => Delivery::At(t.send(now, bytes)),
+        }
+    }
+
+    /// Link counters.
+    pub fn stats(&self) -> LinkStats {
+        match self {
+            Transport::Udp(u) => u.stats(),
+            Transport::Tcp(t) => t.stats(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lossy() -> LinkProfile {
+        LinkProfile {
+            frame_loss: 0.02,
+            ..LinkProfile::gigabit_lan()
+        }
+    }
+
+    #[test]
+    fn udp_on_clean_lan_never_loses() {
+        let mut u = UdpChannel::new(LinkProfile::gigabit_lan(), SimRng::new(1));
+        for i in 0..1_000u64 {
+            let d = u.send(SimTime::from_nanos(i * 1_000_000), 8_300);
+            assert!(matches!(d, Delivery::At(_)));
+        }
+    }
+
+    #[test]
+    fn udp_on_lossy_path_loses_datagrams() {
+        let mut u = UdpChannel::new(lossy(), SimRng::new(2));
+        let lost = (0..2_000u64)
+            .filter(|i| u.send(SimTime::from_nanos(i * 1_000_000), 8_300) == Delivery::Lost)
+            .count();
+        // 6 frames at 2% each: ~11% datagram loss expected.
+        assert!((100..350).contains(&lost), "lost {lost} of 2000");
+    }
+
+    #[test]
+    fn tcp_always_delivers() {
+        let mut t = TcpStream::new(lossy(), SimDuration::from_micros(200), SimRng::new(3));
+        let mut last = SimTime::ZERO;
+        for i in 0..2_000u64 {
+            let at = t.send(SimTime::from_nanos(i * 1_000_000), 8_300);
+            assert!(at >= last, "in-order delivery violated");
+            last = at;
+        }
+        assert!(t.retransmits() > 0, "lossy path should retransmit");
+    }
+
+    #[test]
+    fn tcp_retransmission_delays_delivery() {
+        let always_lose_once = LinkProfile {
+            frame_loss: 0.9,
+            ..LinkProfile::gigabit_lan()
+        };
+        let rtt = SimDuration::from_micros(200);
+        let mut t = TcpStream::new(always_lose_once, rtt, SimRng::new(4));
+        let at = t.send(SimTime::ZERO, 1_000);
+        assert!(
+            at.since(SimTime::ZERO) >= rtt,
+            "a retransmitted segment costs at least one RTT"
+        );
+    }
+
+    #[test]
+    fn transport_enum_dispatches() {
+        let rtt = SimDuration::from_micros(200);
+        let mut u = Transport::new(
+            TransportKind::Udp,
+            LinkProfile::gigabit_lan(),
+            rtt,
+            SimRng::new(5),
+        );
+        let mut t = Transport::new(
+            TransportKind::Tcp,
+            LinkProfile::gigabit_lan(),
+            rtt,
+            SimRng::new(5),
+        );
+        assert_eq!(u.kind(), TransportKind::Udp);
+        assert_eq!(t.kind(), TransportKind::Tcp);
+        assert!(matches!(u.send(SimTime::ZERO, 100), Delivery::At(_)));
+        assert!(matches!(t.send(SimTime::ZERO, 100), Delivery::At(_)));
+    }
+
+    #[test]
+    fn tcp_head_of_line_blocking_orders_bursts() {
+        // Two messages sent at the same instant arrive in send order even
+        // with jitter configured.
+        let jittery = LinkProfile {
+            jitter: 1e-3,
+            ..LinkProfile::gigabit_lan()
+        };
+        let mut t = TcpStream::new(jittery, SimDuration::from_micros(200), SimRng::new(6));
+        let a = t.send(SimTime::ZERO, 8_000);
+        let b = t.send(SimTime::ZERO, 8_000);
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,123 @@
+//! Configuration of the simulated NFS client/server pair.
+
+use netsim::{LinkProfile, TransportKind};
+use readahead_core::{NfsHeurConfig, ReadaheadPolicy};
+use simcore::SimDuration;
+
+/// Everything tunable about one client/server world.
+#[derive(Debug, Clone, Copy)]
+pub struct WorldConfig {
+    /// RPC transport (the §5.4 trap: `mount_nfs` defaults to UDP, `amd`
+    /// to TCP, and people rarely notice which they got).
+    pub transport: TransportKind,
+    /// The network between client and server.
+    pub link: LinkProfile,
+    /// Server-side read-ahead heuristic (the paper's subject).
+    pub policy: ReadaheadPolicy,
+    /// Geometry of the server's `nfsheur` table.
+    pub heur: NfsHeurConfig,
+    /// Concurrent `nfsd` server daemons ("the server runs eight nfsds
+    /// instead of the default four", §4.1).
+    pub nfsds: usize,
+    /// Client `nfsiod` daemons available for asynchronous read-ahead
+    /// ("the clients run eight nfsiods instead of the default four").
+    pub nfsiods: usize,
+    /// NFS read size in bytes (rsize; 8 KB for v2-era setups).
+    pub rsize: u32,
+    /// Client read-ahead depth in blocks when a file looks sequential.
+    pub client_readahead_blocks: u64,
+    /// Client block-cache capacity in blocks (the clients have 1 GB RAM).
+    pub client_cache_blocks: usize,
+    /// Number of infinite-loop processes competing for the client CPU
+    /// (0 = the paper's "idle client", 4 = its "busy client").
+    pub busy_loops: u32,
+    /// Initial RPC retransmission timeout (UDP only; doubled per retry).
+    pub retransmit_timeout: SimDuration,
+    /// Maximum retransmissions before the mount is declared dead.
+    pub max_retries: u32,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        WorldConfig {
+            transport: TransportKind::Udp,
+            link: LinkProfile::gigabit_lan(),
+            policy: ReadaheadPolicy::Default,
+            heur: NfsHeurConfig::freebsd_default(),
+            nfsds: 8,
+            nfsiods: 8,
+            rsize: 8_192,
+            client_readahead_blocks: 4,
+            client_cache_blocks: 120_000, // ~0.9 GB of the client's 1 GB
+            busy_loops: 0,
+            retransmit_timeout: SimDuration::from_millis(800),
+            max_retries: 8,
+        }
+    }
+}
+
+/// CPU cost model for RPC processing on both machines (1 GHz PIII-era).
+///
+/// TCP costs more per operation than UDP: connection bookkeeping, ack
+/// processing, and an extra data copy on this era's stacks — the reason
+/// Figure 5's TCP curves sit below Figure 4's UDP curves for small numbers
+/// of readers.
+#[derive(Debug, Clone, Copy)]
+pub struct CpuModel {
+    /// Client-side marshal cost per call, seconds.
+    pub client_marshal: f64,
+    /// Mean of the exponential jitter added to marshalling, seconds.
+    pub client_jitter_mean: f64,
+    /// Client-side completion (copyout + wakeup) cost, seconds.
+    pub client_complete: f64,
+    /// Server-side per-call processing, seconds.
+    pub server_call: f64,
+    /// Server-side per-reply processing, seconds.
+    pub server_reply: f64,
+}
+
+impl CpuModel {
+    /// Cost model for the given transport.
+    pub fn for_transport(kind: TransportKind) -> Self {
+        match kind {
+            TransportKind::Udp => CpuModel {
+                client_marshal: 25e-6,
+                client_jitter_mean: 18e-6,
+                client_complete: 20e-6,
+                server_call: 130e-6,
+                server_reply: 220e-6,
+            },
+            TransportKind::Tcp => CpuModel {
+                client_marshal: 60e-6,
+                client_jitter_mean: 10e-6,
+                client_complete: 45e-6,
+                server_call: 250e-6,
+                server_reply: 350e-6,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper_testbed() {
+        let c = WorldConfig::default();
+        assert_eq!(c.nfsds, 8);
+        assert_eq!(c.nfsiods, 8);
+        assert_eq!(c.rsize, 8_192);
+        assert_eq!(c.transport, TransportKind::Udp);
+        assert_eq!(c.busy_loops, 0);
+    }
+
+    #[test]
+    fn tcp_costs_more_cpu_than_udp() {
+        let u = CpuModel::for_transport(TransportKind::Udp);
+        let t = CpuModel::for_transport(TransportKind::Tcp);
+        assert!(t.server_call > u.server_call);
+        assert!(t.server_reply > u.server_reply);
+        assert!(t.client_marshal > u.client_marshal);
+    }
+}

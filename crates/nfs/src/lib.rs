@@ -1,0 +1,17 @@
+//! Simulated NFS installation: client, server, and the wire between.
+//!
+//! [`NfsWorld`] is the paper's testbed in miniature: a client machine with
+//! `nfsiod` daemons whose jittered marshalling naturally reorders requests,
+//! a server with an `nfsd` pool, the `nfsheur` heuristics from
+//! [`readahead_core`], an [`ffs`] file system on a [`diskmodel`] drive, and
+//! a [`netsim`] gigabit network speaking real [`nfsproto`] messages over
+//! UDP or TCP.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod world;
+
+pub use config::{CpuModel, WorldConfig};
+pub use world::{ClientStats, NfsWorld, OpDone, OpId, ServerStats};

@@ -1,0 +1,20 @@
+//! NFS v2/v3 protocol subset with real XDR encoding.
+//!
+//! "When we refer to NFS, we are referring only to versions 2 (RFC 1094)
+//! and 3 (RFC 1813) of the NFS protocol" — the paper. This crate provides
+//! the stateless call/reply vocabulary the simulated server and client
+//! speak: file handles, GETATTR/LOOKUP/READ/WRITE messages, and the XDR
+//! wire format underneath, so message sizes on the simulated network are
+//! the real ones.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod messages;
+mod xdr;
+
+pub use messages::{
+    Fattr3, FileHandle, NfsCall, NfsProc, NfsReply, NfsStatus, NFS_PROGRAM, NFS_VERSION,
+    RPC_CALL_HEADER_BYTES, RPC_REPLY_HEADER_BYTES,
+};
+pub use xdr::{XdrDecoder, XdrEncoder, XdrError, MAX_OPAQUE};

@@ -1,0 +1,572 @@
+//! NFS v3 message subset (RFC 1813) over SUN RPC (RFC 1831) headers.
+//!
+//! Only what the paper's workloads exercise: READ (the star of the show),
+//! WRITE and GETATTR/LOOKUP (for the mixed-workload extension). Data
+//! payloads are carried as *lengths*, not bytes — the simulator transfers
+//! time, not content — but every header field is really encoded and decoded
+//! so wire sizes are honest.
+
+use crate::xdr::{XdrDecoder, XdrEncoder, XdrError};
+
+/// The NFS program number.
+pub const NFS_PROGRAM: u32 = 100_003;
+/// Protocol version modelled (v3; v2 differs only in widths we don't rely on).
+pub const NFS_VERSION: u32 = 3;
+/// Size of a SUN RPC call header with AUTH_UNIX, as we encode it.
+pub const RPC_CALL_HEADER_BYTES: u64 = 40;
+/// Size of a SUN RPC accepted-reply header.
+pub const RPC_REPLY_HEADER_BYTES: u64 = 24;
+
+/// An NFS file handle: opaque to clients, meaningful to the server.
+///
+/// Ours carries the file-system id and inode number — enough for the
+/// `nfsheur` hash, which in FreeBSD is computed from exactly these fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FileHandle {
+    /// File-system identifier.
+    pub fsid: u32,
+    /// Inode number.
+    pub ino: u64,
+    /// Generation number (guards against stale handles).
+    pub generation: u32,
+}
+
+impl FileHandle {
+    /// Encodes as a fixed 16-byte NFS3 handle.
+    pub fn encode(&self, e: &mut XdrEncoder) {
+        let mut bytes = [0u8; 16];
+        bytes[0..4].copy_from_slice(&self.fsid.to_be_bytes());
+        bytes[4..12].copy_from_slice(&self.ino.to_be_bytes());
+        bytes[12..16].copy_from_slice(&self.generation.to_be_bytes());
+        e.put_opaque(&bytes);
+    }
+
+    /// Decodes a handle encoded by [`FileHandle::encode`].
+    pub fn decode(d: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
+        let raw = d.get_opaque()?;
+        if raw.len() != 16 {
+            return Err(XdrError::BadLength(raw.len() as u32));
+        }
+        Ok(FileHandle {
+            fsid: u32::from_be_bytes(raw[0..4].try_into().expect("len checked")),
+            ino: u64::from_be_bytes(raw[4..12].try_into().expect("len checked")),
+            generation: u32::from_be_bytes(raw[12..16].try_into().expect("len checked")),
+        })
+    }
+}
+
+/// NFS procedure numbers (RFC 1813 §3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NfsProc {
+    /// Fetch attributes.
+    Getattr,
+    /// Name lookup.
+    Lookup,
+    /// Read file data.
+    Read,
+    /// Write file data.
+    Write,
+}
+
+impl NfsProc {
+    /// RFC 1813 procedure number.
+    pub fn number(self) -> u32 {
+        match self {
+            NfsProc::Getattr => 1,
+            NfsProc::Lookup => 3,
+            NfsProc::Read => 6,
+            NfsProc::Write => 7,
+        }
+    }
+
+    /// Inverse of [`NfsProc::number`].
+    pub fn from_number(n: u32) -> Option<Self> {
+        match n {
+            1 => Some(NfsProc::Getattr),
+            3 => Some(NfsProc::Lookup),
+            6 => Some(NfsProc::Read),
+            7 => Some(NfsProc::Write),
+            _ => None,
+        }
+    }
+}
+
+/// NFS status codes we use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NfsStatus {
+    /// Success.
+    Ok,
+    /// No such file.
+    NoEnt,
+    /// Stale file handle.
+    Stale,
+    /// I/O error.
+    Io,
+}
+
+impl NfsStatus {
+    fn code(self) -> u32 {
+        match self {
+            NfsStatus::Ok => 0,
+            NfsStatus::NoEnt => 2,
+            NfsStatus::Io => 5,
+            NfsStatus::Stale => 70,
+        }
+    }
+
+    fn from_code(c: u32) -> Option<Self> {
+        match c {
+            0 => Some(NfsStatus::Ok),
+            2 => Some(NfsStatus::NoEnt),
+            5 => Some(NfsStatus::Io),
+            70 => Some(NfsStatus::Stale),
+            _ => None,
+        }
+    }
+}
+
+/// An NFS call (client to server).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NfsCall {
+    /// GETATTR.
+    Getattr {
+        /// Target file.
+        fh: FileHandle,
+    },
+    /// LOOKUP of `name` in directory `dir`.
+    Lookup {
+        /// Directory handle.
+        dir: FileHandle,
+        /// Component name.
+        name: String,
+    },
+    /// READ of `count` bytes at `offset`.
+    Read {
+        /// Target file.
+        fh: FileHandle,
+        /// Byte offset.
+        offset: u64,
+        /// Bytes requested.
+        count: u32,
+    },
+    /// WRITE of `count` bytes at `offset` (payload carried as length only).
+    Write {
+        /// Target file.
+        fh: FileHandle,
+        /// Byte offset.
+        offset: u64,
+        /// Bytes written.
+        count: u32,
+    },
+}
+
+impl NfsCall {
+    /// The procedure this call invokes.
+    pub fn proc(&self) -> NfsProc {
+        match self {
+            NfsCall::Getattr { .. } => NfsProc::Getattr,
+            NfsCall::Lookup { .. } => NfsProc::Lookup,
+            NfsCall::Read { .. } => NfsProc::Read,
+            NfsCall::Write { .. } => NfsProc::Write,
+        }
+    }
+
+    /// The file handle the call targets.
+    pub fn fh(&self) -> FileHandle {
+        match self {
+            NfsCall::Getattr { fh }
+            | NfsCall::Read { fh, .. }
+            | NfsCall::Write { fh, .. } => *fh,
+            NfsCall::Lookup { dir, .. } => *dir,
+        }
+    }
+
+    /// Encodes the call with its RPC header.
+    pub fn encode(&self, xid: u32) -> Vec<u8> {
+        let mut e = XdrEncoder::new();
+        // RPC call header: xid, CALL(0), rpcvers=2, prog, vers, proc,
+        // AUTH_UNIX stub (flavor + length 8 + uid + gid), verf AUTH_NONE.
+        e.put_u32(xid)
+            .put_u32(0)
+            .put_u32(2)
+            .put_u32(NFS_PROGRAM)
+            .put_u32(NFS_VERSION)
+            .put_u32(self.proc().number())
+            .put_u32(1) // AUTH_UNIX
+            .put_u32(8)
+            .put_u32(0) // uid
+            .put_u32(0) // gid
+            .put_u32(0) // verf flavor AUTH_NONE
+            .put_u32(0); // verf length
+        debug_assert_eq!(e.len() as u64, RPC_CALL_HEADER_BYTES + 8);
+        match self {
+            NfsCall::Getattr { fh } => fh.encode(&mut e),
+            NfsCall::Lookup { dir, name } => {
+                dir.encode(&mut e);
+                e.put_string(name);
+            }
+            NfsCall::Read { fh, offset, count } => {
+                fh.encode(&mut e);
+                e.put_u64(*offset);
+                e.put_u32(*count);
+            }
+            NfsCall::Write { fh, offset, count } => {
+                fh.encode(&mut e);
+                e.put_u64(*offset);
+                e.put_u32(*count);
+                e.put_u32(1); // stable_how = DATA_SYNC
+                e.put_u32(*count); // opaque data length (bytes elided)
+            }
+        }
+        e.finish()
+    }
+
+    /// Decodes a call, returning `(xid, call)`.
+    pub fn decode(buf: &[u8]) -> Result<(u32, NfsCall), XdrError> {
+        let mut d = XdrDecoder::new(buf);
+        let xid = d.get_u32()?;
+        let mtype = d.get_u32()?;
+        if mtype != 0 {
+            return Err(XdrError::BadLength(mtype));
+        }
+        let _rpcvers = d.get_u32()?;
+        let _prog = d.get_u32()?;
+        let _vers = d.get_u32()?;
+        let procnum = d.get_u32()?;
+        // Skip auth: flavor, body (counted), verf flavor + length.
+        let _flavor = d.get_u32()?;
+        let _body = d.get_opaque()?;
+        let _vflavor = d.get_u32()?;
+        let _vlen = d.get_u32()?;
+        let proc_ = NfsProc::from_number(procnum).ok_or(XdrError::BadLength(procnum))?;
+        let call = match proc_ {
+            NfsProc::Getattr => NfsCall::Getattr {
+                fh: FileHandle::decode(&mut d)?,
+            },
+            NfsProc::Lookup => {
+                let dir = FileHandle::decode(&mut d)?;
+                let name = d.get_string()?.to_string();
+                NfsCall::Lookup { dir, name }
+            }
+            NfsProc::Read => NfsCall::Read {
+                fh: FileHandle::decode(&mut d)?,
+                offset: d.get_u64()?,
+                count: d.get_u32()?,
+            },
+            NfsProc::Write => {
+                let fh = FileHandle::decode(&mut d)?;
+                let offset = d.get_u64()?;
+                let count = d.get_u32()?;
+                let _stable = d.get_u32()?;
+                let _len = d.get_u32()?;
+                NfsCall::Write { fh, offset, count }
+            }
+        };
+        Ok((xid, call))
+    }
+
+    /// Wire size in bytes, data payload included for writes.
+    pub fn wire_bytes(&self) -> u64 {
+        let body = match self {
+            NfsCall::Getattr { .. } => 20,
+            NfsCall::Lookup { name, .. } => 20 + 4 + name.len().div_ceil(4) as u64 * 4,
+            NfsCall::Read { .. } => 20 + 12,
+            NfsCall::Write { count, .. } => 20 + 20 + u64::from(*count),
+        };
+        RPC_CALL_HEADER_BYTES + 8 + body
+    }
+}
+
+/// Minimal file attributes (enough for GETATTR and post-op attrs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fattr3 {
+    /// File size in bytes.
+    pub size: u64,
+    /// File id (inode number).
+    pub fileid: u64,
+}
+
+/// An NFS reply (server to client).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NfsReply {
+    /// Reply to GETATTR.
+    Getattr {
+        /// Status.
+        status: NfsStatus,
+        /// Attributes when `status` is `Ok`.
+        attrs: Option<Fattr3>,
+    },
+    /// Reply to LOOKUP.
+    Lookup {
+        /// Status.
+        status: NfsStatus,
+        /// Resolved handle when `status` is `Ok`.
+        fh: Option<FileHandle>,
+    },
+    /// Reply to READ; data carried as a length.
+    Read {
+        /// Status.
+        status: NfsStatus,
+        /// Bytes returned.
+        count: u32,
+        /// Whether EOF was reached.
+        eof: bool,
+    },
+    /// Reply to WRITE.
+    Write {
+        /// Status.
+        status: NfsStatus,
+        /// Bytes committed.
+        count: u32,
+    },
+}
+
+impl NfsReply {
+    /// Encodes the reply with its RPC header.
+    pub fn encode(&self, xid: u32) -> Vec<u8> {
+        let mut e = XdrEncoder::new();
+        // xid, REPLY(1), MSG_ACCEPTED(0), verf AUTH_NONE, SUCCESS(0).
+        e.put_u32(xid).put_u32(1).put_u32(0).put_u32(0).put_u32(0).put_u32(0);
+        debug_assert_eq!(e.len() as u64, RPC_REPLY_HEADER_BYTES);
+        match self {
+            NfsReply::Getattr { status, attrs } => {
+                e.put_u32(status.code());
+                if let Some(a) = attrs {
+                    e.put_u64(a.size);
+                    e.put_u64(a.fileid);
+                }
+            }
+            NfsReply::Lookup { status, fh } => {
+                e.put_u32(status.code());
+                if let Some(fh) = fh {
+                    fh.encode(&mut e);
+                }
+            }
+            NfsReply::Read { status, count, eof } => {
+                e.put_u32(status.code());
+                e.put_u32(*count);
+                e.put_bool(*eof);
+                e.put_u32(*count); // opaque data length (bytes elided)
+            }
+            NfsReply::Write { status, count } => {
+                e.put_u32(status.code());
+                e.put_u32(*count);
+            }
+        }
+        e.finish()
+    }
+
+    /// Decodes a reply to the given procedure, returning `(xid, reply)`.
+    pub fn decode(proc_: NfsProc, buf: &[u8]) -> Result<(u32, NfsReply), XdrError> {
+        let mut d = XdrDecoder::new(buf);
+        let xid = d.get_u32()?;
+        let mtype = d.get_u32()?;
+        if mtype != 1 {
+            return Err(XdrError::BadLength(mtype));
+        }
+        let _accepted = d.get_u32()?;
+        let _vflavor = d.get_u32()?;
+        let _vlen = d.get_u32()?;
+        let _accept_stat = d.get_u32()?;
+        let status =
+            NfsStatus::from_code(d.get_u32()?).ok_or(XdrError::BadLength(u32::MAX))?;
+        let reply = match proc_ {
+            NfsProc::Getattr => NfsReply::Getattr {
+                status,
+                attrs: if status == NfsStatus::Ok {
+                    Some(Fattr3 {
+                        size: d.get_u64()?,
+                        fileid: d.get_u64()?,
+                    })
+                } else {
+                    None
+                },
+            },
+            NfsProc::Lookup => NfsReply::Lookup {
+                status,
+                fh: if status == NfsStatus::Ok {
+                    Some(FileHandle::decode(&mut d)?)
+                } else {
+                    None
+                },
+            },
+            NfsProc::Read => {
+                let count = d.get_u32()?;
+                let eof = d.get_bool()?;
+                let _len = d.get_u32()?;
+                NfsReply::Read { status, count, eof }
+            }
+            NfsProc::Write => NfsReply::Write {
+                status,
+                count: d.get_u32()?,
+            },
+        };
+        Ok((xid, reply))
+    }
+
+    /// Wire size in bytes, data payload included for reads.
+    pub fn wire_bytes(&self) -> u64 {
+        let body = match self {
+            NfsReply::Getattr { attrs, .. } => 4 + if attrs.is_some() { 16 } else { 0 },
+            NfsReply::Lookup { fh, .. } => 4 + if fh.is_some() { 20 } else { 0 },
+            NfsReply::Read { count, .. } => 4 + 12 + u64::from(*count),
+            NfsReply::Write { .. } => 8,
+        };
+        RPC_REPLY_HEADER_BYTES + body
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fh() -> FileHandle {
+        FileHandle {
+            fsid: 7,
+            ino: 123_456,
+            generation: 9,
+        }
+    }
+
+    #[test]
+    fn file_handle_roundtrip() {
+        let mut e = XdrEncoder::new();
+        fh().encode(&mut e);
+        let buf = e.finish();
+        let mut d = XdrDecoder::new(&buf);
+        assert_eq!(FileHandle::decode(&mut d).unwrap(), fh());
+    }
+
+    #[test]
+    fn read_call_roundtrip() {
+        let call = NfsCall::Read {
+            fh: fh(),
+            offset: 65_536,
+            count: 8_192,
+        };
+        let buf = call.encode(0xdead_beef);
+        let (xid, decoded) = NfsCall::decode(&buf).unwrap();
+        assert_eq!(xid, 0xdead_beef);
+        assert_eq!(decoded, call);
+    }
+
+    #[test]
+    fn lookup_call_roundtrip() {
+        let call = NfsCall::Lookup {
+            dir: fh(),
+            name: "bench-256MB".to_string(),
+        };
+        let buf = call.encode(1);
+        let (_, decoded) = NfsCall::decode(&buf).unwrap();
+        assert_eq!(decoded, call);
+    }
+
+    #[test]
+    fn write_call_roundtrip() {
+        let call = NfsCall::Write {
+            fh: fh(),
+            offset: 0,
+            count: 8_192,
+        };
+        let (_, decoded) = NfsCall::decode(&call.encode(2)).unwrap();
+        assert_eq!(decoded, call);
+    }
+
+    #[test]
+    fn getattr_roundtrip_both_directions() {
+        let call = NfsCall::Getattr { fh: fh() };
+        let (_, dec) = NfsCall::decode(&call.encode(3)).unwrap();
+        assert_eq!(dec, call);
+        let reply = NfsReply::Getattr {
+            status: NfsStatus::Ok,
+            attrs: Some(Fattr3 {
+                size: 268_435_456,
+                fileid: 42,
+            }),
+        };
+        let (xid, dec) = NfsReply::decode(NfsProc::Getattr, &reply.encode(3)).unwrap();
+        assert_eq!(xid, 3);
+        assert_eq!(dec, reply);
+    }
+
+    #[test]
+    fn read_reply_roundtrip() {
+        let reply = NfsReply::Read {
+            status: NfsStatus::Ok,
+            count: 8_192,
+            eof: false,
+        };
+        let (_, dec) = NfsReply::decode(NfsProc::Read, &reply.encode(9)).unwrap();
+        assert_eq!(dec, reply);
+    }
+
+    #[test]
+    fn error_reply_roundtrip() {
+        let reply = NfsReply::Lookup {
+            status: NfsStatus::NoEnt,
+            fh: None,
+        };
+        let (_, dec) = NfsReply::decode(NfsProc::Lookup, &reply.encode(4)).unwrap();
+        assert_eq!(dec, reply);
+    }
+
+    #[test]
+    fn wire_bytes_match_an_8k_read() {
+        // An 8 KB READ reply should be a little over 8 KB on the wire.
+        let reply = NfsReply::Read {
+            status: NfsStatus::Ok,
+            count: 8_192,
+            eof: false,
+        };
+        let wb = reply.wire_bytes();
+        assert!((8_192..8_400).contains(&wb), "wire bytes {wb}");
+        let call = NfsCall::Read {
+            fh: fh(),
+            offset: 0,
+            count: 8_192,
+        };
+        assert!(call.wire_bytes() < 120, "READ call is small: {}", call.wire_bytes());
+    }
+
+    #[test]
+    fn write_wire_bytes_include_payload() {
+        let call = NfsCall::Write {
+            fh: fh(),
+            offset: 0,
+            count: 8_192,
+        };
+        assert!(call.wire_bytes() > 8_192);
+    }
+
+    #[test]
+    fn decode_rejects_reply_as_call() {
+        let reply = NfsReply::Write {
+            status: NfsStatus::Ok,
+            count: 1,
+        };
+        assert!(NfsCall::decode(&reply.encode(5)).is_err());
+    }
+
+    #[test]
+    fn truncated_call_fails_cleanly() {
+        let call = NfsCall::Read {
+            fh: fh(),
+            offset: 0,
+            count: 8_192,
+        };
+        let buf = call.encode(6);
+        assert!(NfsCall::decode(&buf[..buf.len() - 4]).is_err());
+    }
+
+    #[test]
+    fn proc_numbers_are_rfc1813() {
+        assert_eq!(NfsProc::Getattr.number(), 1);
+        assert_eq!(NfsProc::Lookup.number(), 3);
+        assert_eq!(NfsProc::Read.number(), 6);
+        assert_eq!(NfsProc::Write.number(), 7);
+        for p in [NfsProc::Getattr, NfsProc::Lookup, NfsProc::Read, NfsProc::Write] {
+            assert_eq!(NfsProc::from_number(p.number()), Some(p));
+        }
+        assert_eq!(NfsProc::from_number(99), None);
+    }
+}

@@ -1,0 +1,64 @@
+//! Property tests: encode/decode are exact inverses for every message.
+
+use nfsproto::{Fattr3, FileHandle, NfsCall, NfsProc, NfsReply, NfsStatus};
+use proptest::prelude::*;
+
+fn arb_fh() -> impl Strategy<Value = FileHandle> {
+    (any::<u32>(), any::<u64>(), any::<u32>()).prop_map(|(fsid, ino, generation)| FileHandle {
+        fsid,
+        ino,
+        generation,
+    })
+}
+
+fn arb_call() -> impl Strategy<Value = NfsCall> {
+    prop_oneof![
+        arb_fh().prop_map(|fh| NfsCall::Getattr { fh }),
+        (arb_fh(), "[a-zA-Z0-9._-]{1,64}")
+            .prop_map(|(dir, name)| NfsCall::Lookup { dir, name }),
+        (arb_fh(), any::<u64>(), 1u32..65_536)
+            .prop_map(|(fh, offset, count)| NfsCall::Read { fh, offset, count }),
+        (arb_fh(), any::<u64>(), 1u32..65_536)
+            .prop_map(|(fh, offset, count)| NfsCall::Write { fh, offset, count }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn call_roundtrip(xid in any::<u32>(), call in arb_call()) {
+        let buf = call.encode(xid);
+        let (got_xid, got) = NfsCall::decode(&buf).expect("decode");
+        prop_assert_eq!(got_xid, xid);
+        prop_assert_eq!(got, call);
+    }
+
+    #[test]
+    fn read_reply_roundtrip(xid in any::<u32>(), count in 0u32..1_048_576, eof in any::<bool>()) {
+        let reply = NfsReply::Read { status: NfsStatus::Ok, count, eof };
+        let (got_xid, got) = NfsReply::decode(NfsProc::Read, &reply.encode(xid)).expect("decode");
+        prop_assert_eq!(got_xid, xid);
+        prop_assert_eq!(got, reply);
+    }
+
+    #[test]
+    fn getattr_reply_roundtrip(xid in any::<u32>(), size in any::<u64>(), fileid in any::<u64>()) {
+        let reply = NfsReply::Getattr {
+            status: NfsStatus::Ok,
+            attrs: Some(Fattr3 { size, fileid }),
+        };
+        let (_, got) = NfsReply::decode(NfsProc::Getattr, &reply.encode(xid)).expect("decode");
+        prop_assert_eq!(got, reply);
+    }
+
+    #[test]
+    fn truncated_calls_never_panic(call in arb_call(), cut in 0usize..64) {
+        let buf = call.encode(1);
+        let keep = buf.len().saturating_sub(cut + 1);
+        let _ = NfsCall::decode(&buf[..keep]); // Must not panic.
+    }
+
+    #[test]
+    fn encoded_len_is_word_aligned(call in arb_call()) {
+        prop_assert_eq!(call.encode(1).len() % 4, 0);
+    }
+}

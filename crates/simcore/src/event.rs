@@ -1,0 +1,342 @@
+//! The discrete-event core: a time-ordered event queue and an executor loop.
+//!
+//! The engine is deliberately minimal. Components in the other crates are
+//! written as *passive* models (given a request and the current state, they
+//! compute a service time); integration crates drive them by scheduling
+//! events of their own enum type `E` on an [`EventQueue`], or by running a
+//! full [`Executor`] loop with a handler callback.
+//!
+//! Two events scheduled for the same instant are delivered in the order they
+//! were scheduled (FIFO tie-breaking via a sequence number), which keeps runs
+//! bit-reproducible.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::{SimDuration, SimTime};
+
+/// An event queued for delivery at a specific simulated instant.
+#[derive(Debug, Clone)]
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // `BinaryHeap` is a max-heap; invert so the earliest event pops first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic time-ordered event queue.
+///
+/// # Examples
+///
+/// ```
+/// use simcore::{EventQueue, SimDuration, SimTime};
+///
+/// let mut q: EventQueue<&str> = EventQueue::new();
+/// q.schedule_at(SimTime::from_nanos(20), "late");
+/// q.schedule_at(SimTime::from_nanos(10), "early");
+/// let (t, e) = q.pop().unwrap();
+/// assert_eq!((t.as_nanos(), e), (10, "early"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    now: SimTime,
+    next_seq: u64,
+    delivered: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            next_seq: 0,
+            delivered: 0,
+        }
+    }
+
+    /// Returns the current simulated time (the timestamp of the most
+    /// recently popped event, or zero).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Returns the number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Returns the total number of events delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Schedules `payload` for delivery at absolute time `at`.
+    ///
+    /// Scheduling into the past is a logic error and clamps to `now`; the
+    /// event will be delivered immediately after any events already pending
+    /// at `now`.
+    pub fn schedule_at(&mut self, at: SimTime, payload: E) {
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, payload });
+    }
+
+    /// Schedules `payload` for delivery `delay` after the current time.
+    pub fn schedule_after(&mut self, delay: SimDuration, payload: E) {
+        self.schedule_at(self.now + delay, payload);
+    }
+
+    /// Returns the timestamp of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Pops the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let s = self.heap.pop()?;
+        debug_assert!(s.at >= self.now, "event queue time went backwards");
+        self.now = s.at;
+        self.delivered += 1;
+        Some((s.at, s.payload))
+    }
+
+    /// Removes all pending events and resets the delivered counter, keeping
+    /// the clock where it is.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.delivered = 0;
+    }
+}
+
+/// Outcome of handling one event in an [`Executor`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Control {
+    /// Keep running.
+    Continue,
+    /// Stop the loop; `Executor::run` returns.
+    Stop,
+}
+
+/// A minimal executor that drains an [`EventQueue`] through a handler.
+///
+/// The handler receives mutable access to shared state `S` and to the queue
+/// itself (to schedule follow-up events). A step budget guards against
+/// accidental infinite event loops in tests.
+pub struct Executor<E, S> {
+    queue: EventQueue<E>,
+    state: S,
+    max_steps: u64,
+}
+
+impl<E, S> Executor<E, S> {
+    /// Creates an executor around `state` with a default budget of one
+    /// billion events.
+    pub fn new(state: S) -> Self {
+        Executor {
+            queue: EventQueue::new(),
+            state,
+            max_steps: 1_000_000_000,
+        }
+    }
+
+    /// Overrides the maximum number of events to deliver in one `run`.
+    pub fn with_max_steps(mut self, max_steps: u64) -> Self {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// Returns a mutable reference to the event queue for seeding events.
+    pub fn queue_mut(&mut self) -> &mut EventQueue<E> {
+        &mut self.queue
+    }
+
+    /// Returns a shared reference to the wrapped state.
+    pub fn state(&self) -> &S {
+        &self.state
+    }
+
+    /// Returns a mutable reference to the wrapped state.
+    pub fn state_mut(&mut self) -> &mut S {
+        &mut self.state
+    }
+
+    /// Consumes the executor, returning the final state and clock value.
+    pub fn into_state(self) -> (S, SimTime) {
+        let now = self.queue.now();
+        (self.state, now)
+    }
+
+    /// Runs until the queue drains, the handler returns [`Control::Stop`],
+    /// or the step budget is exhausted.
+    ///
+    /// Returns the number of events delivered by this call.
+    pub fn run<F>(&mut self, mut handler: F) -> u64
+    where
+        F: FnMut(&mut S, &mut EventQueue<E>, SimTime, E) -> Control,
+    {
+        let mut steps = 0;
+        while steps < self.max_steps {
+            let Some((at, ev)) = self.queue.pop() else {
+                break;
+            };
+            steps += 1;
+            if handler(&mut self.state, &mut self.queue, at, ev) == Control::Stop {
+                break;
+            }
+        }
+        steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_nanos(30), 3);
+        q.schedule_at(SimTime::from_nanos(10), 1);
+        q.schedule_at(SimTime::from_nanos(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(5);
+        for i in 0..100 {
+            q.schedule_at(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule_after(SimDuration::from_millis(5), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_nanos(5_000_000));
+    }
+
+    #[test]
+    fn scheduling_in_the_past_clamps_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_nanos(100), "a");
+        q.pop();
+        q.schedule_at(SimTime::from_nanos(10), "late");
+        let (t, e) = q.pop().unwrap();
+        assert_eq!(e, "late");
+        assert_eq!(t, SimTime::from_nanos(100));
+    }
+
+    #[test]
+    fn schedule_after_is_relative_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_nanos(1_000), ());
+        q.pop();
+        q.schedule_after(SimDuration::from_nanos(500), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(1_500)));
+    }
+
+    #[test]
+    fn delivered_counts_and_clear() {
+        let mut q = EventQueue::new();
+        for i in 0..10u64 {
+            q.schedule_at(SimTime::from_nanos(i), i);
+        }
+        q.pop();
+        q.pop();
+        assert_eq!(q.delivered(), 2);
+        assert_eq!(q.len(), 8);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.delivered(), 0);
+    }
+
+    #[test]
+    fn executor_runs_chained_events() {
+        // A ping-pong that counts down: each event schedules the next.
+        let mut ex: Executor<u32, Vec<u32>> = Executor::new(Vec::new());
+        ex.queue_mut().schedule_at(SimTime::ZERO, 5);
+        let steps = ex.run(|log, q, _, n| {
+            log.push(n);
+            if n > 0 {
+                q.schedule_after(SimDuration::from_millis(1), n - 1);
+            }
+            Control::Continue
+        });
+        assert_eq!(steps, 6);
+        assert_eq!(ex.state(), &vec![5, 4, 3, 2, 1, 0]);
+        let (_, end) = ex.into_state();
+        assert_eq!(end, SimTime::from_nanos(5_000_000));
+    }
+
+    #[test]
+    fn executor_stop_halts_early() {
+        let mut ex: Executor<u32, u32> = Executor::new(0);
+        for i in 0..10 {
+            ex.queue_mut().schedule_at(SimTime::from_nanos(i), i as u32);
+        }
+        ex.run(|count, _, _, _| {
+            *count += 1;
+            if *count == 3 {
+                Control::Stop
+            } else {
+                Control::Continue
+            }
+        });
+        assert_eq!(*ex.state(), 3);
+    }
+
+    #[test]
+    fn executor_step_budget_bounds_runaway_loops() {
+        let mut ex: Executor<(), ()> = Executor::new(()).with_max_steps(100);
+        ex.queue_mut().schedule_at(SimTime::ZERO, ());
+        let steps = ex.run(|_, q, _, _| {
+            q.schedule_after(SimDuration::from_nanos(1), ());
+            Control::Continue
+        });
+        assert_eq!(steps, 100);
+    }
+}

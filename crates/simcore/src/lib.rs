@@ -1,0 +1,33 @@
+//! Deterministic discrete-event simulation core.
+//!
+//! `simcore` is the substrate under every other crate in this workspace. It
+//! provides:
+//!
+//! * [`SimTime`] / [`SimDuration`] — nanosecond-resolution simulated time;
+//! * [`EventQueue`] / [`Executor`] — a time-ordered event queue with FIFO
+//!   tie-breaking and a minimal run loop;
+//! * [`SimRng`] — seedable, stream-splittable randomness so that every
+//!   experiment is bit-reproducible from a single `u64` seed;
+//! * [`OnlineStats`] / [`Summary`] / [`Histogram`] — the statistics used to
+//!   report benchmark results the way the paper does (mean over >= 10 runs
+//!   with standard deviation);
+//! * [`Trace`] — diagnostic counters that can be switched off for timed
+//!   runs, mirroring the paper's instrumentation discipline.
+//!
+//! Nothing here knows about disks, networks, or NFS; those live in the
+//! `diskmodel`, `netsim`, and `nfssim` crates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+mod rng;
+mod stats;
+mod time;
+mod trace;
+
+pub use event::{Control, EventQueue, Executor};
+pub use rng::SimRng;
+pub use stats::{quantile, Histogram, OnlineStats, Summary};
+pub use time::{SimDuration, SimTime};
+pub use trace::{Trace, TraceLevel};

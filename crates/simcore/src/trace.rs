@@ -1,0 +1,172 @@
+//! Lightweight diagnostic tracing.
+//!
+//! The paper stresses that "the diagnostic instrumentation we added to
+//! monitor our algorithms confirmed that they were working as intended" —
+//! and that this instrumentation must be *disabled during timed runs*.
+//! [`Trace`] reproduces that workflow: components emit structured counter
+//! bumps and optional messages; a disabled trace compiles down to a branch.
+
+use std::collections::BTreeMap;
+
+/// Severity/category of a trace message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Default)]
+pub enum TraceLevel {
+    /// High-volume per-event detail.
+    #[default]
+    Debug,
+    /// Notable state transitions.
+    Info,
+    /// Model anomalies worth surfacing.
+    Warn,
+}
+
+/// A counter-and-message sink that can be switched off for timed runs.
+#[derive(Debug, Default)]
+pub struct Trace {
+    enabled: bool,
+    min_level: TraceLevel,
+    counters: BTreeMap<&'static str, u64>,
+    messages: Vec<(TraceLevel, String)>,
+    max_messages: usize,
+}
+
+
+impl Trace {
+    /// Creates a disabled trace (the timed-benchmark configuration).
+    pub fn disabled() -> Self {
+        Trace {
+            enabled: false,
+            min_level: TraceLevel::Debug,
+            counters: BTreeMap::new(),
+            messages: Vec::new(),
+            max_messages: 0,
+        }
+    }
+
+    /// Creates an enabled trace retaining up to `max_messages` messages.
+    pub fn enabled(max_messages: usize) -> Self {
+        Trace {
+            enabled: true,
+            min_level: TraceLevel::Debug,
+            counters: BTreeMap::new(),
+            messages: Vec::new(),
+            max_messages,
+        }
+    }
+
+    /// Raises the minimum retained message level.
+    pub fn with_min_level(mut self, level: TraceLevel) -> Self {
+        self.min_level = level;
+        self
+    }
+
+    /// Returns whether the trace is collecting.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Increments a named counter (counters are always collected; they are
+    /// O(log n) map bumps and do not allocate per event).
+    pub fn bump(&mut self, counter: &'static str) {
+        self.add(counter, 1);
+    }
+
+    /// Adds `k` to a named counter.
+    pub fn add(&mut self, counter: &'static str, k: u64) {
+        if self.enabled {
+            *self.counters.entry(counter).or_insert(0) += k;
+        }
+    }
+
+    /// Records a message if enabled and at or above the minimum level.
+    pub fn msg(&mut self, level: TraceLevel, text: impl FnOnce() -> String) {
+        if self.enabled && level >= self.min_level && self.messages.len() < self.max_messages {
+            self.messages.push((level, text()));
+        }
+    }
+
+    /// Reads a counter (0 if never bumped).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Iterates all counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Returns the retained messages.
+    pub fn messages(&self) -> &[(TraceLevel, String)] {
+        &self.messages
+    }
+
+    /// Clears counters and messages.
+    pub fn reset(&mut self) {
+        self.counters.clear();
+        self.messages.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_collects_nothing() {
+        let mut t = Trace::disabled();
+        t.bump("x");
+        t.msg(TraceLevel::Warn, || "hello".to_string());
+        assert_eq!(t.counter("x"), 0);
+        assert!(t.messages().is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn enabled_trace_counts() {
+        let mut t = Trace::enabled(10);
+        t.bump("reorder");
+        t.bump("reorder");
+        t.add("bytes", 100);
+        assert_eq!(t.counter("reorder"), 2);
+        assert_eq!(t.counter("bytes"), 100);
+        assert_eq!(t.counter("missing"), 0);
+    }
+
+    #[test]
+    fn message_cap_is_enforced() {
+        let mut t = Trace::enabled(2);
+        for i in 0..5 {
+            t.msg(TraceLevel::Info, || format!("m{i}"));
+        }
+        assert_eq!(t.messages().len(), 2);
+    }
+
+    #[test]
+    fn min_level_filters() {
+        let mut t = Trace::enabled(10).with_min_level(TraceLevel::Warn);
+        t.msg(TraceLevel::Debug, || "drop".into());
+        t.msg(TraceLevel::Warn, || "keep".into());
+        assert_eq!(t.messages().len(), 1);
+        assert_eq!(t.messages()[0].1, "keep");
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut t = Trace::enabled(10);
+        t.bump("a");
+        t.msg(TraceLevel::Info, || "m".into());
+        t.reset();
+        assert_eq!(t.counter("a"), 0);
+        assert!(t.messages().is_empty());
+    }
+
+    #[test]
+    fn counters_iterate_in_name_order() {
+        let mut t = Trace::enabled(0);
+        t.bump("zeta");
+        t.bump("alpha");
+        let names: Vec<_> = t.counters().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["alpha", "zeta"]);
+    }
+}

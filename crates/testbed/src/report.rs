@@ -1,0 +1,120 @@
+//! Result containers and plain-text rendering for the regenerated
+//! figures and tables.
+
+use simcore::Summary;
+
+/// One curve of a figure: throughput (or time) against reader count.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Curve label as in the paper's legend (`ide1`, `scsi1 / no tags`...).
+    pub label: String,
+    /// `(x, summary-over-runs)` points.
+    pub points: Vec<(u64, Summary)>,
+}
+
+/// A regenerated figure: several series over a common x-axis.
+#[derive(Debug, Clone)]
+pub struct Figure {
+    /// Figure title.
+    pub title: String,
+    /// Axis label for x.
+    pub x_label: String,
+    /// Axis label for y.
+    pub y_label: String,
+    /// The curves.
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    /// Renders the figure as an aligned text table, one row per x value.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        out.push_str(&format!("y: {} (mean over runs, stddev in parens)\n", self.y_label));
+        let mut xs: Vec<u64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|(x, _)| *x))
+            .collect();
+        xs.sort_unstable();
+        xs.dedup();
+        out.push_str(&format!("{:>12}", self.x_label));
+        for s in &self.series {
+            out.push_str(&format!(" | {:>22}", s.label));
+        }
+        out.push('\n');
+        for x in xs {
+            out.push_str(&format!("{x:>12}"));
+            for s in &self.series {
+                match s.points.iter().find(|(px, _)| *px == x) {
+                    Some((_, sum)) => {
+                        out.push_str(&format!(" | {:>14.2} ({:>5.2})", sum.mean, sum.stddev))
+                    }
+                    None => out.push_str(&format!(" | {:>22}", "-")),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The mean of a given series at a given x (for tests and
+    /// EXPERIMENTS.md assertions).
+    pub fn mean_at(&self, label: &str, x: u64) -> Option<f64> {
+        self.series
+            .iter()
+            .find(|s| s.label == label)?
+            .points
+            .iter()
+            .find(|(px, _)| *px == x)
+            .map(|(_, s)| s.mean)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig() -> Figure {
+        Figure {
+            title: "Test".into(),
+            x_label: "readers".into(),
+            y_label: "MB/s".into(),
+            series: vec![Series {
+                label: "ide1".into(),
+                points: vec![
+                    (1, Summary::of(&[10.0, 12.0])),
+                    (2, Summary::of(&[8.0])),
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn render_contains_labels_and_values() {
+        let s = fig().render();
+        assert!(s.contains("ide1"));
+        assert!(s.contains("11.00"));
+        assert!(s.contains("readers"));
+    }
+
+    #[test]
+    fn mean_at_finds_points() {
+        let f = fig();
+        assert_eq!(f.mean_at("ide1", 1), Some(11.0));
+        assert_eq!(f.mean_at("ide1", 2), Some(8.0));
+        assert_eq!(f.mean_at("ide1", 99), None);
+        assert_eq!(f.mean_at("nope", 1), None);
+    }
+
+    #[test]
+    fn render_marks_missing_points() {
+        let mut f = fig();
+        f.series.push(Series {
+            label: "scsi1".into(),
+            points: vec![(1, Summary::of(&[5.0]))],
+        });
+        let s = f.render();
+        assert!(s.contains('-'), "missing x=2 for scsi1 rendered as dash");
+    }
+}

@@ -1,0 +1,134 @@
+//! Assembling the paper's testbed (§4.1) out of the substrate crates.
+//!
+//! A [`Rig`] names one server storage configuration: which drive, which of
+//! its four partitions, whether tagged queueing is on, and which kernel
+//! disk scheduler is loaded. `scsi1`, `ide4`, etc. in the figures are
+//! exactly these rigs.
+
+use diskmodel::{DriveModel, PartitionTable, TcqConfig};
+use ffs::{FileSystem, FsConfig};
+use iosched::SchedulerKind;
+use simcore::SimRng;
+
+/// One server storage configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Rig {
+    /// Which drive model.
+    pub drive: DriveModel,
+    /// Partition 1 (outermost) through 4 (innermost).
+    pub partition: usize,
+    /// Tagged command queues enabled (ignored for drives without TCQ).
+    pub tagged_queues: bool,
+    /// Kernel disk scheduler.
+    pub scheduler: SchedulerKind,
+}
+
+impl Rig {
+    /// `scsi<partition>` with default (tags on) configuration.
+    pub fn scsi(partition: usize) -> Self {
+        Rig {
+            drive: DriveModel::IbmDdysScsi,
+            partition,
+            tagged_queues: true,
+            scheduler: SchedulerKind::Elevator,
+        }
+    }
+
+    /// `ide<partition>` (the WD drive has no TCQ).
+    pub fn ide(partition: usize) -> Self {
+        Rig {
+            drive: DriveModel::WdWd200bbIde,
+            partition,
+            tagged_queues: false,
+            scheduler: SchedulerKind::Elevator,
+        }
+    }
+
+    /// Returns the rig with tagged queueing disabled.
+    pub fn no_tags(mut self) -> Self {
+        self.tagged_queues = false;
+        self
+    }
+
+    /// Returns the rig with a different kernel scheduler.
+    pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Label as used in the paper's figures (`scsi1`, `ide4`, ...).
+    pub fn label(&self) -> String {
+        format!("{}{}", self.drive.label(), self.partition)
+    }
+
+    /// Builds a freshly formatted file system on this rig.
+    ///
+    /// The server machine has 256 MB of RAM, most of it buffer cache —
+    /// which the benchmark's 1.5 GB working set defeats by design.
+    pub fn build_fs(&self, seed: u64) -> FileSystem {
+        let tcq = if self.tagged_queues && self.drive.supports_tcq() {
+            self.drive.default_tcq()
+        } else {
+            TcqConfig::disabled()
+        };
+        let disk = diskmodel::Disk::new(
+            self.drive.geometry(),
+            self.drive.seek(),
+            self.drive.mech(),
+            tcq,
+            self.drive.cache(),
+            SimRng::from_seed_and_stream(seed, 0xD15C),
+        );
+        let part = PartitionTable::quarters(disk.geometry()).get(self.partition);
+        FileSystem::format(disk, part, self.scheduler, FsConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper_names() {
+        assert_eq!(Rig::scsi(1).label(), "scsi1");
+        assert_eq!(Rig::ide(4).label(), "ide4");
+    }
+
+    #[test]
+    fn no_tags_disables_tcq() {
+        let rig = Rig::scsi(1).no_tags();
+        let fs = rig.build_fs(1);
+        assert!(!fs.bio().disk().tcq().enabled);
+        let rig_default = Rig::scsi(1);
+        let fs2 = rig_default.build_fs(1);
+        assert!(fs2.bio().disk().tcq().enabled);
+    }
+
+    #[test]
+    fn ide_never_has_tcq() {
+        let rig = Rig {
+            tagged_queues: true,
+            ..Rig::ide(1)
+        };
+        let fs = rig.build_fs(1);
+        assert!(!fs.bio().disk().tcq().enabled, "WD200BB has no TCQ");
+    }
+
+    #[test]
+    fn partition_one_is_outer() {
+        // Build on partitions 1 and 4 and compare first-file media rates.
+        let f1 = Rig::ide(1).build_fs(1);
+        let f4 = Rig::ide(4).build_fs(1);
+        let g1 = f1.bio().disk().geometry().clone();
+        let mut fs1 = f1;
+        let mut fs4 = f4;
+        let mut rng = SimRng::new(1);
+        let i1 = fs1.create_file(8_192, &mut rng);
+        let i4 = fs4.create_file(8_192, &mut rng);
+        let lba1 = fs1.inode(i1).unwrap().lba_of(0);
+        let lba4 = fs4.inode(i4).unwrap().lba_of(0);
+        let r1 = g1.media_rate(g1.cylinder_of(lba1));
+        let r4 = g1.media_rate(g1.cylinder_of(lba4));
+        assert!(r1 > r4, "partition 1 must be on faster cylinders");
+    }
+}

@@ -1,0 +1,149 @@
+//! The text trace format: one record per line,
+//! `<time_us> <client> <op> <fh:hex> <offset> <len>`, `#` comments.
+//!
+//! A deliberately simple cousin of the `nfsdump` format the authors' trace
+//! tools produced; easy to generate from real traces and to diff.
+
+use std::fmt::Write as _;
+
+use crate::record::{Trace, TraceOp, TraceRecord};
+
+/// Parse error with line context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Serializes a trace to the text format.
+pub fn to_text(trace: &Trace) -> String {
+    let mut out = String::with_capacity(trace.len() * 32);
+    out.push_str("# time_us client op fh offset len\n");
+    for r in &trace.records {
+        writeln!(out, "{r}").expect("string write");
+    }
+    out
+}
+
+/// Parses the text format.
+pub fn from_text(text: &str) -> Result<Trace, ParseError> {
+    let mut trace = Trace::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        let content = raw.split('#').next().unwrap_or("").trim();
+        if content.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = content.split_whitespace().collect();
+        if fields.len() != 6 {
+            return Err(ParseError {
+                line,
+                message: format!("expected 6 fields, found {}", fields.len()),
+            });
+        }
+        let num = |s: &str, what: &str| -> Result<u64, ParseError> {
+            s.parse().map_err(|_| ParseError {
+                line,
+                message: format!("bad {what}: {s:?}"),
+            })
+        };
+        let op = TraceOp::from_token(fields[2]).ok_or_else(|| ParseError {
+            line,
+            message: format!("unknown op {:?}", fields[2]),
+        })?;
+        let fh = u64::from_str_radix(fields[3], 16).map_err(|_| ParseError {
+            line,
+            message: format!("bad file handle: {:?}", fields[3]),
+        })?;
+        trace.records.push(TraceRecord {
+            time_us: num(fields[0], "time")?,
+            client: num(fields[1], "client")? as u32,
+            op,
+            fh,
+            offset: num(fields[4], "offset")?,
+            len: num(fields[5], "len")? as u32,
+        });
+    }
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        let mut t = Trace::new();
+        t.records.push(TraceRecord::read(0, 1, 0xdead, 0, 8_192));
+        t.records.push(TraceRecord {
+            time_us: 150,
+            client: 2,
+            op: TraceOp::Write,
+            fh: 0xbeef,
+            offset: 65_536,
+            len: 4_096,
+        });
+        t.records.push(TraceRecord {
+            time_us: 300,
+            client: 1,
+            op: TraceOp::Getattr,
+            fh: 0xdead,
+            offset: 0,
+            len: 0,
+        });
+        t
+    }
+
+    #[test]
+    fn roundtrip() {
+        let t = sample();
+        let text = to_text(&t);
+        let parsed = from_text(&text).expect("parse");
+        assert_eq!(parsed, t);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# header\n\n0 1 read a 0 8192  # trailing comment\n";
+        let t = from_text(text).expect("parse");
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.records[0].fh, 0xa);
+    }
+
+    #[test]
+    fn field_count_checked() {
+        let err = from_text("0 1 read a 0\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("6 fields"));
+    }
+
+    #[test]
+    fn bad_op_rejected_with_line_number() {
+        let err = from_text("# one\n0 1 read a 0 1\n0 1 fsync a 0 1\n").unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.message.contains("fsync"));
+    }
+
+    #[test]
+    fn bad_numbers_rejected() {
+        assert!(from_text("x 1 read a 0 1\n").is_err());
+        assert!(from_text("0 1 read zz$ 0 1\n").is_err());
+        assert!(from_text("0 1 read a -5 1\n").is_err());
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let err = from_text("0 1 nope a 0 1\n").unwrap_err();
+        let s = format!("{err}");
+        assert!(s.contains("line 1"));
+    }
+}

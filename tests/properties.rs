@@ -1,0 +1,109 @@
+//! Workspace-level property tests: arbitrary request patterns against the
+//! full stack never panic, never lose operations, and never violate the
+//! heuristics' bounds.
+
+use nfs_tricks::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any interleaving of reads across several files completes every
+    /// operation exactly once.
+    #[test]
+    fn arbitrary_read_interleavings_complete(
+        ops in prop::collection::vec((0usize..4, 0u64..128), 1..80),
+        seed in 0u64..1_000,
+    ) {
+        let fs = Rig::scsi(1).build_fs(seed);
+        let mut world = NfsWorld::new(WorldConfig::default(), fs, seed);
+        let size = 128 * 8_192u64;
+        let fhs: Vec<_> = (0..4).map(|_| world.create_file(size)).collect();
+        let mut now = SimTime::ZERO;
+        let mut issued = 0u64;
+        for (i, &(f, blk)) in ops.iter().enumerate() {
+            world.read(now, fhs[f], blk * 8_192, 8_192, i as u64);
+            issued += 1;
+            // Interleave: sometimes let the world progress before issuing.
+            if i % 3 == 0 {
+                if let Some(t) = world.next_event() {
+                    for d in world.advance(t) {
+                        let _ = d;
+                        issued -= 1;
+                    }
+                    now = now.max(t);
+                }
+            }
+        }
+        let mut guard = 0;
+        while issued > 0 {
+            guard += 1;
+            prop_assert!(guard < 5_000_000, "event loop stuck");
+            let t = world.next_event().expect("ops pending");
+            now = now.max(t);
+            for _ in world.advance(t) {
+                issued -= 1;
+            }
+        }
+        // Drain stragglers (in-flight read-ahead, retransmit timers, and
+        // any server work queued behind them) before checking books.
+        let mut guard = 0;
+        while let Some(t) = world.next_event() {
+            guard += 1;
+            prop_assert!(guard < 5_000_000, "drain stuck");
+            world.advance(t);
+        }
+        // Conservation at the protocol level: every accepted call is
+        // either replied to or dropped as a duplicate.
+        let s = world.server_stats();
+        prop_assert_eq!(s.replies + s.duplicates_dropped, s.reads + s.other_calls);
+    }
+
+    /// Mixed read/write/getattr sequences hold the same invariants.
+    #[test]
+    fn arbitrary_mixed_sequences_complete(
+        ops in prop::collection::vec((0u8..3, 0u64..64), 1..60),
+        seed in 0u64..1_000,
+    ) {
+        let fs = Rig::ide(1).build_fs(seed);
+        let mut world = NfsWorld::new(WorldConfig::default(), fs, seed);
+        let size = 64 * 8_192u64;
+        let fh = world.create_file(size);
+        let mut pending = 0u64;
+        let now = SimTime::ZERO;
+        for (i, &(kind, blk)) in ops.iter().enumerate() {
+            match kind {
+                0 => { world.read(now, fh, blk * 8_192, 8_192, i as u64); }
+                1 => { world.write(now, fh, blk * 8_192, 8_192, i as u64); }
+                _ => { world.getattr(now, fh, i as u64); }
+            }
+            pending += 1;
+        }
+        let mut guard = 0;
+        while pending > 0 {
+            guard += 1;
+            prop_assert!(guard < 5_000_000, "event loop stuck");
+            let t = world.next_event().expect("ops pending");
+            for _ in world.advance(t) {
+                pending -= 1;
+            }
+        }
+    }
+
+    /// The end-to-end throughput of a sequential read is bounded by the
+    /// physics: never faster than the wire, never slower than
+    /// one-block-per-full-disk-access.
+    #[test]
+    fn throughput_respects_physical_bounds(seed in 0u64..200) {
+        let mut b = NfsBench::new(
+            Rig::ide(1),
+            WorldConfig::default(),
+            &[1],
+            4,
+            seed,
+        );
+        let t = b.run(1).throughput_mbs;
+        prop_assert!(t < 49.0, "faster than the wire: {t}");
+        prop_assert!(t > 0.2, "slower than worst-case disk: {t}");
+    }
+}
