@@ -1,58 +1,51 @@
-//! Criterion end-to-end benchmarks: how fast the *simulator* runs.
+//! End-to-end benchmarks: how fast the *simulator* runs.
 //!
 //! Wall-clock cost of simulating small instances of the paper's workloads;
 //! useful for catching performance regressions in the event loop, the disk
 //! model, or the NFS pipeline. (The figures themselves report *simulated*
 //! throughput and live in the `fig*` binaries.)
+//!
+//! Hand-rolled harness (no external bench crate, so the workspace builds
+//! offline). Run with `cargo bench -p nfs-bench --bench end_to_end`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
 use nfssim::WorldConfig;
 use readahead_core::{NfsHeurConfig, ReadaheadPolicy};
 use testbed::{LocalBench, NfsBench, Rig, StrideBench};
 
-fn bench_local_run(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simulate_local");
-    g.sample_size(10);
-    g.bench_function("ide1_4_readers_8mb", |b| {
-        b.iter(|| {
-            let mut bench = LocalBench::new(Rig::ide(1), &[4], 8, 1);
-            black_box(bench.run(4).throughput_mbs)
-        });
-    });
-    g.finish();
+fn bench(name: &str, iters: u64, mut f: impl FnMut()) {
+    f(); // Warm-up.
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let ms = start.elapsed().as_secs_f64() * 1e3 / iters as f64;
+    println!("{name:<32} {ms:>10.2} ms/run   ({iters} iters)");
 }
 
-fn bench_nfs_run(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simulate_nfs");
-    g.sample_size(10);
-    g.bench_function("udp_4_readers_8mb", |b| {
-        b.iter(|| {
-            let mut bench =
-                NfsBench::new(Rig::ide(1), WorldConfig::default(), &[4], 8, 1);
-            black_box(bench.run(4).throughput_mbs)
-        });
-    });
-    g.finish();
-}
+fn main() {
+    let testing = std::env::args().any(|a| a == "--test");
+    let iters = if testing { 1 } else { 10 };
 
-fn bench_stride_run(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simulate_stride");
-    g.sample_size(10);
+    bench("simulate_local/ide1_4_readers_8mb", iters, || {
+        let mut b = LocalBench::new(Rig::ide(1), &[4], 8, 1);
+        black_box(b.run(4).throughput_mbs);
+    });
+
+    bench("simulate_nfs/udp_4_readers_8mb", iters, || {
+        let mut b = NfsBench::new(Rig::ide(1), WorldConfig::default(), &[4], 8, 1);
+        black_box(b.run(4).throughput_mbs);
+    });
+
     let cfg = WorldConfig {
         policy: ReadaheadPolicy::cursor(),
         heur: NfsHeurConfig::improved(),
         ..WorldConfig::default()
     };
-    g.bench_function("cursor_s4_8mb", |b| {
-        b.iter(|| {
-            let mut bench = StrideBench::new(Rig::scsi(1), cfg, 8, 1);
-            black_box(bench.run(4))
-        });
+    bench("simulate_stride/cursor_s4_8mb", iters, || {
+        let mut b = StrideBench::new(Rig::scsi(1), cfg, 8, 1);
+        black_box(b.run(4));
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_local_run, bench_nfs_run, bench_stride_run);
-criterion_main!(benches);

@@ -1,141 +1,142 @@
-//! Criterion micro-benchmarks of the hot data structures.
+//! Micro-benchmarks of the hot data structures (ns/op of the Rust
+//! implementation), distinct from the figure-regeneration binaries, which
+//! measure *simulated* time.
 //!
-//! These are *code* benchmarks (ns/op of the Rust implementation), distinct
-//! from the figure-regeneration binaries, which measure *simulated* time.
+//! Hand-rolled harness (no external bench crate, so the workspace builds
+//! offline): each case is warmed up, then timed over enough iterations to
+//! smooth scheduler noise. Run with `cargo bench -p nfs-bench --bench micro`.
+//! Under `cargo test` each case runs once as a smoke test.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
-use diskmodel::{CacheConfig, Disk, DiskRequest, DriveModel, Replacement, SegmentedCache};
+use diskmodel::{CacheConfig, DiskRequest, DriveModel, Replacement, SegmentedCache};
 use ffs::BufferCache;
 use iosched::{IoScheduler, QueuedRequest, SchedulerKind};
 use nfsproto::{FileHandle, NfsCall, NfsProc, NfsReply, NfsStatus};
 use readahead_core::{HeurRecord, NfsHeur, NfsHeurConfig, ReadaheadPolicy, SharedCursorPool};
 use simcore::{EventQueue, SimRng, SimTime};
 
-fn bench_heuristics(c: &mut Criterion) {
-    let mut g = c.benchmark_group("heuristic_observe");
+/// Times `iters` runs of `f` and prints mean ns/op.
+fn bench(name: &str, iters: u64, mut f: impl FnMut()) {
+    // Warm-up.
+    for _ in 0..iters.min(1_000) {
+        f();
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let elapsed = start.elapsed();
+    let ns = elapsed.as_nanos() as f64 / iters as f64;
+    println!("{name:<40} {ns:>12.1} ns/op   ({iters} iters)");
+}
+
+fn bench_heuristics(iters: u64) {
     for policy in [
         ReadaheadPolicy::Default,
         ReadaheadPolicy::Always,
         ReadaheadPolicy::slowdown(),
         ReadaheadPolicy::cursor(),
     ] {
-        g.bench_function(policy.label(), |b| {
-            let mut rec = HeurRecord::fresh(0, 0);
-            let mut off = 0u64;
-            let mut clock = 0u64;
-            b.iter(|| {
+        let mut rec = HeurRecord::fresh(0, 0);
+        let mut off = 0u64;
+        let mut clock = 0u64;
+        bench(
+            &format!("heuristic_observe/{}", policy.label()),
+            iters,
+            || {
                 clock += 1;
                 // Mostly sequential with a jump every 13 observations.
-                off = if clock % 13 == 0 { off + 1 << 20 } else { off + 8_192 };
-                black_box(policy.observe(&mut rec, off, 8_192, clock))
-            });
-        });
+                off = if clock.is_multiple_of(13) {
+                    off + (1 << 20)
+                } else {
+                    off + 8_192
+                };
+                black_box(policy.observe(&mut rec, off, 8_192, clock));
+            },
+        );
     }
-    g.finish();
 }
 
-fn bench_nfsheur(c: &mut Criterion) {
-    let mut g = c.benchmark_group("nfsheur");
-    g.bench_function("hit_default_table", |b| {
-        let mut t = NfsHeur::new(NfsHeurConfig::freebsd_default());
-        let p = ReadaheadPolicy::slowdown();
-        t.observe(1, 0, 8_192, &p);
-        let mut off = 8_192u64;
-        b.iter(|| {
-            off += 8_192;
-            black_box(t.observe(1, off, 8_192, &p))
-        });
+fn bench_nfsheur(iters: u64) {
+    let p = ReadaheadPolicy::slowdown();
+    let mut t = NfsHeur::new(NfsHeurConfig::freebsd_default());
+    t.observe(1, 0, 8_192, &p);
+    let mut off = 8_192u64;
+    bench("nfsheur/hit_default_table", iters, || {
+        off += 8_192;
+        black_box(t.observe(1, off, 8_192, &p));
     });
-    g.bench_function("thrash_default_table", |b| {
-        let mut t = NfsHeur::new(NfsHeurConfig::freebsd_default());
-        let p = ReadaheadPolicy::slowdown();
-        let mut k = 0u64;
-        b.iter(|| {
-            k += 1;
-            black_box(t.observe(k % 64, 0, 8_192, &p))
-        });
-    });
-    g.bench_function("hit_improved_table", |b| {
-        let mut t = NfsHeur::new(NfsHeurConfig::improved());
-        let p = ReadaheadPolicy::slowdown();
-        let mut k = 0u64;
-        let mut off = 0u64;
-        b.iter(|| {
-            k += 1;
-            off += 8_192;
-            black_box(t.observe(k % 32, off, 8_192, &p))
-        });
-    });
-    g.finish();
-}
 
-fn bench_shared_pool(c: &mut Criterion) {
-    c.bench_function("shared_pool_observe", |b| {
-        let mut pool = SharedCursorPool::new(64, 64 * 1024);
-        let mut k = 0u64;
-        let mut off = 0u64;
-        b.iter(|| {
-            k += 1;
-            off += 8_192;
-            black_box(pool.observe(k % 8, off, 8_192))
-        });
+    let mut t = NfsHeur::new(NfsHeurConfig::freebsd_default());
+    let mut k = 0u64;
+    bench("nfsheur/thrash_default_table", iters, || {
+        k += 1;
+        black_box(t.observe(k % 64, 0, 8_192, &p));
+    });
+
+    let mut t = NfsHeur::new(NfsHeurConfig::improved());
+    let mut k = 0u64;
+    let mut off = 0u64;
+    bench("nfsheur/hit_improved_table", iters, || {
+        k += 1;
+        off += 8_192;
+        black_box(t.observe(k % 32, off, 8_192, &p));
     });
 }
 
-fn bench_schedulers(c: &mut Criterion) {
-    let mut g = c.benchmark_group("iosched_enqueue_dispatch");
+fn bench_shared_pool(iters: u64) {
+    let mut pool = SharedCursorPool::new(64, 64 * 1024);
+    let mut k = 0u64;
+    let mut off = 0u64;
+    bench("shared_pool_observe", iters, || {
+        k += 1;
+        off += 8_192;
+        black_box(pool.observe(k % 8, off, 8_192));
+    });
+}
+
+fn bench_schedulers(iters: u64) {
     for kind in [
         SchedulerKind::Fcfs,
         SchedulerKind::Elevator,
         SchedulerKind::NCscan,
         SchedulerKind::Sstf,
     ] {
-        g.bench_function(format!("{kind:?}"), |b| {
-            b.iter_batched(
-                || {
-                    let mut s = kind.build();
-                    for i in 0..64u64 {
-                        s.enqueue(QueuedRequest {
-                            req: DiskRequest::read((i * 7_919) % 1_000_000, 16, i),
-                            queued_at: SimTime::ZERO,
-                            seq: i,
-                        });
-                    }
-                    s
-                },
-                |mut s| {
-                    let mut head = 0;
-                    while let Some(q) = s.dispatch(head) {
-                        head = q.req.end();
-                        black_box(q);
-                    }
-                },
-                BatchSize::SmallInput,
-            );
+        bench(&format!("iosched_enqueue_dispatch/{kind:?}"), iters, || {
+            let mut s = kind.build();
+            for i in 0..64u64 {
+                s.enqueue(QueuedRequest {
+                    req: DiskRequest::read((i * 7_919) % 1_000_000, 16, i),
+                    queued_at: SimTime::ZERO,
+                    seq: i,
+                });
+            }
+            let mut head = 0;
+            while let Some(q) = s.dispatch(head) {
+                head = q.req.end();
+                black_box(&q);
+            }
         });
     }
-    g.finish();
 }
 
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("event_queue_schedule_pop_64", |b| {
-        b.iter(|| {
-            let mut q: EventQueue<u64> = EventQueue::new();
-            for i in 0..64u64 {
-                q.schedule_at(SimTime::from_nanos((i * 2_654_435_761) % 1_000_000), i);
-            }
-            let mut acc = 0;
-            while let Some((_, e)) = q.pop() {
-                acc ^= e;
-            }
-            black_box(acc)
-        });
+fn bench_event_queue(iters: u64) {
+    bench("event_queue_schedule_pop_64", iters, || {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        for i in 0..64u64 {
+            q.schedule_at(SimTime::from_nanos((i * 2_654_435_761) % 1_000_000), i);
+        }
+        let mut acc = 0;
+        while let Some((_, e)) = q.pop() {
+            acc ^= e;
+        }
+        black_box(acc);
     });
 }
 
-fn bench_xdr(c: &mut Criterion) {
+fn bench_xdr(iters: u64) {
     let fh = FileHandle {
         fsid: 1,
         ino: 42,
@@ -147,11 +148,11 @@ fn bench_xdr(c: &mut Criterion) {
         count: 8_192,
     };
     let encoded = call.encode(7);
-    c.bench_function("xdr_encode_read_call", |b| {
-        b.iter(|| black_box(call.encode(black_box(7))));
+    bench("xdr_encode_read_call", iters, || {
+        black_box(call.encode(black_box(7)));
     });
-    c.bench_function("xdr_decode_read_call", |b| {
-        b.iter(|| black_box(NfsCall::decode(black_box(&encoded)).expect("valid")));
+    bench("xdr_decode_read_call", iters, || {
+        black_box(NfsCall::decode(black_box(&encoded)).expect("valid"));
     });
     let reply = NfsReply::Read {
         status: NfsStatus::Ok,
@@ -159,83 +160,76 @@ fn bench_xdr(c: &mut Criterion) {
         eof: false,
     };
     let renc = reply.encode(7);
-    c.bench_function("xdr_decode_read_reply", |b| {
-        b.iter(|| black_box(NfsReply::decode(NfsProc::Read, black_box(&renc)).expect("valid")));
+    bench("xdr_decode_read_reply", iters, || {
+        black_box(NfsReply::decode(NfsProc::Read, black_box(&renc)).expect("valid"));
     });
 }
 
-fn bench_buffer_cache(c: &mut Criterion) {
-    c.bench_function("buffer_cache_hit", |b| {
-        let mut bc = BufferCache::new(4_096);
-        for blk in 0..1_024u64 {
-            bc.fill((1, blk));
+fn bench_buffer_cache(iters: u64) {
+    let mut bc = BufferCache::new(4_096);
+    for blk in 0..1_024u64 {
+        bc.fill((1, blk));
+    }
+    let mut blk = 0u64;
+    bench("buffer_cache_hit", iters, || {
+        blk = (blk + 1) % 1_024;
+        black_box(bc.lookup((1, blk)));
+    });
+
+    let mut bc = BufferCache::new(256);
+    let mut blk = 0u64;
+    bench("buffer_cache_evicting_fill", iters, || {
+        blk += 1;
+        bc.fill((1, blk));
+    });
+}
+
+fn bench_drive_cache(iters: u64) {
+    let mut sc = SegmentedCache::new(
+        CacheConfig {
+            segments: 16,
+            segment_sectors: 512,
+            replacement: Replacement::Lru,
+        },
+        SimRng::new(1),
+    );
+    for s in 0..16u64 {
+        sc.insert_after_read(SimTime::ZERO, s * 1_000_000, 128, 70_000.0);
+    }
+    let mut i = 0u64;
+    bench("segmented_cache_lookup", iters, || {
+        i += 1;
+        black_box(sc.lookup(SimTime::from_nanos(i), (i % 16) * 1_000_000, 16));
+    });
+}
+
+fn bench_disk_service(iters: u64) {
+    bench("disk_submit_advance_sequential", iters, || {
+        let mut d = DriveModel::IbmDdysScsi.build(SimRng::new(3));
+        let mut lba = 0;
+        for i in 0..32u64 {
+            d.submit(SimTime::ZERO, DiskRequest::read(lba, 128, i));
+            lba += 128;
         }
-        let mut blk = 0u64;
-        b.iter(|| {
-            blk = (blk + 1) % 1_024;
-            black_box(bc.lookup((1, blk)))
-        });
-    });
-    c.bench_function("buffer_cache_evicting_fill", |b| {
-        let mut bc = BufferCache::new(256);
-        let mut blk = 0u64;
-        b.iter(|| {
-            blk += 1;
-            bc.fill((1, blk));
-        });
-    });
-}
-
-fn bench_drive_cache(c: &mut Criterion) {
-    c.bench_function("segmented_cache_lookup", |b| {
-        let mut sc = SegmentedCache::new(
-            CacheConfig {
-                segments: 16,
-                segment_sectors: 512,
-                replacement: Replacement::Lru,
-            },
-            SimRng::new(1),
-        );
-        for s in 0..16u64 {
-            sc.insert_after_read(SimTime::ZERO, s * 1_000_000, 128, 70_000.0);
+        while let Some(t) = d.next_completion() {
+            black_box(d.advance(t));
         }
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            black_box(sc.lookup(SimTime::from_nanos(i), (i % 16) * 1_000_000, 16))
-        });
     });
 }
 
-fn bench_disk_service(c: &mut Criterion) {
-    c.bench_function("disk_submit_advance_sequential", |b| {
-        b.iter_batched(
-            || DriveModel::IbmDdysScsi.build(SimRng::new(3)),
-            |mut d: Disk| {
-                let mut lba = 0;
-                for i in 0..32u64 {
-                    d.submit(SimTime::ZERO, DiskRequest::read(lba, 128, i));
-                    lba += 128;
-                }
-                while let Some(t) = d.next_completion() {
-                    black_box(d.advance(t));
-                }
-            },
-            BatchSize::SmallInput,
-        );
-    });
+fn main() {
+    // `cargo test` runs bench targets as smoke tests with `--test`; keep
+    // that fast by collapsing to one iteration per case.
+    let testing = std::env::args().any(|a| a == "--test");
+    let fast = if testing { 1 } else { 200_000 };
+    let slow = if testing { 1 } else { 2_000 };
+    bench_heuristics(fast);
+    bench_nfsheur(fast);
+    bench_shared_pool(fast);
+    bench_schedulers(slow);
+    bench_event_queue(slow);
+    bench_xdr(fast);
+    bench_buffer_cache(fast);
+    bench_drive_cache(fast);
+    bench_disk_service(slow);
 }
-
-criterion_group!(
-    benches,
-    bench_heuristics,
-    bench_nfsheur,
-    bench_shared_pool,
-    bench_schedulers,
-    bench_event_queue,
-    bench_xdr,
-    bench_buffer_cache,
-    bench_drive_cache,
-    bench_disk_service
-);
-criterion_main!(benches);

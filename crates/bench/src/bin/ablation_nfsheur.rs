@@ -16,7 +16,10 @@ fn main() {
         _ => 256,
     };
     println!("nfsheur geometry ablation: ide1, NFS/UDP, {readers} readers, Default heuristic");
-    println!("{:>7} {:>7} | {:>12} | {:>10}", "slots", "probes", "MB/s", "ejections");
+    println!(
+        "{:>7} {:>7} | {:>12} | {:>10}",
+        "slots", "probes", "MB/s", "ejections"
+    );
     for slots in [8usize, 16, 64, 256, 1024] {
         for probes in [1usize, 2, 4, 8] {
             if probes > slots {
@@ -29,7 +32,10 @@ fn main() {
             let mut b = NfsBench::new(Rig::ide(1), cfg, &[readers], total_mb, BASE_SEED);
             let r = b.run(readers);
             let ej = b.world().heur().stats().ejections;
-            println!("{slots:>7} {probes:>7} | {:>12.2} | {ej:>10}", r.throughput_mbs);
+            println!(
+                "{slots:>7} {probes:>7} | {:>12.2} | {ej:>10}",
+                r.throughput_mbs
+            );
         }
     }
 }

@@ -6,9 +6,7 @@
 //! budget. The score is the fraction of observations that earned
 //! read-ahead (effective seqcount >= 2).
 
-use readahead_core::{
-    CursorConfig, HeurRecord, ReadaheadPolicy, SharedCursorPool,
-};
+use readahead_core::{CursorConfig, HeurRecord, ReadaheadPolicy, SharedCursorPool};
 
 const BLK: u64 = 8_192;
 
@@ -45,8 +43,7 @@ fn main() {
         let per_handle_cfg = CursorConfig::default(); // 8 cursors each
         let budget = sized_for as usize * per_handle_cfg.max_cursors;
         let policy = ReadaheadPolicy::Cursor(per_handle_cfg);
-        let mut records: Vec<HeurRecord> =
-            (0..handles).map(|_| HeurRecord::fresh(0, 0)).collect();
+        let mut records: Vec<HeurRecord> = (0..handles).map(|_| HeurRecord::fresh(0, 0)).collect();
         let mut pool = SharedCursorPool::new(budget, 64 * 1024);
         let per = 64;
         let offsets = stride_offsets(s, per);

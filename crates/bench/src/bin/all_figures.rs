@@ -3,7 +3,10 @@
 //! Output is EXPERIMENTS.md-ready: each block pairs the measured series
 //! with the paper's reference landmarks.
 
-use nfs_bench::{emit, scale, BASE_SEED, FIG1_REF, FIG2_REF, FIG3_REF, FIG4_REF, FIG5_REF, FIG6_REF, FIG7_REF, TABLE1_REF};
+use nfs_bench::{
+    emit, scale, BASE_SEED, FIG1_REF, FIG2_REF, FIG3_REF, FIG4_REF, FIG5_REF, FIG6_REF, FIG7_REF,
+    TABLE1_REF,
+};
 use testbed::experiments as ex;
 
 fn main() {

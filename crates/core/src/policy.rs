@@ -130,10 +130,7 @@ impl ReadaheadPolicy {
             }
             ReadaheadPolicy::Cursor(cfg) => {
                 // Exact match first, then nearest within the window.
-                let exact = rec
-                    .cursors
-                    .iter()
-                    .position(|c| c.next_offset == offset);
+                let exact = rec.cursors.iter().position(|c| c.next_offset == offset);
                 let near = exact.or_else(|| {
                     rec.cursors
                         .iter()

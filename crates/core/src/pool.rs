@@ -61,7 +61,10 @@ impl SharedCursorPool {
     /// Builds a pool sized for `handles` typical file handles using the
     /// per-handle cursor configuration as a guide.
     pub fn sized_for(handles: usize, cfg: CursorConfig) -> Self {
-        Self::new(handles.max(1) * cfg.max_cursors.max(1) / 2 + 1, cfg.window_bytes)
+        Self::new(
+            handles.max(1) * cfg.max_cursors.max(1) / 2 + 1,
+            cfg.window_bytes,
+        )
     }
 
     /// Counters.

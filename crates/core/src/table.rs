@@ -112,13 +112,7 @@ impl NfsHeur {
     /// This is the server's whole interaction with the table: probe, and on
     /// a miss eject the least recently used probed entry — losing all of
     /// its heuristic state, which is precisely the §6.3 failure mode.
-    pub fn observe(
-        &mut self,
-        key: u64,
-        offset: u64,
-        len: u64,
-        policy: &ReadaheadPolicy,
-    ) -> u32 {
+    pub fn observe(&mut self, key: u64, offset: u64, len: u64, policy: &ReadaheadPolicy) -> u32 {
         self.clock += 1;
         let clock = self.clock;
         let base = self.hash(key);
@@ -261,13 +255,19 @@ mod tests {
             }
         }
         assert_eq!(t.stats().ejections, 0, "{:?}", t.stats());
-        assert!(min_final >= 100, "all 32 streams at full count: {min_final}");
+        assert!(
+            min_final >= 100,
+            "all 32 streams at full count: {min_final}"
+        );
     }
 
     #[test]
     fn ejection_loses_heuristic_state() {
         // Force a collision: table with 1 slot.
-        let mut t = NfsHeur::new(NfsHeurConfig { slots: 1, probes: 1 });
+        let mut t = NfsHeur::new(NfsHeurConfig {
+            slots: 1,
+            probes: 1,
+        });
         let p = ReadaheadPolicy::Default;
         for b in 0..10u64 {
             t.observe(7, b * BLK, BLK, &p);
@@ -284,7 +284,10 @@ mod tests {
     fn lru_among_probed_is_the_victim() {
         // Two slots, two probes: fill with A (older) and B (newer), then C
         // must eject A.
-        let mut t = NfsHeur::new(NfsHeurConfig { slots: 2, probes: 2 });
+        let mut t = NfsHeur::new(NfsHeurConfig {
+            slots: 2,
+            probes: 2,
+        });
         let p = ReadaheadPolicy::Default;
         t.observe(100, 0, BLK, &p); // A
         t.observe(200, 0, BLK, &p); // B
@@ -323,6 +326,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "degenerate")]
     fn zero_slots_rejected() {
-        let _ = NfsHeur::new(NfsHeurConfig { slots: 0, probes: 1 });
+        let _ = NfsHeur::new(NfsHeurConfig {
+            slots: 0,
+            probes: 1,
+        });
     }
 }

@@ -1,9 +1,11 @@
-//! Property-based tests on the heuristic invariants.
+//! Property-based tests on the heuristic invariants, driven by seeded
+//! `SimRng` loops (offline-friendly; the case index reproduces the input
+//! together with the fixed seed).
 
-use proptest::prelude::*;
 use readahead_core::{
     HeurRecord, NfsHeur, NfsHeurConfig, ReadaheadPolicy, SharedCursorPool, SEQCOUNT_MAX,
 };
+use simcore::SimRng;
 
 const BLK: u64 = 8_192;
 
@@ -16,40 +18,56 @@ fn policies() -> Vec<ReadaheadPolicy> {
     ]
 }
 
-proptest! {
-    /// seqcount stays within [0, 127] under any access pattern.
-    #[test]
-    fn seqcount_is_bounded(offsets in prop::collection::vec(0u64..1u64 << 40, 1..200)) {
+/// seqcount stays within [0, 127] under any access pattern.
+#[test]
+fn seqcount_is_bounded() {
+    let mut rng = SimRng::new(0x0005_E901);
+    for case in 0..64 {
+        let n = rng.gen_range(1usize..200);
+        let offsets: Vec<u64> = (0..n).map(|_| rng.gen_range(0u64..1 << 40)).collect();
         for policy in policies() {
             let mut rec = HeurRecord::fresh(0, 0);
             for (i, &o) in offsets.iter().enumerate() {
                 let c = policy.observe(&mut rec, o, BLK, i as u64);
-                prop_assert!(c <= SEQCOUNT_MAX, "{} returned {c}", policy.label());
+                assert!(
+                    c <= SEQCOUNT_MAX,
+                    "case {case}: {} returned {c}",
+                    policy.label()
+                );
             }
         }
     }
+}
 
-    /// On perfectly sequential input every policy reaches a high count
-    /// (i.e. nobody disables read-ahead for the common case).
-    #[test]
-    fn sequential_input_earns_readahead(start in 0u64..1u64 << 30, n in 40u64..120) {
+/// On perfectly sequential input every policy reaches a high count
+/// (i.e. nobody disables read-ahead for the common case).
+#[test]
+fn sequential_input_earns_readahead() {
+    let mut rng = SimRng::new(0x0005_E902);
+    for case in 0..64 {
+        let start = rng.gen_range(0u64..1 << 30);
+        let n = rng.gen_range(40u64..120);
         for policy in policies() {
             let mut rec = HeurRecord::fresh(start, 0);
             let mut last = 0;
             for b in 0..n {
                 last = policy.observe(&mut rec, start + b * BLK, BLK, b);
             }
-            prop_assert!(last >= 30, "{}: {last}", policy.label());
+            assert!(last >= 30, "case {case}: {}: {last}", policy.label());
         }
     }
+}
 
-    /// SlowDown never does worse than Default on any pattern, in the sense
-    /// of the final count after a sequential tail (resilience property).
-    #[test]
-    fn slowdown_recovers_at_least_as_fast(
-        noise in prop::collection::vec(0u64..1u64 << 30, 0..20),
-        tail in 10u64..40,
-    ) {
+/// SlowDown never does worse than Default on any pattern, in the sense of
+/// the final count after a sequential tail (resilience property).
+#[test]
+fn slowdown_recovers_at_least_as_fast() {
+    let mut rng = SimRng::new(0x0005_E903);
+    for case in 0..64 {
+        let noise: Vec<u64> = (0..rng.gen_range(0usize..20))
+            .map(|_| rng.gen_range(0u64..1 << 30))
+            .collect();
+        let tail = rng.gen_range(10u64..40);
         let run = |policy: &ReadaheadPolicy| {
             let mut rec = HeurRecord::fresh(0, 0);
             let mut clock = 0;
@@ -69,17 +87,20 @@ proptest! {
         let s = run(&ReadaheadPolicy::slowdown());
         // After `tail` sequential reads Default is at tail+1 at most; the
         // AIMD variant can only be >= because it never resets to 1.
-        prop_assert!(s + 1 >= d, "slowdown {s} vs default {d}");
+        assert!(s + 1 >= d, "case {case}: slowdown {s} vs default {d}");
     }
+}
 
-    /// A k-swapped sequential stream (adjacent transpositions, the NFS
-    /// reorder model) keeps SlowDown's count monotone-ish: it never drops
-    /// below half its running maximum.
-    #[test]
-    fn slowdown_resists_adjacent_swaps(swaps in prop::collection::vec(1u64..60, 0..12)) {
+/// A k-swapped sequential stream (adjacent transpositions, the NFS reorder
+/// model) keeps SlowDown's count monotone-ish: it never drops below half
+/// its running maximum.
+#[test]
+fn slowdown_resists_adjacent_swaps() {
+    let mut rng = SimRng::new(0x0005_E904);
+    for case in 0..64 {
         let mut blocks: Vec<u64> = (0..64).collect();
-        for &s in &swaps {
-            let i = (s as usize) % 62;
+        for _ in 0..rng.gen_range(0usize..12) {
+            let i = rng.gen_range(0usize..62);
             blocks.swap(i, i + 1);
         }
         let policy = ReadaheadPolicy::slowdown();
@@ -87,46 +108,53 @@ proptest! {
         let mut max_seen: u32 = 0;
         for (i, &b) in blocks.iter().enumerate() {
             let c = policy.observe(&mut rec, b * BLK, BLK, i as u64);
-            prop_assert!(
+            assert!(
                 c + 1 >= max_seen / 2,
-                "count collapsed: {c} after max {max_seen}"
+                "case {case}: count collapsed: {c} after max {max_seen}"
             );
             max_seen = max_seen.max(c);
         }
     }
+}
 
-    /// The nfsheur table conserves nothing it shouldn't: observing through
-    /// the table never yields a count above the policy cap, and the number
-    /// of live entries never exceeds the slot count.
-    #[test]
-    fn table_invariants(
-        keys in prop::collection::vec(0u64..50, 1..300),
-        slots in 1usize..64,
-        probes in 1usize..8,
-    ) {
+/// The nfsheur table conserves nothing it shouldn't: observing through the
+/// table never yields a count above the policy cap, and the number of live
+/// entries never exceeds the slot count.
+#[test]
+fn table_invariants() {
+    let mut rng = SimRng::new(0x0005_E905);
+    for case in 0..64 {
+        let slots = rng.gen_range(1usize..64);
+        let probes = rng.gen_range(1usize..8);
+        let n = rng.gen_range(1usize..300);
         let mut t = NfsHeur::new(NfsHeurConfig { slots, probes });
         let policy = ReadaheadPolicy::slowdown();
-        for (i, &k) in keys.iter().enumerate() {
+        for i in 0..n {
+            let k = rng.gen_range(0u64..50);
             let c = t.observe(k, (i as u64) * BLK, BLK, &policy);
-            prop_assert!(c <= SEQCOUNT_MAX);
-            prop_assert!(t.live() <= slots);
+            assert!(c <= SEQCOUNT_MAX, "case {case}");
+            assert!(t.live() <= slots, "case {case}");
         }
         let s = t.stats();
-        prop_assert_eq!(s.hits + s.misses, keys.len() as u64);
+        assert_eq!(s.hits + s.misses, n as u64, "case {case}");
     }
+}
 
-    /// Pool invariant: live cursors never exceed capacity and counts stay
-    /// bounded.
-    #[test]
-    fn pool_invariants(
-        ops in prop::collection::vec((0u64..8, 0u64..1u64 << 30), 1..300),
-        cap in 1usize..32,
-    ) {
+/// Pool invariant: live cursors never exceed capacity and counts stay
+/// bounded.
+#[test]
+fn pool_invariants() {
+    let mut rng = SimRng::new(0x0005_E906);
+    for case in 0..64 {
+        let cap = rng.gen_range(1usize..32);
+        let n = rng.gen_range(1usize..300);
         let mut p = SharedCursorPool::new(cap, 64 * 1024);
-        for &(key, offset) in &ops {
+        for _ in 0..n {
+            let key = rng.gen_range(0u64..8);
+            let offset = rng.gen_range(0u64..1 << 30);
             let c = p.observe(key, offset, BLK);
-            prop_assert!(c <= SEQCOUNT_MAX);
-            prop_assert!(p.live() <= cap);
+            assert!(c <= SEQCOUNT_MAX, "case {case}");
+            assert!(p.live() <= cap, "case {case}");
         }
     }
 }

@@ -112,7 +112,8 @@ impl Segment {
     /// The frontier the segment will eventually reach (`None` = unbounded,
     /// still filling).
     fn eventual_frontier(&self) -> Option<Lba> {
-        self.truncated_at.map(|tr| self.frontier(tr.max(self.fill_start)))
+        self.truncated_at
+            .map(|tr| self.frontier(tr.max(self.fill_start)))
     }
 
     /// Oldest sector still in the window as of `t`.
@@ -425,7 +426,10 @@ mod tests {
         c.insert_after_read(t(0), 0, 16, 100_000.0);
         // At 50 ms the frontier is ~5016; the window holds ~[4016, 5016).
         assert_eq!(c.lookup(t(50), 0, 16), CacheOutcome::Miss, "overwritten");
-        assert!(matches!(c.lookup(t(50), 4_500, 16), CacheOutcome::Hit { .. }));
+        assert!(matches!(
+            c.lookup(t(50), 4_500, 16),
+            CacheOutcome::Hit { .. }
+        ));
     }
 
     #[test]
@@ -526,7 +530,10 @@ mod tests {
                 }
             }
         }
-        assert!(hits > 100, "random replacement should get some hits: {hits}");
+        assert!(
+            hits > 100,
+            "random replacement should get some hits: {hits}"
+        );
     }
 
     #[test]
@@ -538,7 +545,10 @@ mod tests {
         c.on_mechanical_start(t(2));
         c.invalidate(t(2), 50, 10);
         assert_eq!(c.lookup(t(2), 0, 16), CacheOutcome::Miss);
-        assert!(matches!(c.lookup(t(2), 1_000_000, 16), CacheOutcome::Hit { .. }));
+        assert!(matches!(
+            c.lookup(t(2), 1_000_000, 16),
+            CacheOutcome::Hit { .. }
+        ));
     }
 
     #[test]

@@ -257,7 +257,12 @@ impl Disk {
         // Candidates are commands that have arrived by `at`; if none have,
         // the drive sits idle until the earliest arrival.
         let mut start = at;
-        let earliest = self.pending.iter().map(|p| p.arrived).min().expect("non-empty");
+        let earliest = self
+            .pending
+            .iter()
+            .map(|p| p.arrived)
+            .min()
+            .expect("non-empty");
         if earliest > at {
             start = earliest;
         }
@@ -337,9 +342,7 @@ impl Disk {
             0.0
         } else {
             let target = self.geometry.lba_to_chs(p.req.lba);
-            let seek = self
-                .seek
-                .seek_secs(self.head_cyl.abs_diff(target.cylinder));
+            let seek = self.seek.seek_secs(self.head_cyl.abs_diff(target.cylinder));
             let after_seek = t + SimDuration::from_secs_f64(seek);
             seek + self.rotation_wait(after_seek, p.req.lba)
         };
@@ -382,9 +385,9 @@ impl Disk {
                 // The head parks at the end of the transfer and keeps
                 // reading into the cache at that track's media rate.
                 let end_chs = self.geometry.lba_to_chs(req.end() - 1);
-                let fill_rate =
-                    self.geometry.media_rate(end_chs.cylinder) / SECTOR_BYTES as f64;
-                self.cache.insert_after_read(done, req.lba, req.sectors, fill_rate);
+                let fill_rate = self.geometry.media_rate(end_chs.cylinder) / SECTOR_BYTES as f64;
+                self.cache
+                    .insert_after_read(done, req.lba, req.sectors, fill_rate);
                 (done, false)
             }
             DiskOp::Write => {
@@ -566,7 +569,7 @@ mod tests {
         let mut near_done = 0u32;
         for i in 0..200u64 {
             d.submit(now, DiskRequest::read(i * 16, 16, i));
-            now = now + SimDuration::from_millis(1);
+            now += SimDuration::from_millis(1);
             for c in d.advance(now) {
                 if c.request.tag == 999 {
                     far_done_after = Some(near_done);

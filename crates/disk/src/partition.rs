@@ -49,7 +49,10 @@ impl PartitionTable {
     pub fn quarters(geometry: &DiskGeometry) -> Self {
         let total = geometry.total_sectors();
         let quarter = total / 4;
-        let mut parts = [Partition { start: 0, sectors: 0 }; 4];
+        let mut parts = [Partition {
+            start: 0,
+            sectors: 0,
+        }; 4];
         let mut at = 0;
         for (i, p) in parts.iter_mut().enumerate() {
             let len = if i == 3 { total - at } else { quarter };

@@ -169,7 +169,10 @@ mod tests {
         let ide = DriveModel::WdWd200bbIde.geometry();
         let scsi_outer = scsi.media_rate(0) / 1e6;
         let ide_outer = ide.media_rate(0) / 1e6;
-        assert!((33.0..40.0).contains(&scsi_outer), "scsi outer {scsi_outer}");
+        assert!(
+            (33.0..40.0).contains(&scsi_outer),
+            "scsi outer {scsi_outer}"
+        );
         assert!((38.0..43.0).contains(&ide_outer), "ide outer {ide_outer}");
     }
 

@@ -123,7 +123,10 @@ mod tests {
         // Doubling a short distance should less-than-double the time delta.
         let t100 = m.seek_secs(100);
         let t400 = m.seek_secs(400);
-        assert!(t400 < 2.0 * t100, "sqrt growth: t(400)={t400}, t(100)={t100}");
+        assert!(
+            t400 < 2.0 * t100,
+            "sqrt growth: t(400)={t400}, t(100)={t100}"
+        );
     }
 
     #[test]

@@ -1,7 +1,8 @@
-//! Property-based tests on the drive model's physical invariants.
+//! Property-based tests on the drive model's physical invariants, driven by
+//! seeded `SimRng` loops (offline-friendly; the case index reproduces the
+//! input together with the fixed seed).
 
-use diskmodel::{Completion, Disk, DiskRequest, DriveModel, TcqConfig};
-use proptest::prelude::*;
+use diskmodel::{Completion, Disk, DiskRequest, DriveModel};
 use simcore::{SimRng, SimTime};
 
 fn drain(disk: &mut Disk) -> Vec<Completion> {
@@ -12,65 +13,77 @@ fn drain(disk: &mut Disk) -> Vec<Completion> {
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Every submitted request completes exactly once, in any
-    /// configuration, for any request mix.
-    #[test]
-    fn conservation_of_requests(
-        reqs in prop::collection::vec((0u64..30_000_000u64, 1u64..256, prop::bool::ANY), 1..60),
-        tcq_on in prop::bool::ANY,
-        scsi in prop::bool::ANY,
-    ) {
-        let model = if scsi { DriveModel::IbmDdysScsi } else { DriveModel::WdWd200bbIde };
+/// Every submitted request completes exactly once, in any configuration,
+/// for any request mix.
+#[test]
+fn conservation_of_requests() {
+    let mut rng = SimRng::new(0x00D1_5C01);
+    for case in 0..48 {
+        let scsi = rng.chance(0.5);
+        let tcq_on = rng.chance(0.5);
+        let model = if scsi {
+            DriveModel::IbmDdysScsi
+        } else {
+            DriveModel::WdWd200bbIde
+        };
         let mut disk = if tcq_on {
             model.build(SimRng::new(1))
         } else {
             model.build_no_tcq(SimRng::new(1))
         };
-        let mut ids = Vec::new();
-        for (i, &(lba, sectors, is_write)) in reqs.iter().enumerate() {
-            let req = if is_write {
+        let n = rng.gen_range(1usize..60);
+        for i in 0..n {
+            let lba = rng.gen_range(0u64..30_000_000);
+            let sectors = rng.gen_range(1u64..256);
+            let req = if rng.chance(0.5) {
                 DiskRequest::write(lba, sectors, i as u64)
             } else {
                 DiskRequest::read(lba, sectors, i as u64)
             };
-            ids.push(disk.submit(SimTime::from_nanos(i as u64 * 10_000), req));
+            disk.submit(SimTime::from_nanos(i as u64 * 10_000), req);
         }
         let done = drain(&mut disk);
-        prop_assert_eq!(done.len(), reqs.len());
+        assert_eq!(done.len(), n, "case {case}");
         let mut seen: Vec<u64> = done.iter().map(|c| c.request.tag).collect();
         seen.sort_unstable();
-        let expected: Vec<u64> = (0..reqs.len() as u64).collect();
-        prop_assert_eq!(seen, expected);
-        prop_assert_eq!(disk.outstanding(), 0);
+        let expected: Vec<u64> = (0..n as u64).collect();
+        assert_eq!(seen, expected, "case {case}");
+        assert_eq!(disk.outstanding(), 0, "case {case}");
     }
+}
 
-    /// Completions never precede submissions, and service takes at least
-    /// the command overhead.
-    #[test]
-    fn causality_and_minimum_service(
-        reqs in prop::collection::vec((0u64..30_000_000u64, 1u64..128), 1..40),
-    ) {
+/// Completions never precede submissions, and service takes at least the
+/// command overhead.
+#[test]
+fn causality_and_minimum_service() {
+    let mut rng = SimRng::new(0x00D1_5C02);
+    for case in 0..48 {
         let mut disk = DriveModel::IbmDdysScsi.build(SimRng::new(2));
-        for (i, &(lba, sectors)) in reqs.iter().enumerate() {
+        let n = rng.gen_range(1usize..40);
+        for i in 0..n {
+            let lba = rng.gen_range(0u64..30_000_000);
+            let sectors = rng.gen_range(1u64..128);
             disk.submit(
                 SimTime::from_nanos(i as u64 * 50_000),
                 DiskRequest::read(lba, sectors, i as u64),
             );
         }
         for c in drain(&mut disk) {
-            prop_assert!(c.completed_at > c.submitted_at);
+            assert!(c.completed_at > c.submitted_at, "case {case}");
             let us = c.latency().as_secs_f64() * 1e6;
-            prop_assert!(us >= 100.0, "suspiciously fast: {us} us");
+            assert!(us >= 100.0, "case {case}: suspiciously fast: {us} us");
         }
     }
+}
 
-    /// Writes are never cache hits, and a read right after an overlapping
-    /// write is never a cache hit either (write-through invalidation).
-    #[test]
-    fn write_invalidation(lba in 0u64..30_000_000u64, sectors in 1u64..128) {
+/// Writes are never cache hits, and a read right after an overlapping write
+/// is never a cache hit either (write-through invalidation).
+#[test]
+fn write_invalidation() {
+    let mut rng = SimRng::new(0x00D1_5C03);
+    for case in 0..48 {
+        let lba = rng.gen_range(0u64..30_000_000);
+        let sectors = rng.gen_range(1u64..128);
         let mut disk = DriveModel::IbmDdysScsi.build(SimRng::new(3));
         disk.submit(SimTime::ZERO, DiskRequest::read(lba, sectors, 0));
         let t1 = disk.next_completion().expect("busy");
@@ -78,17 +91,24 @@ proptest! {
         disk.submit(t1, DiskRequest::write(lba, 1, 1));
         let t2 = disk.next_completion().expect("busy");
         let w = disk.advance(t2);
-        prop_assert!(!w[0].cache_hit);
+        assert!(!w[0].cache_hit, "case {case}");
         disk.submit(t2, DiskRequest::read(lba, sectors, 2));
         let t3 = disk.next_completion().expect("busy");
         let r = disk.advance(t3);
-        prop_assert!(!r[0].cache_hit, "stale data served after write");
+        assert!(
+            !r[0].cache_hit,
+            "case {case}: stale data served after write"
+        );
     }
+}
 
-    /// ZCAV: a long sequential read in the outer half is never slower than
-    /// the same-length read in the inner half (fresh drives, same seed).
-    #[test]
-    fn zcav_monotonicity(mb in 1u64..8) {
+/// ZCAV: a long sequential read in the outer half is never slower than the
+/// same-length read in the inner half (fresh drives, same seed).
+#[test]
+fn zcav_monotonicity() {
+    let mut rng = SimRng::new(0x00D1_5C04);
+    for case in 0..8 {
+        let mb = rng.gen_range(1u64..8);
         let sectors = mb * 2_048;
         let time_for = |start_lba: u64| {
             let mut disk = DriveModel::WdWd200bbIde.build(SimRng::new(4));
@@ -108,27 +128,33 @@ proptest! {
         let total = DriveModel::WdWd200bbIde.geometry().total_sectors();
         let outer = time_for(0);
         let inner = time_for(total - sectors - 1_000);
-        prop_assert!(inner > outer, "inner {inner} should exceed outer {outer}");
+        assert!(
+            inner > outer,
+            "case {case}: inner {inner} should exceed outer {outer}"
+        );
     }
+}
 
-    /// The drive clock never runs backwards across completions.
-    #[test]
-    fn monotone_completions(
-        reqs in prop::collection::vec(0u64..30_000_000u64, 2..60),
-        tcq_on in prop::bool::ANY,
-    ) {
+/// The drive clock never runs backwards across completions.
+#[test]
+fn monotone_completions() {
+    let mut rng = SimRng::new(0x00D1_5C05);
+    for case in 0..48 {
+        let tcq_on = rng.chance(0.5);
         let model = DriveModel::IbmDdysScsi;
         let mut disk = if tcq_on {
             model.build(SimRng::new(5))
         } else {
             model.build_no_tcq(SimRng::new(5))
         };
-        for (i, &lba) in reqs.iter().enumerate() {
+        let n = rng.gen_range(2usize..60);
+        for i in 0..n {
+            let lba = rng.gen_range(0u64..30_000_000);
             disk.submit(SimTime::ZERO, DiskRequest::read(lba, 16, i as u64));
         }
         let done = drain(&mut disk);
         for w in done.windows(2) {
-            prop_assert!(w[1].completed_at >= w[0].completed_at);
+            assert!(w[1].completed_at >= w[0].completed_at, "case {case}");
         }
     }
 }

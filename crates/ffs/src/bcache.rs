@@ -136,6 +136,13 @@ impl BufferCache {
         }
     }
 
+    /// Removes a block regardless of state, releasing a pending mark whose
+    /// fill will never come (the fetching RPC timed out). The block can be
+    /// requested afresh afterwards.
+    pub fn discard(&mut self, key: BlockKey) {
+        self.map.remove(&key);
+    }
+
     /// Empties the cache of valid blocks (benchmark flush discipline);
     /// pending blocks survive because their I/O is still in flight.
     pub fn flush(&mut self) {

@@ -206,7 +206,11 @@ impl FileSystem {
         tag: u64,
     ) -> ReadId {
         assert!(bytes > 0, "zero-length read");
-        let inode = self.inodes.get(&ino).expect("read of unknown inode").clone();
+        let inode = self
+            .inodes
+            .get(&ino)
+            .expect("read of unknown inode")
+            .clone();
         assert!(
             offset + bytes <= inode.size.max(inode.num_blocks() * BLOCK_BYTES),
             "read beyond EOF: {offset}+{bytes} > {}",
@@ -245,7 +249,10 @@ impl FileSystem {
             let run = self
                 .cluster_run(&inode, blk, max_run)
                 // Never split a multi-block request into single-block I/Os.
-                .max(self.cluster_run(&inode, blk, last_blk - blk + 1).min(last_blk - blk + 1));
+                .max(
+                    self.cluster_run(&inode, blk, last_blk - blk + 1)
+                        .min(last_blk - blk + 1),
+                );
             for b in blk..blk + run {
                 self.cache.mark_pending((ino, b));
             }
@@ -264,8 +271,8 @@ impl FileSystem {
 
         // Read-ahead beyond the requested range, scaled by seqcount.
         if seqcount >= self.config.readahead_threshold {
-            let window = u64::from(seqcount.min(SEQCOUNT_MAX))
-                .min(self.config.max_readahead_blocks);
+            let window =
+                u64::from(seqcount.min(SEQCOUNT_MAX)).min(self.config.max_readahead_blocks);
             self.readahead(now, &inode, last_blk + 1, window);
         }
 
@@ -291,8 +298,15 @@ impl FileSystem {
     /// Panics if the inode does not exist or the range is beyond EOF.
     pub fn write(&mut self, now: SimTime, ino: u64, offset: u64, bytes: u64, tag: u64) -> ReadId {
         assert!(bytes > 0, "zero-length write");
-        let inode = self.inodes.get(&ino).expect("write to unknown inode").clone();
-        assert!(offset + bytes <= inode.num_blocks() * BLOCK_BYTES, "write beyond EOF");
+        let inode = self
+            .inodes
+            .get(&ino)
+            .expect("write to unknown inode")
+            .clone();
+        assert!(
+            offset + bytes <= inode.num_blocks() * BLOCK_BYTES,
+            "write beyond EOF"
+        );
         let id = ReadId(self.next_read_id);
         self.next_read_id += 1;
         let first_blk = offset / BLOCK_BYTES;

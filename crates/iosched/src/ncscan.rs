@@ -87,7 +87,7 @@ mod tests {
         let mut s = NCscan::new();
         s.enqueue(qr(100, 0)); // process A
         s.enqueue(qr(9_000, 1)); // process B
-        // Start the sweep.
+                                 // Start the sweep.
         let first = s.dispatch(0).unwrap();
         assert_eq!(first.req.lba, 100);
         // A's follow-up arrives ahead of B in LBA terms...

@@ -1,9 +1,10 @@
 //! Property-based tests: every scheduler must be a permutation machine —
 //! whatever goes in comes out exactly once, regardless of interleaving.
+//! Driven by seeded `SimRng` loops (offline-friendly).
 
 use diskmodel::DiskRequest;
 use iosched::{AnyScheduler, IoScheduler, QueuedRequest, SchedulerKind};
-use proptest::prelude::*;
+use simcore::SimRng;
 
 fn qr(lba: u64, seq: u64) -> QueuedRequest {
     QueuedRequest {
@@ -23,29 +24,36 @@ fn kinds() -> Vec<SchedulerKind> {
     ]
 }
 
-proptest! {
-    /// Enqueue a batch then drain via dispatch: conservation holds.
-    #[test]
-    fn dispatch_is_a_permutation(lbas in prop::collection::vec(0u64..1_000_000, 1..64)) {
+/// Enqueue a batch then drain via dispatch: conservation holds.
+#[test]
+fn dispatch_is_a_permutation() {
+    let mut rng = SimRng::new(0x0001_0501);
+    for case in 0..64 {
+        let n = rng.gen_range(1usize..64);
+        let lbas: Vec<u64> = (0..n).map(|_| rng.gen_range(0u64..1_000_000)).collect();
         for kind in kinds() {
             let mut s = kind.build();
             for (i, &lba) in lbas.iter().enumerate() {
                 s.enqueue(qr(lba, i as u64));
             }
-            let mut seen: Vec<u64> =
-                std::iter::from_fn(|| s.dispatch(0).map(|q| q.seq)).collect();
+            let mut seen: Vec<u64> = std::iter::from_fn(|| s.dispatch(0).map(|q| q.seq)).collect();
             seen.sort_unstable();
-            let expected: Vec<u64> = (0..lbas.len() as u64).collect();
-            prop_assert_eq!(seen, expected, "kind {:?}", kind);
+            let expected: Vec<u64> = (0..n as u64).collect();
+            assert_eq!(seen, expected, "case {case}: kind {kind:?}");
         }
     }
+}
 
-    /// Interleaved enqueue/dispatch with arbitrary head positions also
-    /// conserves requests.
-    #[test]
-    fn interleaved_operations_conserve(
-        ops in prop::collection::vec((0u64..1_000_000, prop::bool::ANY), 1..128),
-    ) {
+/// Interleaved enqueue/dispatch with arbitrary head positions also
+/// conserves requests.
+#[test]
+fn interleaved_operations_conserve() {
+    let mut rng = SimRng::new(0x0001_0502);
+    for case in 0..64 {
+        let n = rng.gen_range(1usize..128);
+        let ops: Vec<(u64, bool)> = (0..n)
+            .map(|_| (rng.gen_range(0u64..1_000_000), rng.chance(0.5)))
+            .collect();
         for kind in kinds() {
             let mut s = kind.build();
             let mut enqueued = 0u64;
@@ -68,37 +76,42 @@ proptest! {
             }
             dispatched.sort_unstable();
             let expected: Vec<u64> = (0..enqueued).collect();
-            prop_assert_eq!(dispatched, expected, "kind {:?}", kind);
+            assert_eq!(dispatched, expected, "case {case}: kind {kind:?}");
         }
     }
+}
 
-    /// Switching algorithms mid-stream never loses or duplicates requests.
-    #[test]
-    fn runtime_switch_conserves(
-        lbas in prop::collection::vec(0u64..1_000_000, 1..64),
-        switch_at in 0usize..64,
-    ) {
+/// Switching algorithms mid-stream never loses or duplicates requests.
+#[test]
+fn runtime_switch_conserves() {
+    let mut rng = SimRng::new(0x0001_0503);
+    for case in 0..64 {
+        let n = rng.gen_range(1usize..64);
+        let switch_at = rng.gen_range(0usize..64);
         let mut s: AnyScheduler = SchedulerKind::Elevator.build();
-        for (i, &lba) in lbas.iter().enumerate() {
+        for i in 0..n {
             if i == switch_at {
                 s.switch(SchedulerKind::NCscan);
             }
-            s.enqueue(qr(lba, i as u64));
+            s.enqueue(qr(rng.gen_range(0u64..1_000_000), i as u64));
         }
         s.switch(SchedulerKind::Sstf);
         let mut seen: Vec<u64> = std::iter::from_fn(|| s.dispatch(0).map(|q| q.seq)).collect();
         seen.sort_unstable();
-        let expected: Vec<u64> = (0..lbas.len() as u64).collect();
-        prop_assert_eq!(seen, expected);
+        let expected: Vec<u64> = (0..n as u64).collect();
+        assert_eq!(seen, expected, "case {case}");
     }
+}
 
-    /// The elevator always dispatches the nearest request at-or-after the
-    /// head (wrapping), i.e. it really is a cyclic scan.
-    #[test]
-    fn elevator_respects_scan_order(
-        lbas in prop::collection::vec(0u64..1_000_000, 2..64),
-        head in 0u64..1_000_000,
-    ) {
+/// The elevator always dispatches the nearest request at-or-after the head
+/// (wrapping), i.e. it really is a cyclic scan.
+#[test]
+fn elevator_respects_scan_order() {
+    let mut rng = SimRng::new(0x0001_0504);
+    for case in 0..64 {
+        let n = rng.gen_range(2usize..64);
+        let lbas: Vec<u64> = (0..n).map(|_| rng.gen_range(0u64..1_000_000)).collect();
+        let head = rng.gen_range(0u64..1_000_000);
         let mut s = SchedulerKind::Elevator.build();
         for (i, &lba) in lbas.iter().enumerate() {
             s.enqueue(qr(lba, i as u64));
@@ -110,6 +123,6 @@ proptest! {
         } else {
             *ge.iter().min().unwrap()
         };
-        prop_assert_eq!(picked, expected);
+        assert_eq!(picked, expected, "case {case}");
     }
 }

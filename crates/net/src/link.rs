@@ -124,6 +124,15 @@ impl OneWayLink {
         self.profile
     }
 
+    /// Replaces the link profile at runtime (fault injection: degradation,
+    /// loss bursts). In-flight transmissions keep the wire occupancy they
+    /// were charged (`busy_until` is preserved); only future sends see the
+    /// new parameters — the same cutover a real switch port reconfiguration
+    /// or interference burst produces.
+    pub fn set_profile(&mut self, profile: LinkProfile) {
+        self.profile = profile;
+    }
+
     /// Counters.
     pub fn stats(&self) -> LinkStats {
         self.stats
@@ -282,10 +291,12 @@ mod tests {
             };
             let mut l = OneWayLink::new(profile, SimRng::new(seed));
             (0..100u64)
-                .map(|i| match l.send(SimTime::from_nanos(i * 1_000_000), 5_000) {
-                    Delivery::At(t) => t.as_nanos(),
-                    Delivery::Lost => 0,
-                })
+                .map(
+                    |i| match l.send(SimTime::from_nanos(i * 1_000_000), 5_000) {
+                        Delivery::At(t) => t.as_nanos(),
+                        Delivery::Lost => 0,
+                    },
+                )
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(3), run(3));

@@ -45,6 +45,16 @@ impl UdpChannel {
     pub fn stats(&self) -> LinkStats {
         self.link.stats()
     }
+
+    /// The current link profile.
+    pub fn profile(&self) -> LinkProfile {
+        self.link.profile()
+    }
+
+    /// Replaces the link profile at runtime (fault injection).
+    pub fn set_profile(&mut self, profile: LinkProfile) {
+        self.link.set_profile(profile);
+    }
 }
 
 /// A one-way TCP stream.
@@ -111,6 +121,16 @@ impl TcpStream {
     pub fn stats(&self) -> LinkStats {
         self.link.stats()
     }
+
+    /// The current link profile.
+    pub fn profile(&self) -> LinkProfile {
+        self.link.profile()
+    }
+
+    /// Replaces the link profile at runtime (fault injection).
+    pub fn set_profile(&mut self, profile: LinkProfile) {
+        self.link.set_profile(profile);
+    }
 }
 
 /// Either transport behind one interface.
@@ -152,6 +172,24 @@ impl Transport {
         match self {
             Transport::Udp(u) => u.stats(),
             Transport::Tcp(t) => t.stats(),
+        }
+    }
+
+    /// The current link profile.
+    pub fn profile(&self) -> LinkProfile {
+        match self {
+            Transport::Udp(u) => u.profile(),
+            Transport::Tcp(t) => t.profile(),
+        }
+    }
+
+    /// Replaces the link profile at runtime. TCP keeps its stream state
+    /// (in-order delivery point, retransmission count); only the physical
+    /// parameters change under it.
+    pub fn set_profile(&mut self, profile: LinkProfile) {
+        match self {
+            Transport::Udp(u) => u.set_profile(profile),
+            Transport::Tcp(t) => t.set_profile(profile),
         }
     }
 }

@@ -14,4 +14,4 @@ mod config;
 mod world;
 
 pub use config::{CpuModel, WorldConfig};
-pub use world::{ClientStats, NfsWorld, OpDone, OpId, ServerStats};
+pub use world::{BlockState, ClientStats, NfsWorld, OpDone, OpId, OpOutcome, ServerStats};

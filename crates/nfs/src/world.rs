@@ -27,6 +27,27 @@ use crate::config::{CpuModel, WorldConfig};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct OpId(pub u64);
 
+/// How a process-level operation ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpOutcome {
+    /// Completed normally.
+    Ok,
+    /// An RPC this operation depended on exhausted its retransmissions
+    /// (`max_retries`); the operation failed the way a soft-mounted NFS
+    /// read fails with `ETIMEDOUT`. `xid` is the hung RPC.
+    RpcTimedOut {
+        /// The transaction id that gave up.
+        xid: u32,
+    },
+}
+
+impl OpOutcome {
+    /// True for [`OpOutcome::Ok`].
+    pub fn is_ok(self) -> bool {
+        self == OpOutcome::Ok
+    }
+}
+
 /// A completed process-level operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OpDone {
@@ -38,6 +59,19 @@ pub struct OpDone {
     pub issued_at: SimTime,
     /// Completion time.
     pub done_at: SimTime,
+    /// Success or typed failure.
+    pub outcome: OpOutcome,
+}
+
+/// State of one client-cache block, for external invariant checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockState {
+    /// Present in the client cache.
+    Cached,
+    /// An RPC for it is in flight.
+    Pending,
+    /// Neither cached nor requested.
+    Absent,
 }
 
 /// Server-side counters.
@@ -51,9 +85,18 @@ pub struct ServerStats {
     pub reordered: u64,
     /// RPC replies sent.
     pub replies: u64,
-    /// Duplicate calls dropped while the original was still in service
-    /// (the duplicate-request-cache behaviour of real NFS servers).
+    /// Duplicate calls dropped on arrival while the original was still in
+    /// service (the duplicate-request-cache behaviour of real NFS servers).
     pub duplicates_dropped: u64,
+    /// Accepted calls dropped *after* acceptance because the client had
+    /// already retired the RPC (its reply raced a retransmission, or the
+    /// client timed out). Counted against `reads`/`other_calls`, so at
+    /// quiescence `replies + stale_drops == reads + other_calls`.
+    pub stale_drops: u64,
+    /// Calls that arrived for an RPC the client had already abandoned
+    /// entirely (post-timeout retransmissions). Never counted in
+    /// `reads`/`other_calls`.
+    pub orphan_calls: u64,
 }
 
 impl ServerStats {
@@ -82,6 +125,15 @@ pub struct ClientStats {
     pub retransmits: u64,
     /// Read-aheads skipped because no nfsiod was free.
     pub iod_starved: u64,
+    /// RPCs abandoned after `max_retries` retransmissions.
+    pub rpc_timeouts: u64,
+    /// Messages handed to the client→server transport (first transmissions
+    /// plus retransmissions; equals the c2s link's `messages` counter).
+    pub transmissions: u64,
+    /// Replies that retired an outstanding RPC.
+    pub replies_received: u64,
+    /// Replies for RPCs already retired (a retransmission's extra reply).
+    pub duplicate_replies: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -119,6 +171,8 @@ struct OpState {
     tag: u64,
     issued_at: SimTime,
     outstanding_blocks: usize,
+    /// Set when an RPC this op depended on timed out (holds the xid).
+    timed_out: Option<u32>,
 }
 
 /// The whole simulated NFS installation.
@@ -127,6 +181,10 @@ pub struct NfsWorld {
     config: WorldConfig,
     cpu: CpuModel,
     queue: EventQueue<Ev>,
+    /// Latest event instant processed by [`NfsWorld::advance`]. The RPC
+    /// event queue alone is not enough: file-system completions advance
+    /// simulated time without popping the queue.
+    clock: SimTime,
     c2s: Transport,
     s2c: Transport,
     rng: SimRng,
@@ -149,7 +207,8 @@ pub struct NfsWorld {
     fs: FileSystem,
     fsid: u32,
     heur: NfsHeur,
-    free_nfsds: usize,
+    nfsd_total: usize,
+    nfsd_busy: usize,
     call_queue: VecDeque<(SimTime, u32)>,
     /// XIDs accepted and not yet replied to (the in-progress half of a
     /// duplicate request cache; reads are idempotent so completed calls
@@ -158,6 +217,8 @@ pub struct NfsWorld {
     server_cpu_free: SimTime,
     arrived_seq: HashMap<u64, u64>,
     server_stats: ServerStats,
+    /// Test hook: number of upcoming replies to count but not transmit.
+    sabotage_drop_replies: u32,
 }
 
 impl NfsWorld {
@@ -165,21 +226,12 @@ impl NfsWorld {
     pub fn new(config: WorldConfig, fs: FileSystem, seed: u64) -> Self {
         let mut rng = SimRng::from_seed_and_stream(seed, 0x4E46_5349_4D00); // "NFSIM"
         let rtt = SimDuration::from_micros(200);
-        let c2s = Transport::new(
-            config.transport,
-            config.link,
-            rtt,
-            rng.derive(1),
-        );
-        let s2c = Transport::new(
-            config.transport,
-            config.link,
-            rtt,
-            rng.derive(2),
-        );
+        let c2s = Transport::new(config.transport, config.link, rtt, rng.derive(1));
+        let s2c = Transport::new(config.transport, config.link, rtt, rng.derive(2));
         NfsWorld {
             cpu: CpuModel::for_transport(config.transport),
             queue: EventQueue::new(),
+            clock: SimTime::ZERO,
             c2s,
             s2c,
             client_cache: BufferCache::new(config.client_cache_blocks),
@@ -196,12 +248,14 @@ impl NfsWorld {
             fs,
             fsid: 1,
             heur: NfsHeur::new(config.heur),
-            free_nfsds: config.nfsds,
+            nfsd_total: config.nfsds,
+            nfsd_busy: 0,
             call_queue: VecDeque::new(),
             in_service: std::collections::HashSet::new(),
             server_cpu_free: SimTime::ZERO,
             arrived_seq: HashMap::new(),
             server_stats: ServerStats::default(),
+            sabotage_drop_replies: 0,
             rng,
             config,
         }
@@ -262,6 +316,114 @@ impl NfsWorld {
             f.next_offset = 0;
             f.seqcount = 1;
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Runtime fault injection and introspection (simtest harness hooks).
+    // ------------------------------------------------------------------
+
+    /// Replaces both link directions' profiles at runtime: degradation,
+    /// loss bursts, recovery. In-flight messages keep their scheduled
+    /// delivery; only future transmissions see the new parameters.
+    pub fn set_link_profile(&mut self, profile: netsim::LinkProfile) {
+        self.c2s.set_profile(profile);
+        self.s2c.set_profile(profile);
+    }
+
+    /// The current link profile (both directions are kept symmetric).
+    pub fn link_profile(&self) -> netsim::LinkProfile {
+        self.c2s.profile()
+    }
+
+    /// Stalls the server CPU until at least `now + dur`: nothing is
+    /// accepted, processed, or replied to in the window (a GC pause, a
+    /// periodic sync, a competing job — the §9.2 "quiet workload" trap).
+    pub fn stall_server(&mut self, now: SimTime, dur: SimDuration) {
+        self.server_cpu_free = self.server_cpu_free.max(now + dur);
+    }
+
+    /// Resizes the `nfsd` pool at runtime (clamped to ≥ 1). Growing the
+    /// pool immediately drains queued calls; shrinking lets busy daemons
+    /// finish and simply stops refilling above the new cap.
+    pub fn set_nfsds(&mut self, now: SimTime, count: usize) {
+        self.nfsd_total = count.max(1);
+        self.drain_call_queue(now);
+    }
+
+    /// Current `nfsd` pool size.
+    pub fn nfsds(&self) -> usize {
+        self.nfsd_total
+    }
+
+    /// Resizes the client `nfsiod` pool at runtime. Zero is legal (it
+    /// disables client read-ahead, the `vfs.nfs.iodmax=0` configuration).
+    /// Shrinking retires the most-idle slots first; read-aheads already
+    /// marshalling keep their scheduled sends.
+    pub fn set_nfsiods(&mut self, count: usize) {
+        while self.iod_free.len() > count {
+            let idlest = self
+                .iod_free
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, t)| **t)
+                .map(|(i, _)| i)
+                .expect("len > count >= 0");
+            self.iod_free.swap_remove(idlest);
+        }
+        while self.iod_free.len() < count {
+            self.iod_free.push(SimTime::ZERO);
+        }
+    }
+
+    /// Current `nfsiod` pool size.
+    pub fn nfsiods(&self) -> usize {
+        self.iod_free.len()
+    }
+
+    /// Where a client-cache block stands, without touching LRU state.
+    pub fn block_state(&self, fh: FileHandle, blk: u64) -> BlockState {
+        let key = (fh.ino, blk);
+        if self.client_cache.peek(key) {
+            BlockState::Cached
+        } else if self.client_cache.is_pending(key) {
+            BlockState::Pending
+        } else {
+            BlockState::Absent
+        }
+    }
+
+    /// Operations issued and not yet surfaced through [`NfsWorld::advance`]
+    /// (sorted; empty at quiescence).
+    pub fn outstanding_ops(&self) -> Vec<OpId> {
+        let mut v: Vec<OpId> = self.ops.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// RPCs not yet retired by a reply or a timeout (sorted; empty at
+    /// quiescence).
+    pub fn outstanding_xids(&self) -> Vec<u32> {
+        let mut v: Vec<u32> = self.rpcs.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Client→server link counters.
+    pub fn c2s_stats(&self) -> netsim::LinkStats {
+        self.c2s.stats()
+    }
+
+    /// Server→client link counters.
+    pub fn s2c_stats(&self) -> netsim::LinkStats {
+        self.s2c.stats()
+    }
+
+    /// Test hook for the simtest mutation check: the next `n` replies are
+    /// counted in [`ServerStats::replies`] but never put on the wire,
+    /// deliberately breaking the reply-conservation invariant.
+    #[doc(hidden)]
+    pub fn sabotage_drop_next_replies(&mut self, n: u32) {
+        self.sabotage_drop_replies += n;
     }
 
     /// Issues a process-level read of `len` bytes at `offset`.
@@ -337,6 +499,7 @@ impl NfsWorld {
                 tag,
                 issued_at: now,
                 outstanding_blocks: outstanding,
+                timed_out: None,
             },
         );
         if outstanding == 0 {
@@ -370,6 +533,7 @@ impl NfsWorld {
                 tag,
                 issued_at: now,
                 outstanding_blocks: 1,
+                timed_out: None,
             },
         );
         let send_at = now + self.marshal_delay();
@@ -391,7 +555,10 @@ impl NfsWorld {
     ///
     /// Panics on an unknown handle.
     pub fn getattr(&mut self, now: SimTime, fh: FileHandle, tag: u64) -> OpId {
-        assert!(self.files.contains_key(&fh.ino), "getattr on unmounted file");
+        assert!(
+            self.files.contains_key(&fh.ino),
+            "getattr on unmounted file"
+        );
         let id = OpId(self.next_op);
         self.next_op += 1;
         self.client_stats.ops += 1;
@@ -401,6 +568,7 @@ impl NfsWorld {
                 tag,
                 issued_at: now,
                 outstanding_blocks: 1,
+                timed_out: None,
             },
         );
         let send_at = now + self.marshal_delay();
@@ -412,7 +580,7 @@ impl NfsWorld {
     /// The current simulated time (the event queue is monotone, so reruns
     /// on one world must measure elapsed time relative to this).
     pub fn now(&self) -> SimTime {
-        self.queue.now()
+        self.clock.max(self.queue.now())
     }
 
     /// Earliest instant at which [`NfsWorld::advance`] has work.
@@ -441,6 +609,7 @@ impl NfsWorld {
             if t > now {
                 break;
             }
+            self.clock = self.clock.max(t);
             if fnext.is_some_and(|f| qnext.is_none_or(|q| f <= q)) {
                 let fs_done = self.fs.advance(fnext.expect("checked"));
                 for d in fs_done {
@@ -471,17 +640,17 @@ impl NfsWorld {
 
     fn marshal_delay(&mut self) -> SimDuration {
         let busy_factor = 1.0 + f64::from(self.config.busy_loops) * 0.9;
-        let jitter = self.rng.exponential(self.cpu.client_jitter_mean * busy_factor);
+        let jitter = self
+            .rng
+            .exponential(self.cpu.client_jitter_mean * busy_factor);
         SimDuration::from_secs_f64(self.cpu.client_marshal + jitter)
     }
 
+    /// Returns `Some(now)` iff an nfsiod slot is free at `now`. (A slot
+    /// whose busy-until time has passed is usable immediately; there is no
+    /// future reservation, so the acquisition instant is always `now`.)
     fn acquire_iod(&mut self, now: SimTime) -> Option<SimTime> {
-        self.iod_free
-            .iter()
-            .copied()
-            .filter(|&t| t <= now)
-            .min()
-            .map(|t| t.max(now))
+        self.iod_free.iter().any(|&t| t <= now).then_some(now)
     }
 
     fn set_iod_busy_until(&mut self, until: SimTime) {
@@ -539,6 +708,7 @@ impl NfsWorld {
         }
         let wire = rpc.call.wire_bytes();
         let attempt = rpc.attempt;
+        self.client_stats.transmissions += 1;
         match self.c2s.send(at, wire) {
             Delivery::At(t) => self.queue.schedule_at(t, Ev::CallArrive { xid }),
             Delivery::Lost => {}
@@ -548,7 +718,8 @@ impl NfsWorld {
                 .config
                 .retransmit_timeout
                 .saturating_mul(1 << attempt.min(6));
-            self.queue.schedule_at(at + timeo, Ev::Retransmit { xid, attempt });
+            self.queue
+                .schedule_at(at + timeo, Ev::Retransmit { xid, attempt });
         }
     }
 
@@ -559,23 +730,69 @@ impl NfsWorld {
         if !rpc.outstanding || rpc.attempt != attempt {
             return;
         }
-        assert!(
-            attempt < self.config.max_retries,
-            "NFS server not responding: xid {xid} gave up after {attempt} retries"
-        );
+        if attempt >= self.config.max_retries {
+            // Soft-mount semantics: give up and fail the waiting
+            // operations with a typed outcome instead of panicking.
+            self.rpc_timed_out(at, xid);
+            return;
+        }
         rpc.attempt += 1;
         self.client_stats.retransmits += 1;
         let send_at = at + self.marshal_delay();
         self.queue.schedule_at(send_at, Ev::Send { xid });
     }
 
-    fn client_reply_arrive(&mut self, at: SimTime, xid: u32) {
-        let Some(rpc) = self.rpcs.get_mut(&xid) else {
-            return; // Duplicate reply after retransmission raced.
-        };
-        if !rpc.outstanding {
+    /// An RPC exhausted its retries: retire it, clear the client-cache
+    /// blocks it was fetching (so later reads can retry them), and fail
+    /// every operation that was waiting on it.
+    fn rpc_timed_out(&mut self, at: SimTime, xid: u32) {
+        let rpc = self.rpcs.remove(&xid).expect("caller checked presence");
+        self.client_stats.rpc_timeouts += 1;
+        let done = at + SimDuration::from_secs_f64(self.cpu.client_complete);
+        if let Some(id) = self.rpc_waiters.remove(&xid) {
+            if let Some(op) = self.ops.get_mut(&id) {
+                op.timed_out = Some(xid);
+                self.finish_op(id, done);
+            }
             return;
         }
+        let NfsCall::Read { fh, offset, count } = rpc.call else {
+            return;
+        };
+        let rsize = u64::from(self.config.rsize);
+        let first = offset / rsize;
+        let last = (offset + u64::from(count) - 1) / rsize;
+        for blk in first..=last {
+            let key = (fh.ino, blk);
+            self.client_cache.discard(key);
+            let Some(waiting) = self.op_waiters.remove(&key) else {
+                continue;
+            };
+            for id in waiting {
+                let Some(op) = self.ops.get_mut(&id) else {
+                    continue;
+                };
+                op.timed_out = Some(xid);
+                op.outstanding_blocks = op.outstanding_blocks.saturating_sub(1);
+                if op.outstanding_blocks == 0 {
+                    self.finish_op(id, done);
+                }
+            }
+        }
+    }
+
+    fn client_reply_arrive(&mut self, at: SimTime, xid: u32) {
+        let Some(rpc) = self.rpcs.get_mut(&xid) else {
+            // Duplicate reply after a retransmission raced, or the client
+            // already gave up on this xid.
+            self.client_stats.duplicate_replies += 1;
+            return;
+        };
+        if !rpc.outstanding {
+            self.client_stats.duplicate_replies += 1;
+            return;
+        }
+        self.client_stats.replies_received += 1;
         rpc.outstanding = false;
         let call = rpc.call.clone();
         self.rpcs.remove(&xid);
@@ -608,9 +825,8 @@ impl NfsWorld {
                     };
                     op.outstanding_blocks = op.outstanding_blocks.saturating_sub(1);
                     if op.outstanding_blocks == 0 {
-                        let done = at
-                            + SimDuration::from_secs_f64(self.cpu.client_complete)
-                            + wake_jitter;
+                        let done =
+                            at + SimDuration::from_secs_f64(self.cpu.client_complete) + wake_jitter;
                         self.finish_op(id, done);
                     }
                 }
@@ -620,11 +836,16 @@ impl NfsWorld {
 
     fn finish_op(&mut self, id: OpId, done_at: SimTime) {
         let op = self.ops.remove(&id).expect("op completed twice");
+        let outcome = match op.timed_out {
+            Some(xid) => OpOutcome::RpcTimedOut { xid },
+            None => OpOutcome::Ok,
+        };
         self.ready.push(OpDone {
             id,
             tag: op.tag,
             issued_at: op.issued_at,
             done_at,
+            outcome,
         });
     }
 
@@ -635,7 +856,10 @@ impl NfsWorld {
     fn server_call_arrive(&mut self, at: SimTime, xid: u32) {
         // Decode the call from its real wire encoding.
         let Some(rpc) = self.rpcs.get(&xid) else {
-            return; // Client gave up (cannot happen with our retry cap).
+            // The client abandoned this xid (RPC timeout) before the call
+            // arrived; a real server would execute it and get no thanks.
+            self.server_stats.orphan_calls += 1;
+            return;
         };
         let (decoded_xid, call) = NfsCall::decode(&rpc.encoded).expect("well-formed call");
         debug_assert_eq!(decoded_xid, xid);
@@ -656,28 +880,34 @@ impl NfsWorld {
         } else {
             self.server_stats.other_calls += 1;
         }
-        if self.free_nfsds == 0 {
+        if self.nfsd_busy >= self.nfsd_total {
             self.call_queue.push_back((at, xid));
             return;
         }
-        self.free_nfsds -= 1;
+        self.nfsd_busy += 1;
         self.nfsd_process(at, xid, call);
     }
 
     fn nfsd_process(&mut self, at: SimTime, xid: u32, call: NfsCall) {
-        let t1 = self.server_cpu_free.max(at)
-            + SimDuration::from_secs_f64(self.cpu.server_call);
+        let t1 = self.server_cpu_free.max(at) + SimDuration::from_secs_f64(self.cpu.server_call);
         self.server_cpu_free = t1;
         match call {
             NfsCall::Read { fh, offset, count } => {
-                let seqcount = self
-                    .heur
-                    .observe(fh.ino, offset, u64::from(count), &self.config.policy);
-                self.fs
-                    .read(t1, fh.ino, offset, u64::from(count), seqcount, u64::from(xid));
+                let seqcount =
+                    self.heur
+                        .observe(fh.ino, offset, u64::from(count), &self.config.policy);
+                self.fs.read(
+                    t1,
+                    fh.ino,
+                    offset,
+                    u64::from(count),
+                    seqcount,
+                    u64::from(xid),
+                );
             }
             NfsCall::Write { fh, offset, count } => {
-                self.fs.write(t1, fh.ino, offset, u64::from(count), u64::from(xid));
+                self.fs
+                    .write(t1, fh.ino, offset, u64::from(count), u64::from(xid));
             }
             NfsCall::Getattr { .. } | NfsCall::Lookup { .. } => {
                 // Metadata served from in-core state: reply immediately.
@@ -687,8 +917,7 @@ impl NfsWorld {
     }
 
     fn server_fs_done(&mut self, xid: u32, at: SimTime) {
-        let t = self.server_cpu_free.max(at)
-            + SimDuration::from_secs_f64(self.cpu.server_reply);
+        let t = self.server_cpu_free.max(at) + SimDuration::from_secs_f64(self.cpu.server_reply);
         self.server_cpu_free = t;
         let reply = match self.rpcs.get(&xid).map(|r| &r.call) {
             Some(NfsCall::Read { fh, offset, count }) => {
@@ -715,10 +944,10 @@ impl NfsWorld {
                 fh: Some(*dir),
             },
             None => {
-                // The RPC was retired client-side already: this execution
-                // was a late-detected duplicate (the retransmission arrived
-                // after the original's reply). Nothing to send.
-                self.server_stats.duplicates_dropped += 1;
+                // The RPC was retired client-side already (its reply raced
+                // a retransmission, or the client timed out): this
+                // execution was wasted work. Nothing to send.
+                self.server_stats.stale_drops += 1;
                 self.in_service.remove(&xid);
                 self.release_nfsd(at);
                 return;
@@ -728,29 +957,41 @@ impl NfsWorld {
         // Exercise the codec: encode the reply as it would go on the wire.
         let encoded = reply.encode(xid);
         debug_assert!(!encoded.is_empty());
-        match self.s2c.send(t, reply.wire_bytes()) {
-            Delivery::At(arrive) => self.queue.schedule_at(arrive, Ev::ReplyArrive { xid }),
-            Delivery::Lost => {} // Client will retransmit the call.
+        if self.sabotage_drop_replies > 0 {
+            // Mutation-check hook: the books say "replied" but the wire
+            // never sees it.
+            self.sabotage_drop_replies -= 1;
+        } else {
+            match self.s2c.send(t, reply.wire_bytes()) {
+                Delivery::At(arrive) => self.queue.schedule_at(arrive, Ev::ReplyArrive { xid }),
+                Delivery::Lost => {} // Client will retransmit the call.
+            }
         }
         self.in_service.remove(&xid);
         self.release_nfsd(t);
     }
 
     fn release_nfsd(&mut self, at: SimTime) {
-        self.free_nfsds += 1;
-        while let Some((arrived, xid)) = self.call_queue.pop_front() {
+        self.nfsd_busy = self.nfsd_busy.saturating_sub(1);
+        self.drain_call_queue(at);
+    }
+
+    /// Starts queued calls while the pool has capacity, dropping queue
+    /// entries whose RPC the client already retired.
+    fn drain_call_queue(&mut self, at: SimTime) {
+        while self.nfsd_busy < self.nfsd_total {
+            let Some((arrived, xid)) = self.call_queue.pop_front() else {
+                return;
+            };
             let Some(rpc) = self.rpcs.get(&xid) else {
-                // The queued call's RPC was retired client-side while it
-                // waited: drop it as a late duplicate and keep draining.
-                self.server_stats.duplicates_dropped += 1;
+                self.server_stats.stale_drops += 1;
                 self.in_service.remove(&xid);
                 continue;
             };
-            self.free_nfsds -= 1;
+            self.nfsd_busy += 1;
             let start = at.max(arrived);
             let (_, call) = NfsCall::decode(&rpc.encoded).expect("well-formed call");
             self.nfsd_process(start, xid, call);
-            break;
         }
     }
 }
@@ -807,7 +1048,10 @@ mod tests {
         sequential_read(&mut w, fh, 4 * 1024 * 1024);
         let s = w.client_stats();
         assert!(s.readahead_rpcs > 0, "{s:?}");
-        assert!(s.cache_hits > 0, "read-ahead should produce cache hits: {s:?}");
+        assert!(
+            s.cache_hits > 0,
+            "read-ahead should produce cache hits: {s:?}"
+        );
     }
 
     #[test]
@@ -829,7 +1073,7 @@ mod tests {
         let fhs: Vec<FileHandle> = (0..8).map(|_| w.create_file(size)).collect();
         // Drive 8 interleaved sequential readers.
         let mut now = SimTime::ZERO;
-        let mut offsets = vec![0u64; 8];
+        let mut offsets = [0u64; 8];
         let mut pending: HashMap<u64, usize> = HashMap::new();
         for (i, fh) in fhs.iter().enumerate() {
             w.read(now, *fh, 0, 8_192, i as u64);
@@ -997,7 +1241,7 @@ mod tests {
             let mut w = make_world(cfg, 21);
             let size = 1024 * 1024u64;
             let fhs: Vec<FileHandle> = (0..8).map(|_| w.create_file(size)).collect();
-            let mut offsets = vec![0u64; 8];
+            let mut offsets = [0u64; 8];
             for (i, fh) in fhs.iter().enumerate() {
                 w.read(SimTime::ZERO, *fh, 0, 8_192, i as u64);
                 offsets[i] = 8_192;
@@ -1055,5 +1299,185 @@ mod tests {
         assert!(d.done_at.as_secs_f64() < 2e-3, "getattr took {}", d.done_at);
         assert_eq!(w.server_stats().other_calls, 1);
         assert_eq!(w.fs().stats().sync_reads, 0);
+    }
+
+    fn drain_all(w: &mut NfsWorld) -> Vec<OpDone> {
+        let mut out = Vec::new();
+        let mut guard = 0u64;
+        while let Some(t) = w.next_event() {
+            guard += 1;
+            assert!(guard < 10_000_000, "event loop stuck");
+            out.extend(w.advance(t));
+        }
+        out
+    }
+
+    #[test]
+    fn dead_link_times_out_with_typed_outcome() {
+        let mut cfg = WorldConfig {
+            link: netsim::LinkProfile {
+                frame_loss: 1.0,
+                ..netsim::LinkProfile::gigabit_lan()
+            },
+            retransmit_timeout: SimDuration::from_millis(20),
+            ..WorldConfig::default()
+        };
+        cfg.client_readahead_blocks = 0;
+        let max_retries = cfg.max_retries;
+        let mut w = make_world(cfg, 31);
+        let fh = w.create_file(64 * 1024);
+        w.read(SimTime::ZERO, fh, 0, 8_192, 7);
+        let done = drain_all(&mut w);
+        assert_eq!(done.len(), 1, "{done:?}");
+        let d = done[0];
+        assert!(
+            matches!(d.outcome, OpOutcome::RpcTimedOut { .. }),
+            "dead link must surface a typed timeout: {d:?}"
+        );
+        assert_eq!(d.tag, 7);
+        let s = w.client_stats();
+        assert_eq!(s.rpc_timeouts, 1, "{s:?}");
+        assert_eq!(s.retransmits, u64::from(max_retries), "{s:?}");
+        // The timed-out block is not wedged pending: a later read can
+        // request it afresh (and will itself time out, not hang).
+        assert_eq!(w.block_state(fh, 0), BlockState::Absent);
+        assert!(w.outstanding_xids().is_empty());
+        assert!(w.outstanding_ops().is_empty());
+        let now = w.now();
+        w.read(now, fh, 0, 8_192, 8);
+        let done = drain_all(&mut w);
+        assert_eq!(done.len(), 1);
+        assert!(matches!(done[0].outcome, OpOutcome::RpcTimedOut { .. }));
+        assert_eq!(w.client_stats().rpc_timeouts, 2);
+    }
+
+    #[test]
+    fn healthy_runs_report_ok_outcomes() {
+        let mut w = make_world(WorldConfig::default(), 13);
+        let fh = w.create_file(256 * 1024);
+        for i in 0..4u64 {
+            w.read(SimTime::ZERO, fh, i * 8_192, 8_192, i);
+        }
+        let done = drain_all(&mut w);
+        assert_eq!(done.len(), 4);
+        assert!(done.iter().all(|d| d.outcome.is_ok()), "{done:?}");
+        assert_eq!(w.client_stats().rpc_timeouts, 0);
+    }
+
+    #[test]
+    fn nfsiod_acquisition_is_immediate_or_denied() {
+        // Pins the semantics of `acquire_iod`: a slot whose busy-until
+        // time has passed is granted *at the asked-for instant* (never in
+        // the future); with every slot busy the caller is denied.
+        let mut w = make_world(WorldConfig::default(), 32);
+        let t1 = SimTime::from_nanos(1_000);
+        assert_eq!(w.acquire_iod(t1), Some(t1), "idle pool grants at now");
+        let t2 = SimTime::from_nanos(5_000);
+        for _ in 0..w.iod_free.len() {
+            w.set_iod_busy_until(t2);
+        }
+        assert_eq!(w.acquire_iod(t1), None, "all slots busy until t2");
+        assert_eq!(w.acquire_iod(t2), Some(t2), "freed exactly at t2");
+        // Pool resize: zero slots means read-ahead is always denied.
+        w.set_nfsiods(0);
+        assert_eq!(w.nfsiods(), 0);
+        assert_eq!(w.acquire_iod(t2), None);
+        w.set_nfsiods(3);
+        assert_eq!(w.nfsiods(), 3);
+        assert_eq!(w.acquire_iod(t1), Some(t1));
+    }
+
+    #[test]
+    fn server_stall_delays_replies() {
+        let run = |stall: bool| {
+            let mut w = make_world(WorldConfig::default(), 33);
+            let fh = w.create_file(64 * 1024);
+            if stall {
+                w.stall_server(SimTime::ZERO, SimDuration::from_millis(250));
+            }
+            w.read(SimTime::ZERO, fh, 0, 8_192, 0);
+            drain_one(&mut w).done_at
+        };
+        let base = run(false);
+        let stalled = run(true);
+        assert!(
+            stalled.as_secs_f64() >= base.as_secs_f64() + 0.2,
+            "stall must delay completion: base {base}, stalled {stalled}"
+        );
+    }
+
+    #[test]
+    fn link_degradation_mid_run_causes_retransmits() {
+        let mut cfg = WorldConfig {
+            retransmit_timeout: SimDuration::from_millis(50),
+            ..WorldConfig::default()
+        };
+        cfg.client_readahead_blocks = 0;
+        let mut w = make_world(cfg, 34);
+        let fh = w.create_file(512 * 1024);
+        let mut now = SimTime::ZERO;
+        let read_blocks = |w: &mut NfsWorld, now: &mut SimTime, range: std::ops::Range<u64>| {
+            for blk in range {
+                w.read(*now, fh, blk * 8_192, 8_192, blk);
+                let mut got = false;
+                while !got {
+                    let t = w.next_event().expect("progress");
+                    got = !w.advance(t).is_empty();
+                    *now = (*now).max(t);
+                }
+            }
+        };
+        read_blocks(&mut w, &mut now, 0..16);
+        assert_eq!(w.client_stats().retransmits, 0, "clean first half");
+        w.set_link_profile(netsim::LinkProfile {
+            frame_loss: 0.5,
+            ..netsim::LinkProfile::gigabit_lan()
+        });
+        read_blocks(&mut w, &mut now, 16..32);
+        assert!(
+            w.client_stats().retransmits > 0,
+            "degraded second half must retransmit: {:?}",
+            w.client_stats()
+        );
+        w.set_link_profile(netsim::LinkProfile::gigabit_lan());
+        let before = w.client_stats().retransmits;
+        read_blocks(&mut w, &mut now, 32..48);
+        assert_eq!(w.client_stats().retransmits, before, "recovered link");
+    }
+
+    #[test]
+    fn nfsd_pool_resize_mid_run_completes_everything() {
+        let mut w = make_world(WorldConfig::default(), 35);
+        let fhs: Vec<FileHandle> = (0..6).map(|_| w.create_file(256 * 1024)).collect();
+        w.set_nfsds(SimTime::ZERO, 1);
+        assert_eq!(w.nfsds(), 1);
+        for (i, fh) in fhs.iter().enumerate() {
+            w.read(SimTime::ZERO, *fh, 0, 8_192, i as u64);
+        }
+        let done = drain_all(&mut w);
+        assert_eq!(done.len(), 6);
+        assert!(done.iter().all(|d| d.outcome.is_ok()));
+        // Grow the pool back and run a second wave.
+        let now = w.now();
+        w.set_nfsds(now, 8);
+        for (i, fh) in fhs.iter().enumerate() {
+            w.read(now, *fh, 8_192, 8_192, i as u64);
+        }
+        let done = drain_all(&mut w);
+        assert_eq!(done.len(), 6);
+        let s = w.server_stats();
+        assert_eq!(s.replies + s.stale_drops, s.reads + s.other_calls);
+    }
+
+    #[test]
+    fn rpc_accounting_identities_hold() {
+        let mut w = make_world(WorldConfig::default(), 36);
+        let fh = w.create_file(1024 * 1024);
+        sequential_read(&mut w, fh, 1024 * 1024);
+        let c = w.client_stats();
+        assert_eq!(c.transmissions, w.c2s_stats().messages);
+        assert_eq!(w.server_stats().replies, w.s2c_stats().messages);
+        let delivered = w.s2c_stats().messages - w.s2c_stats().lost;
+        assert_eq!(c.replies_received + c.duplicate_replies, delivered);
     }
 }

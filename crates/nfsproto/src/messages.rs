@@ -174,9 +174,7 @@ impl NfsCall {
     /// The file handle the call targets.
     pub fn fh(&self) -> FileHandle {
         match self {
-            NfsCall::Getattr { fh }
-            | NfsCall::Read { fh, .. }
-            | NfsCall::Write { fh, .. } => *fh,
+            NfsCall::Getattr { fh } | NfsCall::Read { fh, .. } | NfsCall::Write { fh, .. } => *fh,
             NfsCall::Lookup { dir, .. } => *dir,
         }
     }
@@ -326,7 +324,12 @@ impl NfsReply {
     pub fn encode(&self, xid: u32) -> Vec<u8> {
         let mut e = XdrEncoder::new();
         // xid, REPLY(1), MSG_ACCEPTED(0), verf AUTH_NONE, SUCCESS(0).
-        e.put_u32(xid).put_u32(1).put_u32(0).put_u32(0).put_u32(0).put_u32(0);
+        e.put_u32(xid)
+            .put_u32(1)
+            .put_u32(0)
+            .put_u32(0)
+            .put_u32(0)
+            .put_u32(0);
         debug_assert_eq!(e.len() as u64, RPC_REPLY_HEADER_BYTES);
         match self {
             NfsReply::Getattr { status, attrs } => {
@@ -368,8 +371,7 @@ impl NfsReply {
         let _vflavor = d.get_u32()?;
         let _vlen = d.get_u32()?;
         let _accept_stat = d.get_u32()?;
-        let status =
-            NfsStatus::from_code(d.get_u32()?).ok_or(XdrError::BadLength(u32::MAX))?;
+        let status = NfsStatus::from_code(d.get_u32()?).ok_or(XdrError::BadLength(u32::MAX))?;
         let reply = match proc_ {
             NfsProc::Getattr => NfsReply::Getattr {
                 status,
@@ -525,7 +527,11 @@ mod tests {
             offset: 0,
             count: 8_192,
         };
-        assert!(call.wire_bytes() < 120, "READ call is small: {}", call.wire_bytes());
+        assert!(
+            call.wire_bytes() < 120,
+            "READ call is small: {}",
+            call.wire_bytes()
+        );
     }
 
     #[test]
@@ -564,7 +570,12 @@ mod tests {
         assert_eq!(NfsProc::Lookup.number(), 3);
         assert_eq!(NfsProc::Read.number(), 6);
         assert_eq!(NfsProc::Write.number(), 7);
-        for p in [NfsProc::Getattr, NfsProc::Lookup, NfsProc::Read, NfsProc::Write] {
+        for p in [
+            NfsProc::Getattr,
+            NfsProc::Lookup,
+            NfsProc::Read,
+            NfsProc::Write,
+        ] {
             assert_eq!(NfsProc::from_number(p.number()), Some(p));
         }
         assert_eq!(NfsProc::from_number(99), None);

@@ -25,7 +25,9 @@ pub enum XdrError {
 impl fmt::Display for XdrError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            XdrError::Truncated { needed } => write!(f, "XDR buffer truncated ({needed} more bytes needed)"),
+            XdrError::Truncated { needed } => {
+                write!(f, "XDR buffer truncated ({needed} more bytes needed)")
+            }
             XdrError::BadBool(v) => write!(f, "XDR boolean with value {v}"),
             XdrError::BadLength(v) => write!(f, "XDR length {v} exceeds limit"),
             XdrError::BadUtf8 => write!(f, "XDR string is not UTF-8"),
@@ -232,10 +234,7 @@ mod tests {
         assert!(d.get_bool().unwrap());
         assert!(!d.get_bool().unwrap());
         let bad = 7u32.to_be_bytes();
-        assert_eq!(
-            XdrDecoder::new(&bad).get_bool(),
-            Err(XdrError::BadBool(7))
-        );
+        assert_eq!(XdrDecoder::new(&bad).get_bool(), Err(XdrError::BadBool(7)));
     }
 
     #[test]

@@ -27,7 +27,7 @@ mod time;
 mod trace;
 
 pub use event::{Control, EventQueue, Executor};
-pub use rng::SimRng;
+pub use rng::{SampleRange, SimRng, UniformSample};
 pub use stats::{quantile, Histogram, OnlineStats, Summary};
 pub use time::{SimDuration, SimTime};
 pub use trace::{Trace, TraceLevel};

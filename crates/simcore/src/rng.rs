@@ -5,10 +5,11 @@
 //! consumer of randomness in one component does not perturb the sequence seen
 //! by any other component (a classic source of accidental non-reproducibility
 //! in simulators).
-
-use rand::distributions::uniform::{SampleRange, SampleUniform};
-use rand::{Rng, RngCore, SeedableRng};
-use rand::rngs::StdRng;
+//!
+//! The generator is a self-contained xoshiro256++ (Blackman & Vigna) seeded
+//! through a SplitMix64 finalizer — no external crates, so the whole
+//! workspace builds offline and the byte-for-byte output of a seed is pinned
+//! by this file alone, not by a dependency's minor version.
 
 /// Mixes a seed and a stream label into a 64-bit state (SplitMix64 finalizer).
 fn mix(seed: u64, stream: u64) -> u64 {
@@ -18,7 +19,82 @@ fn mix(seed: u64, stream: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// A seedable deterministic RNG stream.
+/// One SplitMix64 step: advances `state` and returns the next output.
+fn splitmix_next(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Types [`SimRng::gen_range`] can sample uniformly.
+///
+/// Implemented for the integer types the simulator uses and for `f64`;
+/// half-open (`a..b`) and inclusive (`a..=b`) ranges both work.
+pub trait UniformSample: Sized {
+    /// Samples uniformly from `[low, high]` (inclusive bounds).
+    fn sample_inclusive(rng: &mut SimRng, low: Self, high: Self) -> Self;
+}
+
+/// Ranges accepted by [`SimRng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws a sample from this range using `rng`.
+    fn sample(self, rng: &mut SimRng) -> T;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformSample for $t {
+            fn sample_inclusive(rng: &mut SimRng, low: Self, high: Self) -> Self {
+                debug_assert!(low <= high);
+                let span = (high as u64).wrapping_sub(low as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                low.wrapping_add(rng.bounded(span + 1) as $t)
+            }
+        }
+
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample(self, rng: &mut SimRng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                <$t>::sample_inclusive(rng, self.start, self.end - 1)
+            }
+        }
+
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample(self, rng: &mut SimRng) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "empty range");
+                <$t>::sample_inclusive(rng, lo, hi)
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i32, i64);
+
+impl UniformSample for f64 {
+    fn sample_inclusive(rng: &mut SimRng, low: Self, high: Self) -> Self {
+        low + rng.uniform01() * (high - low)
+    }
+}
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample(self, rng: &mut SimRng) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        let x = self.start + rng.uniform01() * (self.end - self.start);
+        // Guard the open upper bound against floating-point round-up.
+        if x >= self.end {
+            self.start
+        } else {
+            x
+        }
+    }
+}
+
+/// A seedable deterministic RNG stream (xoshiro256++).
 ///
 /// # Examples
 ///
@@ -31,7 +107,7 @@ fn mix(seed: u64, stream: u64) -> u64 {
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    s: [u64; 4],
 }
 
 impl SimRng {
@@ -42,13 +118,17 @@ impl SimRng {
 
     /// Creates an independent stream identified by `(seed, stream)`.
     pub fn from_seed_and_stream(seed: u64, stream: u64) -> Self {
-        let mut key = [0u8; 32];
-        for (i, chunk) in key.chunks_exact_mut(8).enumerate() {
-            chunk.copy_from_slice(&mix(seed, stream.wrapping_add(i as u64 * 0x1234_5678)).to_le_bytes());
+        let mut sm = mix(seed, stream);
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = splitmix_next(&mut sm);
         }
-        SimRng {
-            inner: StdRng::from_seed(key),
+        // xoshiro's all-zero state is a fixed point; SplitMix64 cannot
+        // produce four zeros from any input, but keep the guard explicit.
+        if s == [0, 0, 0, 0] {
+            s[0] = 0x9e37_79b9_7f4a_7c15;
         }
+        SimRng { s }
     }
 
     /// Derives a child stream; deterministic in the label.
@@ -59,16 +139,42 @@ impl SimRng {
 
     /// Returns the next raw 64-bit value.
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        let out = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+
+    /// Uniform sample in `[0, bound)` via rejection (no modulo bias).
+    fn bounded(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        if bound.is_power_of_two() {
+            return self.next_u64() & (bound - 1);
+        }
+        let zone = u64::MAX - (u64::MAX % bound) - 1;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return v % bound;
+            }
+        }
     }
 
     /// Samples uniformly from `range`.
     pub fn gen_range<T, R>(&mut self, range: R) -> T
     where
-        T: SampleUniform,
+        T: UniformSample,
         R: SampleRange<T>,
     {
-        self.inner.gen_range(range)
+        range.sample(self)
     }
 
     /// Returns `true` with probability `p` (clamped to `[0, 1]`).
@@ -78,13 +184,19 @@ impl SimRng {
         } else if p >= 1.0 {
             true
         } else {
-            self.inner.gen::<f64>() < p
+            self.uniform01() < p
         }
     }
 
     /// Samples a uniform `f64` in `[0, 1)`.
     pub fn uniform01(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 random mantissa bits: uniform over [0, 1) on the dyadic grid.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Samples a uniform `f64` in `(0, 1]` (safe to take `ln` of).
+    fn uniform01_open_low(&mut self) -> f64 {
+        ((self.next_u64() >> 11) + 1) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Samples an exponentially distributed value with the given mean.
@@ -96,15 +208,13 @@ impl SimRng {
         if mean == 0.0 {
             return 0.0;
         }
-        let u: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
-        -mean * u.ln()
+        -mean * self.uniform01_open_low().ln()
     }
 
-    /// Samples a normal value via Box-Muller, truncated at zero from below
-    /// when `min_zero` is set.
+    /// Samples a normal value via Box-Muller.
     pub fn normal(&mut self, mean: f64, stddev: f64) -> f64 {
-        let u1: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
-        let u2: f64 = self.inner.gen::<f64>();
+        let u1 = self.uniform01_open_low();
+        let u2 = self.uniform01();
         let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
         mean + stddev * z
     }
@@ -117,7 +227,7 @@ impl SimRng {
     /// Shuffles a slice in place (Fisher-Yates).
     pub fn shuffle<T>(&mut self, slice: &mut [T]) {
         for i in (1..slice.len()).rev() {
-            let j = self.inner.gen_range(0..=i);
+            let j = self.bounded(i as u64 + 1) as usize;
             slice.swap(i, j);
         }
     }
@@ -127,7 +237,7 @@ impl SimRng {
         if slice.is_empty() {
             None
         } else {
-            let i = self.inner.gen_range(0..slice.len());
+            let i = self.bounded(slice.len() as u64) as usize;
             Some(&slice[i])
         }
     }
@@ -238,6 +348,39 @@ mod tests {
         for _ in 0..1_000 {
             let x: u32 = r.gen_range(10..20);
             assert!((10..20).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_inclusive_hits_both_ends() {
+        let mut r = SimRng::new(11);
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..1_000 {
+            match r.gen_range(0u64..=3) {
+                0 => lo_seen = true,
+                3 => hi_seen = true,
+                _ => {}
+            }
+        }
+        assert!(lo_seen && hi_seen);
+    }
+
+    #[test]
+    fn gen_range_f64_stays_in_range() {
+        let mut r = SimRng::new(12);
+        for _ in 0..1_000 {
+            let x: f64 = r.gen_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&x), "{x}");
+        }
+    }
+
+    #[test]
+    fn uniform01_is_half_open() {
+        let mut r = SimRng::new(13);
+        for _ in 0..10_000 {
+            let u = r.uniform01();
+            assert!((0.0..1.0).contains(&u));
         }
     }
 }

@@ -9,8 +9,7 @@
 use std::collections::BTreeMap;
 
 /// Severity/category of a trace message.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
 pub enum TraceLevel {
     /// High-volume per-event detail.
     #[default]
@@ -30,7 +29,6 @@ pub struct Trace {
     messages: Vec<(TraceLevel, String)>,
     max_messages: usize,
 }
-
 
 impl Trace {
     /// Creates a disabled trace (the timed-benchmark configuration).

@@ -1,0 +1,575 @@
+//! Deterministic fault-injection simulation tests for the NFS world.
+//!
+//! FoundationDB-style simulation testing: a single `u64` seed generates a
+//! randomized multi-process workload (readers, writers, getattr pollers)
+//! over [`NfsWorld`], injects faults mid-run — frame-loss bursts, link
+//! degradation, server stalls, `nfsd`/`nfsiod` pool resizing, forced cache
+//! flushes — and checks invariant *oracles* after every event batch:
+//!
+//! - **monotone time**: simulated time never runs backwards, and no
+//!   operation completes before it was issued;
+//! - **op accounting**: every issued [`OpId`] completes exactly once, with
+//!   its own tag, as `Ok` or a typed `RpcTimedOut`;
+//! - **no stuck operations**: quiescence (no pending events) with
+//!   operations still outstanding is a failure, reported with the hung
+//!   xids;
+//! - **block conservation**: every client-cache block miss is fetched by
+//!   exactly one non-retransmit READ RPC (`rpcs == predicted demand
+//!   misses + read-ahead RPCs`);
+//! - **RPC conservation**: link-level message counts reconcile exactly
+//!   with client transmissions, server call/duplicate/orphan counts, and
+//!   replies;
+//! - **determinism**: the same seed reproduces the bit-exact same run
+//!   fingerprint.
+//!
+//! Every failure message carries a one-line reproduction command:
+//! `SIMTEST_SEED=<n> cargo run -p simtest -- --seed <n>`.
+
+use std::collections::{BTreeMap, HashSet};
+use std::fmt;
+
+use netsim::{LinkProfile, TransportKind};
+use nfsproto::FileHandle;
+use nfssim::{BlockState, NfsWorld, OpId, OpOutcome, WorldConfig};
+use simcore::{SimDuration, SimRng, SimTime};
+use testbed::Rig;
+
+/// Batches per run with the default options: six fault batches (one per
+/// [`FaultKind`], shuffled by seed) interleaved with clean batches, plus a
+/// clean tail to observe recovery.
+pub const DEFAULT_BATCHES: usize = 14;
+
+/// Event budget per run; exhausting it fails the bounded-progress oracle.
+const STEP_BUDGET: u64 = 5_000_000;
+
+const FILES: usize = 3;
+const FILE_BLOCKS: u64 = 64;
+const BS: u64 = 8_192;
+
+/// One kind of mid-run fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Frame loss jumps (to a total blackout on UDP half the time:
+    /// exercises retransmission and the typed RPC-timeout path).
+    LossBurst,
+    /// Bandwidth collapses and latency/jitter balloon (congested path).
+    LinkDegrade,
+    /// The server CPU freezes for a while (GC pause / competing job —
+    /// the §9.2 "quiet workload" trap).
+    ServerStall,
+    /// The `nfsd` pool shrinks to one or two daemons.
+    NfsdResize,
+    /// The client `nfsiod` pool shrinks (possibly to zero: read-ahead
+    /// disabled).
+    NfsiodResize,
+    /// Every data cache is dropped mid-run (§4.3.1 flush discipline).
+    CacheFlush,
+}
+
+impl FaultKind {
+    /// All fault kinds, in declaration order.
+    pub const ALL: [FaultKind; 6] = [
+        FaultKind::LossBurst,
+        FaultKind::LinkDegrade,
+        FaultKind::ServerStall,
+        FaultKind::NfsdResize,
+        FaultKind::NfsiodResize,
+        FaultKind::CacheFlush,
+    ];
+
+    /// Short kebab-case name for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::LossBurst => "loss-burst",
+            FaultKind::LinkDegrade => "link-degrade",
+            FaultKind::ServerStall => "server-stall",
+            FaultKind::NfsdResize => "nfsd-resize",
+            FaultKind::NfsiodResize => "nfsiod-resize",
+            FaultKind::CacheFlush => "cache-flush",
+        }
+    }
+}
+
+/// Everything a run does, derived purely from the seed.
+#[derive(Debug, Clone)]
+pub struct SimPlan {
+    /// The seed the plan was derived from.
+    pub seed: u64,
+    /// Number of event batches.
+    pub batches: usize,
+    /// Transport under test (3 in 4 seeds use UDP, the paper's default).
+    pub transport: TransportKind,
+    /// `(batch, kind)` fault schedule; each fault lasts one batch and is
+    /// reverted before the next.
+    pub faults: Vec<(usize, FaultKind)>,
+}
+
+/// Knobs that are not part of the seed-derived plan.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunOptions {
+    /// Mutation check: this many server replies are counted in the books
+    /// but never transmitted, which a healthy oracle set must catch.
+    pub sabotage_replies: u32,
+}
+
+/// Summary of one completed (oracle-clean) run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunReport {
+    /// The seed that generated the run.
+    pub seed: u64,
+    /// Transport used.
+    pub transport: TransportKind,
+    /// Operations issued.
+    pub ops: u64,
+    /// Operations that completed `Ok`.
+    pub ok_ops: u64,
+    /// Operations that failed with `RpcTimedOut`.
+    pub timed_out_ops: u64,
+    /// Client RPC retransmissions.
+    pub retransmits: u64,
+    /// RPCs abandoned after the retry cap.
+    pub rpc_timeouts: u64,
+    /// Faults injected, in schedule order.
+    pub faults: Vec<FaultKind>,
+    /// Order-sensitive hash of every completion and the final counters;
+    /// equal across runs of the same seed iff the world is deterministic.
+    pub fingerprint: u64,
+    /// Final simulated time, nanoseconds.
+    pub sim_nanos: u64,
+}
+
+/// An invariant violation, carrying everything needed to reproduce it.
+#[derive(Debug, Clone)]
+pub struct OracleFailure {
+    /// The seed that produced the failing run.
+    pub seed: u64,
+    /// Which oracle tripped.
+    pub oracle: &'static str,
+    /// What it saw.
+    pub detail: String,
+}
+
+impl fmt::Display for OracleFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "simtest oracle `{}` failed: {}\n  reproduce with: SIMTEST_SEED={} cargo run -p simtest -- --seed {}",
+            self.oracle, self.detail, self.seed, self.seed
+        )
+    }
+}
+
+impl std::error::Error for OracleFailure {}
+
+/// Derives the full run plan from a seed.
+pub fn plan(seed: u64, batches: usize) -> SimPlan {
+    let mut rng = SimRng::from_seed_and_stream(seed, 0x53_49_4D_54_45_53_54); // "SIMTEST"
+    let transport = if rng.gen_range(0u32..4) == 3 {
+        TransportKind::Tcp
+    } else {
+        TransportKind::Udp
+    };
+    let mut kinds = FaultKind::ALL.to_vec();
+    rng.shuffle(&mut kinds);
+    // One fault per odd batch: with the default 14 batches every run
+    // exercises all six kinds, each followed by a clean recovery batch.
+    let faults = kinds
+        .into_iter()
+        .enumerate()
+        .map(|(i, k)| (1 + 2 * i, k))
+        .filter(|&(b, _)| b < batches)
+        .collect();
+    SimPlan {
+        seed,
+        batches,
+        transport,
+        faults,
+    }
+}
+
+/// Runs one seed with the default plan and options.
+pub fn run_seed(seed: u64) -> Result<RunReport, OracleFailure> {
+    run_plan(&plan(seed, DEFAULT_BATCHES), RunOptions::default())
+}
+
+/// Runs one seed twice and adds the determinism oracle: both runs must
+/// produce the bit-exact same fingerprint.
+pub fn run_seed_checked(seed: u64) -> Result<RunReport, OracleFailure> {
+    let first = run_seed(seed)?;
+    let second = run_seed(seed)?;
+    if first != second {
+        return Err(OracleFailure {
+            seed,
+            oracle: "determinism",
+            detail: format!(
+                "same seed diverged: fingerprints {:#x} vs {:#x}",
+                first.fingerprint, second.fingerprint
+            ),
+        });
+    }
+    Ok(first)
+}
+
+struct IssueRec {
+    tag: u64,
+    at: SimTime,
+}
+
+fn mix(fp: &mut u64, v: u64) {
+    // FNV-1a over the 8 bytes of `v`.
+    for b in v.to_le_bytes() {
+        *fp ^= u64::from(b);
+        *fp = fp.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+}
+
+fn apply_fault(
+    w: &mut NfsWorld,
+    kind: FaultKind,
+    rng: &mut SimRng,
+    transport: TransportKind,
+    base: &WorldConfig,
+) {
+    let now = w.now();
+    match kind {
+        FaultKind::LossBurst => {
+            // A full blackout would spin TCP's internal retransmission
+            // loop forever, so cap loss there; UDP gets real blackouts
+            // half the time, which force RPC timeouts.
+            let loss = match transport {
+                TransportKind::Udp => {
+                    if rng.chance(0.5) {
+                        1.0
+                    } else {
+                        0.3
+                    }
+                }
+                TransportKind::Tcp => 0.15,
+            };
+            w.set_link_profile(LinkProfile {
+                frame_loss: loss,
+                ..base.link
+            });
+        }
+        FaultKind::LinkDegrade => {
+            w.set_link_profile(LinkProfile {
+                bandwidth: base.link.bandwidth / 50.0,
+                latency: SimDuration::from_micros(900),
+                jitter: 1e-3,
+                ..base.link
+            });
+        }
+        FaultKind::ServerStall => {
+            let ms = rng.gen_range(50u64..400);
+            w.stall_server(now, SimDuration::from_millis(ms));
+        }
+        FaultKind::NfsdResize => {
+            w.set_nfsds(now, rng.gen_range(1usize..3));
+        }
+        FaultKind::NfsiodResize => {
+            let n = if rng.chance(0.5) { 0 } else { 1 };
+            w.set_nfsiods(n);
+        }
+        FaultKind::CacheFlush => {
+            w.flush_all_caches();
+        }
+    }
+}
+
+/// Executes a plan and checks every oracle. Returns the report of a clean
+/// run, or the first invariant violation.
+#[allow(clippy::too_many_lines)]
+pub fn run_plan(plan: &SimPlan, opts: RunOptions) -> Result<RunReport, OracleFailure> {
+    let seed = plan.seed;
+    let fail = |oracle: &'static str, detail: String| OracleFailure {
+        seed,
+        oracle,
+        detail,
+    };
+
+    let base = WorldConfig {
+        transport: plan.transport,
+        ..WorldConfig::default()
+    };
+    let mut rng = SimRng::from_seed_and_stream(seed, 0x574F_524B_4C44); // "WORKLD"
+    let fs = Rig::scsi(1).build_fs(seed);
+    let mut w = NfsWorld::new(base, fs, seed);
+    let fhs: Vec<FileHandle> = (0..FILES)
+        .map(|_| w.create_file(FILE_BLOCKS * BS))
+        .collect();
+    let mut cursors = [0u64; FILES];
+
+    let mut issued: BTreeMap<OpId, IssueRec> = BTreeMap::new();
+    let mut completed: HashSet<OpId> = HashSet::new();
+    let mut predicted_demand = 0u64;
+    let mut ok_ops = 0u64;
+    let mut timed_out_ops = 0u64;
+    let mut next_tag = 0u64;
+    let mut fp = 0xcbf2_9ce4_8422_2325u64;
+    let mut last_now = SimTime::ZERO;
+    let mut steps = 0u64;
+    let mut fault_active = false;
+    let mut fault_log = Vec::new();
+
+    for batch in 0..plan.batches {
+        // Revert the previous batch's fault: restore the baseline link
+        // and pool sizes (a stall simply expires; a flush is one-shot).
+        if fault_active {
+            let now = w.now();
+            w.set_link_profile(base.link);
+            w.set_nfsds(now, base.nfsds);
+            w.set_nfsiods(base.nfsiods);
+            fault_active = false;
+        }
+
+        // Issue this batch's operations, predicting which blocks must be
+        // fetched by a demand RPC (the block-conservation oracle's books).
+        let now = w.now();
+        let n_ops = rng.gen_range(4usize..10);
+        for _ in 0..n_ops {
+            let f = rng.gen_range(0usize..FILES);
+            let fh = fhs[f];
+            let tag = next_tag;
+            next_tag += 1;
+            let id = match rng.gen_range(0u32..10) {
+                0 => {
+                    let blk = rng.gen_range(0u64..FILE_BLOCKS);
+                    w.write(now, fh, blk * BS, BS, tag)
+                }
+                1 => w.getattr(now, fh, tag),
+                _ => {
+                    let len_blocks = rng.gen_range(1u64..4);
+                    let start = if rng.chance(0.7) {
+                        cursors[f]
+                    } else {
+                        rng.gen_range(0u64..FILE_BLOCKS)
+                    }
+                    .min(FILE_BLOCKS - len_blocks);
+                    cursors[f] = (start + len_blocks) % FILE_BLOCKS;
+                    for blk in start..start + len_blocks {
+                        if w.block_state(fh, blk) == BlockState::Absent {
+                            predicted_demand += 1;
+                        }
+                    }
+                    w.read(now, fh, start * BS, len_blocks * BS, tag)
+                }
+            };
+            issued.insert(id, IssueRec { tag, at: now });
+        }
+
+        // Inject this batch's fault while those operations are in flight.
+        for &(b, kind) in &plan.faults {
+            if b == batch {
+                apply_fault(&mut w, kind, &mut rng, plan.transport, &base);
+                fault_active = true;
+                fault_log.push(kind);
+            }
+        }
+        if batch == 1 && opts.sabotage_replies > 0 {
+            w.sabotage_drop_next_replies(opts.sabotage_replies);
+        }
+
+        // Drain to quiescence, checking per-event oracles.
+        while let Some(t) = w.next_event() {
+            steps += 1;
+            if steps > STEP_BUDGET {
+                return Err(fail(
+                    "bounded-progress",
+                    format!(
+                        "event budget exhausted in batch {batch}; outstanding xids {:?}",
+                        w.outstanding_xids()
+                    ),
+                ));
+            }
+            if t < last_now {
+                return Err(fail(
+                    "monotone-time",
+                    format!("event time regressed: {t} after {last_now}"),
+                ));
+            }
+            last_now = t;
+            for d in w.advance(t) {
+                if !completed.insert(d.id) {
+                    return Err(fail(
+                        "op-accounting",
+                        format!("operation {:?} completed twice", d.id),
+                    ));
+                }
+                let Some(rec) = issued.get(&d.id) else {
+                    return Err(fail(
+                        "op-accounting",
+                        format!("completion for never-issued operation {:?}", d.id),
+                    ));
+                };
+                if d.tag != rec.tag {
+                    return Err(fail(
+                        "op-accounting",
+                        format!(
+                            "operation {:?} returned tag {} != issued {}",
+                            d.id, d.tag, rec.tag
+                        ),
+                    ));
+                }
+                if d.done_at < rec.at {
+                    return Err(fail(
+                        "monotone-time",
+                        format!(
+                            "operation {:?} finished at {} before issue at {}",
+                            d.id, d.done_at, rec.at
+                        ),
+                    ));
+                }
+                let outcome_code = match d.outcome {
+                    OpOutcome::Ok => {
+                        ok_ops += 1;
+                        0
+                    }
+                    OpOutcome::RpcTimedOut { xid } => {
+                        timed_out_ops += 1;
+                        u64::from(xid) << 1 | 1
+                    }
+                };
+                mix(&mut fp, d.id.0);
+                mix(&mut fp, d.tag);
+                mix(&mut fp, d.done_at.as_nanos());
+                mix(&mut fp, outcome_code);
+            }
+        }
+
+        // Quiescent with operations still open: something is stuck.
+        if !w.outstanding_ops().is_empty() {
+            return Err(fail(
+                "no-stuck-ops",
+                format!(
+                    "batch {batch} quiesced with operations {:?} hung on xids {:?}",
+                    w.outstanding_ops(),
+                    w.outstanding_xids()
+                ),
+            ));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // End-of-run oracles.
+    // ------------------------------------------------------------------
+    let c = w.client_stats();
+    let s = w.server_stats();
+    let c2s = w.c2s_stats();
+    let s2c = w.s2c_stats();
+
+    if issued.len() != completed.len() {
+        let hung: Vec<&OpId> = issued.keys().filter(|id| !completed.contains(id)).collect();
+        return Err(fail(
+            "no-stuck-ops",
+            format!(
+                "{} operations never completed: {:?}; outstanding xids {:?}",
+                hung.len(),
+                hung,
+                w.outstanding_xids()
+            ),
+        ));
+    }
+    if !w.outstanding_xids().is_empty() {
+        return Err(fail(
+            "no-stuck-ops",
+            format!("xids {:?} never retired", w.outstanding_xids()),
+        ));
+    }
+
+    // Block conservation: every predicted demand miss produced exactly one
+    // READ RPC, and every other READ RPC was a read-ahead.
+    if c.rpcs != predicted_demand + c.readahead_rpcs {
+        return Err(fail(
+            "block-conservation",
+            format!(
+                "READ RPCs {} != predicted demand misses {} + read-aheads {}",
+                c.rpcs, predicted_demand, c.readahead_rpcs
+            ),
+        ));
+    }
+
+    // RPC conservation: link counters reconcile with both endpoints'
+    // books. On TCP the link's `messages` includes internal segment
+    // retransmissions, so only delivery counts are exact there.
+    if plan.transport == TransportKind::Udp {
+        if c.transmissions != c2s.messages {
+            return Err(fail(
+                "rpc-conservation",
+                format!(
+                    "client transmissions {} != c2s link messages {}",
+                    c.transmissions, c2s.messages
+                ),
+            ));
+        }
+        if s.replies != s2c.messages {
+            return Err(fail(
+                "reply-conservation",
+                format!(
+                    "server replies {} != s2c link messages {}",
+                    s.replies, s2c.messages
+                ),
+            ));
+        }
+    }
+    let delivered_calls = c2s.messages - c2s.lost;
+    let accepted = s.reads + s.other_calls + s.duplicates_dropped + s.orphan_calls;
+    if delivered_calls != accepted {
+        return Err(fail(
+            "rpc-conservation",
+            format!(
+                "calls delivered {delivered_calls} != server arrivals {accepted} \
+                 (reads {} + other {} + duplicates {} + orphans {})",
+                s.reads, s.other_calls, s.duplicates_dropped, s.orphan_calls
+            ),
+        ));
+    }
+    let delivered_replies = s2c.messages - s2c.lost;
+    if c.replies_received + c.duplicate_replies != delivered_replies {
+        return Err(fail(
+            "reply-conservation",
+            format!(
+                "replies delivered {delivered_replies} != client arrivals {} + duplicates {}",
+                c.replies_received, c.duplicate_replies
+            ),
+        ));
+    }
+    // Server-side conservation: every accepted call is replied to or
+    // dropped as stale after acceptance.
+    if s.replies + s.stale_drops != s.reads + s.other_calls {
+        return Err(fail(
+            "server-conservation",
+            format!(
+                "replies {} + stale drops {} != reads {} + other calls {}",
+                s.replies, s.stale_drops, s.reads, s.other_calls
+            ),
+        ));
+    }
+
+    for v in [
+        c.ops,
+        c.rpcs,
+        c.readahead_rpcs,
+        c.retransmits,
+        c.rpc_timeouts,
+        c.transmissions,
+        s.reads,
+        s.replies,
+        s.reordered,
+        last_now.as_nanos(),
+    ] {
+        mix(&mut fp, v);
+    }
+
+    Ok(RunReport {
+        seed,
+        transport: plan.transport,
+        ops: c.ops,
+        ok_ops,
+        timed_out_ops,
+        retransmits: c.retransmits,
+        rpc_timeouts: c.rpc_timeouts,
+        faults: fault_log,
+        fingerprint: fp,
+        sim_nanos: last_now.as_nanos(),
+    })
+}

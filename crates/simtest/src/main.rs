@@ -1,0 +1,88 @@
+//! Seed-sweep driver for the simulation-test harness.
+//!
+//! ```text
+//! cargo run -p simtest --release -- --seeds 200      # sweep seeds 0..200
+//! cargo run -p simtest --release -- --seed 17        # one seed, verbose
+//! SIMTEST_SEED=17 cargo run -p simtest --release     # same, via env
+//! cargo run -p simtest -- --seeds 50 --start 1000    # shifted sweep
+//! ```
+//!
+//! Every seed is run twice (the determinism oracle compares fingerprints).
+//! The first oracle failure prints a one-line reproduction command and
+//! exits non-zero.
+
+use std::process::ExitCode;
+
+use simtest::{run_seed_checked, FaultKind};
+
+fn parse_flag(args: &[String], name: &str) -> Option<u64> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let env_seed = std::env::var("SIMTEST_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok());
+    let single = parse_flag(&args, "--seed").or(env_seed);
+    let start = parse_flag(&args, "--start").unwrap_or(0);
+    let count = parse_flag(&args, "--seeds").unwrap_or(16);
+
+    let seeds: Vec<u64> = match single {
+        Some(s) => vec![s],
+        None => (start..start + count).collect(),
+    };
+
+    let mut failures = 0u64;
+    let mut total_ops = 0u64;
+    let mut total_timeouts = 0u64;
+    let mut kinds_seen: Vec<FaultKind> = Vec::new();
+    for &seed in &seeds {
+        match run_seed_checked(seed) {
+            Ok(r) => {
+                total_ops += r.ops;
+                total_timeouts += r.timed_out_ops;
+                for k in &r.faults {
+                    if !kinds_seen.contains(k) {
+                        kinds_seen.push(*k);
+                    }
+                }
+                let faults: Vec<&str> = r.faults.iter().map(|k| k.label()).collect();
+                println!(
+                    "seed {:>6} [{:?}] ops={:<4} ok={:<4} timeout={:<3} retx={:<4} rpc_to={:<3} sim={:>8.1}s fp={:#018x} faults={}",
+                    r.seed,
+                    r.transport,
+                    r.ops,
+                    r.ok_ops,
+                    r.timed_out_ops,
+                    r.retransmits,
+                    r.rpc_timeouts,
+                    r.sim_nanos as f64 / 1e9,
+                    r.fingerprint,
+                    faults.join(",")
+                );
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                failures += 1;
+            }
+        }
+    }
+    let labels: Vec<&str> = kinds_seen.iter().map(|k| k.label()).collect();
+    println!(
+        "swept {} seed(s): {} failed, {} ops, {} timed out, fault kinds exercised: {}",
+        seeds.len(),
+        failures,
+        total_ops,
+        total_timeouts,
+        labels.join(",")
+    );
+    if failures > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

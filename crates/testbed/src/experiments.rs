@@ -193,12 +193,7 @@ pub fn fig3_fairness(scale: Scale, seed: u64) -> Figure {
     }
 }
 
-fn nfs_figure(
-    scale: Scale,
-    seed: u64,
-    title: &str,
-    transport: TransportKind,
-) -> Figure {
+fn nfs_figure(scale: Scale, seed: u64, title: &str, transport: TransportKind) -> Figure {
     let base = WorldConfig {
         transport,
         ..WorldConfig::default()
@@ -256,7 +251,8 @@ pub fn fig6_readahead_potential(scale: Scale, seed: u64) -> Figure {
         .iter()
         .map(|(cfg, label)| {
             throughput_series(scale, label, |n, r| {
-                let mut b = NfsBench::new(Rig::ide(1), *cfg, scale.readers, scale.total_mb, seed + r);
+                let mut b =
+                    NfsBench::new(Rig::ide(1), *cfg, scale.readers, scale.total_mb, seed + r);
                 b.run(n).throughput_mbs
             })
         })
@@ -299,7 +295,8 @@ pub fn fig7_slowdown_nfsheur(scale: Scale, seed: u64) -> Figure {
         .iter()
         .map(|(cfg, label)| {
             throughput_series(scale, label, |n, r| {
-                let mut b = NfsBench::new(Rig::ide(1), *cfg, scale.readers, scale.total_mb, seed + r);
+                let mut b =
+                    NfsBench::new(Rig::ide(1), *cfg, scale.readers, scale.total_mb, seed + r);
                 b.run(n).throughput_mbs
             })
         })
@@ -322,9 +319,17 @@ pub fn fig8_table1_stride(scale: Scale, seed: u64) -> Figure {
         ..WorldConfig::default()
     };
     let configs = [
-        (Rig::scsi(1), mk(ReadaheadPolicy::cursor()), "scsi1 / Cursor"),
+        (
+            Rig::scsi(1),
+            mk(ReadaheadPolicy::cursor()),
+            "scsi1 / Cursor",
+        ),
         (Rig::ide(1), mk(ReadaheadPolicy::cursor()), "ide1 / Cursor"),
-        (Rig::scsi(1), mk(ReadaheadPolicy::Default), "scsi1 / default"),
+        (
+            Rig::scsi(1),
+            mk(ReadaheadPolicy::Default),
+            "scsi1 / default",
+        ),
         (Rig::ide(1), mk(ReadaheadPolicy::Default), "ide1 / default"),
     ];
     let series = configs

@@ -50,7 +50,10 @@ impl LocalBench {
         let mut rng = SimRng::from_seed_and_stream(seed, 0xF11E);
         let mut file_sets = HashMap::new();
         for &n in reader_counts {
-            assert!(n > 0 && total_mb.is_multiple_of(n as u64), "reader count {n} must divide {total_mb}");
+            assert!(
+                n > 0 && total_mb.is_multiple_of(n as u64),
+                "reader count {n} must divide {total_mb}"
+            );
             let per = total_mb / n as u64 * 1024 * 1024;
             let inos: Vec<u64> = (0..n).map(|_| fs.create_file(per, &mut rng)).collect();
             file_sets.insert(n, inos);
@@ -219,7 +222,10 @@ mod tests {
         let a = b.run(2).throughput_mbs;
         let c = b.run(2).throughput_mbs;
         let ratio = (a - c).abs() / a;
-        assert!(ratio < 0.05, "cache flush makes reruns comparable: {a} vs {c}");
+        assert!(
+            ratio < 0.05,
+            "cache flush makes reruns comparable: {a} vs {c}"
+        );
     }
 
     #[test]

@@ -80,11 +80,11 @@ pub fn run_mixed(
 
     let mut bytes_read = 0u64;
     let issue = |world: &mut NfsWorld,
-                     p: &mut Proc,
-                     rng: &mut SimRng,
-                     now: SimTime,
-                     i: usize,
-                     bytes_read: &mut u64| {
+                 p: &mut Proc,
+                 rng: &mut SimRng,
+                 now: SimTime,
+                 i: usize,
+                 bytes_read: &mut u64| {
         let roll = rng.gen_range(0u32..100);
         if roll < mix.write_pct {
             let blk = rng.gen_range(0..nblocks);

@@ -109,13 +109,19 @@ impl NfsBench {
                     continue;
                 }
                 let issue_at = done.done_at + PROC_READ_CPU;
-                self.world.read(issue_at, p.fh, p.offset, READ_BYTES, i as u64);
+                self.world
+                    .read(issue_at, p.fh, p.offset, READ_BYTES, i as u64);
                 p.offset += READ_BYTES;
             }
         }
         let mut completion_secs: Vec<f64> = procs
             .iter()
-            .map(|p| p.finished.expect("all finished").saturating_since(start).as_secs_f64())
+            .map(|p| {
+                p.finished
+                    .expect("all finished")
+                    .saturating_since(start)
+                    .as_secs_f64()
+            })
             .collect();
         completion_secs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
         let elapsed = *completion_secs.last().expect("non-empty");

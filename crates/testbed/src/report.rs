@@ -30,7 +30,10 @@ impl Figure {
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!("== {} ==\n", self.title));
-        out.push_str(&format!("y: {} (mean over runs, stddev in parens)\n", self.y_label));
+        out.push_str(&format!(
+            "y: {} (mean over runs, stddev in parens)\n",
+            self.y_label
+        ));
         let mut xs: Vec<u64> = self
             .series
             .iter()
@@ -82,10 +85,7 @@ mod tests {
             y_label: "MB/s".into(),
             series: vec![Series {
                 label: "ide1".into(),
-                points: vec![
-                    (1, Summary::of(&[10.0, 12.0])),
-                    (2, Summary::of(&[8.0])),
-                ],
+                points: vec![(1, Summary::of(&[10.0, 12.0])), (2, Summary::of(&[8.0]))],
             }],
         }
     }

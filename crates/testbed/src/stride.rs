@@ -22,7 +22,10 @@ const PROC_READ_CPU: SimDuration = SimDuration::from_micros(15);
 ///
 /// Panics unless `s` divides `nblocks` evenly and `s > 0`.
 pub fn stride_order(nblocks: u64, s: u64) -> Vec<u64> {
-    assert!(s > 0 && nblocks.is_multiple_of(s), "s={s} must divide nblocks={nblocks}");
+    assert!(
+        s > 0 && nblocks.is_multiple_of(s),
+        "s={s} must divide nblocks={nblocks}"
+    );
     let per = nblocks / s;
     let mut order = Vec::with_capacity(nblocks as usize);
     for i in 0..per {
@@ -66,13 +69,11 @@ impl StrideBench {
         let start = self.world.now();
         let mut now = start;
         for &blk in &order {
-            self.world.read(now, self.fh, blk * READ_BYTES, READ_BYTES, blk);
+            self.world
+                .read(now, self.fh, blk * READ_BYTES, READ_BYTES, blk);
             // The stride reader is strictly serial: wait for this read.
             loop {
-                let t = self
-                    .world
-                    .next_event()
-                    .expect("read pending but no events");
+                let t = self.world.next_event().expect("read pending but no events");
                 let done = self.world.advance(t);
                 now = now.max(t);
                 if let Some(d) = done.iter().find(|d| d.tag == blk) {

@@ -50,7 +50,11 @@ pub fn score(
     }
     HeuristicQuality {
         reads,
-        mean_seqcount: if reads == 0 { 0.0 } else { sum as f64 / reads as f64 },
+        mean_seqcount: if reads == 0 {
+            0.0
+        } else {
+            sum as f64 / reads as f64
+        },
         readahead_fraction: if reads == 0 {
             0.0
         } else {
@@ -122,7 +126,12 @@ mod tests {
         );
         let (t, _) = synth::reorder(one_stream, 0.06, &mut rng);
         let d = score(&t, &ReadaheadPolicy::Default, NfsHeurConfig::improved(), 2);
-        let s = score(&t, &ReadaheadPolicy::slowdown(), NfsHeurConfig::improved(), 2);
+        let s = score(
+            &t,
+            &ReadaheadPolicy::slowdown(),
+            NfsHeurConfig::improved(),
+            2,
+        );
         assert!(
             s.readahead_fraction > d.readahead_fraction + 0.05,
             "slowdown {s:?} vs default {d:?}"
@@ -146,7 +155,12 @@ mod tests {
             },
             &mut SimRng::new(4),
         );
-        let small = score(&t, &ReadaheadPolicy::Default, NfsHeurConfig::freebsd_default(), 2);
+        let small = score(
+            &t,
+            &ReadaheadPolicy::Default,
+            NfsHeurConfig::freebsd_default(),
+            2,
+        );
         let big = score(&t, &ReadaheadPolicy::Default, NfsHeurConfig::improved(), 2);
         assert!(small.ejections > 500, "{small:?}");
         assert_eq!(big.ejections, 0, "{big:?}");
@@ -196,8 +210,18 @@ mod tests {
         let mut rng = SimRng::new(7);
         let clean = seq_trace(7);
         let noisy = synth::with_metadata_noise(clean.clone(), 0.3, &mut rng);
-        let qc = score(&clean, &ReadaheadPolicy::slowdown(), NfsHeurConfig::improved(), 2);
-        let qn = score(&noisy, &ReadaheadPolicy::slowdown(), NfsHeurConfig::improved(), 2);
+        let qc = score(
+            &clean,
+            &ReadaheadPolicy::slowdown(),
+            NfsHeurConfig::improved(),
+            2,
+        );
+        let qn = score(
+            &noisy,
+            &ReadaheadPolicy::slowdown(),
+            NfsHeurConfig::improved(),
+            2,
+        );
         assert_eq!(qc.reads, qn.reads, "noise ops are not READs");
         assert!((qc.readahead_fraction - qn.readahead_fraction).abs() < 0.02);
     }

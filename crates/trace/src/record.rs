@@ -168,7 +168,8 @@ mod tests {
     fn sequentiality_of_pure_sequential_trace() {
         let mut t = Trace::new();
         for b in 0..10u64 {
-            t.records.push(TraceRecord::read(b * 100, 1, 7, b * 8_192, 8_192));
+            t.records
+                .push(TraceRecord::read(b * 100, 1, 7, b * 8_192, 8_192));
         }
         // First read has no predecessor; the other nine are sequential.
         assert!((t.arrival_sequentiality() - 0.9).abs() < 1e-9);
@@ -178,8 +179,13 @@ mod tests {
     fn sequentiality_of_random_trace_is_low() {
         let mut t = Trace::new();
         for b in 0..10u64 {
-            t.records
-                .push(TraceRecord::read(b * 100, 1, 7, (b * 7_919) % 100 * 8_192, 8_192));
+            t.records.push(TraceRecord::read(
+                b * 100,
+                1,
+                7,
+                (b * 7_919) % 100 * 8_192,
+                8_192,
+            ));
         }
         assert!(t.arrival_sequentiality() < 0.3);
     }

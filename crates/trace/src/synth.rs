@@ -57,7 +57,13 @@ pub fn sequential(spec: SequentialSpec, rng: &mut SimRng) -> Trace {
 }
 
 /// Generates a single `s`-stride reader over one file (§7's pattern).
-pub fn stride(s: u64, blocks: u64, block_len: u32, inter_arrival_us: f64, rng: &mut SimRng) -> Trace {
+pub fn stride(
+    s: u64,
+    blocks: u64,
+    block_len: u32,
+    inter_arrival_us: f64,
+    rng: &mut SimRng,
+) -> Trace {
     assert!(s > 0 && blocks.is_multiple_of(s), "s must divide blocks");
     let per = blocks / s;
     let mut records = Vec::with_capacity(blocks as usize);
@@ -84,7 +90,13 @@ pub fn random(blocks: u64, accesses: u64, block_len: u32, rng: &mut SimRng) -> T
     for _ in 0..accesses {
         t += rng.exponential(400.0);
         let b = rng.gen_range(0..blocks);
-        records.push(TraceRecord::read(t as u64, 0, 0x3000, b * u64::from(block_len), block_len));
+        records.push(TraceRecord::read(
+            t as u64,
+            0,
+            0x3000,
+            b * u64::from(block_len),
+            block_len,
+        ));
     }
     Trace { records }
 }
@@ -126,8 +138,14 @@ pub fn reorder(mut trace: Trace, swap_prob: f64, rng: &mut SimRng) -> (Trace, u6
         if rng.chance(swap_prob) {
             // Swap arrival order but keep timestamps monotone.
             let (a, b) = (trace.records[i], trace.records[i + 1]);
-            trace.records[i] = TraceRecord { time_us: a.time_us, ..b };
-            trace.records[i + 1] = TraceRecord { time_us: b.time_us, ..a };
+            trace.records[i] = TraceRecord {
+                time_us: a.time_us,
+                ..b
+            };
+            trace.records[i + 1] = TraceRecord {
+                time_us: b.time_us,
+                ..a
+            };
             swaps += 1;
         }
     }
@@ -146,11 +164,7 @@ mod tests {
         assert_eq!(t.file_handles().len(), 8);
         // Per-file offsets are strictly increasing in arrival order.
         for fh in t.file_handles() {
-            let offsets: Vec<u64> = t
-                .reads()
-                .filter(|r| r.fh == fh)
-                .map(|r| r.offset)
-                .collect();
+            let offsets: Vec<u64> = t.reads().filter(|r| r.fh == fh).map(|r| r.offset).collect();
             assert!(offsets.windows(2).all(|w| w[1] > w[0]), "fh {fh:x}");
         }
     }

@@ -30,7 +30,10 @@ fn main() {
     let outer = local(Rig::ide(1));
     let inner = local(Rig::ide(4));
     println!("  ide1 (outer cylinders): {outer:>6.1} MB/s");
-    println!("  ide4 (inner cylinders): {inner:>6.1} MB/s   ({:+.0}%)", (inner / outer - 1.0) * 100.0);
+    println!(
+        "  ide4 (inner cylinders): {inner:>6.1} MB/s   ({:+.0}%)",
+        (inner / outer - 1.0) * 100.0
+    );
     println!("  -> confine benchmarks to a small slice of a big disk (§9.1).");
     println!();
 
@@ -38,7 +41,10 @@ fn main() {
     let tags = local(Rig::scsi(1));
     let no_tags = local(Rig::scsi(1).no_tags());
     println!("  scsi1, tags on (default): {tags:>6.1} MB/s");
-    println!("  scsi1, tags off:          {no_tags:>6.1} MB/s   ({:+.0}%)", (no_tags / tags - 1.0) * 100.0);
+    println!(
+        "  scsi1, tags off:          {no_tags:>6.1} MB/s   ({:+.0}%)",
+        (no_tags / tags - 1.0) * 100.0
+    );
     println!("  -> for concurrent sequential readers the kernel elevator");
     println!("     beats the drive's own (fairer) scheduler (§5.2).");
     println!();

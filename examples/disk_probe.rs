@@ -9,8 +9,8 @@
 //!
 //! Run with: `cargo run --release --example disk_probe`
 
-use nfs_tricks::prelude::*;
 use nfs_tricks::diskmodel::{Disk, DiskRequest};
+use nfs_tricks::prelude::*;
 
 /// Sequentially reads `mb` megabytes starting at `lba`; returns MB/s.
 fn sequential_probe(disk: &mut Disk, lba: u64, mb: u64) -> f64 {

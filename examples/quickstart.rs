@@ -31,18 +31,22 @@ fn main() {
     let mut offset = 0;
     while offset < size {
         world.read(now, fh, offset, 8_192, 0);
-        'wait: loop {
+        loop {
             let t = world.next_event().expect("read in flight");
-            for done in world.advance(t) {
+            if let Some(done) = world.advance(t).first() {
                 now = done.done_at;
-                break 'wait;
+                break;
             }
         }
         offset += 8_192;
     }
 
     let secs = now.as_secs_f64();
-    println!("read {} MB over simulated NFS/UDP in {:.3}s of simulated time", size / (1 << 20), secs);
+    println!(
+        "read {} MB over simulated NFS/UDP in {:.3}s of simulated time",
+        size / (1 << 20),
+        secs
+    );
     println!("throughput: {:.1} MB/s", size as f64 / 1e6 / secs);
     println!();
     println!("client: {:?}", world.client_stats());

@@ -15,7 +15,10 @@ fn main() {
     let file_mb = 32;
     println!("{} MB file over NFS/UDP, single stride reader", file_mb);
     println!();
-    println!("first blocks of the 4-stride order: {:?}", &stride_order(32, 4)[..8]);
+    println!(
+        "first blocks of the 4-stride order: {:?}",
+        &stride_order(32, 4)[..8]
+    );
     println!();
     println!(
         "{:<8} {:>18} {:>18} {:>8}",

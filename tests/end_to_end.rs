@@ -8,11 +8,11 @@ fn read_whole_file(world: &mut NfsWorld, fh: nfsproto::FileHandle, size: u64) ->
     let mut offset = 0;
     while offset < size {
         world.read(now, fh, offset, 8_192, 0);
-        'wait: loop {
+        loop {
             let t = world.next_event().expect("progress");
-            for d in world.advance(t) {
+            if let Some(d) = world.advance(t).first() {
                 now = d.done_at;
-                break 'wait;
+                break;
             }
         }
         offset += 8_192;
@@ -47,7 +47,12 @@ fn every_transport_policy_combination_completes() {
                 policy.label()
             );
             // Conservation: 128 blocks fetched exactly once each.
-            assert_eq!(world.client_stats().rpcs, 128, "{transport:?}/{}", policy.label());
+            assert_eq!(
+                world.client_stats().rpcs,
+                128,
+                "{transport:?}/{}",
+                policy.label()
+            );
         }
     }
 }
@@ -113,7 +118,10 @@ fn lossy_link_still_completes_via_retransmission() {
     let size = 512 * 1024;
     let fh = world.create_file(size);
     read_whole_file(&mut world, fh, size);
-    assert!(world.client_stats().retransmits > 0, "loss must trigger retries");
+    assert!(
+        world.client_stats().retransmits > 0,
+        "loss must trigger retries"
+    );
 }
 
 #[test]

@@ -41,7 +41,10 @@ fn claim_tagged_queues_trap() {
     let mut none1 = LocalBench::new(Rig::scsi(1).no_tags(), &[1], 32, SEED);
     let t1 = tags1.run(1).throughput_mbs;
     let n1 = none1.run(1).throughput_mbs;
-    assert!((t1 / n1 - 1.0).abs() < 0.1, "single reader: {t1:.1} vs {n1:.1}");
+    assert!(
+        (t1 / n1 - 1.0).abs() < 0.1,
+        "single reader: {t1:.1} vs {n1:.1}"
+    );
 }
 
 /// §5.3 / Figure 3: the elevator finishes readers nearly one at a time
@@ -52,7 +55,10 @@ fn claim_elevator_unfair_ncscan_fair_but_slow() {
     let mut elev = LocalBench::new(Rig::ide(1), &[8], 64, SEED);
     let re = elev.run(8);
     let spread_e = re.completion_secs[7] / re.completion_secs[0];
-    assert!((4.0..8.0).contains(&spread_e), "elevator spread {spread_e:.1}");
+    assert!(
+        (4.0..8.0).contains(&spread_e),
+        "elevator spread {spread_e:.1}"
+    );
 
     let rig = Rig::ide(1).with_scheduler(SchedulerKind::NCscan);
     let mut ncs = LocalBench::new(rig, &[8], 64, SEED);
