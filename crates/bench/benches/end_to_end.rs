@@ -7,34 +7,68 @@
 //!
 //! Hand-rolled harness (no external bench crate, so the workspace builds
 //! offline). Run with `cargo bench -p nfs-bench --bench end_to_end`.
+//! Flags: `--test` (one iteration), `--quick` (fewer iterations),
+//! `--json PATH` (machine-readable report), `--baseline PATH` (attach
+//! recorded numbers as `baseline_ns_per_op`).
 
 use std::hint::black_box;
 use std::time::Instant;
 
+use nfs_bench::perf::{BenchResult, PerfReport};
 use nfssim::WorldConfig;
 use readahead_core::{NfsHeurConfig, ReadaheadPolicy};
 use testbed::{LocalBench, NfsBench, Rig, StrideBench};
 
-fn bench(name: &str, iters: u64, mut f: impl FnMut()) {
+fn bench(out: &mut Vec<BenchResult>, name: &str, iters: u64, mut f: impl FnMut()) {
     f(); // Warm-up.
     let start = Instant::now();
     for _ in 0..iters {
         f();
     }
-    let ms = start.elapsed().as_secs_f64() * 1e3 / iters as f64;
+    let elapsed = start.elapsed();
+    let ms = elapsed.as_secs_f64() * 1e3 / iters as f64;
     println!("{name:<32} {ms:>10.2} ms/run   ({iters} iters)");
+    out.push(BenchResult {
+        name: name.to_string(),
+        ns_per_op: elapsed.as_nanos() as f64 / iters as f64,
+        iters,
+        baseline_ns_per_op: None,
+    });
 }
 
 fn main() {
-    let testing = std::env::args().any(|a| a == "--test");
-    let iters = if testing { 1 } else { 10 };
+    let mut testing = false;
+    let mut quick = false;
+    let mut json_out: Option<String> = None;
+    let mut baseline: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--test" => testing = true,
+            "--quick" => quick = true,
+            "--json" => json_out = args.next(),
+            "--baseline" => baseline = args.next(),
+            "--bench" => {}
+            other => eprintln!("# ignoring unknown argument: {other}"),
+        }
+    }
+    let iters = if testing {
+        1
+    } else if quick {
+        3
+    } else {
+        10
+    };
 
-    bench("simulate_local/ide1_4_readers_8mb", iters, || {
+    let mut results = Vec::new();
+    let out = &mut results;
+
+    bench(out, "simulate_local/ide1_4_readers_8mb", iters, || {
         let mut b = LocalBench::new(Rig::ide(1), &[4], 8, 1);
         black_box(b.run(4).throughput_mbs);
     });
 
-    bench("simulate_nfs/udp_4_readers_8mb", iters, || {
+    bench(out, "simulate_nfs/udp_4_readers_8mb", iters, || {
         let mut b = NfsBench::new(Rig::ide(1), WorldConfig::default(), &[4], 8, 1);
         black_box(b.run(4).throughput_mbs);
     });
@@ -44,8 +78,32 @@ fn main() {
         heur: NfsHeurConfig::improved(),
         ..WorldConfig::default()
     };
-    bench("simulate_stride/cursor_s4_8mb", iters, || {
+    bench(out, "simulate_stride/cursor_s4_8mb", iters, || {
         let mut b = StrideBench::new(Rig::scsi(1), cfg, 8, 1);
         black_box(b.run(4));
     });
+
+    let mut report = PerfReport {
+        suite: "e2e".to_string(),
+        mode: if testing {
+            "test"
+        } else if quick {
+            "quick"
+        } else {
+            "full"
+        }
+        .to_string(),
+        benches: results,
+    };
+    if let Some(path) = &baseline {
+        let text = std::fs::read_to_string(path).expect("read baseline report");
+        let base = PerfReport::parse(&text).expect("parse baseline report");
+        for b in &mut report.benches {
+            b.baseline_ns_per_op = base.get(&b.name).map(|r| r.ns_per_op);
+        }
+    }
+    if let Some(path) = &json_out {
+        std::fs::write(path, report.to_json()).expect("write perf json");
+        eprintln!("# wrote {path}");
+    }
 }

@@ -13,12 +13,13 @@ use std::time::Instant;
 use diskmodel::{CacheConfig, DiskRequest, DriveModel, Replacement, SegmentedCache};
 use ffs::BufferCache;
 use iosched::{IoScheduler, QueuedRequest, SchedulerKind};
+use nfs_bench::perf::{BenchResult, PerfReport};
 use nfsproto::{FileHandle, NfsCall, NfsProc, NfsReply, NfsStatus};
 use readahead_core::{HeurRecord, NfsHeur, NfsHeurConfig, ReadaheadPolicy, SharedCursorPool};
 use simcore::{EventQueue, SimRng, SimTime};
 
-/// Times `iters` runs of `f` and prints mean ns/op.
-fn bench(name: &str, iters: u64, mut f: impl FnMut()) {
+/// Times `iters` runs of `f`, prints mean ns/op, and records the result.
+fn bench(out: &mut Vec<BenchResult>, name: &str, iters: u64, mut f: impl FnMut()) {
     // Warm-up.
     for _ in 0..iters.min(1_000) {
         f();
@@ -30,9 +31,15 @@ fn bench(name: &str, iters: u64, mut f: impl FnMut()) {
     let elapsed = start.elapsed();
     let ns = elapsed.as_nanos() as f64 / iters as f64;
     println!("{name:<40} {ns:>12.1} ns/op   ({iters} iters)");
+    out.push(BenchResult {
+        name: name.to_string(),
+        ns_per_op: ns,
+        iters,
+        baseline_ns_per_op: None,
+    });
 }
 
-fn bench_heuristics(iters: u64) {
+fn bench_heuristics(out: &mut Vec<BenchResult>, iters: u64) {
     for policy in [
         ReadaheadPolicy::Default,
         ReadaheadPolicy::Always,
@@ -43,6 +50,7 @@ fn bench_heuristics(iters: u64) {
         let mut off = 0u64;
         let mut clock = 0u64;
         bench(
+            out,
             &format!("heuristic_observe/{}", policy.label()),
             iters,
             || {
@@ -59,19 +67,19 @@ fn bench_heuristics(iters: u64) {
     }
 }
 
-fn bench_nfsheur(iters: u64) {
+fn bench_nfsheur(out: &mut Vec<BenchResult>, iters: u64) {
     let p = ReadaheadPolicy::slowdown();
     let mut t = NfsHeur::new(NfsHeurConfig::freebsd_default());
     t.observe(1, 0, 8_192, &p);
     let mut off = 8_192u64;
-    bench("nfsheur/hit_default_table", iters, || {
+    bench(out, "nfsheur/hit_default_table", iters, || {
         off += 8_192;
         black_box(t.observe(1, off, 8_192, &p));
     });
 
     let mut t = NfsHeur::new(NfsHeurConfig::freebsd_default());
     let mut k = 0u64;
-    bench("nfsheur/thrash_default_table", iters, || {
+    bench(out, "nfsheur/thrash_default_table", iters, || {
         k += 1;
         black_box(t.observe(k % 64, 0, 8_192, &p));
     });
@@ -79,51 +87,56 @@ fn bench_nfsheur(iters: u64) {
     let mut t = NfsHeur::new(NfsHeurConfig::improved());
     let mut k = 0u64;
     let mut off = 0u64;
-    bench("nfsheur/hit_improved_table", iters, || {
+    bench(out, "nfsheur/hit_improved_table", iters, || {
         k += 1;
         off += 8_192;
         black_box(t.observe(k % 32, off, 8_192, &p));
     });
 }
 
-fn bench_shared_pool(iters: u64) {
+fn bench_shared_pool(out: &mut Vec<BenchResult>, iters: u64) {
     let mut pool = SharedCursorPool::new(64, 64 * 1024);
     let mut k = 0u64;
     let mut off = 0u64;
-    bench("shared_pool_observe", iters, || {
+    bench(out, "shared_pool_observe", iters, || {
         k += 1;
         off += 8_192;
         black_box(pool.observe(k % 8, off, 8_192));
     });
 }
 
-fn bench_schedulers(iters: u64) {
+fn bench_schedulers(out: &mut Vec<BenchResult>, iters: u64) {
     for kind in [
         SchedulerKind::Fcfs,
         SchedulerKind::Elevator,
         SchedulerKind::NCscan,
         SchedulerKind::Sstf,
     ] {
-        bench(&format!("iosched_enqueue_dispatch/{kind:?}"), iters, || {
-            let mut s = kind.build();
-            for i in 0..64u64 {
-                s.enqueue(QueuedRequest {
-                    req: DiskRequest::read((i * 7_919) % 1_000_000, 16, i),
-                    queued_at: SimTime::ZERO,
-                    seq: i,
-                });
-            }
-            let mut head = 0;
-            while let Some(q) = s.dispatch(head) {
-                head = q.req.end();
-                black_box(&q);
-            }
-        });
+        bench(
+            out,
+            &format!("iosched_enqueue_dispatch/{kind:?}"),
+            iters,
+            || {
+                let mut s = kind.build();
+                for i in 0..64u64 {
+                    s.enqueue(QueuedRequest {
+                        req: DiskRequest::read((i * 7_919) % 1_000_000, 16, i),
+                        queued_at: SimTime::ZERO,
+                        seq: i,
+                    });
+                }
+                let mut head = 0;
+                while let Some(q) = s.dispatch(head) {
+                    head = q.req.end();
+                    black_box(&q);
+                }
+            },
+        );
     }
 }
 
-fn bench_event_queue(iters: u64) {
-    bench("event_queue_schedule_pop_64", iters, || {
+fn bench_event_queue(out: &mut Vec<BenchResult>, iters: u64) {
+    bench(out, "event_queue_schedule_pop_64", iters, || {
         let mut q: EventQueue<u64> = EventQueue::new();
         for i in 0..64u64 {
             q.schedule_at(SimTime::from_nanos((i * 2_654_435_761) % 1_000_000), i);
@@ -136,7 +149,7 @@ fn bench_event_queue(iters: u64) {
     });
 }
 
-fn bench_xdr(iters: u64) {
+fn bench_xdr(out: &mut Vec<BenchResult>, iters: u64) {
     let fh = FileHandle {
         fsid: 1,
         ino: 42,
@@ -148,10 +161,10 @@ fn bench_xdr(iters: u64) {
         count: 8_192,
     };
     let encoded = call.encode(7);
-    bench("xdr_encode_read_call", iters, || {
+    bench(out, "xdr_encode_read_call", iters, || {
         black_box(call.encode(black_box(7)));
     });
-    bench("xdr_decode_read_call", iters, || {
+    bench(out, "xdr_decode_read_call", iters, || {
         black_box(NfsCall::decode(black_box(&encoded)).expect("valid"));
     });
     let reply = NfsReply::Read {
@@ -160,31 +173,31 @@ fn bench_xdr(iters: u64) {
         eof: false,
     };
     let renc = reply.encode(7);
-    bench("xdr_decode_read_reply", iters, || {
+    bench(out, "xdr_decode_read_reply", iters, || {
         black_box(NfsReply::decode(NfsProc::Read, black_box(&renc)).expect("valid"));
     });
 }
 
-fn bench_buffer_cache(iters: u64) {
+fn bench_buffer_cache(out: &mut Vec<BenchResult>, iters: u64) {
     let mut bc = BufferCache::new(4_096);
     for blk in 0..1_024u64 {
         bc.fill((1, blk));
     }
     let mut blk = 0u64;
-    bench("buffer_cache_hit", iters, || {
+    bench(out, "buffer_cache_hit", iters, || {
         blk = (blk + 1) % 1_024;
         black_box(bc.lookup((1, blk)));
     });
 
     let mut bc = BufferCache::new(256);
     let mut blk = 0u64;
-    bench("buffer_cache_evicting_fill", iters, || {
+    bench(out, "buffer_cache_evicting_fill", iters, || {
         blk += 1;
         bc.fill((1, blk));
     });
 }
 
-fn bench_drive_cache(iters: u64) {
+fn bench_drive_cache(out: &mut Vec<BenchResult>, iters: u64) {
     let mut sc = SegmentedCache::new(
         CacheConfig {
             segments: 16,
@@ -197,14 +210,14 @@ fn bench_drive_cache(iters: u64) {
         sc.insert_after_read(SimTime::ZERO, s * 1_000_000, 128, 70_000.0);
     }
     let mut i = 0u64;
-    bench("segmented_cache_lookup", iters, || {
+    bench(out, "segmented_cache_lookup", iters, || {
         i += 1;
         black_box(sc.lookup(SimTime::from_nanos(i), (i % 16) * 1_000_000, 16));
     });
 }
 
-fn bench_disk_service(iters: u64) {
-    bench("disk_submit_advance_sequential", iters, || {
+fn bench_disk_service(out: &mut Vec<BenchResult>, iters: u64) {
+    bench(out, "disk_submit_advance_sequential", iters, || {
         let mut d = DriveModel::IbmDdysScsi.build(SimRng::new(3));
         let mut lba = 0;
         for i in 0..32u64 {
@@ -217,19 +230,109 @@ fn bench_disk_service(iters: u64) {
     });
 }
 
+/// Flags understood by this harness (all optional, combinable):
+///
+/// * `--test`   — one iteration per case (`cargo test` smoke mode);
+/// * `--quick`  — 10x fewer iterations (CI perf-smoke mode);
+/// * `--json P` — write the measurements to `P` as JSON;
+/// * `--baseline P` — copy `ns_per_op` from the report at `P` into this
+///   run's output as `baseline_ns_per_op` (before/after provenance);
+/// * `--check P` — exit non-zero if any `event_queue*`/`nfsheur*` case
+///   runs more than 3x slower than the report at `P` records.
+struct Options {
+    testing: bool,
+    quick: bool,
+    json_out: Option<String>,
+    baseline: Option<String>,
+    check: Option<String>,
+}
+
+fn parse_options() -> Options {
+    let mut o = Options {
+        testing: false,
+        quick: false,
+        json_out: None,
+        baseline: None,
+        check: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--test" => o.testing = true,
+            "--quick" => o.quick = true,
+            "--json" => o.json_out = args.next(),
+            "--baseline" => o.baseline = args.next(),
+            "--check" => o.check = args.next(),
+            "--bench" => {} // passed through by `cargo bench`
+            other => eprintln!("# ignoring unknown argument: {other}"),
+        }
+    }
+    o
+}
+
+fn load_report(path: &str) -> PerfReport {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read perf report {path}: {e}"));
+    PerfReport::parse(&text).unwrap_or_else(|e| panic!("cannot parse perf report {path}: {e}"))
+}
+
+/// Hot-path cases gated by `--check`; the tentpole's regression fence.
+const GATED_PREFIXES: &[&str] = &["event_queue", "nfsheur"];
+const GATE_FACTOR: f64 = 3.0;
+
 fn main() {
-    // `cargo test` runs bench targets as smoke tests with `--test`; keep
-    // that fast by collapsing to one iteration per case.
-    let testing = std::env::args().any(|a| a == "--test");
-    let fast = if testing { 1 } else { 200_000 };
-    let slow = if testing { 1 } else { 2_000 };
-    bench_heuristics(fast);
-    bench_nfsheur(fast);
-    bench_shared_pool(fast);
-    bench_schedulers(slow);
-    bench_event_queue(slow);
-    bench_xdr(fast);
-    bench_buffer_cache(fast);
-    bench_drive_cache(fast);
-    bench_disk_service(slow);
+    let o = parse_options();
+    let (fast, slow) = if o.testing {
+        (1, 1)
+    } else if o.quick {
+        (20_000, 200)
+    } else {
+        (200_000, 2_000)
+    };
+    let mut results = Vec::new();
+    let out = &mut results;
+    bench_heuristics(out, fast);
+    bench_nfsheur(out, fast);
+    bench_shared_pool(out, fast);
+    bench_schedulers(out, slow);
+    bench_event_queue(out, slow);
+    bench_xdr(out, fast);
+    bench_buffer_cache(out, fast);
+    bench_drive_cache(out, fast);
+    bench_disk_service(out, slow);
+
+    let mut report = PerfReport {
+        suite: "micro".to_string(),
+        mode: if o.testing {
+            "test"
+        } else if o.quick {
+            "quick"
+        } else {
+            "full"
+        }
+        .to_string(),
+        benches: results,
+    };
+    if let Some(path) = &o.baseline {
+        let base = load_report(path);
+        for b in &mut report.benches {
+            b.baseline_ns_per_op = base.get(&b.name).map(|r| r.ns_per_op);
+        }
+    }
+    if let Some(path) = &o.json_out {
+        std::fs::write(path, report.to_json()).expect("write perf json");
+        eprintln!("# wrote {path}");
+    }
+    if let Some(path) = &o.check {
+        let recorded = load_report(path);
+        let violations = report.regressions_vs(&recorded, GATED_PREFIXES, GATE_FACTOR);
+        if violations.is_empty() {
+            eprintln!("# perf gate ok vs {path} (prefixes {GATED_PREFIXES:?}, {GATE_FACTOR}x)");
+        } else {
+            for v in &violations {
+                eprintln!("PERF REGRESSION: {v}");
+            }
+            std::process::exit(1);
+        }
+    }
 }

@@ -73,9 +73,17 @@ fn main() {
         "{:>8} | {:>12} | {:>12} | {:>12}",
         "aging", "default MB/s", "always MB/s", "RA benefit %"
     );
-    for aging in [0.0, 0.1, 0.25, 0.5] {
-        let d = run(aging, ReadaheadPolicy::Default, readers, total_mb);
-        let a = run(aging, ReadaheadPolicy::Always, readers, total_mb);
+    let agings = [0.0, 0.1, 0.25, 0.5];
+    let mut cells = Vec::new();
+    for &aging in &agings {
+        cells.push((aging, ReadaheadPolicy::Default));
+        cells.push((aging, ReadaheadPolicy::Always));
+    }
+    let mbs = simfleet::map_indexed(&cells, |&(aging, policy)| {
+        run(aging, policy, readers, total_mb)
+    });
+    for (i, &aging) in agings.iter().enumerate() {
+        let (d, a) = (mbs[i * 2], mbs[i * 2 + 1]);
         let benefit = (a / d - 1.0) * 100.0;
         println!("{aging:>8.2} | {d:>12.2} | {a:>12.2} | {benefit:>12.1}");
     }

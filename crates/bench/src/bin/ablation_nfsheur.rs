@@ -20,22 +20,25 @@ fn main() {
         "{:>7} {:>7} | {:>12} | {:>10}",
         "slots", "probes", "MB/s", "ejections"
     );
+    let mut cells = Vec::new();
     for slots in [8usize, 16, 64, 256, 1024] {
         for probes in [1usize, 2, 4, 8] {
             if probes > slots {
                 continue;
             }
-            let cfg = WorldConfig {
-                heur: NfsHeurConfig { slots, probes },
-                ..WorldConfig::default()
-            };
-            let mut b = NfsBench::new(Rig::ide(1), cfg, &[readers], total_mb, BASE_SEED);
-            let r = b.run(readers);
-            let ej = b.world().heur().stats().ejections;
-            println!(
-                "{slots:>7} {probes:>7} | {:>12.2} | {ej:>10}",
-                r.throughput_mbs
-            );
+            cells.push((slots, probes));
         }
+    }
+    let rows = simfleet::map_indexed(&cells, |&(slots, probes)| {
+        let cfg = WorldConfig {
+            heur: NfsHeurConfig { slots, probes },
+            ..WorldConfig::default()
+        };
+        let mut b = NfsBench::new(Rig::ide(1), cfg, &[readers], total_mb, BASE_SEED);
+        let r = b.run(readers);
+        (r.throughput_mbs, b.world().heur().stats().ejections)
+    });
+    for (&(slots, probes), &(mbs, ej)) in cells.iter().zip(&rows) {
+        println!("{slots:>7} {probes:>7} | {mbs:>12.2} | {ej:>10}");
     }
 }

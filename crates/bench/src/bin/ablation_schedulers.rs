@@ -19,6 +19,9 @@ fn main() {
         "{:<22} {:<10} | {:>10} | {:>14}",
         "rig", "scheduler", "MB/s", "last/first"
     );
+    // Every (rig, scheduler) cell is an independent run: fan them through
+    // the simfleet pool and print in the original serial order.
+    let mut cells = Vec::new();
     for rig_base in [Rig::ide(1), Rig::scsi(1).no_tags(), Rig::scsi(1)] {
         for kind in [
             SchedulerKind::Fcfs,
@@ -27,22 +30,28 @@ fn main() {
             SchedulerKind::NCscan,
             SchedulerKind::Sstf,
         ] {
-            let rig = rig_base.with_scheduler(kind);
-            let mut b = LocalBench::new(rig, &[readers], per_mb * readers as u64, BASE_SEED);
-            let r = b.run(readers);
-            let spread = r.completion_secs[readers - 1] / r.completion_secs[0];
-            let label = if rig_base.tagged_queues {
-                format!("{} (tags)", rig.label())
-            } else {
-                rig.label()
-            };
-            println!(
-                "{:<22} {:<10} | {:>10.2} | {:>14.2}",
-                label,
-                format!("{kind:?}"),
-                r.throughput_mbs,
-                spread
-            );
+            cells.push((rig_base, kind));
         }
+    }
+    let rows = simfleet::map_indexed(&cells, |(rig_base, kind)| {
+        let rig = rig_base.with_scheduler(*kind);
+        let mut b = LocalBench::new(rig, &[readers], per_mb * readers as u64, BASE_SEED);
+        let r = b.run(readers);
+        let spread = r.completion_secs[readers - 1] / r.completion_secs[0];
+        let label = if rig_base.tagged_queues {
+            format!("{} (tags)", rig.label())
+        } else {
+            rig.label()
+        };
+        (label, r.throughput_mbs, spread)
+    });
+    for ((_, kind), (label, mbs, spread)) in cells.iter().zip(&rows) {
+        println!(
+            "{:<22} {:<10} | {:>10.2} | {:>14.2}",
+            label,
+            format!("{kind:?}"),
+            mbs,
+            spread
+        );
     }
 }

@@ -31,14 +31,15 @@ fn main() {
     // stride on a server sized for 16 handles - the per-handle cap (8)
     // cannot follow 16 subcomponents, the shared pool can because the other
     // handles are idle.
-    for (handles, s, sized_for) in [
+    let scenarios = [
         (4u64, 2u64, 4u64),
         (4, 8, 4),
         (8, 8, 8),
         (16, 4, 16),
         (1, 16, 16),
         (2, 12, 16),
-    ] {
+    ];
+    let rows = simfleet::map_indexed(&scenarios, |&(handles, s, sized_for)| {
         // Equal total memory: per-handle reserves 8 cursors per handle.
         let per_handle_cfg = CursorConfig::default(); // 8 cursors each
         let budget = sized_for as usize * per_handle_cfg.max_cursors;
@@ -61,6 +62,10 @@ fn main() {
                 }
             }
         }
+        (budget, ph_hits, sp_hits, total, pool.live())
+    });
+    for (&(handles, s, _), &(budget, ph_hits, sp_hits, total, live)) in scenarios.iter().zip(&rows)
+    {
         println!(
             "{:>8} {:>8} {:>8} | {:>14.1} | {:>14.1} | {:>12}",
             handles,
@@ -68,7 +73,7 @@ fn main() {
             budget,
             100.0 * ph_hits as f64 / total as f64,
             100.0 * sp_hits as f64 / total as f64,
-            pool.live()
+            live
         );
     }
 }

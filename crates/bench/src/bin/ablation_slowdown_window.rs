@@ -19,7 +19,8 @@ fn main() {
     };
     println!("SlowDown window ablation: ide1, NFS/UDP, busy client, {readers} readers");
     println!("{:>12} | {:>12}", "window", "MB/s");
-    for window_kb in [8u64, 16, 32, 64, 128, 256] {
+    let windows = [8u64, 16, 32, 64, 128, 256];
+    let mbs = simfleet::map_indexed(&windows, |&window_kb| {
         let cfg = WorldConfig {
             policy: ReadaheadPolicy::SlowDown(SlowDownConfig {
                 window_bytes: window_kb * 1024,
@@ -29,7 +30,9 @@ fn main() {
             ..WorldConfig::default()
         };
         let mut b = NfsBench::new(Rig::ide(1), cfg, &[readers], total_mb, BASE_SEED);
-        let r = b.run(readers);
-        println!("{:>10}KB | {:>12.2}", window_kb, r.throughput_mbs);
+        b.run(readers).throughput_mbs
+    });
+    for (&window_kb, &m) in windows.iter().zip(&mbs) {
+        println!("{window_kb:>10}KB | {m:>12.2}");
     }
 }

@@ -47,5 +47,5 @@ pub use policy::{
     CursorConfig, ReadaheadPolicy, SlowDownConfig, DEFAULT_MAX_CURSORS, SLOWDOWN_WINDOW_BYTES,
 };
 pub use pool::{PoolStats, SharedCursorPool};
-pub use record::{Cursor, HeurRecord, SEQCOUNT_INIT, SEQCOUNT_MAX};
+pub use record::{Cursor, CursorVec, HeurRecord, INLINE_CURSORS, SEQCOUNT_INIT, SEQCOUNT_MAX};
 pub use table::{NfsHeur, NfsHeurConfig, NfsHeurStats};

@@ -42,19 +42,121 @@ impl Cursor {
     }
 }
 
+/// Cursors kept inline before spilling to the heap.
+///
+/// Sized to [`crate::DEFAULT_MAX_CURSORS`] so every default-configured
+/// heuristic — including the single-cursor FreeBSD ones — never allocates
+/// per record. The nfsheur table creates and drops records constantly
+/// under handle-eviction churn, so `HeurRecord::fresh` being allocation
+/// free is measurable in the `nfsheur/thrash_*` micro benches.
+pub const INLINE_CURSORS: usize = 8;
+
+/// A small-vector of [`Cursor`]s: up to [`INLINE_CURSORS`] stored inline,
+/// spilling to a heap `Vec` only beyond that (e.g. `max_cursors = 16`
+/// ablations). Dereferences to `[Cursor]`, so call sites index, iterate,
+/// and `position()` exactly as they did over the old `Vec<Cursor>`.
+#[derive(Debug, Clone)]
+pub struct CursorVec {
+    inline: [Cursor; INLINE_CURSORS],
+    len: u8,
+    spill: Vec<Cursor>,
+}
+
+const EMPTY_CURSOR: Cursor = Cursor {
+    next_offset: 0,
+    seqcount: 0,
+    last_use: 0,
+};
+
+impl CursorVec {
+    /// An empty cursor vector (no heap allocation).
+    pub fn new() -> Self {
+        CursorVec {
+            inline: [EMPTY_CURSOR; INLINE_CURSORS],
+            len: 0,
+            spill: Vec::new(),
+        }
+    }
+
+    fn spilled(&self) -> bool {
+        !self.spill.is_empty()
+    }
+
+    /// Appends a cursor, moving all cursors to the heap if the inline
+    /// capacity is exceeded (elements stay contiguous either way).
+    pub fn push(&mut self, c: Cursor) {
+        if self.spilled() {
+            self.spill.push(c);
+        } else if (self.len as usize) < INLINE_CURSORS {
+            self.inline[self.len as usize] = c;
+            self.len += 1;
+        } else {
+            self.spill.reserve(INLINE_CURSORS + 1);
+            self.spill.extend_from_slice(&self.inline);
+            self.spill.push(c);
+            self.len = 0;
+        }
+    }
+}
+
+impl Default for CursorVec {
+    fn default() -> Self {
+        CursorVec::new()
+    }
+}
+
+impl std::ops::Deref for CursorVec {
+    type Target = [Cursor];
+    fn deref(&self) -> &[Cursor] {
+        if self.spilled() {
+            &self.spill
+        } else {
+            &self.inline[..self.len as usize]
+        }
+    }
+}
+
+impl std::ops::DerefMut for CursorVec {
+    fn deref_mut(&mut self) -> &mut [Cursor] {
+        if self.spilled() {
+            &mut self.spill
+        } else {
+            &mut self.inline[..self.len as usize]
+        }
+    }
+}
+
+impl PartialEq for CursorVec {
+    fn eq(&self, other: &Self) -> bool {
+        **self == **other
+    }
+}
+
+impl Eq for CursorVec {}
+
+impl FromIterator<Cursor> for CursorVec {
+    fn from_iter<I: IntoIterator<Item = Cursor>>(iter: I) -> Self {
+        let mut v = CursorVec::new();
+        for c in iter {
+            v.push(c);
+        }
+        v
+    }
+}
+
 /// Heuristic state cached per active file handle in the `nfsheur` table.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HeurRecord {
     /// Active cursors; single-cursor heuristics use only `cursors[0]`.
-    pub cursors: Vec<Cursor>,
+    pub cursors: CursorVec,
 }
 
 impl HeurRecord {
     /// A record for a file first seen with a read ending at `next_offset`.
     pub fn fresh(next_offset: u64, now: u64) -> Self {
-        HeurRecord {
-            cursors: vec![Cursor::fresh(next_offset, now)],
-        }
+        let mut cursors = CursorVec::new();
+        cursors.push(Cursor::fresh(next_offset, now));
+        HeurRecord { cursors }
     }
 
     /// The primary cursor (single-cursor heuristics).
@@ -98,5 +200,29 @@ mod tests {
             last_use: 1,
         });
         assert_eq!(r.max_seqcount(), 55);
+    }
+
+    #[test]
+    fn cursor_vec_spills_past_inline_capacity_and_stays_ordered() {
+        let mut v = CursorVec::new();
+        for i in 0..INLINE_CURSORS as u64 + 5 {
+            v.push(Cursor::fresh(i * 100, i));
+        }
+        assert_eq!(v.len(), INLINE_CURSORS + 5);
+        for (i, c) in v.iter().enumerate() {
+            assert_eq!(c.next_offset, i as u64 * 100);
+        }
+        // Mutation through DerefMut reaches the spilled storage.
+        v[INLINE_CURSORS + 1].seqcount = 9;
+        assert_eq!(v[INLINE_CURSORS + 1].seqcount, 9);
+    }
+
+    #[test]
+    fn cursor_vec_equality_ignores_representation() {
+        let a: CursorVec = (0..3).map(|i| Cursor::fresh(i, 0)).collect();
+        let b: CursorVec = (0..3).map(|i| Cursor::fresh(i, 0)).collect();
+        assert_eq!(a, b);
+        let c: CursorVec = (0..4).map(|i| Cursor::fresh(i, 0)).collect();
+        assert_ne!(a, c);
     }
 }

@@ -202,6 +202,9 @@ pub struct NfsWorld {
     next_xid: u32,
     next_op: u64,
     client_stats: ClientStats,
+    /// Retired call-encoding buffers, recycled by [`NfsWorld::issue_call`]
+    /// so the per-RPC marshal path stops allocating once warm.
+    buf_pool: Vec<Vec<u8>>,
 
     // Server state.
     fs: FileSystem,
@@ -217,6 +220,10 @@ pub struct NfsWorld {
     server_cpu_free: SimTime,
     arrived_seq: HashMap<u64, u64>,
     server_stats: ServerStats,
+    /// Reply-encoding scratch buffer, reused across every reply the server
+    /// sends (replies are encoded, size-checked, and dropped — only their
+    /// wire size travels — so one buffer serves the whole run).
+    reply_scratch: Vec<u8>,
     /// Test hook: number of upcoming replies to count but not transmit.
     sabotage_drop_replies: u32,
 }
@@ -245,6 +252,7 @@ impl NfsWorld {
             next_xid: 1,
             next_op: 0,
             client_stats: ClientStats::default(),
+            buf_pool: Vec::new(),
             fs,
             fsid: 1,
             heur: NfsHeur::new(config.heur),
@@ -255,6 +263,7 @@ impl NfsWorld {
             server_cpu_free: SimTime::ZERO,
             arrived_seq: HashMap::new(),
             server_stats: ServerStats::default(),
+            reply_scratch: Vec::new(),
             sabotage_drop_replies: 0,
             rng,
             config,
@@ -342,11 +351,14 @@ impl NfsWorld {
         self.server_cpu_free = self.server_cpu_free.max(now + dur);
     }
 
-    /// Resizes the `nfsd` pool at runtime (clamped to ≥ 1). Growing the
-    /// pool immediately drains queued calls; shrinking lets busy daemons
-    /// finish and simply stops refilling above the new cap.
+    /// Resizes the `nfsd` pool at runtime. Growing the pool immediately
+    /// drains queued calls; shrinking lets busy daemons finish and simply
+    /// stops refilling above the new cap. Zero is legal and models a total
+    /// server outage: every arriving call queues and nothing is served
+    /// until the pool is grown again (UDP clients retransmit and time out;
+    /// TCP clients wait indefinitely).
     pub fn set_nfsds(&mut self, now: SimTime, count: usize) {
-        self.nfsd_total = count.max(1);
+        self.nfsd_total = count;
         self.drain_call_queue(now);
     }
 
@@ -672,14 +684,24 @@ impl NfsWorld {
         self.issue_call(send_at, NfsCall::Read { fh, offset, count });
     }
 
+    /// Caps the recycled-buffer pool; beyond this, retired buffers drop.
+    const BUF_POOL_MAX: usize = 256;
+
+    fn recycle_buf(&mut self, buf: Vec<u8>) {
+        if self.buf_pool.len() < Self::BUF_POOL_MAX && buf.capacity() > 0 {
+            self.buf_pool.push(buf);
+        }
+    }
+
     fn issue_call(&mut self, send_at: SimTime, call: NfsCall) -> u32 {
         let xid = self.next_xid;
         self.next_xid = self.next_xid.wrapping_add(1).max(1);
         let ino = call.fh().ino;
         let f = self.files.get_mut(&ino).expect("mounted");
         f.submit_counter += 1;
+        let scratch = self.buf_pool.pop().unwrap_or_default();
         let rpc = Rpc {
-            encoded: call.encode(xid),
+            encoded: call.encode_into(xid, scratch),
             call,
             submit_seq: f.submit_counter,
             attempt: 0,
@@ -746,7 +768,8 @@ impl NfsWorld {
     /// blocks it was fetching (so later reads can retry them), and fail
     /// every operation that was waiting on it.
     fn rpc_timed_out(&mut self, at: SimTime, xid: u32) {
-        let rpc = self.rpcs.remove(&xid).expect("caller checked presence");
+        let Rpc { call, encoded, .. } = self.rpcs.remove(&xid).expect("caller checked presence");
+        self.recycle_buf(encoded);
         self.client_stats.rpc_timeouts += 1;
         let done = at + SimDuration::from_secs_f64(self.cpu.client_complete);
         if let Some(id) = self.rpc_waiters.remove(&xid) {
@@ -756,7 +779,7 @@ impl NfsWorld {
             }
             return;
         }
-        let NfsCall::Read { fh, offset, count } = rpc.call else {
+        let NfsCall::Read { fh, offset, count } = call else {
             return;
         };
         let rsize = u64::from(self.config.rsize);
@@ -793,9 +816,8 @@ impl NfsWorld {
             return;
         }
         self.client_stats.replies_received += 1;
-        rpc.outstanding = false;
-        let call = rpc.call.clone();
-        self.rpcs.remove(&xid);
+        let Rpc { call, encoded, .. } = self.rpcs.remove(&xid).expect("just observed");
+        self.recycle_buf(encoded);
         if let Some(id) = self.rpc_waiters.remove(&xid) {
             // A non-READ operation (or a directly-awaited RPC) completes.
             let done = at + SimDuration::from_secs_f64(self.cpu.client_complete);
@@ -954,9 +976,12 @@ impl NfsWorld {
             }
         };
         self.server_stats.replies += 1;
-        // Exercise the codec: encode the reply as it would go on the wire.
-        let encoded = reply.encode(xid);
+        // Exercise the codec: encode the reply as it would go on the wire,
+        // into a scratch buffer reused across all replies.
+        let scratch = std::mem::take(&mut self.reply_scratch);
+        let encoded = reply.encode_into(xid, scratch);
         debug_assert!(!encoded.is_empty());
+        self.reply_scratch = encoded;
         if self.sabotage_drop_replies > 0 {
             // Mutation-check hook: the books say "replied" but the wire
             // never sees it.
@@ -1465,6 +1490,49 @@ mod tests {
         }
         let done = drain_all(&mut w);
         assert_eq!(done.len(), 6);
+        let s = w.server_stats();
+        assert_eq!(s.replies + s.stale_drops, s.reads + s.other_calls);
+    }
+
+    #[test]
+    fn zero_nfsds_is_a_total_outage_until_pool_restored() {
+        // ROADMAP item: a zero-nfsd window queues everything and serves
+        // nothing. On UDP the client retransmits into the void and times
+        // out; restoring the pool drops the abandoned queue entries as
+        // stale and serves fresh work normally.
+        let mut cfg = WorldConfig {
+            retransmit_timeout: SimDuration::from_millis(20),
+            ..WorldConfig::default()
+        };
+        cfg.client_readahead_blocks = 0;
+        let mut w = make_world(cfg, 41);
+        let fh = w.create_file(256 * 1024);
+        w.set_nfsds(SimTime::ZERO, 0);
+        assert_eq!(w.nfsds(), 0);
+        for i in 0..3u64 {
+            w.read(SimTime::ZERO, fh, i * 8_192, 8_192, i);
+        }
+        let done = drain_all(&mut w);
+        assert_eq!(done.len(), 3, "{done:?}");
+        assert!(
+            done.iter()
+                .all(|d| matches!(d.outcome, OpOutcome::RpcTimedOut { .. })),
+            "an outage window must surface typed timeouts: {done:?}"
+        );
+        assert_eq!(w.server_stats().replies, 0, "nothing may be served");
+        assert!(w.outstanding_ops().is_empty());
+        // Restore the pool: queued-but-abandoned calls drop as stale, and
+        // a second wave completes normally.
+        let now = w.now();
+        w.set_nfsds(now, 4);
+        let _ = drain_all(&mut w);
+        let now = w.now();
+        for i in 0..3u64 {
+            w.read(now, fh, i * 8_192, 8_192, 10 + i);
+        }
+        let done = drain_all(&mut w);
+        assert_eq!(done.len(), 3);
+        assert!(done.iter().all(|d| d.outcome.is_ok()), "{done:?}");
         let s = w.server_stats();
         assert_eq!(s.replies + s.stale_drops, s.reads + s.other_calls);
     }

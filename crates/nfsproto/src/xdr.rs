@@ -52,6 +52,16 @@ impl XdrEncoder {
         XdrEncoder::default()
     }
 
+    /// Creates an encoder that appends into `buf`, reusing its capacity.
+    ///
+    /// The buffer is cleared first; its allocation is kept, so encoding a
+    /// message into a recycled buffer does no heap allocation once the
+    /// buffer has grown to the message size.
+    pub fn into_buf(mut buf: Vec<u8>) -> Self {
+        buf.clear();
+        XdrEncoder { buf }
+    }
+
     /// Finishes encoding, returning the buffer.
     pub fn finish(self) -> Vec<u8> {
         self.buf

@@ -1,0 +1,206 @@
+//! Deterministic parallel run execution.
+//!
+//! Every experiment in this workspace is a set of *independent* simulation
+//! runs — one per (seed, configuration) cell — whose results are then folded
+//! into figures, tables, and fingerprints in a fixed order. The runs share
+//! no state (each builds its own `NfsWorld` from plain-data configs and a
+//! seed), so they can execute on any thread in any order; only the *fold*
+//! order matters for bit-reproducibility.
+//!
+//! [`run_indexed`] exploits exactly that split: it executes the jobs on a
+//! work-stealing pool of scoped threads, but returns the results in a `Vec`
+//! indexed by job number. Callers fold that `Vec` in the same order the old
+//! serial loop used, so every downstream byte — figure cells, table rows,
+//! simtest fingerprints — is identical whether the jobs ran on one thread
+//! or sixteen. The determinism argument is spelled out in DESIGN.md §9.
+//!
+//! Threading is std-only (scoped threads, atomics, channels) and confined
+//! to this crate; the simulator itself stays single-threaded per run.
+//!
+//! The pool width comes from, in priority order:
+//!
+//! 1. [`set_jobs_override`] (tests pin `jobs=1` vs `jobs=N` side by side);
+//! 2. the `NFS_BENCH_JOBS` environment variable (`1` = serial, exactly the
+//!    pre-`simfleet` behaviour);
+//! 3. [`std::thread::available_parallelism`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Environment variable naming the number of worker threads.
+pub const JOBS_ENV: &str = "NFS_BENCH_JOBS";
+
+/// `0` = no override; otherwise the override value (set by tests).
+static JOBS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the pool width for the current process, taking precedence
+/// over `NFS_BENCH_JOBS` and the detected core count. `None` removes the
+/// override. Intended for tests that compare `jobs=1` against `jobs=N`
+/// without touching the process environment.
+pub fn set_jobs_override(jobs: Option<usize>) {
+    JOBS_OVERRIDE.store(jobs.unwrap_or(0), Ordering::SeqCst);
+}
+
+/// Resolves the worker-pool width (always ≥ 1): the test override, else
+/// `NFS_BENCH_JOBS`, else available parallelism.
+pub fn jobs() -> usize {
+    let o = JOBS_OVERRIDE.load(Ordering::SeqCst);
+    if o > 0 {
+        return o;
+    }
+    if let Ok(v) = std::env::var(JOBS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Runs `f(0), f(1), …, f(n - 1)` and returns the results in index order.
+///
+/// With `jobs() == 1` (or `n <= 1`) this is a plain serial loop on the
+/// calling thread — bit-for-bit the pre-`simfleet` execution. Otherwise a
+/// scoped-thread pool pulls job indices from a shared atomic counter
+/// (work stealing: fast jobs free their thread for slow ones), sends each
+/// `(index, result)` over a channel, and the results are written into
+/// their slots. Because results are *keyed by index*, the returned `Vec`
+/// is independent of scheduling; callers that fold it left-to-right
+/// reproduce the serial output exactly.
+///
+/// # Panics
+///
+/// Panics if any job panics (the panic is propagated after the scope
+/// joins all workers).
+pub fn run_indexed<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let width = jobs().min(n.max(1));
+    if width <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, T)>();
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    std::thread::scope(|scope| {
+        for _ in 0..width {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let out = f(i);
+                if tx.send((i, out)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        for (i, out) in rx {
+            slots[i] = Some(out);
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every job index sends exactly once"))
+        .collect()
+}
+
+/// Maps `f` over `items`, in parallel, preserving input order in the
+/// output. Convenience wrapper over [`run_indexed`] for the common
+/// "cells of an experiment matrix" shape.
+pub fn map_indexed<I, T, F>(items: &[I], f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    run_indexed(items.len(), |i| f(&items[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serialize tests that touch the process-global override.
+    static OVERRIDE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn with_jobs<R>(jobs: usize, f: impl FnOnce() -> R) -> R {
+        let _g = OVERRIDE_LOCK.lock().unwrap();
+        set_jobs_override(Some(jobs));
+        let r = f();
+        set_jobs_override(None);
+        r
+    }
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        let out = with_jobs(8, || {
+            run_indexed(100, |i| {
+                // Stagger so late indices often finish first.
+                if i % 7 == 0 {
+                    std::thread::yield_now();
+                }
+                i * i
+            })
+        });
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree_bitwise() {
+        // A job whose result depends only on its index (as every
+        // simulation run depends only on its seed/config cell).
+        let job = |i: usize| -> u64 {
+            let mut x = i as u64 ^ 0x9E37_79B9_7F4A_7C15;
+            for _ in 0..1_000 {
+                x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            }
+            x
+        };
+        let serial = with_jobs(1, || run_indexed(64, job));
+        let parallel = with_jobs(6, || run_indexed(64, job));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn zero_and_one_job_counts_run_inline() {
+        let out: Vec<usize> = with_jobs(1, || run_indexed(0, |i| i));
+        assert!(out.is_empty());
+        let out = with_jobs(4, || run_indexed(1, |i| i + 10));
+        assert_eq!(out, vec![10]);
+    }
+
+    #[test]
+    fn map_indexed_preserves_input_order() {
+        let items = ["a", "bb", "ccc", "dddd"];
+        let out = with_jobs(4, || map_indexed(&items, |s| s.len()));
+        assert_eq!(out, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn override_takes_precedence_and_clears() {
+        let _g = OVERRIDE_LOCK.lock().unwrap();
+        set_jobs_override(Some(3));
+        assert_eq!(jobs(), 3);
+        set_jobs_override(None);
+        assert!(jobs() >= 1);
+    }
+
+    #[test]
+    fn pool_survives_many_more_jobs_than_workers() {
+        let out = with_jobs(4, || run_indexed(10_000, |i| i as u64));
+        assert_eq!(out.len(), 10_000);
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i as u64));
+    }
+}

@@ -3,8 +3,9 @@
 //! FoundationDB-style simulation testing: a single `u64` seed generates a
 //! randomized multi-process workload (readers, writers, getattr pollers)
 //! over [`NfsWorld`], injects faults mid-run — frame-loss bursts, link
-//! degradation, server stalls, `nfsd`/`nfsiod` pool resizing, forced cache
-//! flushes — and checks invariant *oracles* after every event batch:
+//! degradation, server stalls, `nfsd`/`nfsiod` pool resizing, total
+//! zero-`nfsd` outages, forced cache flushes — and checks invariant
+//! *oracles* after every event batch:
 //!
 //! - **monotone time**: simulated time never runs backwards, and no
 //!   operation completes before it was issued;
@@ -34,10 +35,10 @@ use nfssim::{BlockState, NfsWorld, OpId, OpOutcome, WorldConfig};
 use simcore::{SimDuration, SimRng, SimTime};
 use testbed::Rig;
 
-/// Batches per run with the default options: six fault batches (one per
+/// Batches per run with the default options: seven fault batches (one per
 /// [`FaultKind`], shuffled by seed) interleaved with clean batches, plus a
 /// clean tail to observe recovery.
-pub const DEFAULT_BATCHES: usize = 14;
+pub const DEFAULT_BATCHES: usize = 16;
 
 /// Event budget per run; exhausting it fails the bounded-progress oracle.
 const STEP_BUDGET: u64 = 5_000_000;
@@ -59,6 +60,10 @@ pub enum FaultKind {
     ServerStall,
     /// The `nfsd` pool shrinks to one or two daemons.
     NfsdResize,
+    /// The `nfsd` pool drops to zero: a total server outage. Calls queue
+    /// and nothing is served until the pool is restored (UDP clients
+    /// retransmit into the void and time out; TCP clients wait it out).
+    NfsdOutage,
     /// The client `nfsiod` pool shrinks (possibly to zero: read-ahead
     /// disabled).
     NfsiodResize,
@@ -68,11 +73,12 @@ pub enum FaultKind {
 
 impl FaultKind {
     /// All fault kinds, in declaration order.
-    pub const ALL: [FaultKind; 6] = [
+    pub const ALL: [FaultKind; 7] = [
         FaultKind::LossBurst,
         FaultKind::LinkDegrade,
         FaultKind::ServerStall,
         FaultKind::NfsdResize,
+        FaultKind::NfsdOutage,
         FaultKind::NfsiodResize,
         FaultKind::CacheFlush,
     ];
@@ -84,6 +90,7 @@ impl FaultKind {
             FaultKind::LinkDegrade => "link-degrade",
             FaultKind::ServerStall => "server-stall",
             FaultKind::NfsdResize => "nfsd-resize",
+            FaultKind::NfsdOutage => "nfsd-outage",
             FaultKind::NfsiodResize => "nfsiod-resize",
             FaultKind::CacheFlush => "cache-flush",
         }
@@ -171,8 +178,8 @@ pub fn plan(seed: u64, batches: usize) -> SimPlan {
     };
     let mut kinds = FaultKind::ALL.to_vec();
     rng.shuffle(&mut kinds);
-    // One fault per odd batch: with the default 14 batches every run
-    // exercises all six kinds, each followed by a clean recovery batch.
+    // One fault per odd batch: with the default 16 batches every run
+    // exercises all seven kinds, each followed by a clean recovery batch.
     let faults = kinds
         .into_iter()
         .enumerate()
@@ -266,6 +273,13 @@ fn apply_fault(
         FaultKind::NfsdResize => {
             w.set_nfsds(now, rng.gen_range(1usize..3));
         }
+        FaultKind::NfsdOutage => {
+            // Zero daemons: every arriving call queues and nothing is
+            // served. `run_plan` restores the pool once the batch starves
+            // to quiescence, so parked calls reconcile before the
+            // end-of-batch oracles run.
+            w.set_nfsds(now, 0);
+        }
         FaultKind::NfsiodResize => {
             let n = if rng.chance(0.5) { 0 } else { 1 };
             w.set_nfsiods(n);
@@ -358,10 +372,12 @@ pub fn run_plan(plan: &SimPlan, opts: RunOptions) -> Result<RunReport, OracleFai
         }
 
         // Inject this batch's fault while those operations are in flight.
+        let mut outage_pending = false;
         for &(b, kind) in &plan.faults {
             if b == batch {
                 apply_fault(&mut w, kind, &mut rng, plan.transport, &base);
                 fault_active = true;
+                outage_pending = kind == FaultKind::NfsdOutage;
                 fault_log.push(kind);
             }
         }
@@ -369,71 +385,85 @@ pub fn run_plan(plan: &SimPlan, opts: RunOptions) -> Result<RunReport, OracleFai
             w.sabotage_drop_next_replies(opts.sabotage_replies);
         }
 
-        // Drain to quiescence, checking per-event oracles.
-        while let Some(t) = w.next_event() {
-            steps += 1;
-            if steps > STEP_BUDGET {
-                return Err(fail(
-                    "bounded-progress",
-                    format!(
-                        "event budget exhausted in batch {batch}; outstanding xids {:?}",
-                        w.outstanding_xids()
-                    ),
-                ));
-            }
-            if t < last_now {
-                return Err(fail(
-                    "monotone-time",
-                    format!("event time regressed: {t} after {last_now}"),
-                ));
-            }
-            last_now = t;
-            for d in w.advance(t) {
-                if !completed.insert(d.id) {
+        // Drain to quiescence, checking per-event oracles. A zero-`nfsd`
+        // outage starves the world to quiescence with calls still parked
+        // at the server (and, on TCP, operations still waiting on them:
+        // TCP never retransmits RPCs, so nothing times out). Once the
+        // world goes quiet, restore the pool and keep draining so every
+        // parked call is answered or retired stale before the
+        // end-of-batch oracles run.
+        loop {
+            while let Some(t) = w.next_event() {
+                steps += 1;
+                if steps > STEP_BUDGET {
                     return Err(fail(
-                        "op-accounting",
-                        format!("operation {:?} completed twice", d.id),
-                    ));
-                }
-                let Some(rec) = issued.get(&d.id) else {
-                    return Err(fail(
-                        "op-accounting",
-                        format!("completion for never-issued operation {:?}", d.id),
-                    ));
-                };
-                if d.tag != rec.tag {
-                    return Err(fail(
-                        "op-accounting",
+                        "bounded-progress",
                         format!(
-                            "operation {:?} returned tag {} != issued {}",
-                            d.id, d.tag, rec.tag
+                            "event budget exhausted in batch {batch}; outstanding xids {:?}",
+                            w.outstanding_xids()
                         ),
                     ));
                 }
-                if d.done_at < rec.at {
+                if t < last_now {
                     return Err(fail(
                         "monotone-time",
-                        format!(
-                            "operation {:?} finished at {} before issue at {}",
-                            d.id, d.done_at, rec.at
-                        ),
+                        format!("event time regressed: {t} after {last_now}"),
                     ));
                 }
-                let outcome_code = match d.outcome {
-                    OpOutcome::Ok => {
-                        ok_ops += 1;
-                        0
+                last_now = t;
+                for d in w.advance(t) {
+                    if !completed.insert(d.id) {
+                        return Err(fail(
+                            "op-accounting",
+                            format!("operation {:?} completed twice", d.id),
+                        ));
                     }
-                    OpOutcome::RpcTimedOut { xid } => {
-                        timed_out_ops += 1;
-                        u64::from(xid) << 1 | 1
+                    let Some(rec) = issued.get(&d.id) else {
+                        return Err(fail(
+                            "op-accounting",
+                            format!("completion for never-issued operation {:?}", d.id),
+                        ));
+                    };
+                    if d.tag != rec.tag {
+                        return Err(fail(
+                            "op-accounting",
+                            format!(
+                                "operation {:?} returned tag {} != issued {}",
+                                d.id, d.tag, rec.tag
+                            ),
+                        ));
                     }
-                };
-                mix(&mut fp, d.id.0);
-                mix(&mut fp, d.tag);
-                mix(&mut fp, d.done_at.as_nanos());
-                mix(&mut fp, outcome_code);
+                    if d.done_at < rec.at {
+                        return Err(fail(
+                            "monotone-time",
+                            format!(
+                                "operation {:?} finished at {} before issue at {}",
+                                d.id, d.done_at, rec.at
+                            ),
+                        ));
+                    }
+                    let outcome_code = match d.outcome {
+                        OpOutcome::Ok => {
+                            ok_ops += 1;
+                            0
+                        }
+                        OpOutcome::RpcTimedOut { xid } => {
+                            timed_out_ops += 1;
+                            u64::from(xid) << 1 | 1
+                        }
+                    };
+                    mix(&mut fp, d.id.0);
+                    mix(&mut fp, d.tag);
+                    mix(&mut fp, d.done_at.as_nanos());
+                    mix(&mut fp, outcome_code);
+                }
             }
+            if outage_pending {
+                outage_pending = false;
+                w.set_nfsds(w.now(), base.nfsds);
+                continue;
+            }
+            break;
         }
 
         // Quiescent with operations still open: something is stuck.

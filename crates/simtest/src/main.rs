@@ -10,6 +10,10 @@
 //! Every seed is run twice (the determinism oracle compares fingerprints).
 //! The first oracle failure prints a one-line reproduction command and
 //! exits non-zero.
+//!
+//! Seeds fan out across `NFS_BENCH_JOBS` worker threads through the
+//! `simfleet` run engine; reports are collected by seed index and printed
+//! in seed order, so stdout is byte-identical at any job count.
 
 use std::process::ExitCode;
 
@@ -36,12 +40,14 @@ fn main() -> ExitCode {
         None => (start..start + count).collect(),
     };
 
+    let results = simfleet::map_indexed(&seeds, |&seed| run_seed_checked(seed));
+
     let mut failures = 0u64;
     let mut total_ops = 0u64;
     let mut total_timeouts = 0u64;
     let mut kinds_seen: Vec<FaultKind> = Vec::new();
-    for &seed in &seeds {
-        match run_seed_checked(seed) {
+    for res in results {
+        match res {
             Ok(r) => {
                 total_ops += r.ops;
                 total_timeouts += r.timed_out_ops;

@@ -36,6 +36,7 @@ fn bounded_sweep_holds_all_oracles() {
         FaultKind::LinkDegrade,
         FaultKind::ServerStall,
         FaultKind::NfsdResize,
+        FaultKind::NfsdOutage,
         FaultKind::NfsiodResize,
         FaultKind::CacheFlush,
     ] {
@@ -108,6 +109,6 @@ fn plans_are_deterministic_and_complete() {
         assert_eq!(a.faults, b.faults, "seed {seed}");
         assert_eq!(a.transport, b.transport, "seed {seed}");
         let kinds: HashSet<FaultKind> = a.faults.iter().map(|&(_, k)| k).collect();
-        assert_eq!(kinds.len(), 6, "all fault kinds scheduled: {:?}", a.faults);
+        assert_eq!(kinds.len(), 7, "all fault kinds scheduled: {:?}", a.faults);
     }
 }

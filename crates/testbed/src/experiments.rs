@@ -79,36 +79,59 @@ impl Scale {
     }
 }
 
-fn throughput_series(scale: Scale, label: &str, mut run: impl FnMut(usize, u64) -> f64) -> Series {
-    let points = scale
-        .readers
+/// Runs every (config, reader-count, run) cell of a throughput figure
+/// through the `simfleet` pool and folds the results into one [`Series`]
+/// per config.
+///
+/// Cells are keyed by a flat index (config-major, then reader, then run)
+/// and folded in exactly the order the old serial loops used — per
+/// config, per reader count, runs ascending — so the float accumulation
+/// in [`OnlineStats`] sees the same values in the same order and every
+/// figure byte is identical at any `NFS_BENCH_JOBS` width.
+fn throughput_matrix<C: Sync>(
+    scale: Scale,
+    configs: &[(C, String)],
+    run: impl Fn(&C, usize, u64) -> f64 + Sync,
+) -> Vec<Series> {
+    let readers = scale.readers;
+    let runs = scale.runs as usize;
+    let per_cfg = readers.len() * runs;
+    let cells = simfleet::run_indexed(configs.len() * per_cfg, |idx| {
+        let ci = idx / per_cfg;
+        let rem = idx % per_cfg;
+        run(&configs[ci].0, readers[rem / runs], (rem % runs) as u64)
+    });
+    configs
         .iter()
-        .map(|&n| {
-            let mut stats = OnlineStats::new();
-            for r in 0..scale.runs {
-                stats.add(run(n, r));
+        .enumerate()
+        .map(|(ci, (_, label))| {
+            let points = readers
+                .iter()
+                .enumerate()
+                .map(|(ri, &n)| {
+                    let mut stats = OnlineStats::new();
+                    for r in 0..runs {
+                        stats.add(cells[ci * per_cfg + ri * runs + r]);
+                    }
+                    (n as u64, stats.summary())
+                })
+                .collect();
+            Series {
+                label: label.clone(),
+                points,
             }
-            (n as u64, stats.summary())
         })
-        .collect();
-    Series {
-        label: label.to_string(),
-        points,
-    }
+        .collect()
 }
 
 /// Figure 1: the ZCAV effect on local drives.
 pub fn fig1_zcav(scale: Scale, seed: u64) -> Figure {
     let rigs = [Rig::ide(1), Rig::ide(4), Rig::scsi(1), Rig::scsi(4)];
-    let series = rigs
-        .iter()
-        .map(|rig| {
-            throughput_series(scale, &rig.label(), |n, r| {
-                let mut b = LocalBench::new(*rig, scale.readers, scale.total_mb, seed + r);
-                b.run(n).throughput_mbs
-            })
-        })
-        .collect();
+    let configs: Vec<(Rig, String)> = rigs.iter().map(|r| (*r, r.label())).collect();
+    let series = throughput_matrix(scale, &configs, |rig, n, r| {
+        let mut b = LocalBench::new(*rig, scale.readers, scale.total_mb, seed + r);
+        b.run(n).throughput_mbs
+    });
     Figure {
         title: "Figure 1: The ZCAV Effect on Local Drives".into(),
         x_label: "readers".into(),
@@ -119,21 +142,18 @@ pub fn fig1_zcav(scale: Scale, seed: u64) -> Figure {
 
 /// Figure 2: tagged command queues and ZCAV on the SCSI drive.
 pub fn fig2_tagged_queues(scale: Scale, seed: u64) -> Figure {
-    let configs = [
+    let configs: Vec<(Rig, String)> = [
         (Rig::scsi(1).no_tags(), "scsi1 / no tags"),
         (Rig::scsi(4).no_tags(), "scsi4 / no tags"),
         (Rig::scsi(1), "scsi1 / tags"),
         (Rig::scsi(4), "scsi4 / tags"),
-    ];
-    let series = configs
-        .iter()
-        .map(|(rig, label)| {
-            throughput_series(scale, label, |n, r| {
-                let mut b = LocalBench::new(*rig, scale.readers, scale.total_mb, seed + r);
-                b.run(n).throughput_mbs
-            })
-        })
-        .collect();
+    ]
+    .map(|(r, l)| (r, l.to_string()))
+    .into();
+    let series = throughput_matrix(scale, &configs, |rig, n, r| {
+        let mut b = LocalBench::new(*rig, scale.readers, scale.total_mb, seed + r);
+        b.run(n).throughput_mbs
+    });
     Figure {
         title: "Figure 2: Tagged Queues and ZCAV - Local SCSI Drive".into(),
         x_label: "readers".into(),
@@ -164,14 +184,22 @@ pub fn fig3_fairness(scale: Scale, seed: u64) -> Figure {
         ),
     ];
     let total_mb = scale.fig3_proc_mb * readers as u64;
+    // Cells are (config, run) pairs, each yielding the full per-rank
+    // completion vector; folded config-major in run order, as before.
+    let runs = scale.runs as usize;
+    let cells = simfleet::run_indexed(configs.len() * runs, |idx| {
+        let (rig, _) = &configs[idx / runs];
+        let r = (idx % runs) as u64;
+        let mut b = LocalBench::new(*rig, &[readers], total_mb, seed + r);
+        b.run(readers).completion_secs
+    });
     let series = configs
         .iter()
-        .map(|(rig, label)| {
+        .enumerate()
+        .map(|(ci, (_, label))| {
             let mut per_rank: Vec<OnlineStats> = (0..readers).map(|_| OnlineStats::new()).collect();
-            for r in 0..scale.runs {
-                let mut b = LocalBench::new(*rig, &[readers], total_mb, seed + r);
-                let res = b.run(readers);
-                for (k, &t) in res.completion_secs.iter().enumerate() {
+            for r in 0..runs {
+                for (k, &t) in cells[ci * runs + r].iter().enumerate() {
                     per_rank[k].add(t);
                 }
             }
@@ -198,23 +226,20 @@ fn nfs_figure(scale: Scale, seed: u64, title: &str, transport: TransportKind) ->
         transport,
         ..WorldConfig::default()
     };
-    let configs = [
+    let configs: Vec<((Rig, WorldConfig), String)> = [
         (Rig::ide(1), base, "ide1"),
         (Rig::ide(4), base, "ide4"),
         (Rig::scsi(1), base, "scsi1"),
         (Rig::scsi(4), base, "scsi4"),
         (Rig::ide(1), base, "ide1 / no tags"), // ide has no tags anyway; kept for parity
         (Rig::scsi(1).no_tags(), base, "scsi1 / no tags"),
-    ];
-    let series = configs
-        .iter()
-        .map(|(rig, cfg, label)| {
-            throughput_series(scale, label, |n, r| {
-                let mut b = NfsBench::new(*rig, *cfg, scale.readers, scale.total_mb, seed + r);
-                b.run(n).throughput_mbs
-            })
-        })
-        .collect();
+    ]
+    .map(|(rig, cfg, l)| ((rig, cfg), l.to_string()))
+    .into();
+    let series = throughput_matrix(scale, &configs, |(rig, cfg), n, r| {
+        let mut b = NfsBench::new(*rig, *cfg, scale.readers, scale.total_mb, seed + r);
+        b.run(n).throughput_mbs
+    });
     Figure {
         title: title.into(),
         x_label: "readers".into(),
@@ -241,22 +266,18 @@ pub fn fig6_readahead_potential(scale: Scale, seed: u64) -> Figure {
         busy_loops: busy,
         ..WorldConfig::default()
     };
-    let configs = [
+    let configs: Vec<(WorldConfig, String)> = [
         (mk(ReadaheadPolicy::Always, 0), "Always RA / idle"),
         (mk(ReadaheadPolicy::Default, 0), "Default RA / idle"),
         (mk(ReadaheadPolicy::Always, 4), "Always RA / busy"),
         (mk(ReadaheadPolicy::Default, 4), "Default RA / busy"),
-    ];
-    let series = configs
-        .iter()
-        .map(|(cfg, label)| {
-            throughput_series(scale, label, |n, r| {
-                let mut b =
-                    NfsBench::new(Rig::ide(1), *cfg, scale.readers, scale.total_mb, seed + r);
-                b.run(n).throughput_mbs
-            })
-        })
-        .collect();
+    ]
+    .map(|(c, l)| (c, l.to_string()))
+    .into();
+    let series = throughput_matrix(scale, &configs, |cfg, n, r| {
+        let mut b = NfsBench::new(Rig::ide(1), *cfg, scale.readers, scale.total_mb, seed + r);
+        b.run(n).throughput_mbs
+    });
     Figure {
         title: "Figure 6: Always vs Default Read-Ahead (ide1, NFS/UDP)".into(),
         x_label: "readers".into(),
@@ -273,7 +294,7 @@ pub fn fig7_slowdown_nfsheur(scale: Scale, seed: u64) -> Figure {
         busy_loops: 4,
         ..WorldConfig::default()
     };
-    let configs = [
+    let configs: Vec<(WorldConfig, String)> = [
         (
             mk(ReadaheadPolicy::Always, NfsHeurConfig::improved()),
             "Always Read-ahead",
@@ -290,17 +311,13 @@ pub fn fig7_slowdown_nfsheur(scale: Scale, seed: u64) -> Figure {
             mk(ReadaheadPolicy::Default, NfsHeurConfig::freebsd_default()),
             "Default / Default nfsheur",
         ),
-    ];
-    let series = configs
-        .iter()
-        .map(|(cfg, label)| {
-            throughput_series(scale, label, |n, r| {
-                let mut b =
-                    NfsBench::new(Rig::ide(1), *cfg, scale.readers, scale.total_mb, seed + r);
-                b.run(n).throughput_mbs
-            })
-        })
-        .collect();
+    ]
+    .map(|(c, l)| (c, l.to_string()))
+    .into();
+    let series = throughput_matrix(scale, &configs, |cfg, n, r| {
+        let mut b = NfsBench::new(Rig::ide(1), *cfg, scale.readers, scale.total_mb, seed + r);
+        b.run(n).throughput_mbs
+    });
     Figure {
         title: "Figure 7: SlowDown and the New nfsheur Table (ide1, UDP, busy client)".into(),
         x_label: "readers".into(),
@@ -332,16 +349,28 @@ pub fn fig8_table1_stride(scale: Scale, seed: u64) -> Figure {
         ),
         (Rig::ide(1), mk(ReadaheadPolicy::Default), "ide1 / default"),
     ];
+    // Cells are (config, stride, run) triples, flattened config-major.
+    let runs = scale.runs as usize;
+    let per_cfg = strides.len() * runs;
+    let cells = simfleet::run_indexed(configs.len() * per_cfg, |idx| {
+        let (rig, cfg, _) = &configs[idx / per_cfg];
+        let rem = idx % per_cfg;
+        let s = strides[rem / runs];
+        let r = (rem % runs) as u64;
+        let mut b = StrideBench::new(*rig, *cfg, scale.stride_mb, seed + r);
+        b.run(s)
+    });
     let series = configs
         .iter()
-        .map(|(rig, cfg, label)| {
+        .enumerate()
+        .map(|(ci, (_, _, label))| {
             let points = strides
                 .iter()
-                .map(|&s| {
+                .enumerate()
+                .map(|(si, &s)| {
                     let mut stats = OnlineStats::new();
-                    for r in 0..scale.runs {
-                        let mut b = StrideBench::new(*rig, *cfg, scale.stride_mb, seed + r);
-                        stats.add(b.run(s));
+                    for r in 0..runs {
+                        stats.add(cells[ci * per_cfg + si * runs + r]);
                     }
                     (s, stats.summary())
                 })
