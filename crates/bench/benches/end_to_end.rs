@@ -9,12 +9,16 @@
 //! offline). Run with `cargo bench -p nfs-bench --bench end_to_end`.
 //! Flags: `--test` (one iteration), `--quick` (fewer iterations),
 //! `--json PATH` (machine-readable report), `--baseline PATH` (attach
-//! recorded numbers as `baseline_ns_per_op`).
+//! recorded numbers as `baseline_ns_per_op`), `--check PATH` (exit
+//! non-zero if any case runs more than 3x slower than the report at
+//! `PATH` — the CI fence for the simulator's own speed, `BENCH_e2e.json`
+//! at the repo root).
 
 use std::hint::black_box;
 use std::time::Instant;
 
 use nfs_bench::perf::{BenchResult, PerfReport};
+use nfscluster::{ClusterBench, ClusterConfig};
 use nfssim::WorldConfig;
 use readahead_core::{NfsHeurConfig, ReadaheadPolicy};
 use testbed::{LocalBench, NfsBench, Rig, StrideBench};
@@ -36,11 +40,17 @@ fn bench(out: &mut Vec<BenchResult>, name: &str, iters: u64, mut f: impl FnMut()
     });
 }
 
+/// Every e2e case is gated by `--check`; the simulator has no cold paths
+/// worth exempting here.
+const GATED_PREFIXES: &[&str] = &["simulate", "cluster"];
+const GATE_FACTOR: f64 = 3.0;
+
 fn main() {
     let mut testing = false;
     let mut quick = false;
     let mut json_out: Option<String> = None;
     let mut baseline: Option<String> = None;
+    let mut check: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -48,6 +58,7 @@ fn main() {
             "--quick" => quick = true,
             "--json" => json_out = args.next(),
             "--baseline" => baseline = args.next(),
+            "--check" => check = args.next(),
             "--bench" => {}
             other => eprintln!("# ignoring unknown argument: {other}"),
         }
@@ -83,6 +94,30 @@ fn main() {
         black_box(b.run(4));
     });
 
+    // The multi-client cluster: 8 hosts x 2 readers against one server,
+    // on the stock table (heavy nfsheur thrash, the slow path through
+    // ejection accounting) and the enlarged table (the clean path).
+    for (name, heur) in [
+        (
+            "cluster_contention/stock_8_clients",
+            NfsHeurConfig::freebsd_default(),
+        ),
+        (
+            "cluster_contention/improved_8_clients",
+            NfsHeurConfig::improved(),
+        ),
+    ] {
+        let config = WorldConfig {
+            heur,
+            ..WorldConfig::default()
+        };
+        let cluster = ClusterConfig::uniform(config, 8);
+        bench(out, name, iters, || {
+            let mut b = ClusterBench::new(Rig::ide(1), &cluster, &[2], 4, 1);
+            black_box(b.run(2).throughput_mbs);
+        });
+    }
+
     let mut report = PerfReport {
         suite: "e2e".to_string(),
         mode: if testing {
@@ -105,5 +140,20 @@ fn main() {
     if let Some(path) = &json_out {
         std::fs::write(path, report.to_json()).expect("write perf json");
         eprintln!("# wrote {path}");
+    }
+    if let Some(path) = &check {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read perf report {path}: {e}"));
+        let recorded = PerfReport::parse(&text)
+            .unwrap_or_else(|e| panic!("cannot parse perf report {path}: {e}"));
+        let violations = report.regressions_vs(&recorded, GATED_PREFIXES, GATE_FACTOR);
+        if violations.is_empty() {
+            eprintln!("# perf gate ok vs {path} (prefixes {GATED_PREFIXES:?}, {GATE_FACTOR}x)");
+        } else {
+            for v in &violations {
+                eprintln!("PERF REGRESSION: {v}");
+            }
+            std::process::exit(1);
+        }
     }
 }

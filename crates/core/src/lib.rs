@@ -48,4 +48,4 @@ pub use policy::{
 };
 pub use pool::{PoolStats, SharedCursorPool};
 pub use record::{Cursor, CursorVec, HeurRecord, INLINE_CURSORS, SEQCOUNT_INIT, SEQCOUNT_MAX};
-pub use table::{NfsHeur, NfsHeurConfig, NfsHeurStats};
+pub use table::{NfsHeur, NfsHeurConfig, NfsHeurStats, ProbeOutcome};

@@ -56,6 +56,19 @@ pub struct NfsHeurStats {
     pub misses: u64,
     /// Entries ejected while still potentially live.
     pub ejections: u64,
+    /// Live entries right now (a gauge, maintained incrementally so
+    /// reading it never scans the table).
+    pub occupancy: u64,
+}
+
+/// What one lookup did to the table, as reported by
+/// [`NfsHeur::observe_traced`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProbeOutcome {
+    /// The probe found the key's live entry.
+    pub hit: bool,
+    /// Key of the live entry ejected to make room, if any.
+    pub ejected: Option<u64>,
 }
 
 #[derive(Debug)]
@@ -113,6 +126,22 @@ impl NfsHeur {
     /// a miss eject the least recently used probed entry — losing all of
     /// its heuristic state, which is precisely the §6.3 failure mode.
     pub fn observe(&mut self, key: u64, offset: u64, len: u64, policy: &ReadaheadPolicy) -> u32 {
+        self.observe_traced(key, offset, len, policy, |_| {}).0
+    }
+
+    /// [`NfsHeur::observe`] with contention tracing: `on_probe` is invoked
+    /// with the key of every *live, non-matching* entry the probe window
+    /// scans (the collisions a multi-client server wants attributed), and
+    /// the returned [`ProbeOutcome`] reports whether the lookup hit and
+    /// which live entry, if any, it ejected.
+    pub fn observe_traced(
+        &mut self,
+        key: u64,
+        offset: u64,
+        len: u64,
+        policy: &ReadaheadPolicy,
+        mut on_probe: impl FnMut(u64),
+    ) -> (u32, ProbeOutcome) {
         self.clock += 1;
         let clock = self.clock;
         let base = self.hash(key);
@@ -126,9 +155,17 @@ impl NfsHeur {
                     self.stats.hits += 1;
                     let slot = self.slots[i].as_mut().expect("just matched");
                     slot.last_use = clock;
-                    return policy.observe(&mut slot.rec, offset, len, clock);
+                    let count = policy.observe(&mut slot.rec, offset, len, clock);
+                    return (
+                        count,
+                        ProbeOutcome {
+                            hit: true,
+                            ejected: None,
+                        },
+                    );
                 }
                 Some(s) => {
+                    on_probe(s.key);
                     if s.last_use < victim_stamp {
                         victim_stamp = s.last_use;
                         victim = Some(i);
@@ -145,8 +182,11 @@ impl NfsHeur {
         }
         self.stats.misses += 1;
         let i = victim.expect("probes > 0 guarantees a victim");
-        if self.slots[i].is_some() {
+        let ejected = self.slots[i].as_ref().map(|s| s.key);
+        if ejected.is_some() {
             self.stats.ejections += 1;
+        } else {
+            self.stats.occupancy += 1;
         }
         // A new entry starts at the initial count with the expected offset
         // just past this read — the paper's "initial sequentiality metric".
@@ -155,7 +195,13 @@ impl NfsHeur {
             rec: HeurRecord::fresh(offset + len, clock),
             last_use: clock,
         });
-        crate::record::SEQCOUNT_INIT
+        (
+            crate::record::SEQCOUNT_INIT,
+            ProbeOutcome {
+                hit: false,
+                ejected,
+            },
+        )
     }
 
     /// Drops every entry (server reboot between benchmark configurations).
@@ -163,6 +209,7 @@ impl NfsHeur {
         for s in &mut self.slots {
             *s = None;
         }
+        self.stats.occupancy = 0;
     }
 
     fn hash(&self, key: u64) -> usize {
@@ -306,8 +353,75 @@ mod tests {
         t.observe(1, 0, BLK, &p);
         t.observe(2, 0, BLK, &p);
         assert_eq!(t.live(), 2);
+        assert_eq!(t.stats().occupancy, 2);
         t.clear();
         assert_eq!(t.live(), 0);
+        assert_eq!(t.stats().occupancy, 0);
+    }
+
+    #[test]
+    fn occupancy_gauge_tracks_live_entries() {
+        let mut t = NfsHeur::new(NfsHeurConfig::freebsd_default());
+        let p = ReadaheadPolicy::Default;
+        for key in 0..64u64 {
+            t.observe(key, 0, BLK, &p);
+            assert_eq!(t.stats().occupancy as usize, t.live(), "after key {key}");
+        }
+        // The tiny table is saturated: ejections replace, never grow.
+        assert!(t.stats().occupancy as usize <= t.config().slots);
+        assert!(t.stats().ejections > 0);
+    }
+
+    #[test]
+    fn observe_traced_reports_hits_ejections_and_scanned_keys() {
+        // Two slots, two probes: A and B fill the table, C ejects the LRU.
+        let mut t = NfsHeur::new(NfsHeurConfig {
+            slots: 2,
+            probes: 2,
+        });
+        let p = ReadaheadPolicy::Default;
+        let (_, o) = t.observe_traced(100, 0, BLK, &p, |_| {});
+        assert_eq!(
+            o,
+            ProbeOutcome {
+                hit: false,
+                ejected: None
+            }
+        );
+        t.observe(200, 0, BLK, &p);
+        t.observe(200, BLK, BLK, &p); // Touch B so A is the LRU.
+        let mut scanned = Vec::new();
+        let (_, o) = t.observe_traced(300, 0, BLK, &p, |k| scanned.push(k));
+        assert!(!o.hit);
+        assert_eq!(o.ejected, Some(100), "A (LRU among probed) is the victim");
+        scanned.sort_unstable();
+        assert_eq!(scanned, vec![100, 200], "both live entries were scanned");
+        // A hit scans the non-matching entry it probes past, ejects nobody.
+        let mut scanned = Vec::new();
+        let (_, o) = t.observe_traced(200, 2 * BLK, BLK, &p, |k| scanned.push(k));
+        assert!(o.hit);
+        assert_eq!(o.ejected, None);
+        assert!(
+            !scanned.contains(&200),
+            "the matching entry is not a collision"
+        );
+    }
+
+    #[test]
+    fn observe_and_observe_traced_agree() {
+        let mut a = NfsHeur::new(NfsHeurConfig::freebsd_default());
+        let mut b = NfsHeur::new(NfsHeurConfig::freebsd_default());
+        let p = ReadaheadPolicy::slowdown();
+        for i in 0..500u64 {
+            let key = i % 13;
+            let off = (i / 13) * BLK;
+            let x = a.observe(key, off, BLK, &p);
+            let (y, _) = b.observe_traced(key, off, BLK, &p, |_| {});
+            assert_eq!(x, y, "step {i}");
+        }
+        assert_eq!(a.stats().hits, b.stats().hits);
+        assert_eq!(a.stats().misses, b.stats().misses);
+        assert_eq!(a.stats().ejections, b.stats().ejections);
     }
 
     #[test]

@@ -17,7 +17,7 @@ use simcore::{SimDuration, SimRng, SimTime};
 pub const FRAME_HEADER_BYTES: u64 = 18 + 20 + 8;
 
 /// Link parameters.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinkProfile {
     /// Effective bandwidth in bytes per second (after host-side ceilings).
     pub bandwidth: f64,

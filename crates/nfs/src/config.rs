@@ -56,6 +56,44 @@ impl Default for WorldConfig {
     }
 }
 
+/// Everything that can differ between client *hosts* sharing one server.
+///
+/// A multi-client world ([`crate::NfsWorld::new_cluster`]) takes one of
+/// these per host; the single-client constructor derives one from the
+/// [`WorldConfig`] via [`ClientHostConfig::from_world`], so a 1-host
+/// cluster is configured — and behaves — exactly like the classic world.
+#[derive(Debug, Clone, Copy)]
+pub struct ClientHostConfig {
+    /// This host's link to the server (both directions are symmetric).
+    pub link: LinkProfile,
+    /// Round-trip estimate used by the transports (retransmission
+    /// penalties on TCP). The classic single-client world uses 200 µs.
+    pub rtt: SimDuration,
+    /// This host's `nfsiod` pool size.
+    pub nfsiods: usize,
+    /// Infinite-loop processes competing for this host's CPU.
+    pub busy_loops: u32,
+    /// This host's block-cache capacity in blocks.
+    pub client_cache_blocks: usize,
+    /// This host's read-ahead depth in blocks.
+    pub client_readahead_blocks: u64,
+}
+
+impl ClientHostConfig {
+    /// The host configuration implied by a [`WorldConfig`] — what
+    /// [`crate::NfsWorld::new`] has always built its single client from.
+    pub fn from_world(config: &WorldConfig) -> Self {
+        ClientHostConfig {
+            link: config.link,
+            rtt: SimDuration::from_micros(200),
+            nfsiods: config.nfsiods,
+            busy_loops: config.busy_loops,
+            client_cache_blocks: config.client_cache_blocks,
+            client_readahead_blocks: config.client_readahead_blocks,
+        }
+    }
+}
+
 /// CPU cost model for RPC processing on both machines (1 GHz PIII-era).
 ///
 /// TCP costs more per operation than UDP: connection bookkeeping, ack

@@ -6,6 +6,12 @@
 //! [`readahead_core`], an [`ffs`] file system on a [`diskmodel`] drive, and
 //! a [`netsim`] gigabit network speaking real [`nfsproto`] messages over
 //! UDP or TCP.
+//!
+//! The world generalises to a *cluster*: [`NfsWorld::new_cluster`] builds N
+//! client hosts (each with its own links, caches, daemons, and RNG stream)
+//! sharing one server, one `nfsheur` table, one duplicate-request cache,
+//! and one disk, with per-client [`ContentionStats`] attributing the
+//! interference. A 1-host cluster is bit-identical to the classic world.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -13,5 +19,7 @@
 mod config;
 mod world;
 
-pub use config::{CpuModel, WorldConfig};
-pub use world::{BlockState, ClientStats, NfsWorld, OpDone, OpId, OpOutcome, ServerStats};
+pub use config::{ClientHostConfig, CpuModel, WorldConfig};
+pub use world::{
+    BlockState, ClientStats, ContentionStats, NfsWorld, OpDone, OpId, OpOutcome, ServerStats,
+};

@@ -12,8 +12,20 @@
 //! `nfsd`s (each handles one RPC at a time, *including* its disk wait), a
 //! shared CPU, and the `nfsheur` table consulted on every READ to choose a
 //! seqcount for the file system's read-ahead machinery.
+//!
+//! # Multiple client hosts
+//!
+//! The world is a *cluster*: N independent client hosts (each with its own
+//! `nfsiod` pool, block cache, link, and RNG stream) share one server, one
+//! `nfsheur` table, one duplicate-request cache, and one disk. RPCs are
+//! keyed by `(client, xid)` so the shared server can attribute contention —
+//! cross-client `nfsheur` ejections, probe collisions, duplicate-cache
+//! hits — to the host that caused or suffered it. The classic single-client
+//! constructor builds a 1-host cluster whose event and RNG schedules are
+//! bit-identical to the historical single-client world (client 0's RNG
+//! stream label *is* the old world stream).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 use ffs::{BufferCache, FileSystem};
 use netsim::{Delivery, Transport, TransportKind};
@@ -21,7 +33,29 @@ use nfsproto::{FileHandle, NfsCall, NfsReply, NfsStatus};
 use readahead_core::NfsHeur;
 use simcore::{EventQueue, SimDuration, SimRng, SimTime};
 
-use crate::config::{CpuModel, WorldConfig};
+use crate::config::{ClientHostConfig, CpuModel, WorldConfig};
+
+/// RNG stream label of client 0 — the historical single-client world
+/// stream ("NFSIM"), so a 1-host cluster replays the exact old schedule.
+const CLIENT_STREAM_BASE: u64 = 0x4E46_5349_4D00;
+/// Per-client stream spacing (the splitmix64 golden-ratio increment), so
+/// host streams are decorrelated but purely seed-and-index derived.
+const CLIENT_STREAM_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Packs a client index and an RPC xid into one event/FS routing key.
+/// Client 0 keys are numerically equal to the bare xid, which keeps the
+/// single-client world's disk-event tags identical to the historical ones.
+fn call_key(client: usize, xid: u32) -> u64 {
+    ((client as u64) << 32) | u64::from(xid)
+}
+
+fn key_client(key: u64) -> usize {
+    (key >> 32) as usize
+}
+
+fn key_xid(key: u64) -> u32 {
+    key as u32
+}
 
 /// Identifies a process-level operation (one `read()` system call).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -53,6 +87,8 @@ impl OpOutcome {
 pub struct OpDone {
     /// The id returned by [`NfsWorld::read`].
     pub id: OpId,
+    /// The client host that issued the operation.
+    pub client: usize,
     /// Caller routing tag.
     pub tag: u64,
     /// Issue time.
@@ -97,6 +133,15 @@ pub struct ServerStats {
     /// entirely (post-timeout retransmissions). Never counted in
     /// `reads`/`other_calls`.
     pub orphan_calls: u64,
+    /// `nfsheur` lookups that found the file's live entry.
+    pub heur_hits: u64,
+    /// `nfsheur` lookups that found no entry (first access or ejected).
+    pub heur_misses: u64,
+    /// Live `nfsheur` entries ejected to make room — each one a file whose
+    /// sequentiality state the server forgot (§6.3).
+    pub heur_ejections: u64,
+    /// Live `nfsheur` entries right now (a gauge).
+    pub heur_occupancy: u64,
 }
 
 impl ServerStats {
@@ -136,16 +181,40 @@ pub struct ClientStats {
     pub duplicate_replies: u64,
 }
 
+/// Per-client contention at the shared server, attributable by client id.
+///
+/// All counters are maintained by the server as it serves calls, so the
+/// contention experiment reads straight off the stats instead of ad-hoc
+/// probes of the table.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ContentionStats {
+    /// `nfsheur` ejections this client's READs caused (any victim).
+    pub heur_ejections_caused: u64,
+    /// Live `nfsheur` entries for this client's files that some READ
+    /// (its own or another client's) ejected.
+    pub heur_ejections_suffered: u64,
+    /// Of the ejections this client caused, how many evicted *another*
+    /// client's file — the cross-client interference the paper's enlarged
+    /// table is meant to eliminate.
+    pub cross_client_ejections: u64,
+    /// Probe-window scans by this client's READs that walked over a live
+    /// entry belonging to a different client (hash-neighbourhood sharing).
+    pub cross_client_probe_collisions: u64,
+    /// Duplicate calls from this client dropped by the server's
+    /// duplicate-request cache while the original was in service.
+    pub duplicate_cache_hits: u64,
+}
+
 #[derive(Debug, Clone, Copy)]
 enum Ev {
     /// Client marshalling finished; hand the call to the transport.
-    Send { xid: u32 },
+    Send { key: u64 },
     /// Call delivered to the server.
-    CallArrive { xid: u32 },
+    CallArrive { key: u64 },
     /// Reply delivered to the client.
-    ReplyArrive { xid: u32 },
+    ReplyArrive { key: u64 },
     /// UDP retransmission check.
-    Retransmit { xid: u32, attempt: u32 },
+    Retransmit { key: u64, attempt: u32 },
 }
 
 #[derive(Debug)]
@@ -168,6 +237,7 @@ struct ClientFile {
 
 #[derive(Debug)]
 struct OpState {
+    client: usize,
     tag: u64,
     issued_at: SimTime,
     outstanding_blocks: usize,
@@ -175,203 +245,56 @@ struct OpState {
     timed_out: Option<u32>,
 }
 
-/// The whole simulated NFS installation.
+/// One client host: its mount state, caches, daemons, links, and RNG.
 #[derive(Debug)]
-pub struct NfsWorld {
-    config: WorldConfig,
-    cpu: CpuModel,
-    queue: EventQueue<Ev>,
-    /// Latest event instant processed by [`NfsWorld::advance`]. The RPC
-    /// event queue alone is not enough: file-system completions advance
-    /// simulated time without popping the queue.
-    clock: SimTime,
+struct ClientHost {
+    cfg: ClientHostConfig,
     c2s: Transport,
     s2c: Transport,
     rng: SimRng,
-
-    // Client state.
-    client_cache: BufferCache,
+    cache: BufferCache,
     files: HashMap<u64, ClientFile>,
     rpcs: HashMap<u32, Rpc>,
     iod_free: Vec<SimTime>,
     op_waiters: HashMap<(u64, u64), Vec<OpId>>,
     /// Non-READ operations waiting directly on an RPC reply.
     rpc_waiters: HashMap<u32, OpId>,
-    ops: HashMap<OpId, OpState>,
-    ready: Vec<OpDone>,
     next_xid: u32,
-    next_op: u64,
-    client_stats: ClientStats,
-    /// Retired call-encoding buffers, recycled by [`NfsWorld::issue_call`]
-    /// so the per-RPC marshal path stops allocating once warm.
+    stats: ClientStats,
+    /// Retired call-encoding buffers, recycled by `issue_call` so the
+    /// per-RPC marshal path stops allocating once warm.
     buf_pool: Vec<Vec<u8>>,
-
-    // Server state.
-    fs: FileSystem,
-    fsid: u32,
-    heur: NfsHeur,
-    nfsd_total: usize,
-    nfsd_busy: usize,
-    call_queue: VecDeque<(SimTime, u32)>,
-    /// XIDs accepted and not yet replied to (the in-progress half of a
-    /// duplicate request cache; reads are idempotent so completed calls
-    /// need no replay cache in this model).
-    in_service: std::collections::HashSet<u32>,
-    server_cpu_free: SimTime,
-    arrived_seq: HashMap<u64, u64>,
-    server_stats: ServerStats,
-    /// Reply-encoding scratch buffer, reused across every reply the server
-    /// sends (replies are encoded, size-checked, and dropped — only their
-    /// wire size travels — so one buffer serves the whole run).
-    reply_scratch: Vec<u8>,
-    /// Test hook: number of upcoming replies to count but not transmit.
-    sabotage_drop_replies: u32,
 }
 
-impl NfsWorld {
-    /// Builds a world around an already-formatted server file system.
-    pub fn new(config: WorldConfig, fs: FileSystem, seed: u64) -> Self {
-        let mut rng = SimRng::from_seed_and_stream(seed, 0x4E46_5349_4D00); // "NFSIM"
-        let rtt = SimDuration::from_micros(200);
-        let c2s = Transport::new(config.transport, config.link, rtt, rng.derive(1));
-        let s2c = Transport::new(config.transport, config.link, rtt, rng.derive(2));
-        NfsWorld {
-            cpu: CpuModel::for_transport(config.transport),
-            queue: EventQueue::new(),
-            clock: SimTime::ZERO,
-            c2s,
-            s2c,
-            client_cache: BufferCache::new(config.client_cache_blocks),
-            files: HashMap::new(),
-            rpcs: HashMap::new(),
-            iod_free: vec![SimTime::ZERO; config.nfsiods],
-            op_waiters: HashMap::new(),
-            rpc_waiters: HashMap::new(),
-            ops: HashMap::new(),
-            ready: Vec::new(),
-            next_xid: 1,
-            next_op: 0,
-            client_stats: ClientStats::default(),
-            buf_pool: Vec::new(),
-            fs,
-            fsid: 1,
-            heur: NfsHeur::new(config.heur),
-            nfsd_total: config.nfsds,
-            nfsd_busy: 0,
-            call_queue: VecDeque::new(),
-            in_service: std::collections::HashSet::new(),
-            server_cpu_free: SimTime::ZERO,
-            arrived_seq: HashMap::new(),
-            server_stats: ServerStats::default(),
-            reply_scratch: Vec::new(),
-            sabotage_drop_replies: 0,
-            rng,
-            config,
+impl ClientHost {
+    /// Caps the recycled-buffer pool; beyond this, retired buffers drop.
+    const BUF_POOL_MAX: usize = 256;
+
+    fn marshal_delay(&mut self, cpu: CpuModel) -> SimDuration {
+        let busy_factor = 1.0 + f64::from(self.cfg.busy_loops) * 0.9;
+        let jitter = self.rng.exponential(cpu.client_jitter_mean * busy_factor);
+        SimDuration::from_secs_f64(cpu.client_marshal + jitter)
+    }
+
+    /// Returns `Some(now)` iff an nfsiod slot is free at `now`. (A slot
+    /// whose busy-until time has passed is usable immediately; there is no
+    /// future reservation, so the acquisition instant is always `now`.)
+    fn acquire_iod(&self, now: SimTime) -> Option<SimTime> {
+        self.iod_free.iter().any(|&t| t <= now).then_some(now)
+    }
+
+    fn set_iod_busy_until(&mut self, until: SimTime) {
+        if let Some(slot) = self
+            .iod_free
+            .iter_mut()
+            .filter(|t| **t <= until)
+            .min_by_key(|t| **t)
+        {
+            *slot = until;
         }
     }
 
-    /// Creates a file on the server and "mounts" it on the client,
-    /// returning the handle processes read through.
-    pub fn create_file(&mut self, size: u64) -> FileHandle {
-        let mut alloc_rng = self.rng.derive(0xA110C);
-        let ino = self.fs.create_file(size, &mut alloc_rng);
-        self.files.insert(
-            ino,
-            ClientFile {
-                size,
-                next_offset: 0,
-                seqcount: 1,
-                submit_counter: 0,
-            },
-        );
-        FileHandle {
-            fsid: self.fsid,
-            ino,
-            generation: 1,
-        }
-    }
-
-    /// Server counters.
-    pub fn server_stats(&self) -> ServerStats {
-        self.server_stats
-    }
-
-    /// Client counters.
-    pub fn client_stats(&self) -> ClientStats {
-        self.client_stats
-    }
-
-    /// The server file system (disk and cache statistics).
-    pub fn fs(&self) -> &FileSystem {
-        &self.fs
-    }
-
-    /// The server's `nfsheur` table.
-    pub fn heur(&self) -> &NfsHeur {
-        &self.heur
-    }
-
-    /// Drops every data cache — client blocks, server buffer cache, drive
-    /// segments — the §4.3.1 discipline between benchmark runs. Heuristic
-    /// state survives (the real server is not rebooted between runs).
-    pub fn flush_all_caches(&mut self) {
-        self.client_cache.flush();
-        self.fs.flush_caches();
-    }
-
-    /// Resets per-file client sequentiality state (fresh `open()`s).
-    pub fn reset_client_heuristics(&mut self) {
-        for f in self.files.values_mut() {
-            f.next_offset = 0;
-            f.seqcount = 1;
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Runtime fault injection and introspection (simtest harness hooks).
-    // ------------------------------------------------------------------
-
-    /// Replaces both link directions' profiles at runtime: degradation,
-    /// loss bursts, recovery. In-flight messages keep their scheduled
-    /// delivery; only future transmissions see the new parameters.
-    pub fn set_link_profile(&mut self, profile: netsim::LinkProfile) {
-        self.c2s.set_profile(profile);
-        self.s2c.set_profile(profile);
-    }
-
-    /// The current link profile (both directions are kept symmetric).
-    pub fn link_profile(&self) -> netsim::LinkProfile {
-        self.c2s.profile()
-    }
-
-    /// Stalls the server CPU until at least `now + dur`: nothing is
-    /// accepted, processed, or replied to in the window (a GC pause, a
-    /// periodic sync, a competing job — the §9.2 "quiet workload" trap).
-    pub fn stall_server(&mut self, now: SimTime, dur: SimDuration) {
-        self.server_cpu_free = self.server_cpu_free.max(now + dur);
-    }
-
-    /// Resizes the `nfsd` pool at runtime. Growing the pool immediately
-    /// drains queued calls; shrinking lets busy daemons finish and simply
-    /// stops refilling above the new cap. Zero is legal and models a total
-    /// server outage: every arriving call queues and nothing is served
-    /// until the pool is grown again (UDP clients retransmit and time out;
-    /// TCP clients wait indefinitely).
-    pub fn set_nfsds(&mut self, now: SimTime, count: usize) {
-        self.nfsd_total = count;
-        self.drain_call_queue(now);
-    }
-
-    /// Current `nfsd` pool size.
-    pub fn nfsds(&self) -> usize {
-        self.nfsd_total
-    }
-
-    /// Resizes the client `nfsiod` pool at runtime. Zero is legal (it
-    /// disables client read-ahead, the `vfs.nfs.iodmax=0` configuration).
-    /// Shrinking retires the most-idle slots first; read-aheads already
-    /// marshalling keep their scheduled sends.
-    pub fn set_nfsiods(&mut self, count: usize) {
+    fn set_nfsiods(&mut self, count: usize) {
         while self.iod_free.len() > count {
             let idlest = self
                 .iod_free
@@ -387,17 +310,329 @@ impl NfsWorld {
         }
     }
 
-    /// Current `nfsiod` pool size.
-    pub fn nfsiods(&self) -> usize {
-        self.iod_free.len()
+    fn recycle_buf(&mut self, buf: Vec<u8>) {
+        if self.buf_pool.len() < Self::BUF_POOL_MAX && buf.capacity() > 0 {
+            self.buf_pool.push(buf);
+        }
+    }
+}
+
+/// The shared server: one nfsd pool, one CPU, one `nfsheur` table, one
+/// duplicate-request cache, one disk — the contended half of the cluster.
+#[derive(Debug)]
+struct ServerHost {
+    fs: FileSystem,
+    fsid: u32,
+    heur: NfsHeur,
+    nfsd_total: usize,
+    nfsd_busy: usize,
+    call_queue: VecDeque<(SimTime, u64)>,
+    /// Call keys accepted and not yet replied to (the in-progress half of a
+    /// duplicate request cache; reads are idempotent so completed calls
+    /// need no replay cache in this model).
+    in_service: HashSet<u64>,
+    cpu_free: SimTime,
+    arrived_seq: HashMap<u64, u64>,
+    stats: ServerStats,
+    /// Reply-encoding scratch buffer, reused across every reply the server
+    /// sends (replies are encoded, size-checked, and dropped — only their
+    /// wire size travels — so one buffer serves the whole run).
+    reply_scratch: Vec<u8>,
+    /// Test hook: number of upcoming replies to count but not transmit.
+    sabotage_drop_replies: u32,
+}
+
+/// The whole simulated NFS installation: N client hosts, one server.
+#[derive(Debug)]
+pub struct NfsWorld {
+    config: WorldConfig,
+    cpu: CpuModel,
+    queue: EventQueue<Ev>,
+    /// Latest event instant processed by [`NfsWorld::advance`]. The RPC
+    /// event queue alone is not enough: file-system completions advance
+    /// simulated time without popping the queue.
+    clock: SimTime,
+    clients: Vec<ClientHost>,
+    server: ServerHost,
+    /// Process-level operations across every client (OpIds are global).
+    ops: HashMap<OpId, OpState>,
+    ready: Vec<OpDone>,
+    next_op: u64,
+    /// Which client host "owns" (mounted) each inode, for attributing
+    /// server-side contention. With one client this maps everything to 0.
+    ino_owner: HashMap<u64, usize>,
+    /// Per-client contention counters, indexed by client id.
+    contention: Vec<ContentionStats>,
+}
+
+impl NfsWorld {
+    /// Builds a classic single-client world around an already-formatted
+    /// server file system. Exactly equivalent to a 1-host cluster whose
+    /// host config is [`ClientHostConfig::from_world`].
+    pub fn new(config: WorldConfig, fs: FileSystem, seed: u64) -> Self {
+        Self::new_cluster(config, &[ClientHostConfig::from_world(&config)], fs, seed)
     }
 
-    /// Where a client-cache block stands, without touching LRU state.
+    /// Builds a cluster: one host per entry of `hosts`, all sharing the
+    /// server described by `config` (nfsd pool, `nfsheur` geometry, policy,
+    /// transport, rsize) and the given file system.
+    ///
+    /// Each host gets its own RNG stream derived from `seed` and its index
+    /// (splitmix-style: stream `BASE + i·GAMMA`), so adding a host never
+    /// perturbs another host's draws, and host 0's stream is the historical
+    /// single-client stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hosts` is empty.
+    pub fn new_cluster(
+        config: WorldConfig,
+        hosts: &[ClientHostConfig],
+        fs: FileSystem,
+        seed: u64,
+    ) -> Self {
+        assert!(!hosts.is_empty(), "a cluster needs at least one client");
+        let clients: Vec<ClientHost> = hosts
+            .iter()
+            .enumerate()
+            .map(|(i, hc)| {
+                let mut rng = SimRng::from_seed_and_stream(
+                    seed,
+                    CLIENT_STREAM_BASE.wrapping_add(CLIENT_STREAM_GAMMA.wrapping_mul(i as u64)),
+                );
+                let c2s = Transport::new(config.transport, hc.link, hc.rtt, rng.derive(1));
+                let s2c = Transport::new(config.transport, hc.link, hc.rtt, rng.derive(2));
+                ClientHost {
+                    cfg: *hc,
+                    c2s,
+                    s2c,
+                    rng,
+                    cache: BufferCache::new(hc.client_cache_blocks),
+                    files: HashMap::new(),
+                    rpcs: HashMap::new(),
+                    iod_free: vec![SimTime::ZERO; hc.nfsiods],
+                    op_waiters: HashMap::new(),
+                    rpc_waiters: HashMap::new(),
+                    next_xid: 1,
+                    stats: ClientStats::default(),
+                    buf_pool: Vec::new(),
+                }
+            })
+            .collect();
+        let contention = vec![ContentionStats::default(); clients.len()];
+        NfsWorld {
+            cpu: CpuModel::for_transport(config.transport),
+            queue: EventQueue::new(),
+            clock: SimTime::ZERO,
+            clients,
+            server: ServerHost {
+                fs,
+                fsid: 1,
+                heur: NfsHeur::new(config.heur),
+                nfsd_total: config.nfsds,
+                nfsd_busy: 0,
+                call_queue: VecDeque::new(),
+                in_service: HashSet::new(),
+                cpu_free: SimTime::ZERO,
+                arrived_seq: HashMap::new(),
+                stats: ServerStats::default(),
+                reply_scratch: Vec::new(),
+                sabotage_drop_replies: 0,
+            },
+            ops: HashMap::new(),
+            ready: Vec::new(),
+            next_op: 0,
+            ino_owner: HashMap::new(),
+            contention,
+            config,
+        }
+    }
+
+    /// Number of client hosts in the cluster.
+    pub fn n_clients(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Creates a file on the server and "mounts" it on client 0,
+    /// returning the handle processes read through.
+    pub fn create_file(&mut self, size: u64) -> FileHandle {
+        self.create_file_for(0, size)
+    }
+
+    /// Creates a file on the server and "mounts" it on the given client.
+    /// Layout draws come from that client's RNG stream, so each host's
+    /// file placement is independent of the others'.
+    pub fn create_file_for(&mut self, client: usize, size: u64) -> FileHandle {
+        let mut alloc_rng = self.clients[client].rng.derive(0xA110C);
+        let ino = self.server.fs.create_file(size, &mut alloc_rng);
+        self.clients[client].files.insert(
+            ino,
+            ClientFile {
+                size,
+                next_offset: 0,
+                seqcount: 1,
+                submit_counter: 0,
+            },
+        );
+        self.ino_owner.insert(ino, client);
+        FileHandle {
+            fsid: self.server.fsid,
+            ino,
+            generation: 1,
+        }
+    }
+
+    /// Server counters. The `nfsheur` table counters are folded in from
+    /// the live table, so contention experiments read straight off this.
+    pub fn server_stats(&self) -> ServerStats {
+        let h = self.server.heur.stats();
+        ServerStats {
+            heur_hits: h.hits,
+            heur_misses: h.misses,
+            heur_ejections: h.ejections,
+            heur_occupancy: h.occupancy,
+            ..self.server.stats
+        }
+    }
+
+    /// Client 0 counters (the classic single-client accessor).
+    pub fn client_stats(&self) -> ClientStats {
+        self.clients[0].stats
+    }
+
+    /// Counters for one client host.
+    pub fn client_stats_for(&self, client: usize) -> ClientStats {
+        self.clients[client].stats
+    }
+
+    /// Server-side contention attributed to one client host.
+    pub fn contention_stats(&self, client: usize) -> ContentionStats {
+        self.contention[client]
+    }
+
+    /// The server file system (disk and cache statistics).
+    pub fn fs(&self) -> &FileSystem {
+        &self.server.fs
+    }
+
+    /// The server's `nfsheur` table.
+    pub fn heur(&self) -> &NfsHeur {
+        &self.server.heur
+    }
+
+    /// Drops every data cache — client blocks on every host, server buffer
+    /// cache, drive segments — the §4.3.1 discipline between benchmark
+    /// runs. Heuristic state survives (the real server is not rebooted
+    /// between runs).
+    pub fn flush_all_caches(&mut self) {
+        for cl in &mut self.clients {
+            cl.cache.flush();
+        }
+        self.server.fs.flush_caches();
+    }
+
+    /// Resets per-file client sequentiality state on every host (fresh
+    /// `open()`s).
+    pub fn reset_client_heuristics(&mut self) {
+        for cl in &mut self.clients {
+            for f in cl.files.values_mut() {
+                f.next_offset = 0;
+                f.seqcount = 1;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Runtime fault injection and introspection (simtest harness hooks).
+    // ------------------------------------------------------------------
+
+    /// Replaces both link directions' profiles on *every* host at runtime:
+    /// degradation, loss bursts, recovery. In-flight messages keep their
+    /// scheduled delivery; only future transmissions see the new
+    /// parameters.
+    pub fn set_link_profile(&mut self, profile: netsim::LinkProfile) {
+        for client in 0..self.clients.len() {
+            self.set_link_profile_for(client, profile);
+        }
+    }
+
+    /// Replaces one host's link profile (both directions).
+    pub fn set_link_profile_for(&mut self, client: usize, profile: netsim::LinkProfile) {
+        let cl = &mut self.clients[client];
+        cl.c2s.set_profile(profile);
+        cl.s2c.set_profile(profile);
+    }
+
+    /// Client 0's current link profile (directions are kept symmetric).
+    pub fn link_profile(&self) -> netsim::LinkProfile {
+        self.link_profile_for(0)
+    }
+
+    /// One host's current link profile.
+    pub fn link_profile_for(&self, client: usize) -> netsim::LinkProfile {
+        self.clients[client].c2s.profile()
+    }
+
+    /// Stalls the server CPU until at least `now + dur`: nothing is
+    /// accepted, processed, or replied to in the window (a GC pause, a
+    /// periodic sync, a competing job — the §9.2 "quiet workload" trap).
+    pub fn stall_server(&mut self, now: SimTime, dur: SimDuration) {
+        self.server.cpu_free = self.server.cpu_free.max(now + dur);
+    }
+
+    /// Resizes the `nfsd` pool at runtime. Growing the pool immediately
+    /// drains queued calls; shrinking lets busy daemons finish and simply
+    /// stops refilling above the new cap. Zero is legal and models a total
+    /// server outage: every arriving call queues and nothing is served
+    /// until the pool is grown again (UDP clients retransmit and time out;
+    /// TCP clients wait indefinitely).
+    pub fn set_nfsds(&mut self, now: SimTime, count: usize) {
+        self.server.nfsd_total = count;
+        self.drain_call_queue(now);
+    }
+
+    /// Current `nfsd` pool size.
+    pub fn nfsds(&self) -> usize {
+        self.server.nfsd_total
+    }
+
+    /// Resizes the client `nfsiod` pool on *every* host at runtime. Zero
+    /// is legal (it disables client read-ahead, the `vfs.nfs.iodmax=0`
+    /// configuration). Shrinking retires the most-idle slots first;
+    /// read-aheads already marshalling keep their scheduled sends.
+    pub fn set_nfsiods(&mut self, count: usize) {
+        for cl in &mut self.clients {
+            cl.set_nfsiods(count);
+        }
+    }
+
+    /// Resizes one host's `nfsiod` pool.
+    pub fn set_nfsiods_for(&mut self, client: usize, count: usize) {
+        self.clients[client].set_nfsiods(count);
+    }
+
+    /// Client 0's current `nfsiod` pool size.
+    pub fn nfsiods(&self) -> usize {
+        self.nfsiods_for(0)
+    }
+
+    /// One host's current `nfsiod` pool size.
+    pub fn nfsiods_for(&self, client: usize) -> usize {
+        self.clients[client].iod_free.len()
+    }
+
+    /// Where a client-0 cache block stands, without touching LRU state.
     pub fn block_state(&self, fh: FileHandle, blk: u64) -> BlockState {
+        self.block_state_for(0, fh, blk)
+    }
+
+    /// Where one host's cache block stands, without touching LRU state.
+    pub fn block_state_for(&self, client: usize, fh: FileHandle, blk: u64) -> BlockState {
         let key = (fh.ino, blk);
-        if self.client_cache.peek(key) {
+        let cache = &self.clients[client].cache;
+        if cache.peek(key) {
             BlockState::Cached
-        } else if self.client_cache.is_pending(key) {
+        } else if cache.is_pending(key) {
             BlockState::Pending
         } else {
             BlockState::Absent
@@ -412,22 +647,37 @@ impl NfsWorld {
         v
     }
 
-    /// RPCs not yet retired by a reply or a timeout (sorted; empty at
-    /// quiescence).
-    pub fn outstanding_xids(&self) -> Vec<u32> {
-        let mut v: Vec<u32> = self.rpcs.keys().copied().collect();
+    /// RPCs not yet retired by a reply or a timeout, as `(client, xid)`
+    /// pairs (sorted; empty at quiescence).
+    pub fn outstanding_xids(&self) -> Vec<(usize, u32)> {
+        let mut v: Vec<(usize, u32)> = self
+            .clients
+            .iter()
+            .enumerate()
+            .flat_map(|(i, cl)| cl.rpcs.keys().map(move |&x| (i, x)))
+            .collect();
         v.sort_unstable();
         v
     }
 
-    /// Client→server link counters.
+    /// Client 0's client→server link counters.
     pub fn c2s_stats(&self) -> netsim::LinkStats {
-        self.c2s.stats()
+        self.c2s_stats_for(0)
     }
 
-    /// Server→client link counters.
+    /// One host's client→server link counters.
+    pub fn c2s_stats_for(&self, client: usize) -> netsim::LinkStats {
+        self.clients[client].c2s.stats()
+    }
+
+    /// Client 0's server→client link counters.
     pub fn s2c_stats(&self) -> netsim::LinkStats {
-        self.s2c.stats()
+        self.s2c_stats_for(0)
+    }
+
+    /// One host's server→client link counters.
+    pub fn s2c_stats_for(&self, client: usize) -> netsim::LinkStats {
+        self.clients[client].s2c.stats()
     }
 
     /// Test hook for the simtest mutation check: the next `n` replies are
@@ -435,49 +685,72 @@ impl NfsWorld {
     /// deliberately breaking the reply-conservation invariant.
     #[doc(hidden)]
     pub fn sabotage_drop_next_replies(&mut self, n: u32) {
-        self.sabotage_drop_replies += n;
+        self.server.sabotage_drop_replies += n;
     }
 
-    /// Issues a process-level read of `len` bytes at `offset`.
+    /// Issues a process-level read of `len` bytes at `offset` on client 0.
     ///
     /// # Panics
     ///
     /// Panics on an unknown handle or a read beyond EOF.
     pub fn read(&mut self, now: SimTime, fh: FileHandle, offset: u64, len: u64, tag: u64) -> OpId {
+        self.read_from(0, now, fh, offset, len, tag)
+    }
+
+    /// Issues a process-level read on the given client host.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown handle or a read beyond EOF.
+    pub fn read_from(
+        &mut self,
+        client: usize,
+        now: SimTime,
+        fh: FileHandle,
+        offset: u64,
+        len: u64,
+        tag: u64,
+    ) -> OpId {
         assert!(len > 0, "zero-length read");
         let rsize = u64::from(self.config.rsize);
+        let cpu = self.cpu;
         let ino = fh.ino;
-        let file = *self.files.get(&ino).expect("read of unmounted file");
+        let file = *self.clients[client]
+            .files
+            .get(&ino)
+            .expect("read of unmounted file");
         assert!(offset + len <= file.size, "read beyond EOF");
         let id = OpId(self.next_op);
         self.next_op += 1;
-        self.client_stats.ops += 1;
+        self.clients[client].stats.ops += 1;
 
         let first_blk = offset / rsize;
         let last_blk = (offset + len - 1) / rsize;
         let mut outstanding = 0;
         for blk in first_blk..=last_blk {
             let key = (ino, blk);
-            if self.client_cache.lookup(key) {
-                self.client_stats.cache_hits += 1;
+            let cl = &mut self.clients[client];
+            if cl.cache.lookup(key) {
+                cl.stats.cache_hits += 1;
                 continue;
             }
-            if self.client_cache.is_pending(key) {
-                self.op_waiters.entry(key).or_default().push(id);
+            if cl.cache.is_pending(key) {
+                cl.op_waiters.entry(key).or_default().push(id);
                 outstanding += 1;
                 continue;
             }
             // Demand RPC, marshalled in process context.
-            self.client_cache.mark_pending(key);
-            self.op_waiters.entry(key).or_default().push(id);
+            cl.cache.mark_pending(key);
+            cl.op_waiters.entry(key).or_default().push(id);
             outstanding += 1;
-            let send_at = now + self.marshal_delay();
-            self.issue_rpc(send_at, fh, blk * rsize, self.config.rsize, false);
+            let send_at = now + cl.marshal_delay(cpu);
+            self.issue_rpc(client, send_at, fh, blk * rsize, self.config.rsize, false);
         }
 
         // Client-side sequential heuristic drives client read-ahead
         // through the nfsiod pool.
-        let f = self.files.get_mut(&ino).expect("checked above");
+        let cl = &mut self.clients[client];
+        let f = cl.files.get_mut(&ino).expect("checked above");
         if offset == f.next_offset {
             f.seqcount = (f.seqcount + 1).min(ffs::SEQCOUNT_MAX);
         } else {
@@ -486,28 +759,30 @@ impl NfsWorld {
         f.next_offset = offset + len;
         let seqcount = f.seqcount;
         if seqcount >= 2 {
-            let window = u64::from(seqcount).min(self.config.client_readahead_blocks);
+            let window = u64::from(seqcount).min(cl.cfg.client_readahead_blocks);
             let max_blk = (file.size - 1) / rsize;
             for blk in (last_blk + 1)..=(last_blk + window).min(max_blk) {
                 let key = (ino, blk);
-                if self.client_cache.peek(key) || self.client_cache.is_pending(key) {
+                let cl = &mut self.clients[client];
+                if cl.cache.peek(key) || cl.cache.is_pending(key) {
                     continue;
                 }
                 // Read-ahead needs a free nfsiod; otherwise it is skipped.
-                let Some(iod) = self.acquire_iod(now) else {
-                    self.client_stats.iod_starved += 1;
+                let Some(iod) = cl.acquire_iod(now) else {
+                    cl.stats.iod_starved += 1;
                     break;
                 };
-                let send_at = iod + self.marshal_delay();
-                self.set_iod_busy_until(send_at);
-                self.client_cache.mark_pending(key);
-                self.issue_rpc(send_at, fh, blk * rsize, self.config.rsize, true);
+                let send_at = iod + cl.marshal_delay(cpu);
+                cl.set_iod_busy_until(send_at);
+                cl.cache.mark_pending(key);
+                self.issue_rpc(client, send_at, fh, blk * rsize, self.config.rsize, true);
             }
         }
 
         self.ops.insert(
             id,
             OpState {
+                client,
                 tag,
                 issued_at: now,
                 outstanding_blocks: outstanding,
@@ -521,35 +796,57 @@ impl NfsWorld {
         id
     }
 
-    /// Issues a process-level write of `len` bytes at `offset` (used by the
-    /// mixed-workload extension; data content is elided, sizes are real).
+    /// Issues a process-level write of `len` bytes at `offset` on client 0
+    /// (used by the mixed-workload extension; data content is elided,
+    /// sizes are real).
     ///
     /// # Panics
     ///
     /// Panics on an unknown handle or a write beyond EOF.
     pub fn write(&mut self, now: SimTime, fh: FileHandle, offset: u64, len: u64, tag: u64) -> OpId {
+        self.write_from(0, now, fh, offset, len, tag)
+    }
+
+    /// Issues a process-level write on the given client host.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown handle or a write beyond EOF.
+    pub fn write_from(
+        &mut self,
+        client: usize,
+        now: SimTime,
+        fh: FileHandle,
+        offset: u64,
+        len: u64,
+        tag: u64,
+    ) -> OpId {
         assert!(len > 0, "zero-length write");
-        let file = *self.files.get(&fh.ino).expect("write to unmounted file");
+        let cpu = self.cpu;
+        let cl = &mut self.clients[client];
+        let file = *cl.files.get(&fh.ino).expect("write to unmounted file");
         assert!(offset + len <= file.size, "write beyond EOF");
         let id = OpId(self.next_op);
         self.next_op += 1;
-        self.client_stats.ops += 1;
+        cl.stats.ops += 1;
         // Write-through: drop the written blocks from the client cache.
         let rsize = u64::from(self.config.rsize);
         for blk in (offset / rsize)..=((offset + len - 1) / rsize) {
-            self.client_cache.invalidate((fh.ino, blk));
+            cl.cache.invalidate((fh.ino, blk));
         }
         self.ops.insert(
             id,
             OpState {
+                client,
                 tag,
                 issued_at: now,
                 outstanding_blocks: 1,
                 timed_out: None,
             },
         );
-        let send_at = now + self.marshal_delay();
+        let send_at = now + self.clients[client].marshal_delay(cpu);
         let xid = self.issue_call(
+            client,
             send_at,
             NfsCall::Write {
                 fh,
@@ -557,35 +854,47 @@ impl NfsWorld {
                 count: u32::try_from(len).expect("write fits u32"),
             },
         );
-        self.rpc_waiters.insert(xid, id);
+        self.clients[client].rpc_waiters.insert(xid, id);
         id
     }
 
-    /// Issues a GETATTR (metadata round trip; no data transfer).
+    /// Issues a GETATTR on client 0 (metadata round trip; no data
+    /// transfer).
     ///
     /// # Panics
     ///
     /// Panics on an unknown handle.
     pub fn getattr(&mut self, now: SimTime, fh: FileHandle, tag: u64) -> OpId {
+        self.getattr_from(0, now, fh, tag)
+    }
+
+    /// Issues a GETATTR on the given client host.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown handle.
+    pub fn getattr_from(&mut self, client: usize, now: SimTime, fh: FileHandle, tag: u64) -> OpId {
+        let cpu = self.cpu;
         assert!(
-            self.files.contains_key(&fh.ino),
+            self.clients[client].files.contains_key(&fh.ino),
             "getattr on unmounted file"
         );
         let id = OpId(self.next_op);
         self.next_op += 1;
-        self.client_stats.ops += 1;
+        self.clients[client].stats.ops += 1;
         self.ops.insert(
             id,
             OpState {
+                client,
                 tag,
                 issued_at: now,
                 outstanding_blocks: 1,
                 timed_out: None,
             },
         );
-        let send_at = now + self.marshal_delay();
-        let xid = self.issue_call(send_at, NfsCall::Getattr { fh });
-        self.rpc_waiters.insert(xid, id);
+        let send_at = now + self.clients[client].marshal_delay(cpu);
+        let xid = self.issue_call(client, send_at, NfsCall::Getattr { fh });
+        self.clients[client].rpc_waiters.insert(xid, id);
         id
     }
 
@@ -598,7 +907,7 @@ impl NfsWorld {
     /// Earliest instant at which [`NfsWorld::advance`] has work.
     pub fn next_event(&self) -> Option<SimTime> {
         let mut t = self.queue.peek_time();
-        if let Some(f) = self.fs.next_event() {
+        if let Some(f) = self.server.fs.next_event() {
             t = Some(t.map_or(f, |q| q.min(f)));
         }
         if let Some(r) = self.ready.iter().map(|d| d.done_at).min() {
@@ -612,7 +921,7 @@ impl NfsWorld {
     pub fn advance(&mut self, now: SimTime) -> Vec<OpDone> {
         loop {
             let qnext = self.queue.peek_time();
-            let fnext = self.fs.next_event();
+            let fnext = self.server.fs.next_event();
             let next = match (qnext, fnext) {
                 (Some(a), Some(b)) => Some(a.min(b)),
                 (a, b) => a.or(b),
@@ -623,9 +932,9 @@ impl NfsWorld {
             }
             self.clock = self.clock.max(t);
             if fnext.is_some_and(|f| qnext.is_none_or(|q| f <= q)) {
-                let fs_done = self.fs.advance(fnext.expect("checked"));
+                let fs_done = self.server.fs.advance(fnext.expect("checked"));
                 for d in fs_done {
-                    self.server_fs_done(d.tag as u32, d.done_at);
+                    self.server_fs_done(d.tag, d.done_at);
                 }
             } else {
                 let (at, ev) = self.queue.pop().expect("peeked");
@@ -650,79 +959,61 @@ impl NfsWorld {
     // Client internals.
     // ------------------------------------------------------------------
 
-    fn marshal_delay(&mut self) -> SimDuration {
-        let busy_factor = 1.0 + f64::from(self.config.busy_loops) * 0.9;
-        let jitter = self
-            .rng
-            .exponential(self.cpu.client_jitter_mean * busy_factor);
-        SimDuration::from_secs_f64(self.cpu.client_marshal + jitter)
-    }
-
-    /// Returns `Some(now)` iff an nfsiod slot is free at `now`. (A slot
-    /// whose busy-until time has passed is usable immediately; there is no
-    /// future reservation, so the acquisition instant is always `now`.)
-    fn acquire_iod(&mut self, now: SimTime) -> Option<SimTime> {
-        self.iod_free.iter().any(|&t| t <= now).then_some(now)
-    }
-
-    fn set_iod_busy_until(&mut self, until: SimTime) {
-        if let Some(slot) = self
-            .iod_free
-            .iter_mut()
-            .filter(|t| **t <= until)
-            .min_by_key(|t| **t)
-        {
-            *slot = until;
-        }
-    }
-
-    fn issue_rpc(&mut self, send_at: SimTime, fh: FileHandle, offset: u64, count: u32, ra: bool) {
-        self.client_stats.rpcs += 1;
+    fn issue_rpc(
+        &mut self,
+        client: usize,
+        send_at: SimTime,
+        fh: FileHandle,
+        offset: u64,
+        count: u32,
+        ra: bool,
+    ) {
+        let cl = &mut self.clients[client];
+        cl.stats.rpcs += 1;
         if ra {
-            self.client_stats.readahead_rpcs += 1;
+            cl.stats.readahead_rpcs += 1;
         }
-        self.issue_call(send_at, NfsCall::Read { fh, offset, count });
+        self.issue_call(client, send_at, NfsCall::Read { fh, offset, count });
     }
 
-    /// Caps the recycled-buffer pool; beyond this, retired buffers drop.
-    const BUF_POOL_MAX: usize = 256;
-
-    fn recycle_buf(&mut self, buf: Vec<u8>) {
-        if self.buf_pool.len() < Self::BUF_POOL_MAX && buf.capacity() > 0 {
-            self.buf_pool.push(buf);
-        }
-    }
-
-    fn issue_call(&mut self, send_at: SimTime, call: NfsCall) -> u32 {
-        let xid = self.next_xid;
-        self.next_xid = self.next_xid.wrapping_add(1).max(1);
+    fn issue_call(&mut self, client: usize, send_at: SimTime, call: NfsCall) -> u32 {
+        let cl = &mut self.clients[client];
+        let xid = cl.next_xid;
+        cl.next_xid = cl.next_xid.wrapping_add(1).max(1);
         let ino = call.fh().ino;
-        let f = self.files.get_mut(&ino).expect("mounted");
+        let f = cl.files.get_mut(&ino).expect("mounted");
         f.submit_counter += 1;
-        let scratch = self.buf_pool.pop().unwrap_or_default();
+        let submit_seq = f.submit_counter;
+        let scratch = cl.buf_pool.pop().unwrap_or_default();
         let rpc = Rpc {
             encoded: call.encode_into(xid, scratch),
             call,
-            submit_seq: f.submit_counter,
+            submit_seq,
             attempt: 0,
             outstanding: true,
         };
-        self.rpcs.insert(xid, rpc);
-        self.queue.schedule_at(send_at, Ev::Send { xid });
+        cl.rpcs.insert(xid, rpc);
+        self.queue.schedule_at(
+            send_at,
+            Ev::Send {
+                key: call_key(client, xid),
+            },
+        );
         xid
     }
 
     fn handle(&mut self, at: SimTime, ev: Ev) {
         match ev {
-            Ev::Send { xid } => self.do_send(at, xid),
-            Ev::CallArrive { xid } => self.server_call_arrive(at, xid),
-            Ev::ReplyArrive { xid } => self.client_reply_arrive(at, xid),
-            Ev::Retransmit { xid, attempt } => self.check_retransmit(at, xid, attempt),
+            Ev::Send { key } => self.do_send(at, key),
+            Ev::CallArrive { key } => self.server_call_arrive(at, key),
+            Ev::ReplyArrive { key } => self.client_reply_arrive(at, key),
+            Ev::Retransmit { key, attempt } => self.check_retransmit(at, key, attempt),
         }
     }
 
-    fn do_send(&mut self, at: SimTime, xid: u32) {
-        let Some(rpc) = self.rpcs.get(&xid) else {
+    fn do_send(&mut self, at: SimTime, key: u64) {
+        let cl = &mut self.clients[key_client(key)];
+        let Some(rpc) = cl.rpcs.get(&key_xid(key)) else {
             return; // Completed while a retransmission was marshalling.
         };
         if !rpc.outstanding {
@@ -730,9 +1021,9 @@ impl NfsWorld {
         }
         let wire = rpc.call.wire_bytes();
         let attempt = rpc.attempt;
-        self.client_stats.transmissions += 1;
-        match self.c2s.send(at, wire) {
-            Delivery::At(t) => self.queue.schedule_at(t, Ev::CallArrive { xid }),
+        cl.stats.transmissions += 1;
+        match cl.c2s.send(at, wire) {
+            Delivery::At(t) => self.queue.schedule_at(t, Ev::CallArrive { key }),
             Delivery::Lost => {}
         }
         if self.config.transport == TransportKind::Udp {
@@ -741,38 +1032,44 @@ impl NfsWorld {
                 .retransmit_timeout
                 .saturating_mul(1 << attempt.min(6));
             self.queue
-                .schedule_at(at + timeo, Ev::Retransmit { xid, attempt });
+                .schedule_at(at + timeo, Ev::Retransmit { key, attempt });
         }
     }
 
-    fn check_retransmit(&mut self, at: SimTime, xid: u32, attempt: u32) {
-        let Some(rpc) = self.rpcs.get_mut(&xid) else {
+    fn check_retransmit(&mut self, at: SimTime, key: u64, attempt: u32) {
+        let cpu = self.cpu;
+        let max_retries = self.config.max_retries;
+        let cl = &mut self.clients[key_client(key)];
+        let Some(rpc) = cl.rpcs.get_mut(&key_xid(key)) else {
             return;
         };
         if !rpc.outstanding || rpc.attempt != attempt {
             return;
         }
-        if attempt >= self.config.max_retries {
+        if attempt >= max_retries {
             // Soft-mount semantics: give up and fail the waiting
             // operations with a typed outcome instead of panicking.
-            self.rpc_timed_out(at, xid);
+            self.rpc_timed_out(at, key);
             return;
         }
         rpc.attempt += 1;
-        self.client_stats.retransmits += 1;
-        let send_at = at + self.marshal_delay();
-        self.queue.schedule_at(send_at, Ev::Send { xid });
+        cl.stats.retransmits += 1;
+        let send_at = at + cl.marshal_delay(cpu);
+        self.queue.schedule_at(send_at, Ev::Send { key });
     }
 
     /// An RPC exhausted its retries: retire it, clear the client-cache
     /// blocks it was fetching (so later reads can retry them), and fail
     /// every operation that was waiting on it.
-    fn rpc_timed_out(&mut self, at: SimTime, xid: u32) {
-        let Rpc { call, encoded, .. } = self.rpcs.remove(&xid).expect("caller checked presence");
-        self.recycle_buf(encoded);
-        self.client_stats.rpc_timeouts += 1;
+    fn rpc_timed_out(&mut self, at: SimTime, key: u64) {
+        let client = key_client(key);
+        let xid = key_xid(key);
+        let cl = &mut self.clients[client];
+        let Rpc { call, encoded, .. } = cl.rpcs.remove(&xid).expect("caller checked presence");
+        cl.recycle_buf(encoded);
+        cl.stats.rpc_timeouts += 1;
         let done = at + SimDuration::from_secs_f64(self.cpu.client_complete);
-        if let Some(id) = self.rpc_waiters.remove(&xid) {
+        if let Some(id) = self.clients[client].rpc_waiters.remove(&xid) {
             if let Some(op) = self.ops.get_mut(&id) {
                 op.timed_out = Some(xid);
                 self.finish_op(id, done);
@@ -786,9 +1083,10 @@ impl NfsWorld {
         let first = offset / rsize;
         let last = (offset + u64::from(count) - 1) / rsize;
         for blk in first..=last {
-            let key = (fh.ino, blk);
-            self.client_cache.discard(key);
-            let Some(waiting) = self.op_waiters.remove(&key) else {
+            let bkey = (fh.ino, blk);
+            let cl = &mut self.clients[client];
+            cl.cache.discard(bkey);
+            let Some(waiting) = cl.op_waiters.remove(&bkey) else {
                 continue;
             };
             for id in waiting {
@@ -804,23 +1102,27 @@ impl NfsWorld {
         }
     }
 
-    fn client_reply_arrive(&mut self, at: SimTime, xid: u32) {
-        let Some(rpc) = self.rpcs.get_mut(&xid) else {
+    fn client_reply_arrive(&mut self, at: SimTime, key: u64) {
+        let client = key_client(key);
+        let xid = key_xid(key);
+        let cpu = self.cpu;
+        let cl = &mut self.clients[client];
+        let Some(rpc) = cl.rpcs.get(&xid) else {
             // Duplicate reply after a retransmission raced, or the client
             // already gave up on this xid.
-            self.client_stats.duplicate_replies += 1;
+            cl.stats.duplicate_replies += 1;
             return;
         };
         if !rpc.outstanding {
-            self.client_stats.duplicate_replies += 1;
+            cl.stats.duplicate_replies += 1;
             return;
         }
-        self.client_stats.replies_received += 1;
-        let Rpc { call, encoded, .. } = self.rpcs.remove(&xid).expect("just observed");
-        self.recycle_buf(encoded);
-        if let Some(id) = self.rpc_waiters.remove(&xid) {
+        cl.stats.replies_received += 1;
+        let Rpc { call, encoded, .. } = cl.rpcs.remove(&xid).expect("just observed");
+        cl.recycle_buf(encoded);
+        if let Some(id) = cl.rpc_waiters.remove(&xid) {
             // A non-READ operation (or a directly-awaited RPC) completes.
-            let done = at + SimDuration::from_secs_f64(self.cpu.client_complete);
+            let done = at + SimDuration::from_secs_f64(cpu.client_complete);
             self.finish_op(id, done);
             return;
         }
@@ -830,17 +1132,16 @@ impl NfsWorld {
         let rsize = u64::from(self.config.rsize);
         let first = offset / rsize;
         let last = (offset + u64::from(count) - 1) / rsize;
-        let wake_jitter = if self.config.busy_loops > 0 {
-            SimDuration::from_secs_f64(
-                self.rng.uniform01() * 60e-6 * f64::from(self.config.busy_loops),
-            )
+        let wake_jitter = if cl.cfg.busy_loops > 0 {
+            SimDuration::from_secs_f64(cl.rng.uniform01() * 60e-6 * f64::from(cl.cfg.busy_loops))
         } else {
             SimDuration::ZERO
         };
         for blk in first..=last {
-            let key = (fh.ino, blk);
-            self.client_cache.fill(key);
-            if let Some(waiting) = self.op_waiters.remove(&key) {
+            let bkey = (fh.ino, blk);
+            let cl = &mut self.clients[client];
+            cl.cache.fill(bkey);
+            if let Some(waiting) = cl.op_waiters.remove(&bkey) {
                 for id in waiting {
                     let Some(op) = self.ops.get_mut(&id) else {
                         continue;
@@ -848,7 +1149,7 @@ impl NfsWorld {
                     op.outstanding_blocks = op.outstanding_blocks.saturating_sub(1);
                     if op.outstanding_blocks == 0 {
                         let done =
-                            at + SimDuration::from_secs_f64(self.cpu.client_complete) + wake_jitter;
+                            at + SimDuration::from_secs_f64(cpu.client_complete) + wake_jitter;
                         self.finish_op(id, done);
                     }
                 }
@@ -864,6 +1165,7 @@ impl NfsWorld {
         };
         self.ready.push(OpDone {
             id,
+            client: op.client,
             tag: op.tag,
             issued_at: op.issued_at,
             done_at,
@@ -875,75 +1177,99 @@ impl NfsWorld {
     // Server internals.
     // ------------------------------------------------------------------
 
-    fn server_call_arrive(&mut self, at: SimTime, xid: u32) {
+    fn server_call_arrive(&mut self, at: SimTime, key: u64) {
+        let client = key_client(key);
         // Decode the call from its real wire encoding.
-        let Some(rpc) = self.rpcs.get(&xid) else {
+        let Some(rpc) = self.clients[client].rpcs.get(&key_xid(key)) else {
             // The client abandoned this xid (RPC timeout) before the call
             // arrived; a real server would execute it and get no thanks.
-            self.server_stats.orphan_calls += 1;
+            self.server.stats.orphan_calls += 1;
             return;
         };
         let (decoded_xid, call) = NfsCall::decode(&rpc.encoded).expect("well-formed call");
-        debug_assert_eq!(decoded_xid, xid);
-        if !self.in_service.insert(xid) {
+        debug_assert_eq!(decoded_xid, key_xid(key));
+        let submit_seq = rpc.submit_seq;
+        if !self.server.in_service.insert(key) {
             // A retransmission of a call we are still working on: drop it
-            // (RFC 1813 duplicate request cache behaviour).
-            self.server_stats.duplicates_dropped += 1;
+            // (RFC 1813 duplicate request cache behaviour) and charge the
+            // client that burned the slot.
+            self.server.stats.duplicates_dropped += 1;
+            self.contention[client].duplicate_cache_hits += 1;
             return;
         }
         if let NfsCall::Read { fh, .. } = &call {
-            self.server_stats.reads += 1;
-            let seen = self.arrived_seq.entry(fh.ino).or_insert(0);
-            if rpc.submit_seq < *seen {
-                self.server_stats.reordered += 1;
+            self.server.stats.reads += 1;
+            let seen = self.server.arrived_seq.entry(fh.ino).or_insert(0);
+            if submit_seq < *seen {
+                self.server.stats.reordered += 1;
             } else {
-                *seen = rpc.submit_seq;
+                *seen = submit_seq;
             }
         } else {
-            self.server_stats.other_calls += 1;
+            self.server.stats.other_calls += 1;
         }
-        if self.nfsd_busy >= self.nfsd_total {
-            self.call_queue.push_back((at, xid));
+        if self.server.nfsd_busy >= self.server.nfsd_total {
+            self.server.call_queue.push_back((at, key));
             return;
         }
-        self.nfsd_busy += 1;
-        self.nfsd_process(at, xid, call);
+        self.server.nfsd_busy += 1;
+        self.nfsd_process(at, key, call);
     }
 
-    fn nfsd_process(&mut self, at: SimTime, xid: u32, call: NfsCall) {
-        let t1 = self.server_cpu_free.max(at) + SimDuration::from_secs_f64(self.cpu.server_call);
-        self.server_cpu_free = t1;
+    fn nfsd_process(&mut self, at: SimTime, key: u64, call: NfsCall) {
+        let t1 = self.server.cpu_free.max(at) + SimDuration::from_secs_f64(self.cpu.server_call);
+        self.server.cpu_free = t1;
         match call {
             NfsCall::Read { fh, offset, count } => {
-                let seqcount =
-                    self.heur
-                        .observe(fh.ino, offset, u64::from(count), &self.config.policy);
-                self.fs.read(
-                    t1,
+                let client = key_client(key);
+                let policy = self.config.policy;
+                let ino_owner = &self.ino_owner;
+                let contention = &mut self.contention;
+                let (seqcount, probe) = self.server.heur.observe_traced(
                     fh.ino,
                     offset,
                     u64::from(count),
-                    seqcount,
-                    u64::from(xid),
+                    &policy,
+                    |scanned| {
+                        if ino_owner.get(&scanned).is_some_and(|&o| o != client) {
+                            contention[client].cross_client_probe_collisions += 1;
+                        }
+                    },
                 );
+                if let Some(victim) = probe.ejected {
+                    self.contention[client].heur_ejections_caused += 1;
+                    if let Some(&owner) = self.ino_owner.get(&victim) {
+                        self.contention[owner].heur_ejections_suffered += 1;
+                        if owner != client {
+                            self.contention[client].cross_client_ejections += 1;
+                        }
+                    }
+                }
+                self.server
+                    .fs
+                    .read(t1, fh.ino, offset, u64::from(count), seqcount, key);
             }
             NfsCall::Write { fh, offset, count } => {
-                self.fs
-                    .write(t1, fh.ino, offset, u64::from(count), u64::from(xid));
+                self.server
+                    .fs
+                    .write(t1, fh.ino, offset, u64::from(count), key);
             }
             NfsCall::Getattr { .. } | NfsCall::Lookup { .. } => {
                 // Metadata served from in-core state: reply immediately.
-                self.server_fs_done(xid, t1);
+                self.server_fs_done(key, t1);
             }
         }
     }
 
-    fn server_fs_done(&mut self, xid: u32, at: SimTime) {
-        let t = self.server_cpu_free.max(at) + SimDuration::from_secs_f64(self.cpu.server_reply);
-        self.server_cpu_free = t;
-        let reply = match self.rpcs.get(&xid).map(|r| &r.call) {
+    fn server_fs_done(&mut self, key: u64, at: SimTime) {
+        let client = key_client(key);
+        let xid = key_xid(key);
+        let t = self.server.cpu_free.max(at) + SimDuration::from_secs_f64(self.cpu.server_reply);
+        self.server.cpu_free = t;
+        let cl = &self.clients[client];
+        let reply = match cl.rpcs.get(&xid).map(|r| &r.call) {
             Some(NfsCall::Read { fh, offset, count }) => {
-                let size = self.files.get(&fh.ino).map_or(0, |f| f.size);
+                let size = cl.files.get(&fh.ino).map_or(0, |f| f.size);
                 NfsReply::Read {
                     status: NfsStatus::Ok,
                     count: *count,
@@ -957,7 +1283,7 @@ impl NfsWorld {
             Some(NfsCall::Getattr { fh }) => NfsReply::Getattr {
                 status: NfsStatus::Ok,
                 attrs: Some(nfsproto::Fattr3 {
-                    size: self.files.get(&fh.ino).map_or(0, |f| f.size),
+                    size: cl.files.get(&fh.ino).map_or(0, |f| f.size),
                     fileid: fh.ino,
                 }),
             },
@@ -969,54 +1295,54 @@ impl NfsWorld {
                 // The RPC was retired client-side already (its reply raced
                 // a retransmission, or the client timed out): this
                 // execution was wasted work. Nothing to send.
-                self.server_stats.stale_drops += 1;
-                self.in_service.remove(&xid);
+                self.server.stats.stale_drops += 1;
+                self.server.in_service.remove(&key);
                 self.release_nfsd(at);
                 return;
             }
         };
-        self.server_stats.replies += 1;
+        self.server.stats.replies += 1;
         // Exercise the codec: encode the reply as it would go on the wire,
         // into a scratch buffer reused across all replies.
-        let scratch = std::mem::take(&mut self.reply_scratch);
+        let scratch = std::mem::take(&mut self.server.reply_scratch);
         let encoded = reply.encode_into(xid, scratch);
         debug_assert!(!encoded.is_empty());
-        self.reply_scratch = encoded;
-        if self.sabotage_drop_replies > 0 {
+        self.server.reply_scratch = encoded;
+        if self.server.sabotage_drop_replies > 0 {
             // Mutation-check hook: the books say "replied" but the wire
             // never sees it.
-            self.sabotage_drop_replies -= 1;
+            self.server.sabotage_drop_replies -= 1;
         } else {
-            match self.s2c.send(t, reply.wire_bytes()) {
-                Delivery::At(arrive) => self.queue.schedule_at(arrive, Ev::ReplyArrive { xid }),
+            match self.clients[client].s2c.send(t, reply.wire_bytes()) {
+                Delivery::At(arrive) => self.queue.schedule_at(arrive, Ev::ReplyArrive { key }),
                 Delivery::Lost => {} // Client will retransmit the call.
             }
         }
-        self.in_service.remove(&xid);
+        self.server.in_service.remove(&key);
         self.release_nfsd(t);
     }
 
     fn release_nfsd(&mut self, at: SimTime) {
-        self.nfsd_busy = self.nfsd_busy.saturating_sub(1);
+        self.server.nfsd_busy = self.server.nfsd_busy.saturating_sub(1);
         self.drain_call_queue(at);
     }
 
     /// Starts queued calls while the pool has capacity, dropping queue
     /// entries whose RPC the client already retired.
     fn drain_call_queue(&mut self, at: SimTime) {
-        while self.nfsd_busy < self.nfsd_total {
-            let Some((arrived, xid)) = self.call_queue.pop_front() else {
+        while self.server.nfsd_busy < self.server.nfsd_total {
+            let Some((arrived, key)) = self.server.call_queue.pop_front() else {
                 return;
             };
-            let Some(rpc) = self.rpcs.get(&xid) else {
-                self.server_stats.stale_drops += 1;
-                self.in_service.remove(&xid);
+            let Some(rpc) = self.clients[key_client(key)].rpcs.get(&key_xid(key)) else {
+                self.server.stats.stale_drops += 1;
+                self.server.in_service.remove(&key);
                 continue;
             };
-            self.nfsd_busy += 1;
+            self.server.nfsd_busy += 1;
             let start = at.max(arrived);
             let (_, call) = NfsCall::decode(&rpc.encoded).expect("well-formed call");
-            self.nfsd_process(start, xid, call);
+            self.nfsd_process(start, key, call);
         }
     }
 }
@@ -1034,6 +1360,14 @@ mod tests {
         let part = PartitionTable::quarters(disk.geometry()).get(1);
         let fs = FileSystem::format(disk, part, SchedulerKind::Elevator, FsConfig::default());
         NfsWorld::new(config, fs, seed)
+    }
+
+    fn make_cluster(config: WorldConfig, n: usize, seed: u64) -> NfsWorld {
+        let disk = DriveModel::WdWd200bbIde.build(SimRng::new(seed));
+        let part = PartitionTable::quarters(disk.geometry()).get(1);
+        let fs = FileSystem::format(disk, part, SchedulerKind::Elevator, FsConfig::default());
+        let hosts = vec![ClientHostConfig::from_world(&config); n];
+        NfsWorld::new_cluster(config, &hosts, fs, seed)
     }
 
     /// Reads a file sequentially, one 8 KB block at a time, returning MB/s.
@@ -1222,6 +1556,24 @@ mod tests {
     }
 
     #[test]
+    fn one_host_cluster_is_bit_identical_to_classic_world() {
+        // The tentpole invariant: NfsWorld::new is literally a 1-host
+        // cluster, and an explicitly-constructed 1-host cluster replays
+        // the identical event and RNG schedule.
+        let run = |cluster: bool| {
+            let mut w = if cluster {
+                make_cluster(WorldConfig::default(), 1, 42)
+            } else {
+                make_world(WorldConfig::default(), 42)
+            };
+            let fh = w.create_file(2 * 1024 * 1024);
+            let mbs = sequential_read(&mut w, fh, 2 * 1024 * 1024);
+            (mbs.to_bits(), format!("{:?}", w.client_stats()))
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
     fn improved_heur_table_records_no_ejections_for_few_files() {
         let cfg = WorldConfig {
             heur: NfsHeurConfig::improved(),
@@ -1233,6 +1585,11 @@ mod tests {
         sequential_read(&mut w, fh, 1024 * 1024);
         assert_eq!(w.heur().stats().ejections, 0);
         assert!(w.heur().stats().hits > 0);
+        // The same counters surface through ServerStats.
+        let s = w.server_stats();
+        assert_eq!(s.heur_ejections, 0);
+        assert!(s.heur_hits > 0);
+        assert_eq!(s.heur_occupancy, 1, "one live file");
     }
 
     #[test]
@@ -1386,6 +1743,7 @@ mod tests {
         let done = drain_all(&mut w);
         assert_eq!(done.len(), 4);
         assert!(done.iter().all(|d| d.outcome.is_ok()), "{done:?}");
+        assert!(done.iter().all(|d| d.client == 0), "{done:?}");
         assert_eq!(w.client_stats().rpc_timeouts, 0);
     }
 
@@ -1396,20 +1754,21 @@ mod tests {
         // the future); with every slot busy the caller is denied.
         let mut w = make_world(WorldConfig::default(), 32);
         let t1 = SimTime::from_nanos(1_000);
-        assert_eq!(w.acquire_iod(t1), Some(t1), "idle pool grants at now");
+        let cl = &mut w.clients[0];
+        assert_eq!(cl.acquire_iod(t1), Some(t1), "idle pool grants at now");
         let t2 = SimTime::from_nanos(5_000);
-        for _ in 0..w.iod_free.len() {
-            w.set_iod_busy_until(t2);
+        for _ in 0..cl.iod_free.len() {
+            cl.set_iod_busy_until(t2);
         }
-        assert_eq!(w.acquire_iod(t1), None, "all slots busy until t2");
-        assert_eq!(w.acquire_iod(t2), Some(t2), "freed exactly at t2");
+        assert_eq!(cl.acquire_iod(t1), None, "all slots busy until t2");
+        assert_eq!(cl.acquire_iod(t2), Some(t2), "freed exactly at t2");
         // Pool resize: zero slots means read-ahead is always denied.
         w.set_nfsiods(0);
         assert_eq!(w.nfsiods(), 0);
-        assert_eq!(w.acquire_iod(t2), None);
+        assert_eq!(w.clients[0].acquire_iod(t2), None);
         w.set_nfsiods(3);
         assert_eq!(w.nfsiods(), 3);
-        assert_eq!(w.acquire_iod(t1), Some(t1));
+        assert_eq!(w.clients[0].acquire_iod(t1), Some(t1));
     }
 
     #[test]
@@ -1547,5 +1906,130 @@ mod tests {
         assert_eq!(w.server_stats().replies, w.s2c_stats().messages);
         let delivered = w.s2c_stats().messages - w.s2c_stats().lost;
         assert_eq!(c.replies_received + c.duplicate_replies, delivered);
+    }
+
+    // ------------------------------------------------------------------
+    // Cluster behaviour.
+    // ------------------------------------------------------------------
+
+    /// Drives `n` clients, each reading its own file sequentially,
+    /// interleaved through the shared server until everything completes.
+    fn run_cluster_readers(w: &mut NfsWorld, size: u64) {
+        let n = w.n_clients();
+        let fhs: Vec<FileHandle> = (0..n).map(|c| w.create_file_for(c, size)).collect();
+        let mut offsets = vec![0u64; n];
+        for (c, fh) in fhs.iter().enumerate() {
+            w.read_from(c, SimTime::ZERO, *fh, 0, 8_192, c as u64);
+            offsets[c] = 8_192;
+        }
+        let mut active = n;
+        while active > 0 {
+            let Some(t) = w.next_event() else { break };
+            for d in w.advance(t) {
+                let c = d.client;
+                assert_eq!(d.tag, c as u64);
+                if offsets[c] >= size {
+                    active -= 1;
+                    continue;
+                }
+                w.read_from(c, d.done_at, fhs[c], offsets[c], 8_192, d.tag);
+                offsets[c] += 8_192;
+            }
+        }
+    }
+
+    #[test]
+    fn cluster_clients_complete_and_account_separately() {
+        let mut w = make_cluster(WorldConfig::default(), 4, 50);
+        run_cluster_readers(&mut w, 512 * 1024);
+        for c in 0..4 {
+            let s = w.client_stats_for(c);
+            assert_eq!(s.ops, 64, "client {c}: {s:?}");
+            assert!(s.rpcs > 0, "client {c}: {s:?}");
+        }
+        assert!(w.outstanding_ops().is_empty());
+        assert!(w.outstanding_xids().is_empty());
+        let s = w.server_stats();
+        assert_eq!(s.replies + s.stale_drops, s.reads + s.other_calls);
+        // Per-direction link accounting holds per host.
+        for c in 0..4 {
+            assert_eq!(
+                w.client_stats_for(c).transmissions,
+                w.c2s_stats_for(c).messages
+            );
+        }
+    }
+
+    #[test]
+    fn cluster_runs_are_deterministic_and_clients_decorrelated() {
+        let run = |seed| {
+            let mut w = make_cluster(WorldConfig::default(), 3, seed);
+            run_cluster_readers(&mut w, 256 * 1024);
+            (0..3)
+                .map(|c| format!("{:?}", w.client_stats_for(c)))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(60), run(60));
+        assert_ne!(run(60), run(61));
+    }
+
+    #[test]
+    fn tiny_table_shows_cross_client_ejections_big_table_does_not() {
+        // The paper's contention effect in miniature: 8 clients × 1 file
+        // each overflow the stock 8-slot nfsheur table (some slots are
+        // unreachable for a given hash neighbourhood), so clients eject
+        // each other's sequentiality state. The enlarged table ends it.
+        let measure = |heur| {
+            let cfg = WorldConfig {
+                heur,
+                ..WorldConfig::default()
+            };
+            let mut w = make_cluster(cfg, 8, 70);
+            run_cluster_readers(&mut w, 256 * 1024);
+            let cross: u64 = (0..8)
+                .map(|c| w.contention_stats(c).cross_client_ejections)
+                .sum();
+            let caused: u64 = (0..8)
+                .map(|c| w.contention_stats(c).heur_ejections_caused)
+                .sum();
+            let suffered: u64 = (0..8)
+                .map(|c| w.contention_stats(c).heur_ejections_suffered)
+                .sum();
+            let s = w.server_stats();
+            // Every table-level ejection is attributed to a causing client
+            // and a suffering owner (every file here has an owner).
+            assert_eq!(caused, s.heur_ejections);
+            assert_eq!(suffered, s.heur_ejections);
+            assert!(s.heur_occupancy <= cfg.heur.slots as u64);
+            cross
+        };
+        let small = measure(NfsHeurConfig::freebsd_default());
+        let big = measure(NfsHeurConfig::improved());
+        assert!(
+            small > 0,
+            "8 clients on an 8-slot table must collide cross-client"
+        );
+        assert_eq!(big, 0, "1024-slot table fits 8 active files");
+    }
+
+    #[test]
+    fn duplicate_cache_hits_are_attributed_to_the_offending_client() {
+        // A retransmit timeout far below the service time makes every
+        // client's retransmissions arrive while the original is still in
+        // service: the server's duplicate cache absorbs them, charged to
+        // the client that sent them.
+        let mut cfg = WorldConfig {
+            retransmit_timeout: SimDuration::from_micros(500),
+            ..WorldConfig::default()
+        };
+        cfg.client_readahead_blocks = 0;
+        let mut w = make_cluster(cfg, 2, 80);
+        run_cluster_readers(&mut w, 64 * 1024);
+        let s = w.server_stats();
+        let attributed: u64 = (0..2)
+            .map(|c| w.contention_stats(c).duplicate_cache_hits)
+            .sum();
+        assert!(s.duplicates_dropped > 0, "{s:?}");
+        assert_eq!(attributed, s.duplicates_dropped);
     }
 }

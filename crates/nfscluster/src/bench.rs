@@ -1,0 +1,358 @@
+//! The §4.2 concurrent-reader benchmark generalised to a cluster.
+//!
+//! [`ClusterBench`] is `testbed::NfsBench` with N client hosts: each host
+//! runs `readers` closed-loop sequential reader processes over its own
+//! files, all multiplexed onto the one shared server. With one host the
+//! issue order, tags, and event schedule are *identical* to `NfsBench` —
+//! the single-client identity test pins this bit-for-bit.
+
+use std::collections::HashMap;
+
+use nfsproto::FileHandle;
+use nfssim::{ClientStats, ContentionStats, NfsWorld, ServerStats};
+use simcore::{SimDuration, SimTime};
+use testbed::Rig;
+
+use crate::config::ClusterConfig;
+
+/// Per-read CPU cost charged to a client reader process (as in
+/// `testbed::NfsBench`).
+const PROC_READ_CPU: SimDuration = SimDuration::from_micros(15);
+
+/// NFS read size used by the reader processes (= rsize).
+const READ_BYTES: u64 = 8_192;
+
+/// One client host's share of a cluster run.
+#[derive(Debug, Clone)]
+pub struct ClientReport {
+    /// This host's aggregate throughput (its bytes / its last finisher).
+    pub throughput_mbs: f64,
+    /// Per-process completion times in seconds, sorted ascending.
+    pub completion_secs: Vec<f64>,
+    /// Client counters accumulated during this run only.
+    pub stats: ClientStats,
+    /// Server-side contention attributed to this host during this run.
+    pub contention: ContentionStats,
+}
+
+impl ClientReport {
+    /// Fraction of this host's READ RPCs that were client read-aheads —
+    /// the client-side symptom that the server still believes the file is
+    /// sequential.
+    pub fn readahead_fraction(&self) -> f64 {
+        if self.stats.rpcs == 0 {
+            0.0
+        } else {
+            self.stats.readahead_rpcs as f64 / self.stats.rpcs as f64
+        }
+    }
+}
+
+/// The outcome of one cluster iteration.
+#[derive(Debug, Clone)]
+pub struct ClusterRunResult {
+    /// Whole-cluster throughput: all bytes over the last finisher.
+    pub throughput_mbs: f64,
+    /// Wall-clock (simulated) duration of the run in seconds.
+    pub elapsed_secs: f64,
+    /// Per-host reports, indexed by client id.
+    pub clients: Vec<ClientReport>,
+    /// Server counters accumulated during this run only (the `nfsheur`
+    /// gauges `heur_occupancy` are end-of-run values, not deltas).
+    pub server: ServerStats,
+}
+
+impl ClusterRunResult {
+    /// Cluster-wide read-ahead fraction (sum over hosts).
+    pub fn readahead_fraction(&self) -> f64 {
+        let rpcs: u64 = self.clients.iter().map(|c| c.stats.rpcs).sum();
+        let ra: u64 = self.clients.iter().map(|c| c.stats.readahead_rpcs).sum();
+        if rpcs == 0 {
+            0.0
+        } else {
+            ra as f64 / rpcs as f64
+        }
+    }
+
+    /// `nfsheur` ejections per READ call served in this run.
+    pub fn ejections_per_read(&self) -> f64 {
+        if self.server.reads == 0 {
+            0.0
+        } else {
+            self.server.heur_ejections as f64 / self.server.reads as f64
+        }
+    }
+
+    /// Cross-client share of the ejections this run caused.
+    pub fn cross_client_ejections(&self) -> u64 {
+        self.clients
+            .iter()
+            .map(|c| c.contention.cross_client_ejections)
+            .sum()
+    }
+}
+
+fn diff_client(after: ClientStats, before: ClientStats) -> ClientStats {
+    ClientStats {
+        ops: after.ops - before.ops,
+        cache_hits: after.cache_hits - before.cache_hits,
+        rpcs: after.rpcs - before.rpcs,
+        readahead_rpcs: after.readahead_rpcs - before.readahead_rpcs,
+        retransmits: after.retransmits - before.retransmits,
+        iod_starved: after.iod_starved - before.iod_starved,
+        rpc_timeouts: after.rpc_timeouts - before.rpc_timeouts,
+        transmissions: after.transmissions - before.transmissions,
+        replies_received: after.replies_received - before.replies_received,
+        duplicate_replies: after.duplicate_replies - before.duplicate_replies,
+    }
+}
+
+fn diff_contention(after: ContentionStats, before: ContentionStats) -> ContentionStats {
+    ContentionStats {
+        heur_ejections_caused: after.heur_ejections_caused - before.heur_ejections_caused,
+        heur_ejections_suffered: after.heur_ejections_suffered - before.heur_ejections_suffered,
+        cross_client_ejections: after.cross_client_ejections - before.cross_client_ejections,
+        cross_client_probe_collisions: after.cross_client_probe_collisions
+            - before.cross_client_probe_collisions,
+        duplicate_cache_hits: after.duplicate_cache_hits - before.duplicate_cache_hits,
+    }
+}
+
+fn diff_server(after: ServerStats, before: ServerStats) -> ServerStats {
+    ServerStats {
+        reads: after.reads - before.reads,
+        other_calls: after.other_calls - before.other_calls,
+        reordered: after.reordered - before.reordered,
+        replies: after.replies - before.replies,
+        duplicates_dropped: after.duplicates_dropped - before.duplicates_dropped,
+        stale_drops: after.stale_drops - before.stale_drops,
+        orphan_calls: after.orphan_calls - before.orphan_calls,
+        heur_hits: after.heur_hits - before.heur_hits,
+        heur_misses: after.heur_misses - before.heur_misses,
+        heur_ejections: after.heur_ejections - before.heur_ejections,
+        // A gauge, not a counter: report the end-of-run value.
+        heur_occupancy: after.heur_occupancy,
+    }
+}
+
+/// A populated cluster benchmark: N clients + network + server + files.
+#[derive(Debug)]
+pub struct ClusterBench {
+    world: NfsWorld,
+    clients: usize,
+    /// `readers -> per-client file handles` (each inner Vec has `readers`
+    /// entries for one client).
+    file_sets: HashMap<usize, Vec<Vec<FileHandle>>>,
+    /// Bytes each *client* reads per run (its readers share this).
+    per_client_bytes: u64,
+}
+
+impl ClusterBench {
+    /// Builds a cluster world on `rig` and populates per-client file sets
+    /// for every reader count. Each client reads `total_mb_per_client` in
+    /// every run, split across its readers — so server load scales with
+    /// the client count, as it does when real hosts are added to a rack.
+    ///
+    /// With `cluster.clients() == 1` this constructs byte-for-byte the
+    /// same world and files as
+    /// `NfsBench::new(rig, cluster.world, reader_counts, total_mb_per_client, seed)`.
+    pub fn new(
+        rig: Rig,
+        cluster: &ClusterConfig,
+        reader_counts: &[usize],
+        total_mb_per_client: u64,
+        seed: u64,
+    ) -> Self {
+        let fs = rig.build_fs(seed);
+        let mut world = NfsWorld::new_cluster(cluster.world, &cluster.hosts, fs, seed);
+        let clients = cluster.clients();
+        let mut file_sets = HashMap::new();
+        for &n in reader_counts {
+            assert!(n > 0 && total_mb_per_client.is_multiple_of(n as u64));
+            let per = total_mb_per_client / n as u64 * 1024 * 1024;
+            let sets: Vec<Vec<FileHandle>> = (0..clients)
+                .map(|c| (0..n).map(|_| world.create_file_for(c, per)).collect())
+                .collect();
+            file_sets.insert(n, sets);
+        }
+        ClusterBench {
+            world,
+            clients,
+            file_sets,
+            per_client_bytes: total_mb_per_client * 1024 * 1024,
+        }
+    }
+
+    /// The world, for inspecting statistics after runs.
+    pub fn world(&self) -> &NfsWorld {
+        &self.world
+    }
+
+    /// Number of client hosts.
+    pub fn clients(&self) -> usize {
+        self.clients
+    }
+
+    /// Runs one iteration: every host drives `readers` concurrent reader
+    /// processes over its own files until all of them finish.
+    pub fn run(&mut self, readers: usize) -> ClusterRunResult {
+        let sets = self
+            .file_sets
+            .get(&readers)
+            .unwrap_or_else(|| panic!("no file set for {readers} readers"))
+            .clone();
+        self.world.flush_all_caches();
+        self.world.reset_client_heuristics();
+        let before_client: Vec<ClientStats> = (0..self.clients)
+            .map(|c| self.world.client_stats_for(c))
+            .collect();
+        let before_cont: Vec<ContentionStats> = (0..self.clients)
+            .map(|c| self.world.contention_stats(c))
+            .collect();
+        let before_server = self.world.server_stats();
+        let start = self.world.now();
+
+        struct Proc {
+            fh: FileHandle,
+            size: u64,
+            offset: u64,
+            finished: Option<SimTime>,
+        }
+        let per = self.per_client_bytes / readers as u64;
+        // Global process index = client * readers + reader, used as the
+        // operation tag; for one client this is the reader index, exactly
+        // the `NfsBench` tag.
+        let mut procs: Vec<Proc> = sets
+            .iter()
+            .flat_map(|fhs| fhs.iter())
+            .map(|&fh| Proc {
+                fh,
+                size: per,
+                offset: 0,
+                finished: None,
+            })
+            .collect();
+        for (p, proc_) in procs.iter_mut().enumerate() {
+            let c = p / readers;
+            self.world
+                .read_from(c, start, proc_.fh, 0, READ_BYTES, p as u64);
+            proc_.offset = READ_BYTES;
+        }
+        let mut pending = self.clients * readers;
+        let mut guard: u64 = 0;
+        while pending > 0 {
+            guard += 1;
+            assert!(guard < 200_000_000, "cluster benchmark event loop stuck");
+            let t = self
+                .world
+                .next_event()
+                .expect("readers pending but no events");
+            for done in self.world.advance(t) {
+                let p = done.tag as usize;
+                let proc_ = &mut procs[p];
+                if proc_.offset >= proc_.size {
+                    proc_.finished = Some(done.done_at);
+                    pending -= 1;
+                    continue;
+                }
+                let issue_at = done.done_at + PROC_READ_CPU;
+                self.world.read_from(
+                    done.client,
+                    issue_at,
+                    proc_.fh,
+                    proc_.offset,
+                    READ_BYTES,
+                    done.tag,
+                );
+                proc_.offset += READ_BYTES;
+            }
+        }
+
+        let mut clients_out = Vec::with_capacity(self.clients);
+        let mut last = 0.0f64;
+        for c in 0..self.clients {
+            let mut completion_secs: Vec<f64> = procs[c * readers..(c + 1) * readers]
+                .iter()
+                .map(|p| {
+                    p.finished
+                        .expect("all finished")
+                        .saturating_since(start)
+                        .as_secs_f64()
+                })
+                .collect();
+            completion_secs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+            let elapsed = *completion_secs.last().expect("non-empty");
+            last = last.max(elapsed);
+            clients_out.push(ClientReport {
+                throughput_mbs: self.per_client_bytes as f64 / 1e6 / elapsed,
+                completion_secs,
+                stats: diff_client(self.world.client_stats_for(c), before_client[c]),
+                contention: diff_contention(self.world.contention_stats(c), before_cont[c]),
+            });
+        }
+        let total_bytes = self.per_client_bytes * self.clients as u64;
+        ClusterRunResult {
+            throughput_mbs: total_bytes as f64 / 1e6 / last,
+            elapsed_secs: last,
+            clients: clients_out,
+            server: diff_server(self.world.server_stats(), before_server),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfssim::WorldConfig;
+    use readahead_core::NfsHeurConfig;
+
+    #[test]
+    fn every_client_reads_its_bytes() {
+        let cluster = ClusterConfig::uniform(WorldConfig::default(), 3);
+        let mut b = ClusterBench::new(Rig::ide(1), &cluster, &[2], 8, 17);
+        let r = b.run(2);
+        assert_eq!(r.clients.len(), 3);
+        for (c, cr) in r.clients.iter().enumerate() {
+            // 8 MB split over 2 readers = 512 ops of 8 KB each per reader.
+            assert_eq!(cr.stats.ops, 1024, "client {c}: {:?}", cr.stats);
+            assert!(cr.throughput_mbs > 0.0);
+            assert_eq!(cr.completion_secs.len(), 2);
+        }
+        assert!(r.elapsed_secs > 0.0);
+        assert!(r.throughput_mbs > 0.0);
+    }
+
+    #[test]
+    fn run_deltas_do_not_accumulate_across_runs() {
+        let cluster = ClusterConfig::uniform(WorldConfig::default(), 2);
+        let mut b = ClusterBench::new(Rig::ide(1), &cluster, &[1], 4, 18);
+        let r1 = b.run(1);
+        let r2 = b.run(1);
+        // Same per-run op counts: the reports are deltas, not lifetimes.
+        assert_eq!(r1.clients[0].stats.ops, r2.clients[0].stats.ops);
+        assert_eq!(r1.server.reads > 0, r2.server.reads > 0);
+    }
+
+    #[test]
+    fn more_clients_eject_more_on_the_stock_table() {
+        let run_with = |clients: usize| {
+            let cfg = WorldConfig {
+                heur: NfsHeurConfig::freebsd_default(),
+                ..WorldConfig::default()
+            };
+            let cluster = ClusterConfig::uniform(cfg, clients);
+            let mut b = ClusterBench::new(Rig::ide(1), &cluster, &[2], 4, 19);
+            b.run(2)
+        };
+        let small = run_with(1);
+        let big = run_with(8);
+        assert!(
+            big.ejections_per_read() > small.ejections_per_read(),
+            "8 clients {:.4} vs 1 client {:.4}",
+            big.ejections_per_read(),
+            small.ejections_per_read()
+        );
+        assert!(big.cross_client_ejections() > 0);
+        assert_eq!(small.cross_client_ejections(), 0, "one host cannot cross");
+    }
+}

@@ -1,0 +1,94 @@
+//! Cluster-level configuration: the shared server plus one host config
+//! per client.
+
+use nfssim::{ClientHostConfig, WorldConfig};
+use simcore::SimDuration;
+
+/// Environment variable naming the default cluster width for tools that
+/// take one (the simtest CLI, examples). `1` or unset means the classic
+/// single-client world.
+pub const CLIENTS_ENV: &str = "NFS_CLUSTER_CLIENTS";
+
+/// Reads [`CLIENTS_ENV`], returning `None` when unset or unparseable.
+pub fn clients_from_env() -> Option<usize> {
+    std::env::var(CLIENTS_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+}
+
+/// A cluster: one [`WorldConfig`] describing the shared server side
+/// (nfsd pool, `nfsheur` geometry, policy, transport, rsize) and one
+/// [`ClientHostConfig`] per client host.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Shared server and protocol parameters.
+    pub world: WorldConfig,
+    /// Per-host client parameters, one entry per client.
+    pub hosts: Vec<ClientHostConfig>,
+}
+
+impl ClusterConfig {
+    /// `clients` identical hosts, each configured exactly as the classic
+    /// single-client world would be. `uniform(w, 1)` therefore describes
+    /// a cluster bit-identical to `NfsWorld::new(w, ..)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clients` is zero.
+    pub fn uniform(world: WorldConfig, clients: usize) -> Self {
+        assert!(clients > 0, "a cluster needs at least one client");
+        ClusterConfig {
+            world,
+            hosts: vec![ClientHostConfig::from_world(&world); clients],
+        }
+    }
+
+    /// Number of client hosts.
+    pub fn clients(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// Staggers per-host RTT: host `i` gets the base RTT plus `i * step`
+    /// (a rack of clients at different switch depths). Host 0 keeps the
+    /// classic RTT, preserving single-client identity.
+    pub fn with_rtt_spread(mut self, step: SimDuration) -> Self {
+        for (i, h) in self.hosts.iter_mut().enumerate() {
+            h.rtt += step.saturating_mul(i as u64);
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_hosts_match_the_classic_world_client() {
+        let w = WorldConfig::default();
+        let c = ClusterConfig::uniform(w, 3);
+        assert_eq!(c.clients(), 3);
+        for h in &c.hosts {
+            assert_eq!(h.nfsiods, w.nfsiods);
+            assert_eq!(h.client_cache_blocks, w.client_cache_blocks);
+            assert_eq!(h.client_readahead_blocks, w.client_readahead_blocks);
+            assert_eq!(h.busy_loops, w.busy_loops);
+        }
+    }
+
+    #[test]
+    fn rtt_spread_leaves_host_zero_alone() {
+        let c = ClusterConfig::uniform(WorldConfig::default(), 3)
+            .with_rtt_spread(SimDuration::from_micros(50));
+        assert_eq!(c.hosts[0].rtt, SimDuration::from_micros(200));
+        assert_eq!(c.hosts[1].rtt, SimDuration::from_micros(250));
+        assert_eq!(c.hosts[2].rtt, SimDuration::from_micros(300));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one client")]
+    fn zero_clients_rejected() {
+        let _ = ClusterConfig::uniform(WorldConfig::default(), 0);
+    }
+}

@@ -1,0 +1,40 @@
+//! Multi-client NFS cluster simulation (§6.3 scaled out).
+//!
+//! The paper's benchmarking traps get worse, not better, when more than
+//! one client hammers a server: every client's working set competes for
+//! the same fixed-size `nfsheur` table, so a table that was merely tight
+//! for one host thrashes for eight. This crate builds *clusters* — N
+//! deterministic client hosts (own `nfsiod` pool, cache, RTT profile,
+//! seeded RNG stream) sharing one server, one heuristics table, one
+//! duplicate-request cache, and one disk — and measures who evicted whom.
+//!
+//! Layers:
+//!
+//! - [`config`]: [`ClusterConfig`] — a shared [`nfssim::WorldConfig`] plus
+//!   one [`nfssim::ClientHostConfig`] per host.
+//! - [`bench`]: [`ClusterBench`] — the §4.2 concurrent-reader benchmark
+//!   run from every host at once; with one host it is bit-identical to
+//!   `testbed::NfsBench`.
+//! - [`mix`]: [`ClientWorkload`] — heterogeneous per-host workloads
+//!   (sequential readers, stride readers, trace replay) multiplexed on
+//!   the one event clock.
+//! - [`experiments`]: the client-count × table-size grid behind the
+//!   `EXPERIMENTS.md` contention table.
+//!
+//! Determinism contract: a cluster run is a pure function of
+//! `(ClusterConfig, seed)`. Each host derives its RNG stream from the
+//! world seed with a splitmix-style per-client gamma, so adding host N+1
+//! never perturbs hosts 0..N's private randomness, and host 0's stream is
+//! exactly the classic single-client world's stream.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod config;
+pub mod experiments;
+pub mod mix;
+
+pub use bench::{ClientReport, ClusterBench, ClusterRunResult};
+pub use config::{clients_from_env, ClusterConfig, CLIENTS_ENV};
+pub use mix::{ClientWorkload, MixBench, MixResult};

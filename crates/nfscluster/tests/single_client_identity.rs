@@ -1,0 +1,73 @@
+//! Satellite regression: a 1-host cluster IS the classic single-client
+//! world. `ClusterBench` with `ClusterConfig::uniform(w, 1)` must produce
+//! bit-identical floats to `testbed::NfsBench` — same throughput bits,
+//! same per-process completion times — at any worker-pool width.
+
+use netsim::TransportKind;
+use nfscluster::{ClusterBench, ClusterConfig};
+use nfssim::WorldConfig;
+use readahead_core::NfsHeurConfig;
+use testbed::{NfsBench, Rig};
+
+fn assert_identical(config: WorldConfig, readers: &[usize], total_mb: u64, seed: u64) {
+    let cluster = ClusterConfig::uniform(config, 1);
+    let mut classic = NfsBench::new(Rig::ide(1), config, readers, total_mb, seed);
+    let mut clustered = ClusterBench::new(Rig::ide(1), &cluster, readers, total_mb, seed);
+    for &n in readers {
+        let a = classic.run(n);
+        let b = clustered.run(n);
+        assert_eq!(
+            a.throughput_mbs.to_bits(),
+            b.throughput_mbs.to_bits(),
+            "throughput diverged: readers={n} seed={seed} classic={} cluster={}",
+            a.throughput_mbs,
+            b.throughput_mbs
+        );
+        assert_eq!(a.completion_secs.len(), b.clients[0].completion_secs.len());
+        for (x, y) in a.completion_secs.iter().zip(&b.clients[0].completion_secs) {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "completion diverged at seed {seed}"
+            );
+        }
+        assert_eq!(
+            b.clients[0].throughput_mbs.to_bits(),
+            b.throughput_mbs.to_bits()
+        );
+    }
+}
+
+#[test]
+fn one_host_cluster_matches_nfsbench_bit_for_bit() {
+    assert_identical(WorldConfig::default(), &[1, 2, 4], 8, 7);
+}
+
+#[test]
+fn identity_holds_over_tcp_and_the_improved_table() {
+    let config = WorldConfig {
+        transport: TransportKind::Tcp,
+        heur: NfsHeurConfig::improved(),
+        ..WorldConfig::default()
+    };
+    assert_identical(config, &[4], 8, 11);
+}
+
+#[test]
+fn identity_holds_across_seeds_and_job_widths() {
+    for jobs in [1, 4] {
+        simfleet::set_jobs_override(Some(jobs));
+        let cells = simfleet::run_indexed(4, |s| {
+            let seed = 100 + s as u64;
+            let config = WorldConfig::default();
+            let cluster = ClusterConfig::uniform(config, 1);
+            let a = NfsBench::new(Rig::ide(1), config, &[2], 4, seed).run(2);
+            let b = ClusterBench::new(Rig::ide(1), &cluster, &[2], 4, seed).run(2);
+            (a.throughput_mbs.to_bits(), b.throughput_mbs.to_bits())
+        });
+        simfleet::set_jobs_override(None);
+        for (s, (a, b)) in cells.iter().enumerate() {
+            assert_eq!(a, b, "seed {} jobs {jobs}", 100 + s);
+        }
+    }
+}

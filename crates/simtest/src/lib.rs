@@ -20,18 +20,29 @@
 //! - **RPC conservation**: link-level message counts reconcile exactly
 //!   with client transmissions, server call/duplicate/orphan counts, and
 //!   replies;
+//! - **restore composition**: after a fault batch is reverted — including
+//!   an *overlapping* batch where two fault kinds were active at once —
+//!   every host's link profile and both daemon pools are back at their
+//!   baseline values;
 //! - **determinism**: the same seed reproduces the bit-exact same run
 //!   fingerprint.
 //!
+//! The workload generalises to a cluster: with [`RunOptions::clients`]
+//! greater than one, the same seed drives N client hosts (each with its
+//! own files, cursors, and RNG-derived streams inside the world) against
+//! the one shared server, and the conservation oracles reconcile the
+//! *summed* per-host books against the server's.
+//!
 //! Every failure message carries a one-line reproduction command:
-//! `SIMTEST_SEED=<n> cargo run -p simtest -- --seed <n>`.
+//! `SIMTEST_SEED=<n> cargo run -p simtest -- --seed <n>` (plus
+//! `--clients N` / `--overlap` when those modes were active).
 
 use std::collections::{BTreeMap, HashSet};
 use std::fmt;
 
-use netsim::{LinkProfile, TransportKind};
+use netsim::{LinkProfile, LinkStats, TransportKind};
 use nfsproto::FileHandle;
-use nfssim::{BlockState, NfsWorld, OpId, OpOutcome, WorldConfig};
+use nfssim::{BlockState, ClientHostConfig, ClientStats, NfsWorld, OpId, OpOutcome, WorldConfig};
 use simcore::{SimDuration, SimRng, SimTime};
 use testbed::Rig;
 
@@ -106,17 +117,30 @@ pub struct SimPlan {
     pub batches: usize,
     /// Transport under test (3 in 4 seeds use UDP, the paper's default).
     pub transport: TransportKind,
-    /// `(batch, kind)` fault schedule; each fault lasts one batch and is
-    /// reverted before the next.
+    /// `(batch, kind)` fault schedule; each fault lasts until its batch's
+    /// revert. With overlap scheduling two kinds share one batch.
     pub faults: Vec<(usize, FaultKind)>,
+    /// Whether the schedule packs fault *pairs* into shared batches.
+    pub overlap: bool,
 }
 
 /// Knobs that are not part of the seed-derived plan.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct RunOptions {
     /// Mutation check: this many server replies are counted in the books
     /// but never transmitted, which a healthy oracle set must catch.
     pub sabotage_replies: u32,
+    /// Client hosts in the cluster under test (1 = the classic world).
+    pub clients: usize,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            sabotage_replies: 0,
+            clients: 1,
+        }
+    }
 }
 
 /// Summary of one completed (oracle-clean) run.
@@ -138,6 +162,10 @@ pub struct RunReport {
     pub rpc_timeouts: u64,
     /// Faults injected, in schedule order.
     pub faults: Vec<FaultKind>,
+    /// Client hosts the run drove.
+    pub clients: usize,
+    /// Whether faults were injected in overlapping pairs.
+    pub overlap: bool,
     /// Order-sensitive hash of every completion and the final counters;
     /// equal across runs of the same seed iff the world is deterministic.
     pub fingerprint: u64,
@@ -154,6 +182,10 @@ pub struct OracleFailure {
     pub oracle: &'static str,
     /// What it saw.
     pub detail: String,
+    /// Cluster width of the failing run.
+    pub clients: usize,
+    /// Whether the failing run used overlapping fault pairs.
+    pub overlap: bool,
 }
 
 impl fmt::Display for OracleFailure {
@@ -162,7 +194,14 @@ impl fmt::Display for OracleFailure {
             f,
             "simtest oracle `{}` failed: {}\n  reproduce with: SIMTEST_SEED={} cargo run -p simtest -- --seed {}",
             self.oracle, self.detail, self.seed, self.seed
-        )
+        )?;
+        if self.clients > 1 {
+            write!(f, " --clients {}", self.clients)?;
+        }
+        if self.overlap {
+            write!(f, " --overlap")?;
+        }
+        Ok(())
     }
 }
 
@@ -170,6 +209,19 @@ impl std::error::Error for OracleFailure {}
 
 /// Derives the full run plan from a seed.
 pub fn plan(seed: u64, batches: usize) -> SimPlan {
+    plan_with(seed, batches, false)
+}
+
+/// Derives a run plan, optionally packing faults into overlapping pairs.
+///
+/// With `overlap` false, one fault lands on each odd batch (the classic
+/// schedule, each kind followed by a clean recovery batch). With `overlap`
+/// true, *two* distinct fault kinds land on each odd batch and stay active
+/// together until the batch's revert — the concurrent-failure mode (a loss
+/// burst during a server stall, an outage during a cache flush, ...).
+/// Transport choice and the kind shuffle draw the same RNG stream either
+/// way, so the two modes explore the same per-seed fault orderings.
+pub fn plan_with(seed: u64, batches: usize, overlap: bool) -> SimPlan {
     let mut rng = SimRng::from_seed_and_stream(seed, 0x53_49_4D_54_45_53_54); // "SIMTEST"
     let transport = if rng.gen_range(0u32..4) == 3 {
         TransportKind::Tcp
@@ -178,12 +230,14 @@ pub fn plan(seed: u64, batches: usize) -> SimPlan {
     };
     let mut kinds = FaultKind::ALL.to_vec();
     rng.shuffle(&mut kinds);
-    // One fault per odd batch: with the default 16 batches every run
-    // exercises all seven kinds, each followed by a clean recovery batch.
+    // With the default 16 batches every run exercises all seven kinds.
     let faults = kinds
         .into_iter()
         .enumerate()
-        .map(|(i, k)| (1 + 2 * i, k))
+        .map(|(i, k)| {
+            let slot = if overlap { i / 2 } else { i };
+            (1 + 2 * slot, k)
+        })
         .filter(|&(b, _)| b < batches)
         .collect();
     SimPlan {
@@ -191,6 +245,7 @@ pub fn plan(seed: u64, batches: usize) -> SimPlan {
         batches,
         transport,
         faults,
+        overlap,
     }
 }
 
@@ -202,8 +257,18 @@ pub fn run_seed(seed: u64) -> Result<RunReport, OracleFailure> {
 /// Runs one seed twice and adds the determinism oracle: both runs must
 /// produce the bit-exact same fingerprint.
 pub fn run_seed_checked(seed: u64) -> Result<RunReport, OracleFailure> {
-    let first = run_seed(seed)?;
-    let second = run_seed(seed)?;
+    run_seed_checked_with(seed, RunOptions::default(), false)
+}
+
+/// [`run_seed_checked`] with explicit options and overlap scheduling.
+pub fn run_seed_checked_with(
+    seed: u64,
+    opts: RunOptions,
+    overlap: bool,
+) -> Result<RunReport, OracleFailure> {
+    let p = plan_with(seed, DEFAULT_BATCHES, overlap);
+    let first = run_plan(&p, opts)?;
+    let second = run_plan(&p, opts)?;
     if first != second {
         return Err(OracleFailure {
             seed,
@@ -212,6 +277,8 @@ pub fn run_seed_checked(seed: u64) -> Result<RunReport, OracleFailure> {
                 "same seed diverged: fingerprints {:#x} vs {:#x}",
                 first.fingerprint, second.fingerprint
             ),
+            clients: opts.clients,
+            overlap,
         });
     }
     Ok(first)
@@ -290,15 +357,48 @@ fn apply_fault(
     }
 }
 
+/// Sums one counter struct per client host into cluster-wide books.
+fn sum_client_stats(w: &NfsWorld) -> ClientStats {
+    let mut total = ClientStats::default();
+    for c in 0..w.n_clients() {
+        let s = w.client_stats_for(c);
+        total.ops += s.ops;
+        total.cache_hits += s.cache_hits;
+        total.rpcs += s.rpcs;
+        total.readahead_rpcs += s.readahead_rpcs;
+        total.retransmits += s.retransmits;
+        total.iod_starved += s.iod_starved;
+        total.rpc_timeouts += s.rpc_timeouts;
+        total.transmissions += s.transmissions;
+        total.replies_received += s.replies_received;
+        total.duplicate_replies += s.duplicate_replies;
+    }
+    total
+}
+
+fn sum_link_stats(per_host: impl Iterator<Item = LinkStats>) -> LinkStats {
+    let mut total = LinkStats::default();
+    for s in per_host {
+        total.messages += s.messages;
+        total.lost += s.lost;
+        total.bytes_delivered += s.bytes_delivered;
+    }
+    total
+}
+
 /// Executes a plan and checks every oracle. Returns the report of a clean
 /// run, or the first invariant violation.
 #[allow(clippy::too_many_lines)]
 pub fn run_plan(plan: &SimPlan, opts: RunOptions) -> Result<RunReport, OracleFailure> {
     let seed = plan.seed;
-    let fail = |oracle: &'static str, detail: String| OracleFailure {
+    let clients = opts.clients.max(1);
+    let overlap = plan.overlap;
+    let fail = move |oracle: &'static str, detail: String| OracleFailure {
         seed,
         oracle,
         detail,
+        clients,
+        overlap,
     };
 
     let base = WorldConfig {
@@ -307,11 +407,16 @@ pub fn run_plan(plan: &SimPlan, opts: RunOptions) -> Result<RunReport, OracleFai
     };
     let mut rng = SimRng::from_seed_and_stream(seed, 0x574F_524B_4C44); // "WORKLD"
     let fs = Rig::scsi(1).build_fs(seed);
-    let mut w = NfsWorld::new(base, fs, seed);
-    let fhs: Vec<FileHandle> = (0..FILES)
-        .map(|_| w.create_file(FILE_BLOCKS * BS))
+    let hosts = vec![ClientHostConfig::from_world(&base); clients];
+    let mut w = NfsWorld::new_cluster(base, &hosts, fs, seed);
+    let fhs: Vec<Vec<FileHandle>> = (0..clients)
+        .map(|c| {
+            (0..FILES)
+                .map(|_| w.create_file_for(c, FILE_BLOCKS * BS))
+                .collect()
+        })
         .collect();
-    let mut cursors = [0u64; FILES];
+    let mut cursors = vec![[0u64; FILES]; clients];
 
     let mut issued: BTreeMap<OpId, IssueRec> = BTreeMap::new();
     let mut completed: HashSet<OpId> = HashSet::new();
@@ -326,46 +431,89 @@ pub fn run_plan(plan: &SimPlan, opts: RunOptions) -> Result<RunReport, OracleFai
     let mut fault_log = Vec::new();
 
     for batch in 0..plan.batches {
-        // Revert the previous batch's fault: restore the baseline link
+        // Revert the previous batch's fault(s): restore the baseline link
         // and pool sizes (a stall simply expires; a flush is one-shot).
+        // One revert must compose over however many faults were active.
         if fault_active {
             let now = w.now();
             w.set_link_profile(base.link);
             w.set_nfsds(now, base.nfsds);
             w.set_nfsiods(base.nfsiods);
             fault_active = false;
+
+            // Restore-composition oracle: every host back at baseline.
+            for c in 0..clients {
+                if w.link_profile_for(c) != base.link {
+                    return Err(fail(
+                        "restore-composition",
+                        format!(
+                            "batch {batch}: client {c} link {:?} != baseline {:?}",
+                            w.link_profile_for(c),
+                            base.link
+                        ),
+                    ));
+                }
+                if w.nfsiods_for(c) != base.nfsiods {
+                    return Err(fail(
+                        "restore-composition",
+                        format!(
+                            "batch {batch}: client {c} nfsiods {} != baseline {}",
+                            w.nfsiods_for(c),
+                            base.nfsiods
+                        ),
+                    ));
+                }
+            }
+            if w.nfsds() != base.nfsds {
+                return Err(fail(
+                    "restore-composition",
+                    format!(
+                        "batch {batch}: nfsds {} != baseline {}",
+                        w.nfsds(),
+                        base.nfsds
+                    ),
+                ));
+            }
         }
 
         // Issue this batch's operations, predicting which blocks must be
         // fetched by a demand RPC (the block-conservation oracle's books).
+        // The issuing client is drawn per operation only when the cluster
+        // is wider than one host, so single-client runs consume exactly
+        // the classic RNG stream and keep their pinned fingerprints.
         let now = w.now();
         let n_ops = rng.gen_range(4usize..10);
         for _ in 0..n_ops {
+            let cl = if clients > 1 {
+                rng.gen_range(0usize..clients)
+            } else {
+                0
+            };
             let f = rng.gen_range(0usize..FILES);
-            let fh = fhs[f];
+            let fh = fhs[cl][f];
             let tag = next_tag;
             next_tag += 1;
             let id = match rng.gen_range(0u32..10) {
                 0 => {
                     let blk = rng.gen_range(0u64..FILE_BLOCKS);
-                    w.write(now, fh, blk * BS, BS, tag)
+                    w.write_from(cl, now, fh, blk * BS, BS, tag)
                 }
-                1 => w.getattr(now, fh, tag),
+                1 => w.getattr_from(cl, now, fh, tag),
                 _ => {
                     let len_blocks = rng.gen_range(1u64..4);
                     let start = if rng.chance(0.7) {
-                        cursors[f]
+                        cursors[cl][f]
                     } else {
                         rng.gen_range(0u64..FILE_BLOCKS)
                     }
                     .min(FILE_BLOCKS - len_blocks);
-                    cursors[f] = (start + len_blocks) % FILE_BLOCKS;
+                    cursors[cl][f] = (start + len_blocks) % FILE_BLOCKS;
                     for blk in start..start + len_blocks {
-                        if w.block_state(fh, blk) == BlockState::Absent {
+                        if w.block_state_for(cl, fh, blk) == BlockState::Absent {
                             predicted_demand += 1;
                         }
                     }
-                    w.read(now, fh, start * BS, len_blocks * BS, tag)
+                    w.read_from(cl, now, fh, start * BS, len_blocks * BS, tag)
                 }
             };
             issued.insert(id, IssueRec { tag, at: now });
@@ -377,7 +525,9 @@ pub fn run_plan(plan: &SimPlan, opts: RunOptions) -> Result<RunReport, OracleFai
             if b == batch {
                 apply_fault(&mut w, kind, &mut rng, plan.transport, &base);
                 fault_active = true;
-                outage_pending = kind == FaultKind::NfsdOutage;
+                // `|=`: under overlap scheduling a second fault in the same
+                // batch must not forget that an outage is in force.
+                outage_pending |= kind == FaultKind::NfsdOutage;
                 fault_log.push(kind);
             }
         }
@@ -480,12 +630,12 @@ pub fn run_plan(plan: &SimPlan, opts: RunOptions) -> Result<RunReport, OracleFai
     }
 
     // ------------------------------------------------------------------
-    // End-of-run oracles.
+    // End-of-run oracles, over the cluster-wide summed books.
     // ------------------------------------------------------------------
-    let c = w.client_stats();
+    let c = sum_client_stats(&w);
     let s = w.server_stats();
-    let c2s = w.c2s_stats();
-    let s2c = w.s2c_stats();
+    let c2s = sum_link_stats((0..clients).map(|i| w.c2s_stats_for(i)));
+    let s2c = sum_link_stats((0..clients).map(|i| w.s2c_stats_for(i)));
 
     if issued.len() != completed.len() {
         let hung: Vec<&OpId> = issued.keys().filter(|id| !completed.contains(id)).collect();
@@ -574,6 +724,33 @@ pub fn run_plan(plan: &SimPlan, opts: RunOptions) -> Result<RunReport, OracleFai
             ),
         ));
     }
+    // Contention attribution: the server's aggregate ejection and
+    // duplicate-cache counters must be fully accounted to specific
+    // clients — no anonymous interference.
+    let ejections_attributed: u64 = (0..clients)
+        .map(|i| w.contention_stats(i).heur_ejections_caused)
+        .sum();
+    if ejections_attributed != s.heur_ejections {
+        return Err(fail(
+            "contention-attribution",
+            format!(
+                "per-client ejections {} != server ejections {}",
+                ejections_attributed, s.heur_ejections
+            ),
+        ));
+    }
+    let dups_attributed: u64 = (0..clients)
+        .map(|i| w.contention_stats(i).duplicate_cache_hits)
+        .sum();
+    if dups_attributed != s.duplicates_dropped {
+        return Err(fail(
+            "contention-attribution",
+            format!(
+                "per-client duplicate-cache hits {} != server duplicates dropped {}",
+                dups_attributed, s.duplicates_dropped
+            ),
+        ));
+    }
 
     for v in [
         c.ops,
@@ -599,6 +776,8 @@ pub fn run_plan(plan: &SimPlan, opts: RunOptions) -> Result<RunReport, OracleFai
         retransmits: c.retransmits,
         rpc_timeouts: c.rpc_timeouts,
         faults: fault_log,
+        clients,
+        overlap,
         fingerprint: fp,
         sim_nanos: last_now.as_nanos(),
     })

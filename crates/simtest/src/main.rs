@@ -5,6 +5,9 @@
 //! cargo run -p simtest --release -- --seed 17        # one seed, verbose
 //! SIMTEST_SEED=17 cargo run -p simtest --release     # same, via env
 //! cargo run -p simtest -- --seeds 50 --start 1000    # shifted sweep
+//! cargo run -p simtest -- --seeds 50 --clients 2     # 2-host cluster
+//! NFS_CLUSTER_CLIENTS=4 cargo run -p simtest         # same, via env
+//! cargo run -p simtest -- --seeds 50 --overlap       # fault pairs
 //! ```
 //!
 //! Every seed is run twice (the determinism oracle compares fingerprints).
@@ -17,7 +20,7 @@
 
 use std::process::ExitCode;
 
-use simtest::{run_seed_checked, FaultKind};
+use simtest::{run_seed_checked_with, FaultKind, RunOptions};
 
 fn parse_flag(args: &[String], name: &str) -> Option<u64> {
     args.iter()
@@ -34,13 +37,22 @@ fn main() -> ExitCode {
     let single = parse_flag(&args, "--seed").or(env_seed);
     let start = parse_flag(&args, "--start").unwrap_or(0);
     let count = parse_flag(&args, "--seeds").unwrap_or(16);
+    let clients = parse_flag(&args, "--clients")
+        .map(|n| (n as usize).max(1))
+        .or_else(nfscluster::clients_from_env)
+        .unwrap_or(1);
+    let overlap = args.iter().any(|a| a == "--overlap");
 
     let seeds: Vec<u64> = match single {
         Some(s) => vec![s],
         None => (start..start + count).collect(),
     };
+    let opts = RunOptions {
+        clients,
+        ..RunOptions::default()
+    };
 
-    let results = simfleet::map_indexed(&seeds, |&seed| run_seed_checked(seed));
+    let results = simfleet::map_indexed(&seeds, |&seed| run_seed_checked_with(seed, opts, overlap));
 
     let mut failures = 0u64;
     let mut total_ops = 0u64;
@@ -79,8 +91,9 @@ fn main() -> ExitCode {
     }
     let labels: Vec<&str> = kinds_seen.iter().map(|k| k.label()).collect();
     println!(
-        "swept {} seed(s): {} failed, {} ops, {} timed out, fault kinds exercised: {}",
+        "swept {} seed(s) [clients={clients}{}]: {} failed, {} ops, {} timed out, fault kinds exercised: {}",
         seeds.len(),
+        if overlap { ", overlap" } else { "" },
         failures,
         total_ops,
         total_timeouts,

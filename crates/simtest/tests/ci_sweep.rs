@@ -6,7 +6,10 @@
 use std::collections::HashSet;
 
 use netsim::TransportKind;
-use simtest::{plan, run_plan, run_seed_checked, FaultKind, RunOptions, DEFAULT_BATCHES};
+use simtest::{
+    plan, plan_with, run_plan, run_seed_checked, run_seed_checked_with, FaultKind, RunOptions,
+    DEFAULT_BATCHES,
+};
 
 const CI_SEEDS: u64 = 10;
 
@@ -85,6 +88,7 @@ fn broken_invariant_is_caught_with_repro_seed() {
         &plan(seed, DEFAULT_BATCHES),
         RunOptions {
             sabotage_replies: 1,
+            ..RunOptions::default()
         },
     )
     .expect_err("a swallowed reply must trip an oracle");
@@ -111,4 +115,95 @@ fn plans_are_deterministic_and_complete() {
         let kinds: HashSet<FaultKind> = a.faults.iter().map(|&(_, k)| k).collect();
         assert_eq!(kinds.len(), 7, "all fault kinds scheduled: {:?}", a.faults);
     }
+}
+
+/// Overlap scheduling packs fault *pairs* into shared batches: all seven
+/// kinds still run, but at least one batch hosts two concurrently active
+/// faults, and the transport/kind-shuffle stream matches the classic plan.
+#[test]
+fn overlap_plans_pair_up_faults() {
+    for seed in 0..20u64 {
+        let classic = plan(seed, DEFAULT_BATCHES);
+        let paired = plan_with(seed, DEFAULT_BATCHES, true);
+        assert_eq!(paired.transport, classic.transport, "seed {seed}");
+        let kinds: HashSet<FaultKind> = paired.faults.iter().map(|&(_, k)| k).collect();
+        assert_eq!(kinds.len(), 7, "seed {seed}: {:?}", paired.faults);
+        let mut per_batch: HashSet<usize> = HashSet::new();
+        let mut doubled = 0;
+        for &(b, _) in &paired.faults {
+            if !per_batch.insert(b) {
+                doubled += 1;
+            }
+        }
+        assert!(doubled >= 3, "seed {seed}: 7 kinds over 4 slots must share");
+    }
+}
+
+/// The full oracle set holds under overlapping fault pairs (a loss burst
+/// during a server stall, an outage during a flush, ...) for both the
+/// classic and the 2-client worlds, and the restore path composes: one
+/// revert returns every knob to baseline no matter how many faults were
+/// active (checked by the in-run restore-composition oracle).
+#[test]
+fn overlapping_faults_hold_all_oracles() {
+    for seed in 0..6u64 {
+        for clients in [1usize, 2] {
+            let opts = RunOptions {
+                clients,
+                ..RunOptions::default()
+            };
+            let r = run_seed_checked_with(seed, opts, true).unwrap_or_else(|e| panic!("{e}"));
+            assert_eq!(r.ok_ops + r.timed_out_ops, r.ops, "seed {seed}");
+            assert_eq!(r.faults.len(), 7, "all kinds injected: {:?}", r.faults);
+            assert!(r.overlap);
+            assert_eq!(r.clients, clients);
+        }
+    }
+}
+
+/// A 2-client cluster holds every oracle across the bounded sweep: the
+/// summed per-host books still reconcile exactly with the shared server's
+/// counters under every fault kind.
+#[test]
+fn two_client_cluster_sweep_holds_all_oracles() {
+    let opts = RunOptions {
+        clients: 2,
+        ..RunOptions::default()
+    };
+    let mut multi_host_issue = false;
+    for seed in 0..CI_SEEDS {
+        let r = run_seed_checked_with(seed, opts, false).unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(r.ok_ops + r.timed_out_ops, r.ops, "seed {seed}");
+        assert_eq!(r.clients, 2);
+        // The same seed must explore a genuinely different run than the
+        // single-client world (the per-op client draw changes the stream).
+        let single = run_seed_checked(seed).unwrap_or_else(|e| panic!("{e}"));
+        if r.fingerprint != single.fingerprint {
+            multi_host_issue = true;
+        }
+    }
+    assert!(
+        multi_host_issue,
+        "2-client runs must actually diverge from single-client runs"
+    );
+}
+
+/// Failure reports from cluster / overlap runs carry the extra repro
+/// flags, so the printed command actually reproduces the failing mode.
+#[test]
+fn cluster_failures_print_full_repro_flags() {
+    let seed = (0..100)
+        .find(|&s| plan(s, DEFAULT_BATCHES).transport == TransportKind::Udp)
+        .expect("a UDP seed among the first 100");
+    let err = run_plan(
+        &plan_with(seed, DEFAULT_BATCHES, true),
+        RunOptions {
+            sabotage_replies: 1,
+            clients: 2,
+        },
+    )
+    .expect_err("a swallowed reply must trip an oracle");
+    let msg = err.to_string();
+    assert!(msg.contains("--clients 2"), "missing cluster flag: {msg}");
+    assert!(msg.contains("--overlap"), "missing overlap flag: {msg}");
 }

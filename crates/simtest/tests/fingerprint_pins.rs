@@ -1,0 +1,62 @@
+//! Pinned fingerprints: the cluster refactor of `NfsWorld` (client/server
+//! host split, per-client RNG streams, key-encoded events) must not move
+//! a single bit of the classic single-client world. These constants were
+//! captured from the pre-refactor engine; if one changes, the 1-client
+//! fast path stopped being the old world.
+
+use simtest::run_seed_checked;
+use testbed::experiments::{fig6_readahead_potential, Scale};
+
+/// FNV-1a of the figure's Debug rendering (f64 Debug round-trips exactly,
+/// so equal hashes mean equal bits in every mean and stddev).
+fn fnv(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+const FIG6_QUICK_SEED7: u64 = 0x7f63_4807_1959_5f6f;
+
+const SWEEP_FPS: [u64; 8] = [
+    0x0960_fde0_cf9b_0735,
+    0x7787_a23f_c6a3_0109,
+    0x6764_4516_bb32_f4fb,
+    0x09d4_8c30_8929_4a36,
+    0xe6d8_d53f_87b8_4800,
+    0x4d4a_5bbc_d8ef_15d8,
+    0xabf2_02cd_0a8e_b50a,
+    0xa494_546e_7e93_f9dc,
+];
+
+#[test]
+fn figure6_bits_are_pinned_at_both_job_widths() {
+    for jobs in [1usize, 4] {
+        simfleet::set_jobs_override(Some(jobs));
+        let fig = format!("{:?}", fig6_readahead_potential(Scale::quick(), 7));
+        simfleet::set_jobs_override(None);
+        assert_eq!(
+            fnv(&fig),
+            FIG6_QUICK_SEED7,
+            "figure 6 (quick, seed 7) bits moved at jobs={jobs}"
+        );
+    }
+}
+
+#[test]
+fn simtest_fingerprints_are_pinned_at_both_job_widths() {
+    for jobs in [1usize, 4] {
+        simfleet::set_jobs_override(Some(jobs));
+        let fps: Vec<u64> = (0..8u64)
+            .map(|s| {
+                run_seed_checked(s)
+                    .unwrap_or_else(|e| panic!("{e}"))
+                    .fingerprint
+            })
+            .collect();
+        simfleet::set_jobs_override(None);
+        assert_eq!(fps, SWEEP_FPS, "sweep fingerprints moved at jobs={jobs}");
+    }
+}

@@ -1,6 +1,7 @@
 //! Result containers and plain-text rendering for the regenerated
 //! figures and tables.
 
+use nfssim::ServerStats;
 use simcore::Summary;
 
 /// One curve of a figure: throughput (or time) against reader count.
@@ -74,6 +75,27 @@ impl Figure {
     }
 }
 
+/// Renders the server's `nfsheur` table counters as a one-line summary
+/// for experiment reports: lookup hit rate, ejections per READ (the §6.3
+/// thrash signal), and live occupancy.
+pub fn render_heur_line(stats: &ServerStats) -> String {
+    let lookups = stats.heur_hits + stats.heur_misses;
+    let hit_pct = if lookups == 0 {
+        0.0
+    } else {
+        stats.heur_hits as f64 / lookups as f64 * 100.0
+    };
+    let ej_per_read = if stats.reads == 0 {
+        0.0
+    } else {
+        stats.heur_ejections as f64 / stats.reads as f64
+    };
+    format!(
+        "nfsheur: {lookups} lookups, {hit_pct:.1}% hits, {} ejections ({ej_per_read:.4}/READ), {} live entries",
+        stats.heur_ejections, stats.heur_occupancy
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -105,6 +127,27 @@ mod tests {
         assert_eq!(f.mean_at("ide1", 2), Some(8.0));
         assert_eq!(f.mean_at("ide1", 99), None);
         assert_eq!(f.mean_at("nope", 1), None);
+    }
+
+    #[test]
+    fn heur_line_reports_rates_and_occupancy() {
+        let s = ServerStats {
+            reads: 200,
+            heur_hits: 150,
+            heur_misses: 50,
+            heur_ejections: 10,
+            heur_occupancy: 7,
+            ..ServerStats::default()
+        };
+        let line = render_heur_line(&s);
+        assert!(line.contains("200 lookups"), "{line}");
+        assert!(line.contains("75.0% hits"), "{line}");
+        assert!(line.contains("10 ejections (0.0500/READ)"), "{line}");
+        assert!(line.contains("7 live entries"), "{line}");
+        assert!(
+            render_heur_line(&ServerStats::default()).contains("0.0% hits"),
+            "zero-lookup stats must not divide by zero"
+        );
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! Run with: `cargo run --release --example benchmarking_traps`
 
 use nfs_tricks::prelude::*;
+use nfs_tricks::testbed::render_heur_line;
 
 const READERS: usize = 4;
 const TOTAL_MB: u64 = 32;
@@ -82,4 +83,30 @@ fn main() {
     println!("  NFS over UDP (mount_nfs default): {udp:>6.1} MB/s");
     println!("  NFS over TCP (amd default):       {tcp:>6.1} MB/s");
     println!("  -> the same benchmark, two mount tools, two answers (§5.4).");
+    println!();
+
+    println!("Trap 5 - One client lies about many: nfsheur thrash needs a rack.");
+    for (label, heur) in [
+        ("stock 64-entry table", NfsHeurConfig::freebsd_default()),
+        ("enlarged table (§6.3)", NfsHeurConfig::improved()),
+    ] {
+        let config = WorldConfig {
+            heur,
+            ..WorldConfig::default()
+        };
+        let cluster = ClusterConfig::uniform(config, 8);
+        let mut b = ClusterBench::new(Rig::ide(1), &cluster, &[2], 4, 99);
+        let r = b.run(2);
+        println!(
+            "  8 clients x 2 readers, {label}: {:>6.1} MB/s aggregate",
+            r.throughput_mbs
+        );
+        println!(
+            "    {} ({} cross-client ejections)",
+            render_heur_line(&r.server),
+            r.cross_client_ejections()
+        );
+    }
+    println!("  -> a table that looks fine under one benchmark client");
+    println!("     thrashes once eight hosts share the server.");
 }

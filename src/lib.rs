@@ -22,6 +22,7 @@
 //! | [`readahead_core`] | **the paper's contribution** |
 //! | [`nfssim`] | NFS client (nfsiods) + server (nfsds) event loop |
 //! | [`testbed`] | the paper's benchmarks and per-figure experiments |
+//! | [`nfscluster`] | N-client clusters sharing one server, contention accounting |
 //!
 //! ## Quickstart
 //!
@@ -46,6 +47,7 @@ pub use diskmodel;
 pub use ffs;
 pub use iosched;
 pub use netsim;
+pub use nfscluster;
 pub use nfsproto;
 pub use nfssim;
 pub use readahead_core;
@@ -57,6 +59,7 @@ pub mod prelude {
     pub use diskmodel::{DriveModel, TcqConfig};
     pub use iosched::SchedulerKind;
     pub use netsim::{LinkProfile, TransportKind};
+    pub use nfscluster::{ClusterBench, ClusterConfig};
     pub use nfssim::{NfsWorld, WorldConfig};
     pub use readahead_core::{NfsHeur, NfsHeurConfig, ReadaheadPolicy, SharedCursorPool};
     pub use simcore::{SimDuration, SimRng, SimTime};
