@@ -42,7 +42,7 @@ fn bench(out: &mut Vec<BenchResult>, name: &str, iters: u64, mut f: impl FnMut()
 
 /// Every e2e case is gated by `--check`; the simulator has no cold paths
 /// worth exempting here.
-const GATED_PREFIXES: &[&str] = &["simulate", "cluster"];
+const GATED_PREFIXES: &[&str] = &["simulate", "cluster", "degraded"];
 const GATE_FACTOR: f64 = 3.0;
 
 fn main() {
@@ -117,6 +117,36 @@ fn main() {
             black_box(b.run(2).throughput_mbs);
         });
     }
+
+    // Degraded-disk end-to-end: the full simtest fault schedule with the
+    // four disk kinds shuffled in (sector errors, stuck tag, firmware
+    // stall, fail-slow), oracles included — the cost of simulating a
+    // cluster whose drive is partly broken. Seed 0 drives reads into a
+    // defect cluster (one surfaced EIO), so the bio retry path and the
+    // error propagation stack are on the measured path.
+    bench(out, "degraded_simtest/disk_faults_seed0", iters, || {
+        let p = simtest::plan_full(0, simtest::DISK_BATCHES, false, true);
+        let opts = simtest::RunOptions {
+            disk_faults: true,
+            ..simtest::RunOptions::default()
+        };
+        black_box(simtest::run_plan(&p, opts).expect("oracles hold"));
+    });
+
+    bench(
+        out,
+        "degraded_cluster/overlap_2_clients_seed1",
+        iters,
+        || {
+            let p = simtest::plan_full(1, simtest::DISK_BATCHES, true, true);
+            let opts = simtest::RunOptions {
+                clients: 2,
+                disk_faults: true,
+                ..simtest::RunOptions::default()
+            };
+            black_box(simtest::run_plan(&p, opts).expect("oracles hold"));
+        },
+    );
 
     let mut report = PerfReport {
         suite: "e2e".to_string(),

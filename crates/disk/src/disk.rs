@@ -21,9 +21,10 @@
 use simcore::{SimDuration, SimRng, SimTime};
 
 use crate::cache::{CacheConfig, CacheOutcome, SegmentedCache};
+use crate::fault::{DiskError, DiskOutcome, FaultDecision, FaultModel};
 use crate::geometry::DiskGeometry;
 use crate::seek::SeekModel;
-use crate::types::{Completion, DiskOp, DiskRequest, RequestId, SECTOR_BYTES};
+use crate::types::{Completion, DiskOp, DiskRequest, Lba, RequestId, SECTOR_BYTES};
 
 /// Mechanical and interface overheads not captured by seek/rotation.
 #[derive(Debug, Clone, Copy)]
@@ -62,6 +63,24 @@ impl TcqConfig {
     }
 }
 
+/// Cumulative decomposition of command service time, so fault cost is
+/// attributable: a fail-slow drive shows up in `fault_stall`, a fragmented
+/// workload in `seek`/`rotation`. Command overhead, write settle, and the
+/// cache-hit fast path are not bucketed, so the four buckets need not sum
+/// to [`DiskStats::busy`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceBreakdown {
+    /// Head movement.
+    pub seek: SimDuration,
+    /// Rotational positioning after the seek.
+    pub rotation: SimDuration,
+    /// Media + host-interface transfer.
+    pub transfer: SimDuration,
+    /// Time injected by the fault model: internal retry loops of failed
+    /// commands, stuck-tag and firmware stalls, fail-slow re-read passes.
+    pub fault_stall: SimDuration,
+}
+
 /// Running counters exposed for instrumentation and tests.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct DiskStats {
@@ -81,6 +100,12 @@ pub struct DiskStats {
     pub seek_cylinders: u64,
     /// Total time the drive spent servicing commands.
     pub busy: SimDuration,
+    /// Where the service time went (see [`ServiceBreakdown`]).
+    pub breakdown: ServiceBreakdown,
+    /// Commands completed with a check condition.
+    pub media_errors: u64,
+    /// Sectors reallocated to spares by host remap commands.
+    pub remapped_sectors: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -98,6 +123,7 @@ struct InFlight {
     arrived: SimTime,
     completes: SimTime,
     cache_hit: bool,
+    error: Option<DiskError>,
 }
 
 /// A disk drive: geometry + mechanics + cache + command queue.
@@ -114,6 +140,7 @@ pub struct Disk {
     next_id: u64,
     next_seq: u64,
     stats: DiskStats,
+    fault: Option<Box<dyn FaultModel>>,
 }
 
 impl Disk {
@@ -139,6 +166,28 @@ impl Disk {
             next_id: 0,
             next_seq: 0,
             stats: DiskStats::default(),
+            fault: None,
+        }
+    }
+
+    /// Installs (or clears) the drive's fault model. A healthy drive keeps
+    /// `None` and pays nothing; with an empty plan installed the decisions
+    /// are all [`FaultDecision::Ok`] and timings are unchanged.
+    pub fn set_fault_model(&mut self, model: Option<Box<dyn FaultModel>>) {
+        self.fault = model;
+    }
+
+    /// Whether a fault model is currently installed.
+    pub fn fault_model_active(&self) -> bool {
+        self.fault.is_some()
+    }
+
+    /// Host remap: `[lba, lba + sectors)` is reallocated to spare sectors.
+    /// Faults covering the range stop firing; subsequent I/O succeeds.
+    pub fn remap(&mut self, lba: Lba, sectors: u64) {
+        self.stats.remapped_sectors += sectors;
+        if let Some(f) = self.fault.as_mut() {
+            f.remap(lba, sectors);
         }
     }
 
@@ -240,12 +289,19 @@ impl Disk {
         if f.cache_hit {
             self.stats.cache_hits += 1;
         }
+        if f.error.is_some() {
+            self.stats.media_errors += 1;
+        }
         done.push(Completion {
             id: f.id,
             request: f.req,
             submitted_at: f.arrived,
             completed_at: f.completes,
             cache_hit: f.cache_hit,
+            outcome: match f.error {
+                None => DiskOutcome::Ok,
+                Some(e) => DiskOutcome::Error(e),
+            },
         });
     }
 
@@ -269,7 +325,29 @@ impl Disk {
         let idx = self.choose(start);
         let p = self.pending.swap_remove(idx);
         let begin = start.max(p.arrived);
-        let (completes, cache_hit) = self.service(begin, &p.req);
+        let decision = match self.fault.as_mut() {
+            Some(f) => f.decide(begin, &p.req),
+            None => FaultDecision::Ok,
+        };
+        let (completes, cache_hit, error) = match decision {
+            FaultDecision::Ok => {
+                let (done, hit) = self.service(begin, &p.req);
+                (done, hit, None)
+            }
+            FaultDecision::Slow { stall } => {
+                let (done, hit) = self.service(begin, &p.req);
+                self.stats.breakdown.fault_stall += stall;
+                (done + stall, hit, None)
+            }
+            FaultDecision::Fail { kind, stall } => {
+                let done = self.fail_service(begin, &p.req, stall);
+                let error = DiskError {
+                    kind,
+                    lba: p.req.lba,
+                };
+                (done, false, Some(error))
+            }
+        };
         self.stats.busy += completes.since(begin);
         self.in_flight = Some(InFlight {
             id: p.id,
@@ -277,6 +355,7 @@ impl Disk {
             arrived: p.arrived,
             completes,
             cache_hit,
+            error,
         });
     }
 
@@ -378,6 +457,7 @@ impl Disk {
                     debug_assert!(matches!(outcome, CacheOutcome::Hit { .. }));
                     let processed =
                         t0 + SimDuration::from_secs_f64(self.mech.command_overhead + host_xfer);
+                    self.stats.breakdown.transfer += SimDuration::from_secs_f64(host_xfer);
                     return (ready_at.max(processed), true);
                 }
                 self.cache.note_miss();
@@ -428,8 +508,33 @@ impl Disk {
         let host_xfer = req.bytes() as f64 / self.mech.interface_rate;
         self.stats.media_reads += u64::from(req.op == DiskOp::Read);
         self.stats.media_sectors += req.sectors;
+        self.stats.breakdown.seek += SimDuration::from_secs_f64(seek);
+        self.stats.breakdown.rotation += SimDuration::from_secs_f64(rot);
+        self.stats.breakdown.transfer += SimDuration::from_secs_f64(media + host_xfer);
         self.head_cyl = self.geometry.lba_to_chs(req.end() - 1).cylinder;
         after_seek + SimDuration::from_secs_f64(rot + media + host_xfer)
+    }
+
+    /// An errored command: the drive still positions to the target, burns
+    /// `stall` in its internal retry loop, and reports a check condition.
+    /// No data moves, so the cache is untouched (beyond the prefetch abort
+    /// every mechanical start implies).
+    fn fail_service(&mut self, t0: SimTime, req: &DiskRequest, stall: SimDuration) -> SimTime {
+        self.cache.on_mechanical_start(t0);
+        if req.op == DiskOp::Read {
+            self.cache.note_miss();
+        }
+        let target = self.geometry.lba_to_chs(req.lba);
+        let dist = self.head_cyl.abs_diff(target.cylinder);
+        let seek = self.seek.seek_secs(dist);
+        if dist > 0 {
+            self.stats.seeks += 1;
+            self.stats.seek_cylinders += dist;
+        }
+        self.stats.breakdown.seek += SimDuration::from_secs_f64(seek);
+        self.stats.breakdown.fault_stall += stall;
+        self.head_cyl = target.cylinder;
+        t0 + SimDuration::from_secs_f64(self.mech.command_overhead + seek) + stall
     }
 }
 

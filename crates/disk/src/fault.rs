@@ -1,0 +1,100 @@
+//! Host-visible disk fault interface.
+//!
+//! The drive model itself stays healthy by default: a [`Disk`] carries an
+//! optional boxed [`FaultModel`] and consults it once per command, just
+//! before computing service time. The concrete model (latent sector
+//! errors, stuck tags, firmware stalls, fail-slow regions) lives in the
+//! `diskfault` crate; this module only defines the seam so the dependency
+//! points the right way (`diskfault` → `diskmodel`, never back).
+//!
+//! Determinism contract: [`FaultModel::decide`] must be a pure function of
+//! the model's own state and the `(now, req)` arguments — no RNG draws, no
+//! wall clock. All randomness belongs in *plan construction*, which runs
+//! once up front from a seeded stream. That is what keeps a faulted run
+//! bit-identical across worker-thread counts.
+//!
+//! [`Disk`]: crate::Disk
+
+use simcore::{SimDuration, SimTime};
+
+use crate::types::{DiskRequest, Lba};
+
+/// How a failed command is classified by the drive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskErrorKind {
+    /// A marginal sector: the drive's internal retries will eventually
+    /// recover it, so a host-level retry is worthwhile.
+    TransientMedia,
+    /// An unrecoverable latent sector error: the drive has already burned
+    /// its internal retries. Re-reading cannot help; the host should remap
+    /// the range and report the loss.
+    HardMedia,
+}
+
+/// A failed command's check-condition data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiskError {
+    /// Transient vs hard classification.
+    pub kind: DiskErrorKind,
+    /// First LBA of the failed request (real drives report the exact bad
+    /// sector; first-of-request is enough for whole-request retry/remap).
+    pub lba: Lba,
+}
+
+/// The result carried by every [`Completion`](crate::Completion).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskOutcome {
+    /// Data transferred.
+    Ok,
+    /// The command failed; no data moved.
+    Error(DiskError),
+}
+
+impl DiskOutcome {
+    /// Whether the command succeeded.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, DiskOutcome::Ok)
+    }
+
+    /// The error, if the command failed.
+    pub fn error(&self) -> Option<DiskError> {
+        match self {
+            DiskOutcome::Ok => None,
+            DiskOutcome::Error(e) => Some(*e),
+        }
+    }
+}
+
+/// Per-command verdict from a [`FaultModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultDecision {
+    /// Service normally.
+    Ok,
+    /// Service normally, then hold the completion for `stall` (slow tag,
+    /// firmware hiccup, degraded-region re-read passes).
+    Slow {
+        /// Extra time added after normal service.
+        stall: SimDuration,
+    },
+    /// Fail the command: the drive positions, spends `stall` in internal
+    /// recovery attempts, then reports a check condition. No data moves.
+    Fail {
+        /// Transient vs hard classification reported to the host.
+        kind: DiskErrorKind,
+        /// Time burned in the drive's internal retry loop before giving up.
+        stall: SimDuration,
+    },
+}
+
+/// A pluggable per-command fault policy.
+///
+/// Implementations must be draw-free in `decide` (see the module docs) and
+/// `Send` so a faulted world can still fan out across worker threads.
+pub trait FaultModel: std::fmt::Debug + Send {
+    /// Verdict for the command starting service at `now`.
+    fn decide(&mut self, now: SimTime, req: &DiskRequest) -> FaultDecision;
+
+    /// The host reallocated `[lba, lba + sectors)` to spare sectors; any
+    /// fault covering that range must stop firing.
+    fn remap(&mut self, _lba: Lba, _sectors: u64) {}
+}

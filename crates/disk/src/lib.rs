@@ -21,6 +21,7 @@
 
 pub mod cache;
 mod disk;
+mod fault;
 mod geometry;
 mod partition;
 mod presets;
@@ -28,7 +29,8 @@ mod seek;
 mod types;
 
 pub use cache::{CacheConfig, CacheOutcome, Replacement, SegmentedCache};
-pub use disk::{Disk, DiskStats, MechParams, TcqConfig};
+pub use disk::{Disk, DiskStats, MechParams, ServiceBreakdown, TcqConfig};
+pub use fault::{DiskError, DiskErrorKind, DiskOutcome, FaultDecision, FaultModel};
 pub use geometry::{Chs, DiskGeometry, Zone};
 pub use partition::{Partition, PartitionTable};
 pub use presets::DriveModel;

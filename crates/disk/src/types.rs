@@ -2,6 +2,8 @@
 
 use simcore::SimTime;
 
+use crate::fault::DiskOutcome;
+
 /// A logical block address, in 512-byte sectors from the start of the drive.
 pub type Lba = u64;
 
@@ -80,12 +82,19 @@ pub struct Completion {
     /// Whether the read was served from the drive's cache (always `false`
     /// for writes).
     pub cache_hit: bool,
+    /// Whether data transferred or the command failed.
+    pub outcome: DiskOutcome,
 }
 
 impl Completion {
     /// Total time the request spent in the drive (queueing + service).
     pub fn latency(&self) -> simcore::SimDuration {
         self.completed_at.since(self.submitted_at)
+    }
+
+    /// Whether the command succeeded.
+    pub fn is_ok(&self) -> bool {
+        self.outcome.is_ok()
     }
 }
 
@@ -117,6 +126,7 @@ mod tests {
             submitted_at: SimTime::from_nanos(100),
             completed_at: SimTime::from_nanos(600),
             cache_hit: false,
+            outcome: DiskOutcome::Ok,
         };
         assert_eq!(c.latency().as_nanos(), 500);
     }

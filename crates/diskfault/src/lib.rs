@@ -1,0 +1,571 @@
+//! Deterministic, seed-driven disk fault model.
+//!
+//! Real benchmarking numbers are silently corrupted by drives that are
+//! *degraded but not dead*: latent sector errors that cost three retries a
+//! read, a stuck command tag that stalls every Nth request, firmware that
+//! goes out to lunch for 200 ms, a head that reads one zone at a quarter
+//! rate. This crate models those modes behind the
+//! [`diskmodel::FaultModel`] seam:
+//!
+//! * [`FaultPlan`] — a pure-data description of every fault, built once up
+//!   front from a seeded [`SimRng`]. All randomness lives here.
+//! * [`FaultState`] — the plan plus its mutable progress (drive-internal
+//!   recovery countdowns, remap flags, a command counter). Its
+//!   [`decide`](diskmodel::FaultModel::decide) is draw-free, so a faulted
+//!   run is bit-identical at any worker-thread count.
+//!
+//! Error classification follows the transient/hard split drives actually
+//! report: a *transient* media error recovers after a bounded number of
+//! failing reads (the drive's own heroics eventually succeed), while a
+//! *hard* error never reads successfully — the host must remap the range
+//! to spares and live with the loss. Writes never fail: drives reallocate
+//! on write, so a write overlapping a bad cluster clears it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use diskmodel::{DiskErrorKind, DiskOp, DiskRequest, FaultDecision, FaultModel, Lba};
+use simcore::{SimDuration, SimRng, SimTime};
+
+/// A spatially contiguous run of bad sectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ErrorCluster {
+    /// First bad sector (absolute LBA).
+    pub start: Lba,
+    /// Length of the bad run.
+    pub sectors: u64,
+    /// Transient (drive recovers) vs hard (host must remap).
+    pub kind: DiskErrorKind,
+    /// For transient clusters: how many reads fail before the drive's
+    /// internal recovery clears the defect. Ignored for hard clusters.
+    pub recovery_reads: u32,
+    /// Time the drive burns in its internal retry loop per failing read.
+    pub stall: SimDuration,
+}
+
+/// A stuck/slow command tag: every `period`-th command stalls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StuckTag {
+    /// Commands between stalls (the degraded tag's turn in the queue).
+    pub period: u64,
+    /// Extra service time when the bad tag comes up.
+    pub stall: SimDuration,
+}
+
+/// A firmware stall window: commands starting inside it are held until the
+/// window closes (garbage collection, log compaction, thermal recal).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StallWindow {
+    /// Window opens.
+    pub start: SimTime,
+    /// Window closes; a command starting at `t` inside waits `end - t`.
+    pub end: SimTime,
+}
+
+/// A fail-slow region: transfers touching it pay a per-sector penalty
+/// (weak head / marginal media forcing re-read passes) but still succeed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlowRegion {
+    /// First degraded sector (absolute LBA).
+    pub start: Lba,
+    /// Length of the degraded region.
+    pub sectors: u64,
+    /// Extra time per sector of the request that overlaps the region.
+    pub per_sector: SimDuration,
+}
+
+/// A complete, immutable description of a drive's faults.
+///
+/// Built once from a seeded RNG (or assembled by hand in tests), then
+/// wrapped in a [`FaultState`] and installed on the drive. An empty plan
+/// is a healthy drive: every decision is [`FaultDecision::Ok`] and no
+/// timing moves.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Latent sector error clusters.
+    pub sector_errors: Vec<ErrorCluster>,
+    /// At most one stuck tag per drive.
+    pub stuck_tag: Option<StuckTag>,
+    /// Firmware stall windows.
+    pub firmware_stalls: Vec<StallWindow>,
+    /// Fail-slow degraded-transfer regions.
+    pub fail_slow: Vec<SlowRegion>,
+}
+
+impl FaultPlan {
+    /// The empty plan: a healthy drive.
+    pub fn healthy() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Whether the plan contains no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.sector_errors.is_empty()
+            && self.stuck_tag.is_none()
+            && self.firmware_stalls.is_empty()
+            && self.fail_slow.is_empty()
+    }
+
+    /// Unions another plan into this one (first stuck tag wins; everything
+    /// else concatenates). Used when one batch injects several fault kinds
+    /// on the same drive.
+    pub fn merge(&mut self, other: FaultPlan) {
+        self.sector_errors.extend(other.sector_errors);
+        if self.stuck_tag.is_none() {
+            self.stuck_tag = other.stuck_tag;
+        }
+        self.firmware_stalls.extend(other.firmware_stalls);
+        self.fail_slow.extend(other.fail_slow);
+    }
+
+    /// Seeds 1–3 error clusters with spatial locality inside
+    /// `[span_start, span_start + span_sectors)`: one anchor point, the
+    /// rest within a few hundred sectors of it (bad spots come in
+    /// neighborhoods — a scratch, a weak region of a platter).
+    pub fn seeded_sector_errors(rng: &mut SimRng, span_start: Lba, span_sectors: u64) -> Self {
+        let span = span_sectors.max(64);
+        let anchor = span_start + rng.gen_range(0..span);
+        let clusters = rng.gen_range(1..=3u32);
+        let mut sector_errors = Vec::new();
+        for i in 0..clusters {
+            let offset = if i == 0 { 0 } else { rng.gen_range(0..512u64) };
+            let start = (anchor + offset).min(span_start + span.saturating_sub(1));
+            let sectors = rng.gen_range(1..=48u64);
+            let hard = rng.chance(0.35);
+            sector_errors.push(ErrorCluster {
+                start,
+                sectors,
+                kind: if hard {
+                    DiskErrorKind::HardMedia
+                } else {
+                    DiskErrorKind::TransientMedia
+                },
+                recovery_reads: rng.gen_range(1..=3u32),
+                stall: SimDuration::from_millis(rng.gen_range(20..=60u64)),
+            });
+        }
+        FaultPlan {
+            sector_errors,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Seeds a stuck tag stalling every 5th–12th command for 15–60 ms.
+    pub fn seeded_stuck_tag(rng: &mut SimRng) -> Self {
+        FaultPlan {
+            stuck_tag: Some(StuckTag {
+                period: rng.gen_range(5..=12u64),
+                stall: SimDuration::from_millis(rng.gen_range(15..=60u64)),
+            }),
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Seeds 1–2 firmware stall windows of 40–180 ms opening within half a
+    /// second of `now`.
+    pub fn seeded_firmware_stall(rng: &mut SimRng, now: SimTime) -> Self {
+        let windows = rng.gen_range(1..=2u32);
+        let mut firmware_stalls = Vec::new();
+        let mut open = now + SimDuration::from_millis(rng.gen_range(0..=500u64));
+        for _ in 0..windows {
+            let len = SimDuration::from_millis(rng.gen_range(40..=180u64));
+            firmware_stalls.push(StallWindow {
+                start: open,
+                end: open + len,
+            });
+            open = open + len + SimDuration::from_millis(rng.gen_range(100..=400u64));
+        }
+        FaultPlan {
+            firmware_stalls,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Seeds 1–2 fail-slow regions covering chunks of the span with a
+    /// 30–150 µs per-sector penalty (a degraded head reading at a fraction
+    /// of the healthy media rate).
+    pub fn seeded_fail_slow(rng: &mut SimRng, span_start: Lba, span_sectors: u64) -> Self {
+        let span = span_sectors.max(64);
+        let regions = rng.gen_range(1..=2u32);
+        let mut fail_slow = Vec::new();
+        for _ in 0..regions {
+            let start = span_start + rng.gen_range(0..span);
+            let sectors = (span / rng.gen_range(3..=8u64)).max(32);
+            fail_slow.push(SlowRegion {
+                start,
+                sectors,
+                per_sector: SimDuration::from_micros(rng.gen_range(30..=150u64)),
+            });
+        }
+        FaultPlan {
+            fail_slow,
+            ..FaultPlan::default()
+        }
+    }
+}
+
+fn overlaps(req: &DiskRequest, start: Lba, sectors: u64) -> bool {
+    req.lba < start + sectors && start < req.end()
+}
+
+/// A [`FaultPlan`] plus its mutable progress: the [`FaultModel`] a drive
+/// actually runs.
+#[derive(Debug)]
+pub struct FaultState {
+    plan: FaultPlan,
+    /// Remaining failing reads per cluster (parallel to
+    /// `plan.sector_errors`); hard clusters hold `u32::MAX` conceptually
+    /// but are tracked by `kind` instead.
+    recovery_left: Vec<u32>,
+    /// Clusters cleared by host remap or overwrite.
+    remapped: Vec<bool>,
+    /// Commands seen (drives the stuck-tag period).
+    commands: u64,
+}
+
+impl FaultState {
+    /// Wraps a plan for installation via
+    /// [`Disk::set_fault_model`](diskmodel::Disk::set_fault_model).
+    pub fn new(plan: FaultPlan) -> Self {
+        let recovery_left = plan
+            .sector_errors
+            .iter()
+            .map(|c| c.recovery_reads)
+            .collect();
+        let remapped = vec![false; plan.sector_errors.len()];
+        FaultState {
+            plan,
+            recovery_left,
+            remapped,
+            commands: 0,
+        }
+    }
+
+    /// The underlying plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Error clusters still live (not recovered, not remapped).
+    pub fn live_clusters(&self) -> usize {
+        self.plan
+            .sector_errors
+            .iter()
+            .enumerate()
+            .filter(|(i, c)| {
+                !self.remapped[*i]
+                    && (c.kind == DiskErrorKind::HardMedia || self.recovery_left[*i] > 0)
+            })
+            .count()
+    }
+}
+
+impl FaultModel for FaultState {
+    fn decide(&mut self, now: SimTime, req: &DiskRequest) -> FaultDecision {
+        self.commands += 1;
+        // Stall contributions compose: a command can hit a firmware window
+        // *and* the stuck tag *and* a slow region in one service.
+        let mut stall = SimDuration::ZERO;
+        for w in &self.plan.firmware_stalls {
+            if now >= w.start && now < w.end {
+                stall += w.end.since(now);
+            }
+        }
+        if let Some(st) = &self.plan.stuck_tag {
+            if st.period > 0 && self.commands.is_multiple_of(st.period) {
+                stall += st.stall;
+            }
+        }
+        for r in &self.plan.fail_slow {
+            if overlaps(req, r.start, r.sectors) {
+                stall += r.per_sector.saturating_mul(req.sectors);
+            }
+        }
+        // Latent sector errors dominate the verdict: the command fails
+        // after the composed stall plus the drive's internal retry loop.
+        for i in 0..self.plan.sector_errors.len() {
+            let c = self.plan.sector_errors[i];
+            if self.remapped[i] || !overlaps(req, c.start, c.sectors) {
+                continue;
+            }
+            if req.op == DiskOp::Write {
+                // Drives reallocate on write: overwriting a bad cluster
+                // clears it without host involvement.
+                self.remapped[i] = true;
+                continue;
+            }
+            match c.kind {
+                DiskErrorKind::HardMedia => {
+                    return FaultDecision::Fail {
+                        kind: DiskErrorKind::HardMedia,
+                        stall: stall + c.stall,
+                    };
+                }
+                DiskErrorKind::TransientMedia => {
+                    if self.recovery_left[i] > 0 {
+                        self.recovery_left[i] -= 1;
+                        return FaultDecision::Fail {
+                            kind: DiskErrorKind::TransientMedia,
+                            stall: stall + c.stall,
+                        };
+                    }
+                }
+            }
+        }
+        if stall > SimDuration::ZERO {
+            FaultDecision::Slow { stall }
+        } else {
+            FaultDecision::Ok
+        }
+    }
+
+    fn remap(&mut self, lba: Lba, sectors: u64) {
+        for (i, c) in self.plan.sector_errors.iter().enumerate() {
+            if lba < c.start + c.sectors && c.start < lba + sectors {
+                self.remapped[i] = true;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn read(lba: Lba, sectors: u64) -> DiskRequest {
+        DiskRequest::read(lba, sectors, 0)
+    }
+
+    fn transient(start: Lba, sectors: u64, recovery_reads: u32) -> ErrorCluster {
+        ErrorCluster {
+            start,
+            sectors,
+            kind: DiskErrorKind::TransientMedia,
+            recovery_reads,
+            stall: SimDuration::from_millis(40),
+        }
+    }
+
+    fn hard(start: Lba, sectors: u64) -> ErrorCluster {
+        ErrorCluster {
+            start,
+            sectors,
+            kind: DiskErrorKind::HardMedia,
+            recovery_reads: 0,
+            stall: SimDuration::from_millis(100),
+        }
+    }
+
+    #[test]
+    fn empty_plan_is_healthy() {
+        let plan = FaultPlan::healthy();
+        assert!(plan.is_empty());
+        let mut state = FaultState::new(plan);
+        for i in 0..1000 {
+            assert_eq!(
+                state.decide(SimTime::from_nanos(i), &read(i * 16, 16)),
+                FaultDecision::Ok
+            );
+        }
+    }
+
+    #[test]
+    fn transient_cluster_recovers_after_bounded_reads() {
+        let mut state = FaultState::new(FaultPlan {
+            sector_errors: vec![transient(100, 16, 2)],
+            ..FaultPlan::default()
+        });
+        let t = SimTime::ZERO;
+        for _ in 0..2 {
+            assert!(matches!(
+                state.decide(t, &read(96, 32)),
+                FaultDecision::Fail {
+                    kind: DiskErrorKind::TransientMedia,
+                    ..
+                }
+            ));
+        }
+        // The drive's internal recovery has now cleared the defect.
+        assert_eq!(state.decide(t, &read(96, 32)), FaultDecision::Ok);
+        assert_eq!(state.live_clusters(), 0);
+    }
+
+    #[test]
+    fn hard_cluster_fails_until_remapped() {
+        let mut state = FaultState::new(FaultPlan {
+            sector_errors: vec![hard(100, 16)],
+            ..FaultPlan::default()
+        });
+        let t = SimTime::ZERO;
+        for _ in 0..5 {
+            assert!(matches!(
+                state.decide(t, &read(100, 16)),
+                FaultDecision::Fail {
+                    kind: DiskErrorKind::HardMedia,
+                    ..
+                }
+            ));
+        }
+        FaultModel::remap(&mut state, 100, 16);
+        assert_eq!(state.decide(t, &read(100, 16)), FaultDecision::Ok);
+    }
+
+    #[test]
+    fn non_overlapping_reads_unaffected() {
+        let mut state = FaultState::new(FaultPlan {
+            sector_errors: vec![hard(100, 16)],
+            ..FaultPlan::default()
+        });
+        assert_eq!(
+            state.decide(SimTime::ZERO, &read(116, 16)),
+            FaultDecision::Ok
+        );
+        assert_eq!(
+            state.decide(SimTime::ZERO, &read(84, 16)),
+            FaultDecision::Ok
+        );
+    }
+
+    #[test]
+    fn overwrite_clears_cluster() {
+        let mut state = FaultState::new(FaultPlan {
+            sector_errors: vec![hard(100, 16)],
+            ..FaultPlan::default()
+        });
+        let w = DiskRequest::write(100, 16, 0);
+        assert_eq!(state.decide(SimTime::ZERO, &w), FaultDecision::Ok);
+        assert_eq!(
+            state.decide(SimTime::ZERO, &read(100, 16)),
+            FaultDecision::Ok
+        );
+    }
+
+    #[test]
+    fn firmware_window_holds_commands_until_close() {
+        let mut state = FaultState::new(FaultPlan {
+            firmware_stalls: vec![StallWindow {
+                start: SimTime::from_nanos(1_000_000),
+                end: SimTime::from_nanos(5_000_000),
+            }],
+            ..FaultPlan::default()
+        });
+        assert_eq!(state.decide(SimTime::ZERO, &read(0, 16)), FaultDecision::Ok);
+        match state.decide(SimTime::from_nanos(2_000_000), &read(0, 16)) {
+            FaultDecision::Slow { stall } => assert_eq!(stall.as_nanos(), 3_000_000),
+            other => panic!("expected Slow, got {other:?}"),
+        }
+        assert_eq!(
+            state.decide(SimTime::from_nanos(5_000_000), &read(0, 16)),
+            FaultDecision::Ok
+        );
+    }
+
+    #[test]
+    fn stuck_tag_stalls_every_period() {
+        let mut state = FaultState::new(FaultPlan {
+            stuck_tag: Some(StuckTag {
+                period: 3,
+                stall: SimDuration::from_millis(25),
+            }),
+            ..FaultPlan::default()
+        });
+        let verdicts: Vec<bool> = (0..9)
+            .map(|_| {
+                matches!(
+                    state.decide(SimTime::ZERO, &read(0, 16)),
+                    FaultDecision::Slow { .. }
+                )
+            })
+            .collect();
+        assert_eq!(
+            verdicts,
+            vec![false, false, true, false, false, true, false, false, true]
+        );
+    }
+
+    #[test]
+    fn fail_slow_penalty_scales_with_request_size() {
+        let mut state = FaultState::new(FaultPlan {
+            fail_slow: vec![SlowRegion {
+                start: 0,
+                sectors: 10_000,
+                per_sector: SimDuration::from_micros(100),
+            }],
+            ..FaultPlan::default()
+        });
+        let small = match state.decide(SimTime::ZERO, &read(0, 16)) {
+            FaultDecision::Slow { stall } => stall,
+            other => panic!("expected Slow, got {other:?}"),
+        };
+        let large = match state.decide(SimTime::ZERO, &read(0, 64)) {
+            FaultDecision::Slow { stall } => stall,
+            other => panic!("expected Slow, got {other:?}"),
+        };
+        assert_eq!(large.as_nanos(), 4 * small.as_nanos());
+    }
+
+    #[test]
+    fn stalls_compose_with_errors() {
+        let mut state = FaultState::new(FaultPlan {
+            sector_errors: vec![transient(0, 16, 1)],
+            firmware_stalls: vec![StallWindow {
+                start: SimTime::ZERO,
+                end: SimTime::from_nanos(1_000_000),
+            }],
+            ..FaultPlan::default()
+        });
+        match state.decide(SimTime::ZERO, &read(0, 16)) {
+            FaultDecision::Fail { stall, .. } => {
+                // Window remainder (1 ms) + cluster stall (40 ms).
+                assert_eq!(stall.as_nanos(), 41_000_000);
+            }
+            other => panic!("expected Fail, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn seeded_builders_are_deterministic() {
+        for label in 0..4u64 {
+            let build = || {
+                let mut rng = SimRng::from_seed_and_stream(42, label);
+                let mut plan = FaultPlan::seeded_sector_errors(&mut rng, 1_000, 50_000);
+                plan.merge(FaultPlan::seeded_stuck_tag(&mut rng));
+                plan.merge(FaultPlan::seeded_firmware_stall(&mut rng, SimTime::ZERO));
+                plan.merge(FaultPlan::seeded_fail_slow(&mut rng, 1_000, 50_000));
+                plan
+            };
+            assert_eq!(build(), build());
+        }
+    }
+
+    #[test]
+    fn seeded_sector_errors_stay_in_span() {
+        for seed in 0..64u64 {
+            let mut rng = SimRng::new(seed);
+            let plan = FaultPlan::seeded_sector_errors(&mut rng, 5_000, 10_000);
+            for c in &plan.sector_errors {
+                assert!(c.start >= 5_000, "cluster below span at seed {seed}");
+                assert!(
+                    c.start < 15_000 + 512,
+                    "cluster far past span at seed {seed}"
+                );
+                assert!(c.sectors > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn merge_unions_everything() {
+        let mut rng = SimRng::new(7);
+        let mut plan = FaultPlan::seeded_sector_errors(&mut rng, 0, 1_000);
+        let n = plan.sector_errors.len();
+        plan.merge(FaultPlan::seeded_stuck_tag(&mut rng));
+        plan.merge(FaultPlan::seeded_firmware_stall(&mut rng, SimTime::ZERO));
+        plan.merge(FaultPlan::seeded_fail_slow(&mut rng, 0, 1_000));
+        assert_eq!(plan.sector_errors.len(), n);
+        assert!(plan.stuck_tag.is_some());
+        assert!(!plan.firmware_stalls.is_empty());
+        assert!(!plan.fail_slow.is_empty());
+        assert!(!plan.is_empty());
+    }
+}

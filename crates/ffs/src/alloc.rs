@@ -97,6 +97,13 @@ impl Allocator {
         (self.partition.sectors - self.cursor) * diskmodel::SECTOR_BYTES
     }
 
+    /// The absolute LBA span holding everything allocated so far:
+    /// `(first_sector, sectors)`. Fault plans target this span so injected
+    /// defects land under live data rather than in free space.
+    pub fn allocated_span(&self) -> (Lba, u64) {
+        (self.partition.start, self.cursor)
+    }
+
     /// Allocates a file of `size` bytes, returning its inode.
     ///
     /// `rng` drives aging decisions only; a fresh file system (aging 0)

@@ -7,10 +7,58 @@
 //! decisions migrate from the kernel's elevator into the drive's own
 //! (fairer, and for this workload slower) SPTF policy, because the kernel
 //! queue drains into the drive before the elevator has anything to sort.
+//!
+//! ## Error handling
+//!
+//! A drive completion now carries a [`DiskOutcome`]. The bio layer owns
+//! the kernel's recovery policy:
+//!
+//! * **Transient** media errors are retried with exponential backoff (1,
+//!   4, 16 ms) up to [`MAX_IO_RETRIES`] times. Retries re-enter the
+//!   scheduler via [`IoScheduler::requeue`], keeping the same tag so the
+//!   file system's span routing never sees the intermediate failures.
+//! * **Hard** errors are not retried (the drive already exhausted its own
+//!   heroics): the failed range is remapped to spares so subsequent I/O
+//!   succeeds, and the completion propagates with its error — the caller
+//!   gets EIO for this request and clean reads thereafter.
+//!
+//! Only the *final* completion of each request (success or EIO) leaves
+//! this layer; callers never see a request twice.
 
-use diskmodel::{Completion, Disk, DiskRequest, Lba, TcqConfig};
+use diskmodel::{Completion, Disk, DiskErrorKind, DiskOutcome, DiskRequest, Lba, TcqConfig};
 use iosched::{AnyScheduler, IoScheduler, QueuedRequest, SchedulerKind};
-use simcore::SimTime;
+use simcore::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// Most host-level retries of a transient media error before giving up
+/// with EIO.
+pub const MAX_IO_RETRIES: u32 = 3;
+
+/// Backoff before retry `attempt` (1-based): 1 ms · 4^(attempt−1).
+fn retry_backoff(attempt: u32) -> SimDuration {
+    SimDuration::from_millis(1).saturating_mul(1u64 << (2 * (attempt - 1)))
+}
+
+/// Error-path counters of the block-I/O layer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BioStats {
+    /// Drive completions that carried an error.
+    pub error_completions: u64,
+    /// Host-level retries issued (each consumed one error completion).
+    pub retries: u64,
+    /// Requests that ultimately succeeded after at least one retry.
+    pub recovered: u64,
+    /// Hard (unrecoverable) errors seen.
+    pub hard_errors: u64,
+    /// Transient errors that exhausted [`MAX_IO_RETRIES`].
+    pub transient_exhausted: u64,
+    /// Requests that propagated EIO to the caller.
+    pub eio: u64,
+    /// Remap commands sent to the drive.
+    pub remaps: u64,
+    /// Highest retry count any single request reached.
+    pub max_attempts: u32,
+}
 
 /// Kernel-side block I/O layer wrapping a drive.
 #[derive(Debug)]
@@ -22,6 +70,11 @@ pub struct BioLayer {
     head: Lba,
     next_seq: u64,
     dispatched: u64,
+    /// Retry counts per in-error request tag (absent = no error yet).
+    attempts: HashMap<u64, u32>,
+    /// Retries waiting out their backoff: `(due, request)`.
+    deferred: Vec<(SimTime, DiskRequest)>,
+    stats: BioStats,
 }
 
 impl BioLayer {
@@ -33,6 +86,9 @@ impl BioLayer {
             head: 0,
             next_seq: 0,
             dispatched: 0,
+            attempts: HashMap::new(),
+            deferred: Vec::new(),
+            stats: BioStats::default(),
         }
     }
 
@@ -83,27 +139,113 @@ impl BioLayer {
         self.kick(now);
     }
 
-    /// Earliest instant at which the drive will have a completion.
-    pub fn next_event(&self) -> Option<SimTime> {
-        self.disk.next_completion()
+    /// Error-path counters.
+    pub fn stats(&self) -> BioStats {
+        self.stats
     }
 
-    /// Collects completions up to `now`, refilling the drive as commands
-    /// retire.
+    /// Retries still waiting out their backoff (0 at quiescence).
+    pub fn deferred_retries(&self) -> usize {
+        self.deferred.len()
+    }
+
+    /// Earliest instant at which this layer has work: a drive completion
+    /// or a deferred retry coming due.
+    pub fn next_event(&self) -> Option<SimTime> {
+        let retry = self.deferred.iter().map(|(due, _)| *due).min();
+        match (self.disk.next_completion(), retry) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Collects final completions up to `now`, refilling the drive as
+    /// commands retire. Transient errors are consumed here and retried;
+    /// only terminal outcomes (success or EIO) are returned.
     pub fn advance(&mut self, now: SimTime) -> Vec<Completion> {
         let mut out = Vec::new();
         loop {
+            let released = self.release_due_retries(now);
             let done = self.disk.advance(now);
-            if done.is_empty() {
+            if done.is_empty() && !released {
                 break;
             }
-            out.extend(done);
+            for c in done {
+                self.retire(c, &mut out);
+            }
             self.kick(now);
         }
         // A final kick in case advance() freed queue slots without any new
         // completion (defensive; harmless when redundant).
         self.kick(now);
         out
+    }
+
+    /// Moves due retries from the backoff list back into the scheduler.
+    fn release_due_retries(&mut self, now: SimTime) -> bool {
+        let mut released = false;
+        let mut i = 0;
+        // The list is appended in completion order, so draining in place
+        // preserves a deterministic requeue order.
+        while i < self.deferred.len() {
+            if self.deferred[i].0 <= now {
+                let (due, req) = self.deferred.remove(i);
+                let qr = QueuedRequest {
+                    req,
+                    queued_at: due,
+                    seq: self.next_seq,
+                };
+                self.next_seq += 1;
+                self.sched.requeue(qr);
+                released = true;
+            } else {
+                i += 1;
+            }
+        }
+        released
+    }
+
+    /// Applies the recovery policy to one drive completion.
+    fn retire(&mut self, c: Completion, out: &mut Vec<Completion>) {
+        match c.outcome {
+            DiskOutcome::Ok => {
+                if self.attempts.remove(&c.request.tag).is_some() {
+                    self.stats.recovered += 1;
+                }
+                out.push(c);
+            }
+            DiskOutcome::Error(e) => {
+                self.stats.error_completions += 1;
+                let attempts = self.attempts.entry(c.request.tag).or_insert(0);
+                match e.kind {
+                    DiskErrorKind::TransientMedia if *attempts < MAX_IO_RETRIES => {
+                        *attempts += 1;
+                        let n = *attempts;
+                        self.stats.max_attempts = self.stats.max_attempts.max(n);
+                        self.stats.retries += 1;
+                        self.deferred
+                            .push((c.completed_at + retry_backoff(n), c.request));
+                    }
+                    DiskErrorKind::TransientMedia => {
+                        self.stats.transient_exhausted += 1;
+                        self.stats.eio += 1;
+                        self.attempts.remove(&c.request.tag);
+                        out.push(c);
+                    }
+                    DiskErrorKind::HardMedia => {
+                        // Retrying is pointless; remap the range to spares
+                        // so the next access succeeds, and let the EIO
+                        // propagate for this one.
+                        self.stats.hard_errors += 1;
+                        self.stats.eio += 1;
+                        self.stats.remaps += 1;
+                        self.disk.remap(c.request.lba, c.request.sectors);
+                        self.attempts.remove(&c.request.tag);
+                        out.push(c);
+                    }
+                }
+            }
+        }
     }
 
     fn kick(&mut self, now: SimTime) {
@@ -207,6 +349,119 @@ mod tests {
         assert_eq!(bio.scheduler_kind(), SchedulerKind::NCscan);
         let tags = drain(&mut bio);
         assert_eq!(tags.len(), 6, "switch must not lose requests");
+    }
+
+    /// A canned per-command verdict list; `Ok` once the script runs out.
+    #[derive(Debug)]
+    struct ScriptedFault(std::collections::VecDeque<diskmodel::FaultDecision>);
+
+    impl diskmodel::FaultModel for ScriptedFault {
+        fn decide(&mut self, _now: SimTime, _req: &DiskRequest) -> diskmodel::FaultDecision {
+            self.0.pop_front().unwrap_or(diskmodel::FaultDecision::Ok)
+        }
+    }
+
+    fn scripted(verdicts: Vec<diskmodel::FaultDecision>) -> Box<ScriptedFault> {
+        Box::new(ScriptedFault(verdicts.into_iter().collect()))
+    }
+
+    fn fail(kind: DiskErrorKind) -> diskmodel::FaultDecision {
+        diskmodel::FaultDecision::Fail {
+            kind,
+            stall: SimDuration::from_millis(30),
+        }
+    }
+
+    #[test]
+    fn transient_error_recovers_after_retries() {
+        let mut bio = BioLayer::new(mkdisk(TcqConfig::disabled()), SchedulerKind::Elevator);
+        bio.disk_mut().set_fault_model(Some(scripted(vec![
+            fail(DiskErrorKind::TransientMedia),
+            fail(DiskErrorKind::TransientMedia),
+        ])));
+        bio.submit(SimTime::ZERO, DiskRequest::read(1_000, 16, 42));
+        let mut done = Vec::new();
+        while let Some(t) = bio.next_event() {
+            done.extend(bio.advance(t));
+        }
+        assert_eq!(done.len(), 1, "exactly one final completion");
+        assert!(done[0].is_ok());
+        assert_eq!(done[0].request.tag, 42);
+        let s = bio.stats();
+        assert_eq!(s.error_completions, 2);
+        assert_eq!(s.retries, 2);
+        assert_eq!(s.recovered, 1);
+        assert_eq!(s.eio, 0);
+        assert_eq!(s.max_attempts, 2);
+        assert_eq!(bio.deferred_retries(), 0);
+    }
+
+    #[test]
+    fn transient_exhaustion_propagates_eio() {
+        let mut bio = BioLayer::new(mkdisk(TcqConfig::disabled()), SchedulerKind::Elevator);
+        bio.disk_mut().set_fault_model(Some(scripted(vec![
+            fail(DiskErrorKind::TransientMedia);
+            (MAX_IO_RETRIES + 1) as usize
+        ])));
+        bio.submit(SimTime::ZERO, DiskRequest::read(1_000, 16, 7));
+        let mut done = Vec::new();
+        while let Some(t) = bio.next_event() {
+            done.extend(bio.advance(t));
+        }
+        assert_eq!(done.len(), 1);
+        assert!(!done[0].is_ok());
+        let s = bio.stats();
+        assert_eq!(s.retries, u64::from(MAX_IO_RETRIES));
+        assert_eq!(s.transient_exhausted, 1);
+        assert_eq!(s.eio, 1);
+        assert_eq!(s.error_completions, s.retries + s.eio);
+    }
+
+    #[test]
+    fn hard_error_remaps_and_propagates_once() {
+        let mut bio = BioLayer::new(mkdisk(TcqConfig::disabled()), SchedulerKind::Elevator);
+        bio.disk_mut()
+            .set_fault_model(Some(scripted(vec![fail(DiskErrorKind::HardMedia)])));
+        bio.submit(SimTime::ZERO, DiskRequest::read(1_000, 16, 1));
+        let mut done = Vec::new();
+        while let Some(t) = bio.next_event() {
+            done.extend(bio.advance(t));
+        }
+        assert_eq!(done.len(), 1);
+        assert!(!done[0].is_ok(), "hard errors are not retried");
+        let s = bio.stats();
+        assert_eq!(s.retries, 0);
+        assert_eq!(s.hard_errors, 1);
+        assert_eq!(s.remaps, 1);
+        assert_eq!(bio.disk().stats().remapped_sectors, 16);
+        // The remapped range reads cleanly now.
+        let t = done[0].completed_at;
+        bio.submit(t, DiskRequest::read(1_000, 16, 2));
+        let mut after = Vec::new();
+        while let Some(t) = bio.next_event() {
+            after.extend(bio.advance(t));
+        }
+        assert_eq!(after.len(), 1);
+        assert!(after[0].is_ok());
+    }
+
+    #[test]
+    fn retries_interleave_without_losing_healthy_completions() {
+        let mut bio = BioLayer::new(mkdisk(TcqConfig::disabled()), SchedulerKind::Elevator);
+        // The first two commands serviced each fail once; everything else
+        // is healthy.
+        bio.disk_mut().set_fault_model(Some(scripted(vec![
+            fail(DiskErrorKind::TransientMedia),
+            fail(DiskErrorKind::TransientMedia),
+        ])));
+        for i in 0..6u64 {
+            bio.submit(SimTime::ZERO, DiskRequest::read(i * 10_000, 16, i));
+        }
+        let tags = drain(&mut bio);
+        let mut sorted = tags.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3, 4, 5], "no lost or duplicated tags");
+        assert_eq!(bio.stats().recovered, 2);
     }
 
     #[test]

@@ -59,6 +59,24 @@ impl Default for FsConfig {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ReadId(pub u64);
 
+/// How an operation's disk I/O ended. The bio layer has already retried
+/// transient errors and remapped hard ones; by the time a status reaches
+/// here it is terminal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoStatus {
+    /// Every needed block arrived.
+    Ok,
+    /// At least one underlying disk request failed unrecoverably.
+    Eio,
+}
+
+impl IoStatus {
+    /// Whether the operation succeeded.
+    pub fn is_ok(self) -> bool {
+        self == IoStatus::Ok
+    }
+}
+
 /// A finished operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OpDone {
@@ -68,8 +86,10 @@ pub struct OpDone {
     pub tag: u64,
     /// When the operation was issued.
     pub issued_at: SimTime,
-    /// When the last needed block arrived.
+    /// When the last needed block arrived (or the last failure landed).
     pub done_at: SimTime,
+    /// Terminal success/EIO status.
+    pub status: IoStatus,
 }
 
 /// Running counters.
@@ -85,6 +105,8 @@ pub struct FsStats {
     pub miss_blocks: u64,
     /// Writes issued.
     pub writes: u64,
+    /// Operations that completed with [`IoStatus::Eio`].
+    pub io_errors: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -99,6 +121,8 @@ struct Ticket {
     tag: u64,
     issued_at: SimTime,
     outstanding: usize,
+    /// Set when any block of the operation came back EIO.
+    failed: bool,
 }
 
 /// An FFS-like file system on one partition of one drive.
@@ -158,6 +182,12 @@ impl FileSystem {
     /// Counters.
     pub fn stats(&self) -> FsStats {
         self.stats
+    }
+
+    /// The absolute LBA span holding this file system's allocated data
+    /// (see [`Allocator::allocated_span`]).
+    pub fn allocated_span(&self) -> (diskmodel::Lba, u64) {
+        self.alloc.allocated_span()
     }
 
     /// The block-I/O layer (scheduler and drive access).
@@ -282,6 +312,7 @@ impl FileSystem {
                 tag,
                 issued_at: now,
                 outstanding,
+                failed: false,
             },
         );
         if outstanding == 0 {
@@ -346,6 +377,7 @@ impl FileSystem {
                 tag,
                 issued_at: now,
                 outstanding,
+                failed: false,
             },
         );
         if outstanding == 0 {
@@ -370,14 +402,22 @@ impl FileSystem {
                 .io_spans
                 .remove(&c.request.tag)
                 .expect("completion for unknown io tag");
+            let failed = !c.is_ok();
             match c.request.op {
                 diskmodel::DiskOp::Read => {
                     for b in span.first_blk..span.first_blk + span.nblocks {
                         let key = (span.ino, b);
-                        self.cache.fill(key);
+                        if failed {
+                            // No data arrived: release the pending marks so
+                            // a later read can retry the disk (which now
+                            // succeeds if the range was remapped).
+                            self.cache.discard(key);
+                        } else {
+                            self.cache.fill(key);
+                        }
                         if let Some(waiting) = self.waiters.remove(&key) {
                             for id in waiting {
-                                self.block_arrived(id, c.completed_at);
+                                self.block_arrived(id, c.completed_at, failed);
                             }
                         }
                     }
@@ -385,7 +425,7 @@ impl FileSystem {
                 diskmodel::DiskOp::Write => {
                     if let Some(waiting) = self.waiters.remove(&(u64::MAX, c.request.tag)) {
                         for id in waiting {
-                            self.block_arrived(id, c.completed_at);
+                            self.block_arrived(id, c.completed_at, failed);
                         }
                     }
                 }
@@ -478,10 +518,13 @@ impl FileSystem {
         );
     }
 
-    fn block_arrived(&mut self, id: ReadId, at: SimTime) {
+    fn block_arrived(&mut self, id: ReadId, at: SimTime, failed: bool) {
         let Some(t) = self.tickets.get_mut(&id) else {
             return;
         };
+        if failed {
+            t.failed = true;
+        }
         t.outstanding = t.outstanding.saturating_sub(1);
         if t.outstanding == 0 {
             self.complete(id, at);
@@ -490,11 +533,18 @@ impl FileSystem {
 
     fn complete(&mut self, id: ReadId, at: SimTime) {
         let t = self.tickets.remove(&id).expect("double completion");
+        let status = if t.failed {
+            self.stats.io_errors += 1;
+            IoStatus::Eio
+        } else {
+            IoStatus::Ok
+        };
         self.ready.push(OpDone {
             id,
             tag: t.tag,
             issued_at: t.issued_at,
             done_at: at,
+            status,
         });
     }
 }

@@ -18,8 +18,8 @@ mod fs;
 
 pub use alloc::{AllocConfig, Allocator, Inode, BLOCK_BYTES, BLOCK_SECTORS};
 pub use bcache::{BlockKey, BufferCache};
-pub use bio::BioLayer;
-pub use fs::{FileSystem, FsConfig, FsStats, OpDone, ReadId, SEQCOUNT_MAX};
+pub use bio::{BioLayer, BioStats, MAX_IO_RETRIES};
+pub use fs::{FileSystem, FsConfig, FsStats, IoStatus, OpDone, ReadId, SEQCOUNT_MAX};
 
 /// The classic per-descriptor sequentiality heuristic used for *local*
 /// reads (the NFS server replaces this with `nfsheur`, which is the paper's

@@ -51,6 +51,17 @@ pub trait IoScheduler {
     /// Adds a request to the queue.
     fn enqueue(&mut self, qr: QueuedRequest);
 
+    /// Re-queues a request whose dispatch failed downstream (a drive error
+    /// being retried by the bio layer). Defaults to a fresh [`enqueue`];
+    /// sweep-frozen schedulers override it to admit the retry into the
+    /// current sweep — it already waited its turn once and must not stand
+    /// a full sweep behind new arrivals.
+    ///
+    /// [`enqueue`]: IoScheduler::enqueue
+    fn requeue(&mut self, qr: QueuedRequest) {
+        self.enqueue(qr);
+    }
+
     /// Removes and returns the next request to send to the drive, given the
     /// head's most recent position.
     fn dispatch(&mut self, head: Lba) -> Option<QueuedRequest>;
@@ -166,6 +177,10 @@ impl AnyScheduler {
 impl IoScheduler for AnyScheduler {
     fn enqueue(&mut self, qr: QueuedRequest) {
         self.inner_mut().enqueue(qr);
+    }
+
+    fn requeue(&mut self, qr: QueuedRequest) {
+        self.inner_mut().requeue(qr);
     }
 
     fn dispatch(&mut self, head: Lba) -> Option<QueuedRequest> {

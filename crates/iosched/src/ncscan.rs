@@ -41,6 +41,13 @@ impl IoScheduler for NCscan {
         self.next.insert((qr.req.lba, qr.seq), qr);
     }
 
+    fn requeue(&mut self, qr: QueuedRequest) {
+        // An error retry already waited out one sweep; admitting it to the
+        // frozen sweep keeps retry latency bounded by a single pass instead
+        // of compounding a full rotation of the queue per attempt.
+        self.current.insert((qr.req.lba, qr.seq), qr);
+    }
+
     fn dispatch(&mut self, _head: Lba) -> Option<QueuedRequest> {
         if self.current.is_empty() {
             std::mem::swap(&mut self.current, &mut self.next);
@@ -120,6 +127,22 @@ mod tests {
             second.push(s.dispatch(0).unwrap().seq);
         }
         assert!(second.iter().all(|&x| x >= 100));
+    }
+
+    #[test]
+    fn requeue_joins_current_sweep() {
+        let mut s = NCscan::new();
+        s.enqueue(qr(100, 0));
+        s.enqueue(qr(9_000, 1));
+        let first = s.dispatch(0).unwrap(); // Freeze the sweep.
+        assert_eq!(first.req.lba, 100);
+        // The dispatched request errors and comes back; unlike a fresh
+        // arrival it goes ahead of the staged next sweep.
+        s.enqueue(qr(200, 2)); // fresh arrival → next sweep
+        s.requeue(qr(100, 3)); // retry → current sweep
+        assert_eq!(s.dispatch(0).unwrap().seq, 3);
+        assert_eq!(s.dispatch(0).unwrap().seq, 1);
+        assert_eq!(s.dispatch(0).unwrap().seq, 2);
     }
 
     #[test]

@@ -12,4 +12,4 @@ mod link;
 mod transport;
 
 pub use link::{Delivery, LinkProfile, LinkStats, OneWayLink, FRAME_HEADER_BYTES};
-pub use transport::{TcpStream, Transport, TransportKind, UdpChannel};
+pub use transport::{TcpStream, Transport, TransportKind, UdpChannel, TCP_MAX_FRAME_LOSS};

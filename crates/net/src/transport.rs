@@ -12,6 +12,19 @@ use simcore::{SimDuration, SimRng, SimTime};
 
 use crate::link::{Delivery, LinkProfile, LinkStats, OneWayLink};
 
+/// Highest frame-loss rate a [`Transport`]-wrapped TCP stream is meant to
+/// run at. [`TcpStream::send`] resolves link-level retransmission *inline*
+/// (it re-offers the segment to the link until one copy survives), so the
+/// expected number of resend draws per segment is `1 / (1 - loss)` per
+/// frame — fine at 15% loss, effectively unbounded at a near-blackout.
+/// Fault injectors capping TCP loss bursts (simtest's loss-burst arm)
+/// reference this constant; lifting the cap requires modelling TCP
+/// retransmission as timed events first (see the ROADMAP item on timed
+/// TCP retransmission). Enforced by `debug_assert!` in [`Transport::new`]
+/// and [`Transport::set_profile`]; raw [`TcpStream`]s stay unchecked so
+/// tests can still probe extreme loss directly.
+pub const TCP_MAX_FRAME_LOSS: f64 = 0.15;
+
 /// Which RPC transport a mount uses (`mount_nfs` defaults to UDP; `amd`
 /// defaults to TCP on FreeBSD — the trap in §5.4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -147,7 +160,15 @@ impl Transport {
     pub fn new(kind: TransportKind, profile: LinkProfile, rtt: SimDuration, rng: SimRng) -> Self {
         match kind {
             TransportKind::Udp => Transport::Udp(UdpChannel::new(profile, rng)),
-            TransportKind::Tcp => Transport::Tcp(TcpStream::new(profile, rtt, rng)),
+            TransportKind::Tcp => {
+                debug_assert!(
+                    profile.frame_loss <= TCP_MAX_FRAME_LOSS,
+                    "TCP frame loss {} exceeds TCP_MAX_FRAME_LOSS ({TCP_MAX_FRAME_LOSS}): \
+                     inline retransmission would spin (see ROADMAP: timed TCP retransmission)",
+                    profile.frame_loss
+                );
+                Transport::Tcp(TcpStream::new(profile, rtt, rng))
+            }
         }
     }
 
@@ -189,7 +210,15 @@ impl Transport {
     pub fn set_profile(&mut self, profile: LinkProfile) {
         match self {
             Transport::Udp(u) => u.set_profile(profile),
-            Transport::Tcp(t) => t.set_profile(profile),
+            Transport::Tcp(t) => {
+                debug_assert!(
+                    profile.frame_loss <= TCP_MAX_FRAME_LOSS,
+                    "TCP frame loss {} exceeds TCP_MAX_FRAME_LOSS ({TCP_MAX_FRAME_LOSS}): \
+                     inline retransmission would spin (see ROADMAP: timed TCP retransmission)",
+                    profile.frame_loss
+                );
+                t.set_profile(profile)
+            }
         }
     }
 }
@@ -269,6 +298,41 @@ mod tests {
         assert_eq!(u.kind(), TransportKind::Udp);
         assert_eq!(t.kind(), TransportKind::Tcp);
         assert!(matches!(u.send(SimTime::ZERO, 100), Delivery::At(_)));
+        assert!(matches!(t.send(SimTime::ZERO, 100), Delivery::At(_)));
+    }
+
+    #[test]
+    #[should_panic(expected = "TCP_MAX_FRAME_LOSS")]
+    #[cfg(debug_assertions)]
+    fn transport_tcp_rejects_blackout_loss() {
+        let blackout = LinkProfile {
+            frame_loss: 0.9,
+            ..LinkProfile::gigabit_lan()
+        };
+        let _ = Transport::new(
+            TransportKind::Tcp,
+            blackout,
+            SimDuration::from_micros(200),
+            SimRng::new(7),
+        );
+    }
+
+    #[test]
+    fn transport_tcp_accepts_loss_at_the_cap() {
+        let capped = LinkProfile {
+            frame_loss: TCP_MAX_FRAME_LOSS,
+            ..LinkProfile::gigabit_lan()
+        };
+        let mut t = Transport::new(
+            TransportKind::Tcp,
+            capped,
+            SimDuration::from_micros(200),
+            SimRng::new(8),
+        );
+        t.set_profile(LinkProfile {
+            frame_loss: TCP_MAX_FRAME_LOSS,
+            ..LinkProfile::gigabit_lan()
+        });
         assert!(matches!(t.send(SimTime::ZERO, 100), Delivery::At(_)));
     }
 

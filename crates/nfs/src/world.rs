@@ -73,6 +73,13 @@ pub enum OpOutcome {
         /// The transaction id that gave up.
         xid: u32,
     },
+    /// The server replied with `NFS3ERR_IO`: its disk failed the request
+    /// unrecoverably (the bio layer's retries and remap already ran). The
+    /// operation fails the way `read()` fails with `EIO`.
+    Eio {
+        /// The transaction id whose reply carried the error.
+        xid: u32,
+    },
 }
 
 impl OpOutcome {
@@ -142,6 +149,8 @@ pub struct ServerStats {
     pub heur_ejections: u64,
     /// Live `nfsheur` entries right now (a gauge).
     pub heur_occupancy: u64,
+    /// Replies sent with `NFS3ERR_IO` because the disk failed the request.
+    pub disk_eios: u64,
 }
 
 impl ServerStats {
@@ -179,6 +188,8 @@ pub struct ClientStats {
     pub replies_received: u64,
     /// Replies for RPCs already retired (a retransmission's extra reply).
     pub duplicate_replies: u64,
+    /// Replies that carried `NFS3ERR_IO` and failed the waiting operation.
+    pub eio_replies: u64,
 }
 
 /// Per-client contention at the shared server, attributable by client id.
@@ -203,6 +214,10 @@ pub struct ContentionStats {
     /// Duplicate calls from this client dropped by the server's
     /// duplicate-request cache while the original was in service.
     pub duplicate_cache_hits: u64,
+    /// `NFS3ERR_IO` replies this client received — disk faults are a
+    /// shared-server phenomenon too: one client's remap storm is another
+    /// client's latency, so the books attribute every EIO to its victim.
+    pub disk_eios_suffered: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -211,8 +226,8 @@ enum Ev {
     Send { key: u64 },
     /// Call delivered to the server.
     CallArrive { key: u64 },
-    /// Reply delivered to the client.
-    ReplyArrive { key: u64 },
+    /// Reply delivered to the client; `eio` marks an `NFS3ERR_IO` reply.
+    ReplyArrive { key: u64, eio: bool },
     /// UDP retransmission check.
     Retransmit { key: u64, attempt: u32 },
 }
@@ -243,6 +258,8 @@ struct OpState {
     outstanding_blocks: usize,
     /// Set when an RPC this op depended on timed out (holds the xid).
     timed_out: Option<u32>,
+    /// Set when a reply this op depended on carried `NFS3ERR_IO`.
+    eio: Option<u32>,
 }
 
 /// One client host: its mount state, caches, daemons, links, and RNG.
@@ -520,6 +537,34 @@ impl NfsWorld {
         &self.server.heur
     }
 
+    /// Installs (or clears, with `None`) a fault model on the server's
+    /// drive. Fault kinds and plans live outside this crate — anything
+    /// implementing [`diskmodel::FaultModel`] plugs in here.
+    pub fn set_disk_fault_model(&mut self, model: Option<Box<dyn diskmodel::FaultModel>>) {
+        self.server.fs.bio_mut().disk_mut().set_fault_model(model);
+    }
+
+    /// Whether a disk fault model is currently installed on the server.
+    pub fn disk_fault_active(&self) -> bool {
+        self.server.fs.bio().disk().fault_model_active()
+    }
+
+    /// Block-I/O retry / error-propagation counters for the server's disk.
+    pub fn bio_stats(&self) -> ffs::BioStats {
+        self.server.fs.bio().stats()
+    }
+
+    /// Raw drive counters (service-time breakdown, media errors, remaps).
+    pub fn disk_stats(&self) -> diskmodel::DiskStats {
+        self.server.fs.bio().disk().stats()
+    }
+
+    /// The LBA span holding everything allocated on the server's file
+    /// system — the region fault plans should target.
+    pub fn allocated_span(&self) -> (diskmodel::Lba, u64) {
+        self.server.fs.allocated_span()
+    }
+
     /// Drops every data cache — client blocks on every host, server buffer
     /// cache, drive segments — the §4.3.1 discipline between benchmark
     /// runs. Heuristic state survives (the real server is not rebooted
@@ -787,6 +832,7 @@ impl NfsWorld {
                 issued_at: now,
                 outstanding_blocks: outstanding,
                 timed_out: None,
+                eio: None,
             },
         );
         if outstanding == 0 {
@@ -842,6 +888,7 @@ impl NfsWorld {
                 issued_at: now,
                 outstanding_blocks: 1,
                 timed_out: None,
+                eio: None,
             },
         );
         let send_at = now + self.clients[client].marshal_delay(cpu);
@@ -890,6 +937,7 @@ impl NfsWorld {
                 issued_at: now,
                 outstanding_blocks: 1,
                 timed_out: None,
+                eio: None,
             },
         );
         let send_at = now + self.clients[client].marshal_delay(cpu);
@@ -934,7 +982,7 @@ impl NfsWorld {
             if fnext.is_some_and(|f| qnext.is_none_or(|q| f <= q)) {
                 let fs_done = self.server.fs.advance(fnext.expect("checked"));
                 for d in fs_done {
-                    self.server_fs_done(d.tag, d.done_at);
+                    self.server_fs_done(d.tag, d.done_at, !d.status.is_ok());
                 }
             } else {
                 let (at, ev) = self.queue.pop().expect("peeked");
@@ -1006,7 +1054,7 @@ impl NfsWorld {
         match ev {
             Ev::Send { key } => self.do_send(at, key),
             Ev::CallArrive { key } => self.server_call_arrive(at, key),
-            Ev::ReplyArrive { key } => self.client_reply_arrive(at, key),
+            Ev::ReplyArrive { key, eio } => self.client_reply_arrive(at, key, eio),
             Ev::Retransmit { key, attempt } => self.check_retransmit(at, key, attempt),
         }
     }
@@ -1102,7 +1150,7 @@ impl NfsWorld {
         }
     }
 
-    fn client_reply_arrive(&mut self, at: SimTime, key: u64) {
+    fn client_reply_arrive(&mut self, at: SimTime, key: u64, eio: bool) {
         let client = key_client(key);
         let xid = key_xid(key);
         let cpu = self.cpu;
@@ -1118,11 +1166,19 @@ impl NfsWorld {
             return;
         }
         cl.stats.replies_received += 1;
+        if eio {
+            cl.stats.eio_replies += 1;
+        }
         let Rpc { call, encoded, .. } = cl.rpcs.remove(&xid).expect("just observed");
         cl.recycle_buf(encoded);
         if let Some(id) = cl.rpc_waiters.remove(&xid) {
             // A non-READ operation (or a directly-awaited RPC) completes.
             let done = at + SimDuration::from_secs_f64(cpu.client_complete);
+            if eio {
+                if let Some(op) = self.ops.get_mut(&id) {
+                    op.eio = Some(xid);
+                }
+            }
             self.finish_op(id, done);
             return;
         }
@@ -1132,6 +1188,32 @@ impl NfsWorld {
         let rsize = u64::from(self.config.rsize);
         let first = offset / rsize;
         let last = (offset + u64::from(count) - 1) / rsize;
+        if eio {
+            // No data came back. Release the pending marks (a later read
+            // may retry the range, which succeeds once the server's disk
+            // remapped it) and fail every waiting operation, mirroring the
+            // RPC-timeout path.
+            let done = at + SimDuration::from_secs_f64(cpu.client_complete);
+            for blk in first..=last {
+                let bkey = (fh.ino, blk);
+                let cl = &mut self.clients[client];
+                cl.cache.discard(bkey);
+                let Some(waiting) = cl.op_waiters.remove(&bkey) else {
+                    continue;
+                };
+                for id in waiting {
+                    let Some(op) = self.ops.get_mut(&id) else {
+                        continue;
+                    };
+                    op.eio = Some(xid);
+                    op.outstanding_blocks = op.outstanding_blocks.saturating_sub(1);
+                    if op.outstanding_blocks == 0 {
+                        self.finish_op(id, done);
+                    }
+                }
+            }
+            return;
+        }
         let wake_jitter = if cl.cfg.busy_loops > 0 {
             SimDuration::from_secs_f64(cl.rng.uniform01() * 60e-6 * f64::from(cl.cfg.busy_loops))
         } else {
@@ -1159,9 +1241,12 @@ impl NfsWorld {
 
     fn finish_op(&mut self, id: OpId, done_at: SimTime) {
         let op = self.ops.remove(&id).expect("op completed twice");
-        let outcome = match op.timed_out {
-            Some(xid) => OpOutcome::RpcTimedOut { xid },
-            None => OpOutcome::Ok,
+        // A timeout outranks an EIO: if any dependency hung past its
+        // retries the process saw ETIMEDOUT first.
+        let outcome = match (op.timed_out, op.eio) {
+            (Some(xid), _) => OpOutcome::RpcTimedOut { xid },
+            (None, Some(xid)) => OpOutcome::Eio { xid },
+            (None, None) => OpOutcome::Ok,
         };
         self.ready.push(OpDone {
             id,
@@ -1256,12 +1341,12 @@ impl NfsWorld {
             }
             NfsCall::Getattr { .. } | NfsCall::Lookup { .. } => {
                 // Metadata served from in-core state: reply immediately.
-                self.server_fs_done(key, t1);
+                self.server_fs_done(key, t1, false);
             }
         }
     }
 
-    fn server_fs_done(&mut self, key: u64, at: SimTime) {
+    fn server_fs_done(&mut self, key: u64, at: SimTime, eio: bool) {
         let client = key_client(key);
         let xid = key_xid(key);
         let t = self.server.cpu_free.max(at) + SimDuration::from_secs_f64(self.cpu.server_reply);
@@ -1269,16 +1354,26 @@ impl NfsWorld {
         let cl = &self.clients[client];
         let reply = match cl.rpcs.get(&xid).map(|r| &r.call) {
             Some(NfsCall::Read { fh, offset, count }) => {
-                let size = cl.files.get(&fh.ino).map_or(0, |f| f.size);
-                NfsReply::Read {
-                    status: NfsStatus::Ok,
-                    count: *count,
-                    eof: offset + u64::from(*count) >= size,
+                if eio {
+                    // The disk failed the request unrecoverably: an error
+                    // reply carries no data.
+                    NfsReply::Read {
+                        status: NfsStatus::Io,
+                        count: 0,
+                        eof: false,
+                    }
+                } else {
+                    let size = cl.files.get(&fh.ino).map_or(0, |f| f.size);
+                    NfsReply::Read {
+                        status: NfsStatus::Ok,
+                        count: *count,
+                        eof: offset + u64::from(*count) >= size,
+                    }
                 }
             }
             Some(NfsCall::Write { count, .. }) => NfsReply::Write {
-                status: NfsStatus::Ok,
-                count: *count,
+                status: if eio { NfsStatus::Io } else { NfsStatus::Ok },
+                count: if eio { 0 } else { *count },
             },
             Some(NfsCall::Getattr { fh }) => NfsReply::Getattr {
                 status: NfsStatus::Ok,
@@ -1302,6 +1397,10 @@ impl NfsWorld {
             }
         };
         self.server.stats.replies += 1;
+        if eio {
+            self.server.stats.disk_eios += 1;
+            self.contention[client].disk_eios_suffered += 1;
+        }
         // Exercise the codec: encode the reply as it would go on the wire,
         // into a scratch buffer reused across all replies.
         let scratch = std::mem::take(&mut self.server.reply_scratch);
@@ -1314,7 +1413,9 @@ impl NfsWorld {
             self.server.sabotage_drop_replies -= 1;
         } else {
             match self.clients[client].s2c.send(t, reply.wire_bytes()) {
-                Delivery::At(arrive) => self.queue.schedule_at(arrive, Ev::ReplyArrive { key }),
+                Delivery::At(arrive) => {
+                    self.queue.schedule_at(arrive, Ev::ReplyArrive { key, eio })
+                }
                 Delivery::Lost => {} // Client will retransmit the call.
             }
         }
@@ -2031,5 +2132,115 @@ mod tests {
             .sum();
         assert!(s.duplicates_dropped > 0, "{s:?}");
         assert_eq!(attributed, s.duplicates_dropped);
+    }
+
+    /// Fails the first N disk commands with a scripted decision, then
+    /// answers `Ok` forever. Decisions are consumed at dispatch.
+    #[derive(Debug)]
+    struct ScriptedFault(std::collections::VecDeque<diskmodel::FaultDecision>);
+
+    impl diskmodel::FaultModel for ScriptedFault {
+        fn decide(
+            &mut self,
+            _now: SimTime,
+            _req: &diskmodel::DiskRequest,
+        ) -> diskmodel::FaultDecision {
+            self.0.pop_front().unwrap_or(diskmodel::FaultDecision::Ok)
+        }
+    }
+
+    fn scripted_fail(kind: diskmodel::DiskErrorKind) -> Box<ScriptedFault> {
+        Box::new(ScriptedFault(
+            [diskmodel::FaultDecision::Fail {
+                kind,
+                stall: SimDuration::from_millis(30),
+            }]
+            .into(),
+        ))
+    }
+
+    /// Issues one 8 KB read and drives the world until it completes.
+    fn drive_one(w: &mut NfsWorld, now: SimTime, fh: FileHandle, offset: u64) -> OpDone {
+        let id = w.read(now, fh, offset, 8_192, 0);
+        loop {
+            let t = w.next_event().expect("pending read must progress");
+            for d in w.advance(t) {
+                if d.id == id {
+                    return d;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hard_media_error_surfaces_as_eio_then_remap_recovers() {
+        let cfg = WorldConfig {
+            client_readahead_blocks: 0,
+            ..WorldConfig::default()
+        };
+        let mut w = make_world(cfg, 9);
+        let fh = w.create_file(256 * 1024);
+        w.set_disk_fault_model(Some(scripted_fail(diskmodel::DiskErrorKind::HardMedia)));
+        assert!(w.disk_fault_active());
+        let d = drive_one(&mut w, SimTime::ZERO, fh, 0);
+        assert!(
+            matches!(d.outcome, OpOutcome::Eio { .. }),
+            "hard media error must surface as EIO: {:?}",
+            d.outcome
+        );
+        let s = w.server_stats();
+        assert_eq!(s.disk_eios, 1);
+        assert_eq!(w.client_stats().eio_replies, 1);
+        assert_eq!(w.contention_stats(0).disk_eios_suffered, 1);
+        let bio = w.bio_stats();
+        assert_eq!(bio.hard_errors, 1, "{bio:?}");
+        assert_eq!(bio.eio, 1, "{bio:?}");
+        assert!(w.disk_stats().remapped_sectors > 0);
+        // The drive remapped the bad range and both caches dropped the
+        // poisoned block, so the same read now succeeds end to end.
+        let d2 = drive_one(&mut w, d.done_at, fh, 0);
+        assert!(d2.outcome.is_ok(), "after remap: {:?}", d2.outcome);
+        assert_eq!(w.server_stats().disk_eios, 1, "no further EIOs");
+    }
+
+    #[test]
+    fn transient_media_error_is_retried_below_nfs() {
+        let cfg = WorldConfig {
+            client_readahead_blocks: 0,
+            ..WorldConfig::default()
+        };
+        let mut w = make_world(cfg, 10);
+        let fh = w.create_file(256 * 1024);
+        w.set_disk_fault_model(Some(scripted_fail(
+            diskmodel::DiskErrorKind::TransientMedia,
+        )));
+        let d = drive_one(&mut w, SimTime::ZERO, fh, 0);
+        assert!(
+            d.outcome.is_ok(),
+            "one transient error recovers: {:?}",
+            d.outcome
+        );
+        let bio = w.bio_stats();
+        assert_eq!(bio.retries, 1, "{bio:?}");
+        assert_eq!(bio.recovered, 1, "{bio:?}");
+        assert_eq!(w.server_stats().disk_eios, 0, "retry is invisible to NFS");
+        assert_eq!(w.client_stats().eio_replies, 0);
+    }
+
+    #[test]
+    fn empty_fault_model_changes_nothing() {
+        // Installing a fault model that never fires must leave the world
+        // bit-identical to one without it: `decide` is consulted on the
+        // same schedule but draws nothing.
+        let run = |faulty: bool| {
+            let mut w = make_world(WorldConfig::default(), 11);
+            if faulty {
+                w.set_disk_fault_model(Some(Box::new(ScriptedFault(Default::default()))));
+            }
+            let fh = w.create_file(1024 * 1024);
+            let mbs = sequential_read(&mut w, fh, 1024 * 1024);
+            (mbs.to_bits(), format!("{:?}", w.client_stats()))
+        };
+        assert_eq!(run(false), run(true));
     }
 }

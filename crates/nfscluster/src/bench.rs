@@ -104,6 +104,7 @@ fn diff_client(after: ClientStats, before: ClientStats) -> ClientStats {
         transmissions: after.transmissions - before.transmissions,
         replies_received: after.replies_received - before.replies_received,
         duplicate_replies: after.duplicate_replies - before.duplicate_replies,
+        eio_replies: after.eio_replies - before.eio_replies,
     }
 }
 
@@ -115,6 +116,7 @@ fn diff_contention(after: ContentionStats, before: ContentionStats) -> Contentio
         cross_client_probe_collisions: after.cross_client_probe_collisions
             - before.cross_client_probe_collisions,
         duplicate_cache_hits: after.duplicate_cache_hits - before.duplicate_cache_hits,
+        disk_eios_suffered: after.disk_eios_suffered - before.disk_eios_suffered,
     }
 }
 
@@ -130,6 +132,7 @@ fn diff_server(after: ServerStats, before: ServerStats) -> ServerStats {
         heur_hits: after.heur_hits - before.heur_hits,
         heur_misses: after.heur_misses - before.heur_misses,
         heur_ejections: after.heur_ejections - before.heur_ejections,
+        disk_eios: after.disk_eios - before.disk_eios,
         // A gauge, not a counter: report the end-of-run value.
         heur_occupancy: after.heur_occupancy,
     }

@@ -4,13 +4,15 @@
 //! randomized multi-process workload (readers, writers, getattr pollers)
 //! over [`NfsWorld`], injects faults mid-run — frame-loss bursts, link
 //! degradation, server stalls, `nfsd`/`nfsiod` pool resizing, total
-//! zero-`nfsd` outages, forced cache flushes — and checks invariant
-//! *oracles* after every event batch:
+//! zero-`nfsd` outages, forced cache flushes, and (with `--disk-faults`)
+//! server disk faults: latent sector errors, a stuck TCQ tag, firmware
+//! stall windows, fail-slow regions — and checks invariant *oracles*
+//! after every event batch:
 //!
 //! - **monotone time**: simulated time never runs backwards, and no
 //!   operation completes before it was issued;
 //! - **op accounting**: every issued [`OpId`] completes exactly once, with
-//!   its own tag, as `Ok` or a typed `RpcTimedOut`;
+//!   its own tag, as `Ok` or a typed `RpcTimedOut` / `Eio`;
 //! - **no stuck operations**: quiescence (no pending events) with
 //!   operations still outstanding is a failure, reported with the hung
 //!   xids;
@@ -22,8 +24,14 @@
 //!   replies;
 //! - **restore composition**: after a fault batch is reverted — including
 //!   an *overlapping* batch where two fault kinds were active at once —
-//!   every host's link profile and both daemon pools are back at their
-//!   baseline values;
+//!   every host's link profile, both daemon pools, and the drive's fault
+//!   model are back at their baseline values;
+//! - **restore baseline**: across any batch without an installed disk
+//!   fault model the drive produces zero new error completions;
+//! - **disk books**: bio error completions reconcile exactly with retries
+//!   plus propagated `EIO`s, every `EIO` is a hard error or an exhausted
+//!   transient, no request exceeds the retry cap, and every server `EIO`
+//!   is attributed to a specific client;
 //! - **determinism**: the same seed reproduces the bit-exact same run
 //!   fingerprint.
 //!
@@ -35,11 +43,13 @@
 //!
 //! Every failure message carries a one-line reproduction command:
 //! `SIMTEST_SEED=<n> cargo run -p simtest -- --seed <n>` (plus
-//! `--clients N` / `--overlap` when those modes were active).
+//! `--clients N` / `--overlap` / `--disk-faults` when those modes were
+//! active).
 
 use std::collections::{BTreeMap, HashSet};
 use std::fmt;
 
+use diskfault::{FaultPlan, FaultState};
 use netsim::{LinkProfile, LinkStats, TransportKind};
 use nfsproto::FileHandle;
 use nfssim::{BlockState, ClientHostConfig, ClientStats, NfsWorld, OpId, OpOutcome, WorldConfig};
@@ -50,6 +60,11 @@ use testbed::Rig;
 /// [`FaultKind`], shuffled by seed) interleaved with clean batches, plus a
 /// clean tail to observe recovery.
 pub const DEFAULT_BATCHES: usize = 16;
+
+/// Batches per run when disk faults join the schedule: eleven fault
+/// batches (seven classic kinds + four disk kinds) interleaved with clean
+/// batches, plus a clean tail.
+pub const DISK_BATCHES: usize = 24;
 
 /// Event budget per run; exhausting it fails the bounded-progress oracle.
 const STEP_BUDGET: u64 = 5_000_000;
@@ -80,10 +95,25 @@ pub enum FaultKind {
     NfsiodResize,
     /// Every data cache is dropped mid-run (§4.3.1 flush discipline).
     CacheFlush,
+    /// Latent sector errors appear under live server data: transient
+    /// clusters cost bounded bio retries, hard clusters surface one `EIO`
+    /// and are remapped to spares.
+    SectorErrors,
+    /// One TCQ tag on the server's drive goes bad: every Nth command
+    /// stalls for tens of milliseconds.
+    StuckTag,
+    /// Drive firmware stalls (GC / thermal recal): commands starting
+    /// inside a window are held until it closes.
+    FirmwareStall,
+    /// A fail-slow region: transfers touching it pay a per-sector penalty
+    /// but still succeed — the degraded-but-not-dead drive.
+    FailSlow,
 }
 
 impl FaultKind {
-    /// All fault kinds, in declaration order.
+    /// The classic (non-disk) fault kinds, in declaration order. The
+    /// pinned fingerprints shuffle exactly this array, so disk kinds live
+    /// in [`FaultKind::DISK`] and only join the schedule on request.
     pub const ALL: [FaultKind; 7] = [
         FaultKind::LossBurst,
         FaultKind::LinkDegrade,
@@ -92,6 +122,14 @@ impl FaultKind {
         FaultKind::NfsdOutage,
         FaultKind::NfsiodResize,
         FaultKind::CacheFlush,
+    ];
+
+    /// The disk fault kinds (scheduled only with `--disk-faults`).
+    pub const DISK: [FaultKind; 4] = [
+        FaultKind::SectorErrors,
+        FaultKind::StuckTag,
+        FaultKind::FirmwareStall,
+        FaultKind::FailSlow,
     ];
 
     /// Short kebab-case name for reports.
@@ -104,6 +142,10 @@ impl FaultKind {
             FaultKind::NfsdOutage => "nfsd-outage",
             FaultKind::NfsiodResize => "nfsiod-resize",
             FaultKind::CacheFlush => "cache-flush",
+            FaultKind::SectorErrors => "sector-errors",
+            FaultKind::StuckTag => "stuck-tag",
+            FaultKind::FirmwareStall => "firmware-stall",
+            FaultKind::FailSlow => "fail-slow",
         }
     }
 }
@@ -122,6 +164,8 @@ pub struct SimPlan {
     pub faults: Vec<(usize, FaultKind)>,
     /// Whether the schedule packs fault *pairs* into shared batches.
     pub overlap: bool,
+    /// Whether [`FaultKind::DISK`] kinds were shuffled into the schedule.
+    pub disk_faults: bool,
 }
 
 /// Knobs that are not part of the seed-derived plan.
@@ -132,6 +176,9 @@ pub struct RunOptions {
     pub sabotage_replies: u32,
     /// Client hosts in the cluster under test (1 = the classic world).
     pub clients: usize,
+    /// Shuffle the [`FaultKind::DISK`] kinds into the fault schedule
+    /// (lengthening the run to [`DISK_BATCHES`]).
+    pub disk_faults: bool,
 }
 
 impl Default for RunOptions {
@@ -139,6 +186,7 @@ impl Default for RunOptions {
         RunOptions {
             sabotage_replies: 0,
             clients: 1,
+            disk_faults: false,
         }
     }
 }
@@ -156,6 +204,12 @@ pub struct RunReport {
     pub ok_ops: u64,
     /// Operations that failed with `RpcTimedOut`.
     pub timed_out_ops: u64,
+    /// Operations that failed with `Eio` (server disk gave up).
+    pub eio_ops: u64,
+    /// Disk requests the bio layer retried after a transient error.
+    pub disk_retries: u64,
+    /// `EIO`s the server returned after bio-layer recovery gave up.
+    pub disk_eios: u64,
     /// Client RPC retransmissions.
     pub retransmits: u64,
     /// RPCs abandoned after the retry cap.
@@ -166,6 +220,8 @@ pub struct RunReport {
     pub clients: usize,
     /// Whether faults were injected in overlapping pairs.
     pub overlap: bool,
+    /// Whether disk fault kinds were in the schedule.
+    pub disk_faults: bool,
     /// Order-sensitive hash of every completion and the final counters;
     /// equal across runs of the same seed iff the world is deterministic.
     pub fingerprint: u64,
@@ -186,6 +242,8 @@ pub struct OracleFailure {
     pub clients: usize,
     /// Whether the failing run used overlapping fault pairs.
     pub overlap: bool,
+    /// Whether the failing run scheduled disk fault kinds.
+    pub disk_faults: bool,
 }
 
 impl fmt::Display for OracleFailure {
@@ -200,6 +258,9 @@ impl fmt::Display for OracleFailure {
         }
         if self.overlap {
             write!(f, " --overlap")?;
+        }
+        if self.disk_faults {
+            write!(f, " --disk-faults")?;
         }
         Ok(())
     }
@@ -222,6 +283,14 @@ pub fn plan(seed: u64, batches: usize) -> SimPlan {
 /// Transport choice and the kind shuffle draw the same RNG stream either
 /// way, so the two modes explore the same per-seed fault orderings.
 pub fn plan_with(seed: u64, batches: usize, overlap: bool) -> SimPlan {
+    plan_full(seed, batches, overlap, false)
+}
+
+/// [`plan_with`] plus disk faults: with `disk_faults` true the
+/// [`FaultKind::DISK`] kinds join the shuffle (pass [`DISK_BATCHES`] so
+/// all eleven kinds land). The disk-free plan draws the identical RNG
+/// stream as before disk faults existed, so pinned fingerprints hold.
+pub fn plan_full(seed: u64, batches: usize, overlap: bool, disk_faults: bool) -> SimPlan {
     let mut rng = SimRng::from_seed_and_stream(seed, 0x53_49_4D_54_45_53_54); // "SIMTEST"
     let transport = if rng.gen_range(0u32..4) == 3 {
         TransportKind::Tcp
@@ -229,8 +298,12 @@ pub fn plan_with(seed: u64, batches: usize, overlap: bool) -> SimPlan {
         TransportKind::Udp
     };
     let mut kinds = FaultKind::ALL.to_vec();
+    if disk_faults {
+        kinds.extend(FaultKind::DISK);
+    }
     rng.shuffle(&mut kinds);
-    // With the default 16 batches every run exercises all seven kinds.
+    // With the default 16 batches every run exercises all seven classic
+    // kinds (24 fit all eleven when disk kinds are in).
     let faults = kinds
         .into_iter()
         .enumerate()
@@ -246,6 +319,7 @@ pub fn plan_with(seed: u64, batches: usize, overlap: bool) -> SimPlan {
         transport,
         faults,
         overlap,
+        disk_faults,
     }
 }
 
@@ -266,7 +340,12 @@ pub fn run_seed_checked_with(
     opts: RunOptions,
     overlap: bool,
 ) -> Result<RunReport, OracleFailure> {
-    let p = plan_with(seed, DEFAULT_BATCHES, overlap);
+    let batches = if opts.disk_faults {
+        DISK_BATCHES
+    } else {
+        DEFAULT_BATCHES
+    };
+    let p = plan_full(seed, batches, overlap, opts.disk_faults);
     let first = run_plan(&p, opts)?;
     let second = run_plan(&p, opts)?;
     if first != second {
@@ -279,6 +358,7 @@ pub fn run_seed_checked_with(
             ),
             clients: opts.clients,
             overlap,
+            disk_faults: opts.disk_faults,
         });
     }
     Ok(first)
@@ -297,6 +377,10 @@ fn mix(fp: &mut u64, v: u64) {
     }
 }
 
+/// Applies one classic (non-disk) fault to the world. Disk kinds go
+/// through [`disk_fault_plan`] instead: they build [`FaultPlan`] fragments
+/// the caller merges, because several disk kinds in one overlap batch
+/// share a single installed model.
 fn apply_fault(
     w: &mut NfsWorld,
     kind: FaultKind,
@@ -308,8 +392,9 @@ fn apply_fault(
     match kind {
         FaultKind::LossBurst => {
             // A full blackout would spin TCP's internal retransmission
-            // loop forever, so cap loss there; UDP gets real blackouts
-            // half the time, which force RPC timeouts.
+            // loop forever, so cap loss at the transport's documented
+            // ceiling there; UDP gets real blackouts half the time, which
+            // force RPC timeouts.
             let loss = match transport {
                 TransportKind::Udp => {
                     if rng.chance(0.5) {
@@ -318,7 +403,7 @@ fn apply_fault(
                         0.3
                     }
                 }
-                TransportKind::Tcp => 0.15,
+                TransportKind::Tcp => netsim::TCP_MAX_FRAME_LOSS,
             };
             w.set_link_profile(LinkProfile {
                 frame_loss: loss,
@@ -354,6 +439,50 @@ fn apply_fault(
         FaultKind::CacheFlush => {
             w.flush_all_caches();
         }
+        FaultKind::SectorErrors
+        | FaultKind::StuckTag
+        | FaultKind::FirmwareStall
+        | FaultKind::FailSlow => {
+            unreachable!("disk kinds build their plans via disk_fault_plan")
+        }
+    }
+}
+
+/// Builds the seeded [`FaultPlan`] fragment for one disk fault kind. All
+/// randomness is drawn here, so the installed [`FaultState`] is draw-free
+/// and a faulted run is schedule-independent. Sector errors are aimed at
+/// the blocks a seed-chosen file is currently reading (a defect nobody
+/// reads proves nothing), and drop the data caches so the batch's
+/// in-flight reads reach the platter instead of the buffer cache.
+fn disk_fault_plan(
+    w: &mut NfsWorld,
+    kind: FaultKind,
+    rng: &mut SimRng,
+    fhs: &[Vec<FileHandle>],
+    cursors: &[[u64; FILES]],
+) -> FaultPlan {
+    match kind {
+        FaultKind::SectorErrors => {
+            w.flush_all_caches();
+            let cl = rng.gen_range(0..fhs.len());
+            let f = rng.gen_range(0..FILES);
+            // Anchor the defect neighbourhood at the chosen file's cursor:
+            // the faults are installed before the batch issues, and 70% of
+            // its reads continue from exactly there.
+            let blk = cursors[cl][f].min(FILE_BLOCKS - 1);
+            let (start, sectors) = match w.fs().inode(fhs[cl][f].ino) {
+                Some(ino) => (ino.lba_of(blk), 16 * ffs::BLOCK_SECTORS),
+                None => w.allocated_span(),
+            };
+            FaultPlan::seeded_sector_errors(rng, start, sectors)
+        }
+        FaultKind::StuckTag => FaultPlan::seeded_stuck_tag(rng),
+        FaultKind::FirmwareStall => FaultPlan::seeded_firmware_stall(rng, w.now()),
+        FaultKind::FailSlow => {
+            let (start, sectors) = w.allocated_span();
+            FaultPlan::seeded_fail_slow(rng, start, sectors)
+        }
+        other => unreachable!("{other:?} is not a disk fault kind"),
     }
 }
 
@@ -393,12 +522,14 @@ pub fn run_plan(plan: &SimPlan, opts: RunOptions) -> Result<RunReport, OracleFai
     let seed = plan.seed;
     let clients = opts.clients.max(1);
     let overlap = plan.overlap;
+    let disk_faults = plan.disk_faults;
     let fail = move |oracle: &'static str, detail: String| OracleFailure {
         seed,
         oracle,
         detail,
         clients,
         overlap,
+        disk_faults,
     };
 
     let base = WorldConfig {
@@ -423,12 +554,16 @@ pub fn run_plan(plan: &SimPlan, opts: RunOptions) -> Result<RunReport, OracleFai
     let mut predicted_demand = 0u64;
     let mut ok_ops = 0u64;
     let mut timed_out_ops = 0u64;
+    let mut eio_ops = 0u64;
     let mut next_tag = 0u64;
     let mut fp = 0xcbf2_9ce4_8422_2325u64;
     let mut last_now = SimTime::ZERO;
     let mut steps = 0u64;
     let mut fault_active = false;
     let mut fault_log = Vec::new();
+    // Disk error completions seen at the last batch boundary where no
+    // fault model was installed — the restore-baseline oracle's watermark.
+    let mut clean_watch: Option<u64> = None;
 
     for batch in 0..plan.batches {
         // Revert the previous batch's fault(s): restore the baseline link
@@ -439,6 +574,7 @@ pub fn run_plan(plan: &SimPlan, opts: RunOptions) -> Result<RunReport, OracleFai
             w.set_link_profile(base.link);
             w.set_nfsds(now, base.nfsds);
             w.set_nfsiods(base.nfsiods);
+            w.set_disk_fault_model(None);
             fault_active = false;
 
             // Restore-composition oracle: every host back at baseline.
@@ -474,6 +610,37 @@ pub fn run_plan(plan: &SimPlan, opts: RunOptions) -> Result<RunReport, OracleFai
                     ),
                 ));
             }
+            if w.disk_fault_active() {
+                return Err(fail(
+                    "restore-composition",
+                    format!("batch {batch}: disk fault model still installed after revert"),
+                ));
+            }
+        }
+
+        // Install this batch's disk fault (if any) *before* issuing: a
+        // media defect is only observable under reads that reach the
+        // platter, so the cache flush and fault plan land first and the
+        // batch's demand misses read straight through them. An overlap
+        // batch may carry two disk kinds, merged into the one model the
+        // drive runs.
+        let mut disk_plan: Option<FaultPlan> = None;
+        for &(b, kind) in &plan.faults {
+            if b == batch && FaultKind::DISK.contains(&kind) {
+                let frag = disk_fault_plan(&mut w, kind, &mut rng, &fhs, &cursors);
+                disk_plan = Some(match disk_plan.take() {
+                    Some(mut acc) => {
+                        acc.merge(frag);
+                        acc
+                    }
+                    None => frag,
+                });
+                fault_active = true;
+                fault_log.push(kind);
+            }
+        }
+        if let Some(p) = disk_plan {
+            w.set_disk_fault_model(Some(Box::new(FaultState::new(p))));
         }
 
         // Issue this batch's operations, predicting which blocks must be
@@ -519,10 +686,11 @@ pub fn run_plan(plan: &SimPlan, opts: RunOptions) -> Result<RunReport, OracleFai
             issued.insert(id, IssueRec { tag, at: now });
         }
 
-        // Inject this batch's fault while those operations are in flight.
+        // Inject this batch's classic fault(s) while those operations are
+        // in flight.
         let mut outage_pending = false;
         for &(b, kind) in &plan.faults {
-            if b == batch {
+            if b == batch && !FaultKind::DISK.contains(&kind) {
                 apply_fault(&mut w, kind, &mut rng, plan.transport, &base);
                 fault_active = true;
                 // `|=`: under overlap scheduling a second fault in the same
@@ -601,6 +769,10 @@ pub fn run_plan(plan: &SimPlan, opts: RunOptions) -> Result<RunReport, OracleFai
                             timed_out_ops += 1;
                             u64::from(xid) << 1 | 1
                         }
+                        OpOutcome::Eio { xid } => {
+                            eio_ops += 1;
+                            u64::from(xid) << 2 | 2
+                        }
                     };
                     mix(&mut fp, d.id.0);
                     mix(&mut fp, d.tag);
@@ -626,6 +798,28 @@ pub fn run_plan(plan: &SimPlan, opts: RunOptions) -> Result<RunReport, OracleFai
                     w.outstanding_xids()
                 ),
             ));
+        }
+
+        // Restore-baseline oracle: a drive whose fault model was removed
+        // (or never installed) must produce no new disk error completions
+        // across a whole batch — reverting a disk fault really returns
+        // the disk to its healthy baseline.
+        let errs = w.bio_stats().error_completions;
+        if w.disk_fault_active() {
+            clean_watch = None;
+        } else {
+            if let Some(mark) = clean_watch {
+                if errs != mark {
+                    return Err(fail(
+                        "restore-baseline",
+                        format!(
+                            "batch {batch}: {} disk error completions on a healthy drive",
+                            errs - mark
+                        ),
+                    ));
+                }
+            }
+            clean_watch = Some(errs);
         }
     }
 
@@ -752,6 +946,62 @@ pub fn run_plan(plan: &SimPlan, opts: RunOptions) -> Result<RunReport, OracleFai
         ));
     }
 
+    // Disk error books: every error completion was either retried below
+    // NFS or surfaced as exactly one EIO; every EIO was a hard error or a
+    // transient that exhausted its retries; retries stayed within the bio
+    // layer's cap; no retry is still parked after quiescence.
+    let bio = w.bio_stats();
+    if bio.error_completions != bio.retries + bio.eio {
+        return Err(fail(
+            "disk-books",
+            format!(
+                "error completions {} != retries {} + EIOs {}",
+                bio.error_completions, bio.retries, bio.eio
+            ),
+        ));
+    }
+    if bio.eio != bio.hard_errors + bio.transient_exhausted {
+        return Err(fail(
+            "disk-books",
+            format!(
+                "EIOs {} != hard errors {} + exhausted transients {}",
+                bio.eio, bio.hard_errors, bio.transient_exhausted
+            ),
+        ));
+    }
+    if bio.max_attempts > ffs::MAX_IO_RETRIES {
+        return Err(fail(
+            "bounded-retries",
+            format!(
+                "a request was attempted {} times, cap is {}",
+                bio.max_attempts,
+                ffs::MAX_IO_RETRIES
+            ),
+        ));
+    }
+    if !plan.disk_faults && (bio.error_completions != 0 || s.disk_eios != 0) {
+        return Err(fail(
+            "disk-books",
+            format!(
+                "healthy run produced disk errors: {} completions, {} EIOs",
+                bio.error_completions, s.disk_eios
+            ),
+        ));
+    }
+    // Every EIO the server returned is attributed to a specific client.
+    let eios_attributed: u64 = (0..clients)
+        .map(|i| w.contention_stats(i).disk_eios_suffered)
+        .sum();
+    if eios_attributed != s.disk_eios {
+        return Err(fail(
+            "contention-attribution",
+            format!(
+                "per-client disk EIOs {} != server disk EIOs {}",
+                eios_attributed, s.disk_eios
+            ),
+        ));
+    }
+
     for v in [
         c.ops,
         c.rpcs,
@@ -766,6 +1016,13 @@ pub fn run_plan(plan: &SimPlan, opts: RunOptions) -> Result<RunReport, OracleFai
     ] {
         mix(&mut fp, v);
     }
+    if plan.disk_faults {
+        // Disk-fault runs fold the error books into the fingerprint too.
+        // Conditional so disk-free fingerprints stay pinned.
+        for v in [bio.error_completions, bio.retries, bio.eio, s.disk_eios] {
+            mix(&mut fp, v);
+        }
+    }
 
     Ok(RunReport {
         seed,
@@ -773,11 +1030,15 @@ pub fn run_plan(plan: &SimPlan, opts: RunOptions) -> Result<RunReport, OracleFai
         ops: c.ops,
         ok_ops,
         timed_out_ops,
+        eio_ops,
+        disk_retries: bio.retries,
+        disk_eios: s.disk_eios,
         retransmits: c.retransmits,
         rpc_timeouts: c.rpc_timeouts,
         faults: fault_log,
         clients,
         overlap,
+        disk_faults: plan.disk_faults,
         fingerprint: fp,
         sim_nanos: last_now.as_nanos(),
     })

@@ -8,6 +8,7 @@
 //! cargo run -p simtest -- --seeds 50 --clients 2     # 2-host cluster
 //! NFS_CLUSTER_CLIENTS=4 cargo run -p simtest         # same, via env
 //! cargo run -p simtest -- --seeds 50 --overlap       # fault pairs
+//! cargo run -p simtest -- --seeds 50 --disk-faults   # + disk faults
 //! ```
 //!
 //! Every seed is run twice (the determinism oracle compares fingerprints).
@@ -42,6 +43,7 @@ fn main() -> ExitCode {
         .or_else(nfscluster::clients_from_env)
         .unwrap_or(1);
     let overlap = args.iter().any(|a| a == "--overlap");
+    let disk_faults = args.iter().any(|a| a == "--disk-faults");
 
     let seeds: Vec<u64> = match single {
         Some(s) => vec![s],
@@ -49,6 +51,7 @@ fn main() -> ExitCode {
     };
     let opts = RunOptions {
         clients,
+        disk_faults,
         ..RunOptions::default()
     };
 
@@ -70,12 +73,13 @@ fn main() -> ExitCode {
                 }
                 let faults: Vec<&str> = r.faults.iter().map(|k| k.label()).collect();
                 println!(
-                    "seed {:>6} [{:?}] ops={:<4} ok={:<4} timeout={:<3} retx={:<4} rpc_to={:<3} sim={:>8.1}s fp={:#018x} faults={}",
+                    "seed {:>6} [{:?}] ops={:<4} ok={:<4} timeout={:<3} eio={:<3} retx={:<4} rpc_to={:<3} sim={:>8.1}s fp={:#018x} faults={}",
                     r.seed,
                     r.transport,
                     r.ops,
                     r.ok_ops,
                     r.timed_out_ops,
+                    r.eio_ops,
                     r.retransmits,
                     r.rpc_timeouts,
                     r.sim_nanos as f64 / 1e9,
@@ -91,9 +95,10 @@ fn main() -> ExitCode {
     }
     let labels: Vec<&str> = kinds_seen.iter().map(|k| k.label()).collect();
     println!(
-        "swept {} seed(s) [clients={clients}{}]: {} failed, {} ops, {} timed out, fault kinds exercised: {}",
+        "swept {} seed(s) [clients={clients}{}{}]: {} failed, {} ops, {} timed out, fault kinds exercised: {}",
         seeds.len(),
         if overlap { ", overlap" } else { "" },
+        if disk_faults { ", disk-faults" } else { "" },
         failures,
         total_ops,
         total_timeouts,

@@ -200,6 +200,7 @@ fn cluster_failures_print_full_repro_flags() {
         RunOptions {
             sabotage_replies: 1,
             clients: 2,
+            ..RunOptions::default()
         },
     )
     .expect_err("a swallowed reply must trip an oracle");

@@ -1,6 +1,7 @@
 //! Result containers and plain-text rendering for the regenerated
 //! figures and tables.
 
+use diskmodel::DiskStats;
 use nfssim::ServerStats;
 use simcore::Summary;
 
@@ -96,6 +97,39 @@ pub fn render_heur_line(stats: &ServerStats) -> String {
     )
 }
 
+/// Renders the drive's per-op service-time breakdown as a one-line
+/// summary: where the busy time went (seek / rotation / transfer /
+/// fault stall, as percentages of busy), plus media errors and remapped
+/// sectors when the drive was degraded. Buckets need not sum to 100% —
+/// command overhead and write settle are not bucketed.
+pub fn render_disk_line(stats: &DiskStats) -> String {
+    let busy = stats.busy.as_secs_f64();
+    let pct = |d: simcore::SimDuration| {
+        if busy == 0.0 {
+            0.0
+        } else {
+            d.as_secs_f64() / busy * 100.0
+        }
+    };
+    let b = stats.breakdown;
+    let mut line = format!(
+        "disk: {} cmds, busy {:.3}s (seek {:.1}%, rotation {:.1}%, transfer {:.1}%, fault stall {:.1}%)",
+        stats.reads + stats.writes,
+        busy,
+        pct(b.seek),
+        pct(b.rotation),
+        pct(b.transfer),
+        pct(b.fault_stall),
+    );
+    if stats.media_errors > 0 || stats.remapped_sectors > 0 {
+        line.push_str(&format!(
+            ", {} media errors, {} sectors remapped",
+            stats.media_errors, stats.remapped_sectors
+        ));
+    }
+    line
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -147,6 +181,38 @@ mod tests {
         assert!(
             render_heur_line(&ServerStats::default()).contains("0.0% hits"),
             "zero-lookup stats must not divide by zero"
+        );
+    }
+
+    #[test]
+    fn disk_line_reports_breakdown_and_faults() {
+        use simcore::SimDuration;
+        let mut s = DiskStats {
+            reads: 90,
+            writes: 10,
+            busy: SimDuration::from_millis(1000),
+            ..DiskStats::default()
+        };
+        s.breakdown.seek = SimDuration::from_millis(250);
+        s.breakdown.rotation = SimDuration::from_millis(100);
+        s.breakdown.transfer = SimDuration::from_millis(500);
+        s.breakdown.fault_stall = SimDuration::from_millis(50);
+        let line = render_disk_line(&s);
+        assert!(line.contains("100 cmds"), "{line}");
+        assert!(line.contains("seek 25.0%"), "{line}");
+        assert!(line.contains("transfer 50.0%"), "{line}");
+        assert!(line.contains("fault stall 5.0%"), "{line}");
+        assert!(!line.contains("media errors"), "healthy drive: {line}");
+        s.media_errors = 3;
+        s.remapped_sectors = 16;
+        let line = render_disk_line(&s);
+        assert!(
+            line.contains("3 media errors, 16 sectors remapped"),
+            "{line}"
+        );
+        assert!(
+            !render_disk_line(&DiskStats::default()).contains("NaN"),
+            "idle drive must not divide by zero"
         );
     }
 
