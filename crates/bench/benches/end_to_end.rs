@@ -148,6 +148,21 @@ fn main() {
         },
     );
 
+    // Forced-TCP end-to-end: the full fault schedule (including the
+    // TCP-only total-blackout window) against the timed segment engine —
+    // the cost of simulating RTO backoff ladders, per-segment timers, and
+    // blackout abort/recovery with all oracles on.
+    bench(out, "degraded_tcp/tcp_blackout_seed0", iters, || {
+        let p = simtest::plan_forced(
+            0,
+            simtest::DEFAULT_BATCHES,
+            false,
+            false,
+            Some(netsim::TransportKind::Tcp),
+        );
+        black_box(simtest::run_plan(&p, simtest::RunOptions::default()).expect("oracles hold"));
+    });
+
     let mut report = PerfReport {
         suite: "e2e".to_string(),
         mode: if testing {

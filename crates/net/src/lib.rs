@@ -12,4 +12,7 @@ mod link;
 mod transport;
 
 pub use link::{Delivery, LinkProfile, LinkStats, OneWayLink, FRAME_HEADER_BYTES};
-pub use transport::{TcpStream, Transport, TransportKind, UdpChannel, TCP_MAX_FRAME_LOSS};
+pub use transport::{
+    RtoEstimator, TcpEvent, TcpStats, TcpStream, Transport, TransportKind, TxOutcome, UdpChannel,
+    TCP_DUP_ACK_THRESHOLD, TCP_MAX_SEGMENT_RETRIES, TCP_RTO_MAX, TCP_RTO_MIN,
+};

@@ -1,0 +1,136 @@
+//! Property tests for the RFC 6298 RTO estimator: whatever the sample
+//! sequence, the estimator must stay finite, positive, clamped, and
+//! monotone under backoff — and Karn's rule must keep ambiguous
+//! (retransmitted) samples out of SRTT/RTTVAR.
+
+use netsim::{RtoEstimator, TCP_RTO_MAX, TCP_RTO_MIN};
+use simcore::{SimDuration, SimRng};
+
+const SEEDS: u64 = 64;
+const SAMPLES_PER_SEED: usize = 400;
+
+/// One arbitrary round-trip sample: anywhere from 1 ns to ~10 s, heavy on
+/// small values (log-uniform-ish via a two-stage draw).
+fn arbitrary_sample(rng: &mut SimRng) -> SimDuration {
+    let magnitude = rng.gen_range(0u32..10); // 10^0 .. 10^9 ns
+    let base = 10u64.pow(magnitude);
+    SimDuration::from_nanos(rng.gen_range(1u64..=base.saturating_mul(9)))
+}
+
+#[test]
+fn srtt_and_rttvar_stay_finite_and_positive_under_arbitrary_samples() {
+    for seed in 0..SEEDS {
+        let mut rng = SimRng::from_seed_and_stream(seed, 0x52544F_50524F50); // "RTO PROP"
+        let mut e = RtoEstimator::new();
+        for i in 0..SAMPLES_PER_SEED {
+            // Mix in occasional timeouts and Karn-suppressed samples so
+            // the walk visits the whole state machine.
+            if rng.chance(0.1) {
+                e.on_timeout();
+            }
+            let fresh = !rng.chance(0.2);
+            e.on_sample(arbitrary_sample(&mut rng), fresh);
+            if let Some(srtt) = e.srtt() {
+                assert!(
+                    srtt > SimDuration::ZERO,
+                    "seed {seed} step {i}: srtt must stay positive, got {srtt:?}"
+                );
+                // Samples are capped at ~90 s, so the EWMA can never
+                // escape that envelope (finiteness in integer nanos).
+                assert!(
+                    srtt <= SimDuration::from_secs(90),
+                    "seed {seed} step {i}: srtt diverged: {srtt:?}"
+                );
+            }
+            assert!(
+                e.rttvar() <= SimDuration::from_secs(90),
+                "seed {seed} step {i}: rttvar diverged: {:?}",
+                e.rttvar()
+            );
+            let rto = e.rto();
+            assert!(
+                (TCP_RTO_MIN..=TCP_RTO_MAX).contains(&rto),
+                "seed {seed} step {i}: rto {rto:?} escaped the clamp"
+            );
+        }
+    }
+}
+
+#[test]
+fn rto_is_monotone_under_consecutive_timeouts_and_never_exceeds_the_cap() {
+    for seed in 0..SEEDS {
+        let mut rng = SimRng::from_seed_and_stream(seed, 0x52544F_4D4F4E4F); // "RTO MONO"
+        let mut e = RtoEstimator::new();
+        // Seed the estimator with a few fresh samples first.
+        for _ in 0..rng.gen_range(0u32..8) {
+            e.on_sample(arbitrary_sample(&mut rng), true);
+        }
+        let mut prev = e.rto();
+        for step in 0..64 {
+            e.on_timeout();
+            let rto = e.rto();
+            assert!(
+                rto >= prev,
+                "seed {seed} timeout {step}: rto regressed {prev:?} -> {rto:?}"
+            );
+            assert!(
+                rto <= TCP_RTO_MAX,
+                "seed {seed} timeout {step}: backoff escaped the cap: {rto:?}"
+            );
+            prev = rto;
+        }
+        // 64 consecutive timeouts always saturate the ladder.
+        assert_eq!(prev, TCP_RTO_MAX, "seed {seed}: ladder must saturate");
+        // The next ack resets the backoff (even an ambiguous one).
+        e.on_sample(SimDuration::from_micros(300), false);
+        assert!(
+            e.rto() < TCP_RTO_MAX,
+            "seed {seed}: an ack must clear the backoff"
+        );
+        assert_eq!(e.backoff(), 0, "seed {seed}");
+    }
+}
+
+#[test]
+fn karns_rule_excludes_retransmitted_samples() {
+    for seed in 0..SEEDS {
+        let mut rng = SimRng::from_seed_and_stream(seed, 0x4B41524E); // "KARN"
+        let mut e = RtoEstimator::new();
+        for _ in 0..16 {
+            e.on_sample(arbitrary_sample(&mut rng), true);
+        }
+        let srtt = e.srtt();
+        let rttvar = e.rttvar();
+        // A storm of ambiguous samples — wildly different magnitudes —
+        // must leave the estimator untouched.
+        for _ in 0..100 {
+            e.on_sample(arbitrary_sample(&mut rng), false);
+        }
+        assert_eq!(e.srtt(), srtt, "seed {seed}: Karn violated (srtt moved)");
+        assert_eq!(
+            e.rttvar(),
+            rttvar,
+            "seed {seed}: Karn violated (rttvar moved)"
+        );
+        // A fresh sample still gets in afterwards.
+        e.on_sample(SimDuration::from_millis(5), true);
+        assert_ne!(e.srtt(), srtt, "seed {seed}: fresh samples must update");
+    }
+}
+
+#[test]
+fn first_sample_initialises_per_rfc6298() {
+    let mut e = RtoEstimator::new();
+    assert_eq!(e.rto(), TCP_RTO_MIN, "no samples: RTO sits at the floor");
+    let s = SimDuration::from_millis(10);
+    e.on_sample(s, true);
+    assert_eq!(e.srtt(), Some(s));
+    assert_eq!(e.rttvar(), SimDuration::from_millis(5), "rttvar = sample/2");
+    // RTO = srtt + 4*rttvar = 30ms, under the 200ms floor -> clamped.
+    assert_eq!(e.rto(), TCP_RTO_MIN);
+    let big = SimDuration::from_millis(400);
+    let mut e2 = RtoEstimator::new();
+    e2.on_sample(big, true);
+    // 400ms + 4*200ms = 1.2s, inside the clamp.
+    assert_eq!(e2.rto(), SimDuration::from_millis(1_200));
+}

@@ -28,7 +28,7 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 
 use ffs::{BufferCache, FileSystem};
-use netsim::{Delivery, Transport, TransportKind};
+use netsim::{TcpEvent, TcpStats, Transport, TransportKind, TxOutcome};
 use nfsproto::{FileHandle, NfsCall, NfsReply, NfsStatus};
 use readahead_core::NfsHeur;
 use simcore::{EventQueue, SimDuration, SimRng, SimTime};
@@ -190,6 +190,12 @@ pub struct ClientStats {
     pub duplicate_replies: u64,
     /// Replies that carried `NFS3ERR_IO` and failed the waiting operation.
     pub eio_replies: u64,
+    /// TCP segment-engine books for the client→server stream (all zero
+    /// on UDP mounts).
+    pub tcp_c2s: TcpStats,
+    /// TCP segment-engine books for the server→client stream (all zero
+    /// on UDP mounts).
+    pub tcp_s2c: TcpStats,
 }
 
 /// Per-client contention at the shared server, attributable by client id.
@@ -230,6 +236,9 @@ enum Ev {
     ReplyArrive { key: u64, eio: bool },
     /// UDP retransmission check.
     Retransmit { key: u64, attempt: u32 },
+    /// A TCP stream's earliest retransmission deadline fell due; fire the
+    /// segment engine's timers (`c2s` picks the direction).
+    TcpTick { client: usize, c2s: bool },
 }
 
 #[derive(Debug)]
@@ -281,6 +290,15 @@ struct ClientHost {
     /// Retired call-encoding buffers, recycled by `issue_call` so the
     /// per-RPC marshal path stops allocating once warm.
     buf_pool: Vec<Vec<u8>>,
+    /// TCP only: queued c2s segment seq → call key, resolved by the
+    /// segment engine's deferred [`TcpEvent`]s.
+    c2s_seq: HashMap<u64, u64>,
+    /// TCP only: queued s2c segment seq → (call key, eio flag).
+    s2c_seq: HashMap<u64, (u64, bool)>,
+    /// Earliest [`Ev::TcpTick`] currently scheduled per direction
+    /// (`SimTime::MAX` = none), so redundant ticks stay bounded.
+    c2s_tick: SimTime,
+    s2c_tick: SimTime,
 }
 
 impl ClientHost {
@@ -433,6 +451,10 @@ impl NfsWorld {
                     next_xid: 1,
                     stats: ClientStats::default(),
                     buf_pool: Vec::new(),
+                    c2s_seq: HashMap::new(),
+                    s2c_seq: HashMap::new(),
+                    c2s_tick: SimTime::MAX,
+                    s2c_tick: SimTime::MAX,
                 }
             })
             .collect();
@@ -514,12 +536,26 @@ impl NfsWorld {
 
     /// Client 0 counters (the classic single-client accessor).
     pub fn client_stats(&self) -> ClientStats {
-        self.clients[0].stats
+        self.client_stats_for(0)
     }
 
-    /// Counters for one client host.
+    /// Counters for one client host. On TCP mounts the segment engine's
+    /// live books are folded in (like the `nfsheur` counters in
+    /// [`NfsWorld::server_stats`]); on UDP they stay zeroed.
     pub fn client_stats_for(&self, client: usize) -> ClientStats {
-        self.clients[client].stats
+        let cl = &self.clients[client];
+        ClientStats {
+            tcp_c2s: cl.c2s.tcp_stats().unwrap_or_default(),
+            tcp_s2c: cl.s2c.tcp_stats().unwrap_or_default(),
+            ..cl.stats
+        }
+    }
+
+    /// TCP segment-engine books for one host as `(c2s, s2c)`, or `None`
+    /// on a UDP mount — the handle simtest's TCP oracles check.
+    pub fn tcp_stats_for(&self, client: usize) -> Option<(TcpStats, TcpStats)> {
+        let cl = &self.clients[client];
+        Some((cl.c2s.tcp_stats()?, cl.s2c.tcp_stats()?))
     }
 
     /// Server-side contention attributed to one client host.
@@ -1056,7 +1092,73 @@ impl NfsWorld {
             Ev::CallArrive { key } => self.server_call_arrive(at, key),
             Ev::ReplyArrive { key, eio } => self.client_reply_arrive(at, key, eio),
             Ev::Retransmit { key, attempt } => self.check_retransmit(at, key, attempt),
+            Ev::TcpTick { client, c2s } => self.tcp_tick(at, client, c2s),
         }
+    }
+
+    /// Schedules an [`Ev::TcpTick`] at the direction's earliest armed
+    /// retransmission deadline, unless an earlier tick is already in the
+    /// queue. (A stale later tick fires as a harmless no-op.)
+    fn schedule_tcp_tick(&mut self, client: usize, c2s: bool) {
+        let cl = &mut self.clients[client];
+        let (transport, tick) = if c2s {
+            (&cl.c2s, &mut cl.c2s_tick)
+        } else {
+            (&cl.s2c, &mut cl.s2c_tick)
+        };
+        let Some(at) = transport.next_timer() else {
+            return;
+        };
+        if at < *tick {
+            *tick = at;
+            self.queue.schedule_at(at, Ev::TcpTick { client, c2s });
+        }
+    }
+
+    /// Fires one direction's due TCP retransmission timers and routes the
+    /// resulting segment events: deliveries become `CallArrive` /
+    /// `ReplyArrive` (the same events an immediate delivery schedules),
+    /// aborts fail the RPC with soft-mount timeout semantics — TCP's
+    /// connection-drop proxy.
+    fn tcp_tick(&mut self, at: SimTime, client: usize, c2s: bool) {
+        let cl = &mut self.clients[client];
+        if c2s {
+            cl.c2s_tick = SimTime::MAX;
+        } else {
+            cl.s2c_tick = SimTime::MAX;
+        }
+        let transport = if c2s { &mut cl.c2s } else { &mut cl.s2c };
+        let events = transport.on_timer(at);
+        for ev in events {
+            let cl = &mut self.clients[client];
+            match ev {
+                TcpEvent::Delivered { seq, at: t } => {
+                    if c2s {
+                        let key = cl.c2s_seq.remove(&seq).expect("queued seq mapped");
+                        self.queue.schedule_at(t, Ev::CallArrive { key });
+                    } else {
+                        let (key, eio) = cl.s2c_seq.remove(&seq).expect("queued seq mapped");
+                        self.queue.schedule_at(t, Ev::ReplyArrive { key, eio });
+                    }
+                }
+                TcpEvent::Aborted { seq } => {
+                    // The stream gave up on the segment (the call never
+                    // reached the server, or the reply never reached the
+                    // client). Either way the RPC can make no further
+                    // progress: fail it like an exhausted UDP retry
+                    // ladder, if the client still has it outstanding.
+                    let key = if c2s {
+                        cl.c2s_seq.remove(&seq).expect("queued seq mapped")
+                    } else {
+                        cl.s2c_seq.remove(&seq).expect("queued seq mapped").0
+                    };
+                    if cl.rpcs.contains_key(&key_xid(key)) {
+                        self.rpc_timed_out(at, key);
+                    }
+                }
+            }
+        }
+        self.schedule_tcp_tick(client, c2s);
     }
 
     fn do_send(&mut self, at: SimTime, key: u64) {
@@ -1071,8 +1173,14 @@ impl NfsWorld {
         let attempt = rpc.attempt;
         cl.stats.transmissions += 1;
         match cl.c2s.send(at, wire) {
-            Delivery::At(t) => self.queue.schedule_at(t, Ev::CallArrive { key }),
-            Delivery::Lost => {}
+            TxOutcome::Delivered(t) => self.queue.schedule_at(t, Ev::CallArrive { key }),
+            TxOutcome::Lost => {} // UDP: the retransmit ladder covers it.
+            TxOutcome::Queued(seq) => {
+                // TCP took custody: the segment engine delivers or aborts
+                // it later, from a timer tick.
+                cl.c2s_seq.insert(seq, key);
+                self.schedule_tcp_tick(key_client(key), true);
+            }
         }
         if self.config.transport == TransportKind::Udp {
             let timeo = self
@@ -1413,10 +1521,14 @@ impl NfsWorld {
             self.server.sabotage_drop_replies -= 1;
         } else {
             match self.clients[client].s2c.send(t, reply.wire_bytes()) {
-                Delivery::At(arrive) => {
+                TxOutcome::Delivered(arrive) => {
                     self.queue.schedule_at(arrive, Ev::ReplyArrive { key, eio })
                 }
-                Delivery::Lost => {} // Client will retransmit the call.
+                TxOutcome::Lost => {} // UDP: client will retransmit the call.
+                TxOutcome::Queued(seq) => {
+                    self.clients[client].s2c_seq.insert(seq, (key, eio));
+                    self.schedule_tcp_tick(client, false);
+                }
             }
         }
         self.server.in_service.remove(&key);

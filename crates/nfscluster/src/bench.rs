@@ -92,6 +92,24 @@ impl ClusterRunResult {
     }
 }
 
+fn diff_tcp(after: netsim::TcpStats, before: netsim::TcpStats) -> netsim::TcpStats {
+    netsim::TcpStats {
+        segments_sent: after.segments_sent - before.segments_sent,
+        delivered: after.delivered - before.delivered,
+        acked: after.acked - before.acked,
+        lost_tracked: after.lost_tracked - before.lost_tracked,
+        retransmits: after.retransmits - before.retransmits,
+        fast_retransmits: after.fast_retransmits - before.fast_retransmits,
+        timeouts: after.timeouts - before.timeouts,
+        rto_backoffs: after.rto_backoffs - before.rto_backoffs,
+        order_violations: after.order_violations - before.order_violations,
+        // Gauges, not counters: report the end-of-run values.
+        in_flight: after.in_flight,
+        max_rto: after.max_rto,
+        srtt: after.srtt,
+    }
+}
+
 fn diff_client(after: ClientStats, before: ClientStats) -> ClientStats {
     ClientStats {
         ops: after.ops - before.ops,
@@ -105,6 +123,8 @@ fn diff_client(after: ClientStats, before: ClientStats) -> ClientStats {
         replies_received: after.replies_received - before.replies_received,
         duplicate_replies: after.duplicate_replies - before.duplicate_replies,
         eio_replies: after.eio_replies - before.eio_replies,
+        tcp_c2s: diff_tcp(after.tcp_c2s, before.tcp_c2s),
+        tcp_s2c: diff_tcp(after.tcp_s2c, before.tcp_s2c),
     }
 }
 

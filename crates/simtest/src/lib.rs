@@ -32,8 +32,12 @@
 //!   plus propagated `EIO`s, every `EIO` is a hard error or an exhausted
 //!   transient, no request exceeds the retry cap, and every server `EIO`
 //!   is attributed to a specific client;
+//! - **TCP books** (TCP runs): per client and direction, every segment
+//!   ever sent is acked, in flight, or tracked as lost; every segment
+//!   that survived the link was delivered exactly once; in-order
+//!   delivery was never violated;
 //! - **determinism**: the same seed reproduces the bit-exact same run
-//!   fingerprint.
+//!   fingerprint (TCP runs fold the segment-engine books in too).
 //!
 //! The workload generalises to a cluster: with [`RunOptions::clients`]
 //! greater than one, the same seed drives N client hosts (each with its
@@ -108,6 +112,13 @@ pub enum FaultKind {
     /// A fail-slow region: transfers touching it pay a per-sector penalty
     /// but still succeed — the degraded-but-not-dead drive.
     FailSlow,
+    /// A `frame_loss = 1.0` blackout window on one (seed-chosen) client's
+    /// links. Scheduled only by forced-TCP plans: the point is the TCP
+    /// segment engine's RTO ladder — segments back off through the
+    /// window, abort after the retry budget (typed `RpcTimedOut`), and
+    /// anything still queued recovers at restore. The UDP equivalent is
+    /// [`FaultKind::LossBurst`]'s blackout half.
+    TcpBlackout,
 }
 
 impl FaultKind {
@@ -146,6 +157,7 @@ impl FaultKind {
             FaultKind::StuckTag => "stuck-tag",
             FaultKind::FirmwareStall => "firmware-stall",
             FaultKind::FailSlow => "fail-slow",
+            FaultKind::TcpBlackout => "tcp-blackout",
         }
     }
 }
@@ -166,6 +178,10 @@ pub struct SimPlan {
     pub overlap: bool,
     /// Whether [`FaultKind::DISK`] kinds were shuffled into the schedule.
     pub disk_faults: bool,
+    /// Set when the transport axis was forced (`--transport tcp|udp`)
+    /// instead of seed-drawn; forced-TCP plans additionally schedule
+    /// [`FaultKind::TcpBlackout`].
+    pub forced_transport: Option<TransportKind>,
 }
 
 /// Knobs that are not part of the seed-derived plan.
@@ -244,6 +260,8 @@ pub struct OracleFailure {
     pub overlap: bool,
     /// Whether the failing run scheduled disk fault kinds.
     pub disk_faults: bool,
+    /// Whether (and how) the failing run forced the transport axis.
+    pub forced_transport: Option<TransportKind>,
 }
 
 impl fmt::Display for OracleFailure {
@@ -261,6 +279,11 @@ impl fmt::Display for OracleFailure {
         }
         if self.disk_faults {
             write!(f, " --disk-faults")?;
+        }
+        match self.forced_transport {
+            Some(TransportKind::Tcp) => write!(f, " --transport tcp")?,
+            Some(TransportKind::Udp) => write!(f, " --transport udp")?,
+            None => {}
         }
         Ok(())
     }
@@ -291,15 +314,37 @@ pub fn plan_with(seed: u64, batches: usize, overlap: bool) -> SimPlan {
 /// all eleven kinds land). The disk-free plan draws the identical RNG
 /// stream as before disk faults existed, so pinned fingerprints hold.
 pub fn plan_full(seed: u64, batches: usize, overlap: bool, disk_faults: bool) -> SimPlan {
+    plan_forced(seed, batches, overlap, disk_faults, None)
+}
+
+/// [`plan_full`] with the transport axis forced instead of seed-drawn
+/// (`--transport tcp|udp`). The transport draw is still made — and then
+/// overridden — so the kind shuffle and every later workload draw stay on
+/// the seed's usual stream. Forcing TCP also appends
+/// [`FaultKind::TcpBlackout`] to the shuffle: 8 classic kinds fit the
+/// default 16 batches, 12 fit [`DISK_BATCHES`], so the whole existing
+/// fault matrix runs under TCP *plus* the blackout window the old inline
+/// engine could never survive.
+pub fn plan_forced(
+    seed: u64,
+    batches: usize,
+    overlap: bool,
+    disk_faults: bool,
+    forced: Option<TransportKind>,
+) -> SimPlan {
     let mut rng = SimRng::from_seed_and_stream(seed, 0x53_49_4D_54_45_53_54); // "SIMTEST"
-    let transport = if rng.gen_range(0u32..4) == 3 {
+    let drawn = if rng.gen_range(0u32..4) == 3 {
         TransportKind::Tcp
     } else {
         TransportKind::Udp
     };
+    let transport = forced.unwrap_or(drawn);
     let mut kinds = FaultKind::ALL.to_vec();
     if disk_faults {
         kinds.extend(FaultKind::DISK);
+    }
+    if forced == Some(TransportKind::Tcp) {
+        kinds.push(FaultKind::TcpBlackout);
     }
     rng.shuffle(&mut kinds);
     // With the default 16 batches every run exercises all seven classic
@@ -320,6 +365,7 @@ pub fn plan_full(seed: u64, batches: usize, overlap: bool, disk_faults: bool) ->
         faults,
         overlap,
         disk_faults,
+        forced_transport: forced,
     }
 }
 
@@ -340,12 +386,23 @@ pub fn run_seed_checked_with(
     opts: RunOptions,
     overlap: bool,
 ) -> Result<RunReport, OracleFailure> {
+    run_seed_checked_forced(seed, opts, overlap, None)
+}
+
+/// [`run_seed_checked_with`] with the transport axis forced
+/// (`--transport tcp|udp`); see [`plan_forced`].
+pub fn run_seed_checked_forced(
+    seed: u64,
+    opts: RunOptions,
+    overlap: bool,
+    forced: Option<TransportKind>,
+) -> Result<RunReport, OracleFailure> {
     let batches = if opts.disk_faults {
         DISK_BATCHES
     } else {
         DEFAULT_BATCHES
     };
-    let p = plan_full(seed, batches, overlap, opts.disk_faults);
+    let p = plan_forced(seed, batches, overlap, opts.disk_faults, forced);
     let first = run_plan(&p, opts)?;
     let second = run_plan(&p, opts)?;
     if first != second {
@@ -359,6 +416,7 @@ pub fn run_seed_checked_with(
             clients: opts.clients,
             overlap,
             disk_faults: opts.disk_faults,
+            forced_transport: forced,
         });
     }
     Ok(first)
@@ -381,30 +439,16 @@ fn mix(fp: &mut u64, v: u64) {
 /// through [`disk_fault_plan`] instead: they build [`FaultPlan`] fragments
 /// the caller merges, because several disk kinds in one overlap batch
 /// share a single installed model.
-fn apply_fault(
-    w: &mut NfsWorld,
-    kind: FaultKind,
-    rng: &mut SimRng,
-    transport: TransportKind,
-    base: &WorldConfig,
-) {
+fn apply_fault(w: &mut NfsWorld, kind: FaultKind, rng: &mut SimRng, base: &WorldConfig) {
     let now = w.now();
     match kind {
         FaultKind::LossBurst => {
-            // A full blackout would spin TCP's internal retransmission
-            // loop forever, so cap loss at the transport's documented
-            // ceiling there; UDP gets real blackouts half the time, which
-            // force RPC timeouts.
-            let loss = match transport {
-                TransportKind::Udp => {
-                    if rng.chance(0.5) {
-                        1.0
-                    } else {
-                        0.3
-                    }
-                }
-                TransportKind::Tcp => netsim::TCP_MAX_FRAME_LOSS,
-            };
+            // Half the time a total blackout, half the time 30% loss —
+            // on either transport. UDP blackouts force RPC timeouts; TCP
+            // blackouts exercise the segment engine's RTO backoff ladder
+            // (the old inline engine capped loss here because a blackout
+            // would spin its retransmission loop forever).
+            let loss = if rng.chance(0.5) { 1.0 } else { 0.3 };
             w.set_link_profile(LinkProfile {
                 frame_loss: loss,
                 ..base.link
@@ -438,6 +482,19 @@ fn apply_fault(
         }
         FaultKind::CacheFlush => {
             w.flush_all_caches();
+        }
+        FaultKind::TcpBlackout => {
+            // A total blackout on one seed-chosen client's links. The
+            // batch revert restores every client to the baseline profile,
+            // so no per-kind revert bookkeeping is needed.
+            let victim = rng.gen_range(0..w.n_clients());
+            w.set_link_profile_for(
+                victim,
+                LinkProfile {
+                    frame_loss: 1.0,
+                    ..base.link
+                },
+            );
         }
         FaultKind::SectorErrors
         | FaultKind::StuckTag
@@ -523,6 +580,7 @@ pub fn run_plan(plan: &SimPlan, opts: RunOptions) -> Result<RunReport, OracleFai
     let clients = opts.clients.max(1);
     let overlap = plan.overlap;
     let disk_faults = plan.disk_faults;
+    let forced_transport = plan.forced_transport;
     let fail = move |oracle: &'static str, detail: String| OracleFailure {
         seed,
         oracle,
@@ -530,6 +588,7 @@ pub fn run_plan(plan: &SimPlan, opts: RunOptions) -> Result<RunReport, OracleFai
         clients,
         overlap,
         disk_faults,
+        forced_transport,
     };
 
     let base = WorldConfig {
@@ -691,7 +750,7 @@ pub fn run_plan(plan: &SimPlan, opts: RunOptions) -> Result<RunReport, OracleFai
         let mut outage_pending = false;
         for &(b, kind) in &plan.faults {
             if b == batch && !FaultKind::DISK.contains(&kind) {
-                apply_fault(&mut w, kind, &mut rng, plan.transport, &base);
+                apply_fault(&mut w, kind, &mut rng, &base);
                 fault_active = true;
                 // `|=`: under overlap scheduling a second fault in the same
                 // batch must not forget that an outage is in force.
@@ -1002,6 +1061,56 @@ pub fn run_plan(plan: &SimPlan, opts: RunOptions) -> Result<RunReport, OracleFai
         ));
     }
 
+    // TCP segment books, per client per direction: every segment ever
+    // sent is acked, still in flight, or tracked as lost awaiting
+    // retransmission (at quiescence the latter two are zero unless a
+    // segment was abandoned mid-blackout); in-order delivery was never
+    // violated; and every segment that survived the link was delivered
+    // to the peer exactly once.
+    if plan.transport == TransportKind::Tcp {
+        for cl in 0..clients {
+            let Some((tc2s, ts2c)) = w.tcp_stats_for(cl) else {
+                return Err(fail(
+                    "tcp-books",
+                    format!("client {cl}: TCP run has no TCP stream stats"),
+                ));
+            };
+            for (dir, t, link) in [
+                ("c2s", tc2s, w.c2s_stats_for(cl)),
+                ("s2c", ts2c, w.s2c_stats_for(cl)),
+            ] {
+                if t.segments_sent != t.acked + t.in_flight + t.lost_tracked {
+                    return Err(fail(
+                        "tcp-books",
+                        format!(
+                            "client {cl} {dir}: segments_sent {} != acked {} \
+                             + in_flight {} + lost_tracked {}",
+                            t.segments_sent, t.acked, t.in_flight, t.lost_tracked
+                        ),
+                    ));
+                }
+                if t.order_violations != 0 {
+                    return Err(fail(
+                        "tcp-order",
+                        format!(
+                            "client {cl} {dir}: {} in-order delivery violations",
+                            t.order_violations
+                        ),
+                    ));
+                }
+                if t.delivered != link.messages - link.lost {
+                    return Err(fail(
+                        "tcp-books",
+                        format!(
+                            "client {cl} {dir}: delivered {} != link messages {} - lost {}",
+                            t.delivered, link.messages, link.lost
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
     for v in [
         c.ops,
         c.rpcs,
@@ -1020,6 +1129,35 @@ pub fn run_plan(plan: &SimPlan, opts: RunOptions) -> Result<RunReport, OracleFai
         // Disk-fault runs fold the error books into the fingerprint too.
         // Conditional so disk-free fingerprints stay pinned.
         for v in [bio.error_completions, bio.retries, bio.eio, s.disk_eios] {
+            mix(&mut fp, v);
+        }
+    }
+    if plan.transport == TransportKind::Tcp {
+        // TCP runs fold the summed segment books in as well, so the
+        // determinism oracle covers the retransmission engine's internal
+        // schedule, not just RPC-visible outcomes. Conditional so UDP
+        // fingerprints stay pinned.
+        let mut tsum = netsim::TcpStats::default();
+        for cl in 0..clients {
+            if let Some((a, b)) = w.tcp_stats_for(cl) {
+                for t in [a, b] {
+                    tsum.segments_sent += t.segments_sent;
+                    tsum.retransmits += t.retransmits;
+                    tsum.fast_retransmits += t.fast_retransmits;
+                    tsum.timeouts += t.timeouts;
+                    tsum.rto_backoffs += t.rto_backoffs;
+                    tsum.lost_tracked += t.lost_tracked;
+                }
+            }
+        }
+        for v in [
+            tsum.segments_sent,
+            tsum.retransmits,
+            tsum.fast_retransmits,
+            tsum.timeouts,
+            tsum.rto_backoffs,
+            tsum.lost_tracked,
+        ] {
             mix(&mut fp, v);
         }
     }

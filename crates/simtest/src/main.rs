@@ -9,6 +9,7 @@
 //! NFS_CLUSTER_CLIENTS=4 cargo run -p simtest         # same, via env
 //! cargo run -p simtest -- --seeds 50 --overlap       # fault pairs
 //! cargo run -p simtest -- --seeds 50 --disk-faults   # + disk faults
+//! cargo run -p simtest -- --seeds 50 --transport tcp # force TCP (+blackout)
 //! ```
 //!
 //! Every seed is run twice (the determinism oracle compares fingerprints).
@@ -21,13 +22,29 @@
 
 use std::process::ExitCode;
 
-use simtest::{run_seed_checked_with, FaultKind, RunOptions};
+use netsim::TransportKind;
+use simtest::{run_seed_checked_forced, FaultKind, RunOptions};
 
 fn parse_flag(args: &[String], name: &str) -> Option<u64> {
     args.iter()
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
+}
+
+fn parse_transport(args: &[String]) -> Option<TransportKind> {
+    let v = args
+        .iter()
+        .position(|a| a == "--transport")
+        .and_then(|i| args.get(i + 1))?;
+    match v.as_str() {
+        "tcp" => Some(TransportKind::Tcp),
+        "udp" => Some(TransportKind::Udp),
+        other => {
+            eprintln!("unknown --transport {other:?} (expected tcp|udp), ignoring");
+            None
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -44,6 +61,7 @@ fn main() -> ExitCode {
         .unwrap_or(1);
     let overlap = args.iter().any(|a| a == "--overlap");
     let disk_faults = args.iter().any(|a| a == "--disk-faults");
+    let forced = parse_transport(&args);
 
     let seeds: Vec<u64> = match single {
         Some(s) => vec![s],
@@ -55,7 +73,9 @@ fn main() -> ExitCode {
         ..RunOptions::default()
     };
 
-    let results = simfleet::map_indexed(&seeds, |&seed| run_seed_checked_with(seed, opts, overlap));
+    let results = simfleet::map_indexed(&seeds, |&seed| {
+        run_seed_checked_forced(seed, opts, overlap, forced)
+    });
 
     let mut failures = 0u64;
     let mut total_ops = 0u64;
@@ -95,10 +115,15 @@ fn main() -> ExitCode {
     }
     let labels: Vec<&str> = kinds_seen.iter().map(|k| k.label()).collect();
     println!(
-        "swept {} seed(s) [clients={clients}{}{}]: {} failed, {} ops, {} timed out, fault kinds exercised: {}",
+        "swept {} seed(s) [clients={clients}{}{}{}]: {} failed, {} ops, {} timed out, fault kinds exercised: {}",
         seeds.len(),
         if overlap { ", overlap" } else { "" },
         if disk_faults { ", disk-faults" } else { "" },
+        match forced {
+            Some(TransportKind::Tcp) => ", transport=tcp",
+            Some(TransportKind::Udp) => ", transport=udp",
+            None => "",
+        },
         failures,
         total_ops,
         total_timeouts,

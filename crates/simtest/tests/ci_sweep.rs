@@ -7,8 +7,8 @@ use std::collections::HashSet;
 
 use netsim::TransportKind;
 use simtest::{
-    plan, plan_with, run_plan, run_seed_checked, run_seed_checked_with, FaultKind, RunOptions,
-    DEFAULT_BATCHES,
+    plan, plan_forced, plan_with, run_plan, run_seed_checked, run_seed_checked_forced,
+    run_seed_checked_with, FaultKind, RunOptions, DEFAULT_BATCHES,
 };
 
 const CI_SEEDS: u64 = 10;
@@ -186,6 +186,105 @@ fn two_client_cluster_sweep_holds_all_oracles() {
         multi_host_issue,
         "2-client runs must actually diverge from single-client runs"
     );
+}
+
+/// The full fault matrix holds under forced TCP (`--transport tcp`):
+/// every classic kind *plus* the TCP-only total-blackout window runs
+/// against the timed segment engine, every oracle (including the TCP
+/// segment books and in-order delivery) stays green, and the blackout's
+/// abort ladder surfaces typed `RpcTimedOut` completions — the recovery
+/// path the old inline engine could never reach.
+#[test]
+fn forced_tcp_sweep_holds_all_oracles_through_blackouts() {
+    let mut kinds: HashSet<FaultKind> = HashSet::new();
+    let mut timed_out = 0u64;
+    for seed in 0..6u64 {
+        let r =
+            run_seed_checked_forced(seed, RunOptions::default(), false, Some(TransportKind::Tcp))
+                .unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(r.transport, TransportKind::Tcp, "seed {seed}");
+        assert_eq!(r.ok_ops + r.timed_out_ops, r.ops, "seed {seed}");
+        assert_eq!(
+            r.retransmits, 0,
+            "seed {seed}: TCP must never retransmit at the RPC layer"
+        );
+        assert!(
+            r.faults.contains(&FaultKind::TcpBlackout),
+            "seed {seed}: forced-TCP plans must schedule the blackout: {:?}",
+            r.faults
+        );
+        kinds.extend(r.faults.iter().copied());
+        timed_out += r.timed_out_ops;
+    }
+    for required in FaultKind::ALL {
+        assert!(
+            kinds.contains(&required),
+            "forced-TCP sweep never injected {required:?}"
+        );
+    }
+    assert!(
+        timed_out > 0,
+        "blackout abort ladders must surface typed RPC timeouts on TCP"
+    );
+}
+
+/// Forcing the transport overrides the seed's draw without disturbing the
+/// rest of the plan stream, and only forced-TCP plans gain the blackout.
+#[test]
+fn forced_transport_overrides_the_draw_only() {
+    for seed in 0..20u64 {
+        let drawn = plan(seed, DEFAULT_BATCHES);
+        let tcp = plan_forced(
+            seed,
+            DEFAULT_BATCHES,
+            false,
+            false,
+            Some(TransportKind::Tcp),
+        );
+        let udp = plan_forced(
+            seed,
+            DEFAULT_BATCHES,
+            false,
+            false,
+            Some(TransportKind::Udp),
+        );
+        assert_eq!(tcp.transport, TransportKind::Tcp, "seed {seed}");
+        assert_eq!(udp.transport, TransportKind::Udp, "seed {seed}");
+        let tcp_kinds: HashSet<FaultKind> = tcp.faults.iter().map(|&(_, k)| k).collect();
+        let udp_kinds: HashSet<FaultKind> = udp.faults.iter().map(|&(_, k)| k).collect();
+        assert_eq!(tcp_kinds.len(), 8, "seed {seed}: 7 classic + blackout");
+        assert!(tcp_kinds.contains(&FaultKind::TcpBlackout), "seed {seed}");
+        assert_eq!(
+            udp_kinds.len(),
+            7,
+            "seed {seed}: forced UDP schedules only the classic kinds"
+        );
+        assert!(!udp_kinds.contains(&FaultKind::TcpBlackout), "seed {seed}");
+        // A forced-UDP plan is the drawn plan with only the transport
+        // (possibly) swapped: same shuffle, same slots.
+        assert_eq!(udp.faults, drawn.faults, "seed {seed}");
+    }
+}
+
+/// Failure reports from forced-transport runs print the `--transport`
+/// repro flag. A swallowed reply on TCP hangs the waiting operation (TCP
+/// never retransmits RPCs), so the no-stuck-ops oracle must catch it.
+#[test]
+fn forced_tcp_failures_print_the_transport_flag() {
+    let err = run_plan(
+        &plan_forced(0, DEFAULT_BATCHES, false, false, Some(TransportKind::Tcp)),
+        RunOptions {
+            sabotage_replies: 1,
+            ..RunOptions::default()
+        },
+    )
+    .expect_err("a swallowed reply must trip an oracle");
+    let msg = err.to_string();
+    assert!(
+        msg.contains("--transport tcp"),
+        "missing transport flag: {msg}"
+    );
+    assert!(msg.contains("no-stuck-ops"), "unexpected oracle: {msg}");
 }
 
 /// Failure reports from cluster / overlap runs carry the extra repro

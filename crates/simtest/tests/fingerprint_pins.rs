@@ -24,7 +24,10 @@ const SWEEP_FPS: [u64; 8] = [
     0x0960_fde0_cf9b_0735,
     0x7787_a23f_c6a3_0109,
     0x6764_4516_bb32_f4fb,
-    0x09d4_8c30_8929_4a36,
+    // Seed 3 is the sweep's one TCP seed; re-pinned for the timed segment
+    // engine (faults now include real blackouts, and TCP fingerprints fold
+    // the segment books in). The seven UDP pins are untouched.
+    0x3187_9998_2141_6557,
     0xe6d8_d53f_87b8_4800,
     0x4d4a_5bbc_d8ef_15d8,
     0xabf2_02cd_0a8e_b50a,

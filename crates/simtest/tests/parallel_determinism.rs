@@ -6,7 +6,8 @@
 
 use std::sync::Mutex;
 
-use simtest::run_seed_checked;
+use netsim::TransportKind;
+use simtest::{run_seed_checked, run_seed_checked_forced, RunOptions};
 use testbed::experiments::{fig1_zcav, Scale};
 
 /// The jobs override is process-global; serialize tests that flip it.
@@ -34,6 +35,36 @@ fn simtest_sweep_is_bit_identical_across_job_counts() {
     let serial = sweep(1);
     let parallel = sweep(4);
     assert_eq!(serial, parallel, "sweep diverged between jobs=1 and jobs=4");
+}
+
+/// The same contract under forced TCP: the timed segment engine's timer
+/// events (retransmission schedules, blackout abort ladders) must be as
+/// deterministic as the rest of the world, at any job count. The TCP
+/// fingerprint folds the segment books in, so divergence anywhere in the
+/// retransmission schedule would show here.
+#[test]
+fn forced_tcp_sweep_is_bit_identical_across_job_counts() {
+    let seeds: Vec<u64> = (0..6).collect();
+    let sweep = |jobs| {
+        with_jobs(jobs, || {
+            simfleet::map_indexed(&seeds, |&seed| {
+                let r = run_seed_checked_forced(
+                    seed,
+                    RunOptions::default(),
+                    false,
+                    Some(TransportKind::Tcp),
+                )
+                .unwrap_or_else(|e| panic!("{e}"));
+                (r.fingerprint, r.ops, r.ok_ops, r.timed_out_ops, r.sim_nanos)
+            })
+        })
+    };
+    let serial = sweep(1);
+    let parallel = sweep(4);
+    assert_eq!(
+        serial, parallel,
+        "TCP sweep diverged between jobs=1 and jobs=4"
+    );
 }
 
 #[test]

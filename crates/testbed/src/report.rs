@@ -2,6 +2,7 @@
 //! figures and tables.
 
 use diskmodel::DiskStats;
+use netsim::TcpStats;
 use nfssim::ServerStats;
 use simcore::Summary;
 
@@ -130,6 +131,33 @@ pub fn render_disk_line(stats: &DiskStats) -> String {
     line
 }
 
+/// Renders one direction of a client's TCP segment-engine counters as a
+/// one-line summary: segment volume, retransmission rate, timeout/backoff
+/// activity, and the estimator's view of the path (SRTT, worst RTO).
+/// Degraded-run extras (fast retransmits, abandoned segments, reordering)
+/// appear only when nonzero.
+pub fn render_tcp_line(dir: &str, stats: &TcpStats) -> String {
+    let retx_pct = if stats.segments_sent == 0 {
+        0.0
+    } else {
+        stats.retransmits as f64 / stats.segments_sent as f64 * 100.0
+    };
+    let mut line = format!(
+        "tcp {dir}: {} segments, {} retransmits ({retx_pct:.1}%), {} timeouts, {} backoffs, srtt {}, max rto {}",
+        stats.segments_sent, stats.retransmits, stats.timeouts, stats.rto_backoffs, stats.srtt, stats.max_rto
+    );
+    if stats.fast_retransmits > 0 {
+        line.push_str(&format!(", {} fast retx", stats.fast_retransmits));
+    }
+    if stats.lost_tracked > 0 {
+        line.push_str(&format!(", {} abandoned", stats.lost_tracked));
+    }
+    if stats.order_violations > 0 {
+        line.push_str(&format!(", {} ORDER VIOLATIONS", stats.order_violations));
+    }
+    line
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -213,6 +241,40 @@ mod tests {
         assert!(
             !render_disk_line(&DiskStats::default()).contains("NaN"),
             "idle drive must not divide by zero"
+        );
+    }
+
+    #[test]
+    fn tcp_line_reports_retransmission_and_estimator_state() {
+        use simcore::SimDuration;
+        let mut s = TcpStats {
+            segments_sent: 200,
+            delivered: 198,
+            acked: 198,
+            retransmits: 10,
+            timeouts: 12,
+            rto_backoffs: 4,
+            srtt: SimDuration::from_micros(350),
+            max_rto: SimDuration::from_millis(800),
+            ..TcpStats::default()
+        };
+        let line = render_tcp_line("c2s", &s);
+        assert!(line.contains("tcp c2s: 200 segments"), "{line}");
+        assert!(line.contains("10 retransmits (5.0%)"), "{line}");
+        assert!(line.contains("12 timeouts"), "{line}");
+        assert!(line.contains("4 backoffs"), "{line}");
+        assert!(!line.contains("fast retx"), "clean run: {line}");
+        assert!(!line.contains("abandoned"), "clean run: {line}");
+        s.fast_retransmits = 2;
+        s.lost_tracked = 1;
+        s.order_violations = 3;
+        let line = render_tcp_line("s2c", &s);
+        assert!(line.contains("2 fast retx"), "{line}");
+        assert!(line.contains("1 abandoned"), "{line}");
+        assert!(line.contains("3 ORDER VIOLATIONS"), "{line}");
+        assert!(
+            render_tcp_line("c2s", &TcpStats::default()).contains("(0.0%)"),
+            "idle stream must not divide by zero"
         );
     }
 
