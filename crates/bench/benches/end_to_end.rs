@@ -148,6 +148,19 @@ fn main() {
         },
     );
 
+    // Crash-consistency end-to-end: the UNSTABLE-write workload with the
+    // nfsd-outage batch turned into a mid-gather server crash — the cost
+    // of simulating write-behind, gathering, the verifier-mismatch rewrite
+    // loop, and the write-loss oracle set on top of the fault schedule.
+    bench(out, "degraded_writeloss/crash_seed0", iters, || {
+        let p = simtest::plan(0, simtest::DEFAULT_BATCHES);
+        let opts = simtest::RunOptions {
+            write_loss: true,
+            ..simtest::RunOptions::default()
+        };
+        black_box(simtest::run_plan(&p, opts).expect("oracles hold"));
+    });
+
     // Forced-TCP end-to-end: the full fault schedule (including the
     // TCP-only total-blackout window) against the timed segment engine —
     // the cost of simulating RTO backoff ladders, per-segment timers, and

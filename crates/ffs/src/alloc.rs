@@ -138,6 +138,38 @@ impl Allocator {
         Inode { ino, size, blocks }
     }
 
+    /// Extends an inode to cover at least `new_size` bytes, allocating the
+    /// additional blocks at the current frontier (an extending write).
+    ///
+    /// The new run continues the file contiguously only when nothing else
+    /// was allocated since its tail — growing a file after later
+    /// allocations leaves a discontinuity, exactly as on a real FFS. A
+    /// `new_size` the file already covers allocates nothing (a shrink is
+    /// not modelled). `rng` drives aging decisions only; a fresh file
+    /// system never consults it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the partition has insufficient space.
+    pub fn extend_file(&mut self, inode: &mut Inode, new_size: u64, rng: &mut SimRng) {
+        let nblocks = new_size.div_ceil(BLOCK_BYTES);
+        let run = 8u64;
+        let mut remaining = nblocks.saturating_sub(inode.num_blocks());
+        while remaining > 0 {
+            let take = remaining.min(run);
+            if self.config.aging > 0.0 && rng.chance(self.config.aging) {
+                self.cursor += self.config.aging_gap_blocks * BLOCK_SECTORS;
+            }
+            for _ in 0..take {
+                let abs = self.partition.abs(self.cursor, BLOCK_SECTORS);
+                inode.blocks.push(abs);
+                self.cursor += BLOCK_SECTORS;
+            }
+            remaining -= take;
+        }
+        inode.size = inode.size.max(new_size);
+    }
+
     /// Cylinder-group index of a partition-relative byte offset
     /// (diagnostics; layout policy keeps whole files inside few groups).
     pub fn cg_of(&self, rel_bytes: u64) -> u64 {
@@ -204,6 +236,61 @@ mod tests {
             discontinuities >= 10,
             "aging 0.5 should fragment: {discontinuities} breaks"
         );
+    }
+
+    #[test]
+    fn extend_of_last_file_is_contiguous() {
+        let mut a = Allocator::new(part(), AllocConfig::default());
+        let mut rng = SimRng::new(1);
+        let mut f = a.create_file(64 * 1024, &mut rng); // 8 blocks
+        a.extend_file(&mut f, 128 * 1024, &mut rng); // +8 blocks
+        assert_eq!(f.num_blocks(), 16);
+        assert_eq!(f.size, 128 * 1024);
+        for i in 0..15 {
+            assert!(f.contiguous(i), "block {i} not contiguous after extend");
+        }
+    }
+
+    #[test]
+    fn extend_after_other_allocation_fragments() {
+        let mut a = Allocator::new(part(), AllocConfig::default());
+        let mut rng = SimRng::new(1);
+        let mut f1 = a.create_file(64 * 1024, &mut rng);
+        let f2 = a.create_file(64 * 1024, &mut rng);
+        a.extend_file(&mut f1, 128 * 1024, &mut rng);
+        // The extension skipped over f2's blocks: a discontinuity at the
+        // old tail, and no overlap with f2.
+        assert!(!f1.contiguous(7), "old tail should not touch the extension");
+        let f2_lbas: Vec<Lba> = (0..f2.num_blocks()).map(|b| f2.lba_of(b)).collect();
+        for b in 0..f1.num_blocks() {
+            assert!(!f2_lbas.contains(&f1.lba_of(b)), "extension overlaps f2");
+        }
+    }
+
+    #[test]
+    fn extend_within_current_blocks_allocates_nothing() {
+        let mut a = Allocator::new(part(), AllocConfig::default());
+        let mut rng = SimRng::new(1);
+        let mut f = a.create_file(BLOCK_BYTES + 1, &mut rng); // 2 blocks
+        let free_before = a.free_bytes();
+        a.extend_file(&mut f, 2 * BLOCK_BYTES, &mut rng);
+        assert_eq!(f.num_blocks(), 2);
+        assert_eq!(f.size, 2 * BLOCK_BYTES, "size still grows");
+        assert_eq!(a.free_bytes(), free_before, "no new blocks");
+        // A shrink is a no-op.
+        a.extend_file(&mut f, 1, &mut rng);
+        assert_eq!(f.size, 2 * BLOCK_BYTES);
+    }
+
+    #[test]
+    fn fresh_extend_ignores_rng() {
+        let mut a1 = Allocator::new(part(), AllocConfig::default());
+        let mut a2 = Allocator::new(part(), AllocConfig::default());
+        let mut f1 = a1.create_file(64 * 1024, &mut SimRng::new(1));
+        let mut f2 = a2.create_file(64 * 1024, &mut SimRng::new(999));
+        a1.extend_file(&mut f1, 256 * 1024, &mut SimRng::new(2));
+        a2.extend_file(&mut f2, 256 * 1024, &mut SimRng::new(777));
+        assert_eq!(f1.blocks, f2.blocks);
     }
 
     #[test]

@@ -174,6 +174,20 @@ impl FileSystem {
         ino
     }
 
+    /// Extends `ino` to cover at least `new_size` bytes (an extending
+    /// write): new blocks come from the allocation frontier, so a file
+    /// grown after later allocations becomes fragmented, as on a real FFS.
+    /// Growing to a size the file already covers is a no-op. `rng` drives
+    /// aging decisions only; a fresh file system never consults it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inode does not exist.
+    pub fn extend_file(&mut self, ino: u64, new_size: u64, rng: &mut SimRng) {
+        let inode = self.inodes.get_mut(&ino).expect("extend of unknown inode");
+        self.alloc.extend_file(inode, new_size, rng);
+    }
+
     /// Looks up an inode.
     pub fn inode(&self, ino: u64) -> Option<&Inode> {
         self.inodes.get(&ino)
@@ -704,6 +718,29 @@ mod tests {
         fs.read(done2[0].done_at, ino, 0, 8192, 0, 2);
         let done3 = run_until(&mut fs, 1);
         assert!(done3[0].done_at > done2[0].done_at);
+    }
+
+    #[test]
+    fn write_into_extended_region_succeeds() {
+        let mut fs = make_fs();
+        let mut rng = SimRng::new(1);
+        let ino = fs.create_file(64 * 1024, &mut rng); // 8 blocks
+        fs.extend_file(ino, 128 * 1024, &mut rng);
+        assert_eq!(fs.inode(ino).unwrap().size, 128 * 1024);
+        // A write past the old EOF lands on the newly allocated blocks.
+        fs.write(SimTime::ZERO, ino, 64 * 1024, 16_384, 1);
+        let done = run_until(&mut fs, 1);
+        assert_eq!(done[0].status, IoStatus::Ok);
+        assert!(fs.stats().writes >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond EOF")]
+    fn write_past_eof_without_extend_panics() {
+        let mut fs = make_fs();
+        let mut rng = SimRng::new(1);
+        let ino = fs.create_file(8192, &mut rng);
+        fs.write(SimTime::ZERO, ino, 16_384, 8192, 0);
     }
 
     #[test]

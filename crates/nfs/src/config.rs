@@ -1,6 +1,7 @@
 //! Configuration of the simulated NFS client/server pair.
 
 use netsim::{LinkProfile, TransportKind};
+use nfsproto::StableHow;
 use readahead_core::{NfsHeurConfig, ReadaheadPolicy};
 use simcore::SimDuration;
 
@@ -35,6 +36,22 @@ pub struct WorldConfig {
     pub retransmit_timeout: SimDuration,
     /// Maximum retransmissions before the mount is declared dead.
     pub max_retries: u32,
+    /// Stability level clients request on WRITE. [`StableHow::FileSync`]
+    /// is the historical synchronous write-through path;
+    /// [`StableHow::Unstable`] enables the NFSv3 async write path: the
+    /// server gathers dirty blocks and the client write-behinds, flushing
+    /// with COMMIT on close (RFC 1813 §4.7).
+    pub stable_how: StableHow,
+    /// How long the server holds UNSTABLE data hoping to coalesce it with
+    /// adjacent writes before flushing to disk (the write-gathering
+    /// window; FreeBSD's syncer ticks at 30 ms granularity).
+    pub gather_window: SimDuration,
+    /// Server dirty-pool ceiling in blocks; above it the written file is
+    /// flushed immediately instead of waiting out the gather window.
+    pub server_dirty_max_blocks: usize,
+    /// Client write-behind ceiling in blocks; above it dirty runs are
+    /// pushed in process context even when every nfsiod is busy.
+    pub client_dirty_max_blocks: usize,
 }
 
 impl Default for WorldConfig {
@@ -52,6 +69,10 @@ impl Default for WorldConfig {
             busy_loops: 0,
             retransmit_timeout: SimDuration::from_millis(800),
             max_retries: 8,
+            stable_how: StableHow::FileSync,
+            gather_window: SimDuration::from_millis(30),
+            server_dirty_max_blocks: 512,
+            client_dirty_max_blocks: 64,
         }
     }
 }
@@ -148,6 +169,10 @@ mod tests {
         assert_eq!(c.rsize, 8_192);
         assert_eq!(c.transport, TransportKind::Udp);
         assert_eq!(c.busy_loops, 0);
+        // The default write path is the historical synchronous one; the
+        // async machinery only arms when a config opts into UNSTABLE.
+        assert_eq!(c.stable_how, StableHow::FileSync);
+        assert_eq!(c.gather_window, SimDuration::from_millis(30));
     }
 
     #[test]

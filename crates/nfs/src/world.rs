@@ -25,11 +25,11 @@
 //! bit-identical to the historical single-client world (client 0's RNG
 //! stream label *is* the old world stream).
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 
 use ffs::{BufferCache, FileSystem};
 use netsim::{TcpEvent, TcpStats, Transport, TransportKind, TxOutcome};
-use nfsproto::{FileHandle, NfsCall, NfsReply, NfsStatus};
+use nfsproto::{write_verf, FileHandle, NfsCall, NfsReply, NfsStatus, StableHow};
 use readahead_core::NfsHeur;
 use simcore::{EventQueue, SimDuration, SimRng, SimTime};
 
@@ -41,6 +41,16 @@ const CLIENT_STREAM_BASE: u64 = 0x4E46_5349_4D00;
 /// Per-client stream spacing (the splitmix64 golden-ratio increment), so
 /// host streams are decorrelated but purely seed-and-index derived.
 const CLIENT_STREAM_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// RNG stream label for the server's own draws (file-extension layout on
+/// aged file systems). Separate from every client stream so arming the
+/// async write path never perturbs client schedules.
+const SERVER_STREAM: u64 = 0x4E46_5352_5600; // "NFSRV"
+
+/// High bit of a file-system routing tag marking a server-initiated dirty
+/// flush (write gathering / COMMIT), not a client RPC. Client call keys
+/// are `client << 32 | xid` with small client indices, so bit 63 is free.
+const FLUSH_KEY_BIT: u64 = 1 << 63;
 
 /// Packs a client index and an RPC xid into one event/FS routing key.
 /// Client 0 keys are numerically equal to the bare xid, which keeps the
@@ -151,6 +161,22 @@ pub struct ServerStats {
     pub heur_occupancy: u64,
     /// Replies sent with `NFS3ERR_IO` because the disk failed the request.
     pub disk_eios: u64,
+    /// UNSTABLE WRITE calls stashed in the dirty pool (no disk wait).
+    pub unstable_writes: u64,
+    /// COMMIT calls received.
+    pub commits: u64,
+    /// Dirty-pool flushes submitted to the disk (one per coalesced run).
+    pub gather_flushes: u64,
+    /// Blocks that entered the dirty pool (a block re-dirtied after a
+    /// flush counts again; a block dirtied twice before flushing doesn't).
+    pub dirty_blocks_stashed: u64,
+    /// Blocks the dirty pool submitted to disk.
+    pub dirty_blocks_flushed: u64,
+    /// Blocks dropped from the dirty pool by a server restart — the data
+    /// a crash loses, which clients must detect via the verifier.
+    pub dirty_blocks_lost: u64,
+    /// Server restarts (each one changes the write verifier).
+    pub restarts: u64,
 }
 
 impl ServerStats {
@@ -190,6 +216,18 @@ pub struct ClientStats {
     pub duplicate_replies: u64,
     /// Replies that carried `NFS3ERR_IO` and failed the waiting operation.
     pub eio_replies: u64,
+    /// UNSTABLE WRITE RPCs sent by the write-behind machinery (first
+    /// transmissions; zero outside the async write path).
+    pub write_rpcs: u64,
+    /// COMMIT RPCs sent (first transmissions).
+    pub commit_rpcs: u64,
+    /// `close()` operations issued.
+    pub closes: u64,
+    /// COMMIT replies whose verifier did not match the one stored with
+    /// the uncommitted blocks — each one a detected server crash window.
+    pub verifier_mismatches: u64,
+    /// Blocks re-dirtied and rewritten after a verifier mismatch.
+    pub blocks_rewritten: u64,
     /// TCP segment-engine books for the client→server stream (all zero
     /// on UDP mounts).
     pub tcp_c2s: TcpStats,
@@ -233,12 +271,16 @@ enum Ev {
     /// Call delivered to the server.
     CallArrive { key: u64 },
     /// Reply delivered to the client; `eio` marks an `NFS3ERR_IO` reply.
-    ReplyArrive { key: u64, eio: bool },
+    /// `verf` is the write verifier for WRITE/COMMIT replies (0 otherwise).
+    ReplyArrive { key: u64, eio: bool, verf: u64 },
     /// UDP retransmission check.
     Retransmit { key: u64, attempt: u32 },
     /// A TCP stream's earliest retransmission deadline fell due; fire the
     /// segment engine's timers (`c2s` picks the direction).
     TcpTick { client: usize, c2s: bool },
+    /// The server's write-gathering window for `ino` expired: flush its
+    /// dirty pool to disk. Stale events (already-flushed pools) no-op.
+    GatherExpire { ino: u64 },
 }
 
 #[derive(Debug)]
@@ -271,6 +313,41 @@ struct OpState {
     eio: Option<u32>,
 }
 
+/// Where a write-behind block stands in the client's dirty cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WbState {
+    /// Modified locally, not yet sent to the server.
+    Dirty,
+    /// An UNSTABLE WRITE carrying it is outstanding.
+    InFlight { xid: u32 },
+    /// The server acked it UNSTABLE under this verifier; it is safe only
+    /// once a COMMIT returns the same verifier.
+    Uncommitted { verf: u64 },
+}
+
+/// Per-file client write-behind state (async write path only).
+#[derive(Debug)]
+struct WbFile {
+    fh: FileHandle,
+    /// Block number → state. Ordered so dirty runs coalesce
+    /// deterministically.
+    blocks: BTreeMap<u64, WbState>,
+    /// Active `close()` flushing this file, if any.
+    close: Option<CloseState>,
+}
+
+#[derive(Debug)]
+struct CloseState {
+    op: OpId,
+    /// COMMIT currently outstanding for this close, if any.
+    commit_xid: Option<u32>,
+    /// `(blk, verf)` pairs the outstanding COMMIT covers. Only these may
+    /// be retired by its reply: a block acked UNSTABLE *after* the COMMIT
+    /// left may not be covered by the server's commit flush, and
+    /// retiring it would fake durability.
+    snapshot: Vec<(u64, u64)>,
+}
+
 /// One client host: its mount state, caches, daemons, links, and RNG.
 #[derive(Debug)]
 struct ClientHost {
@@ -293,8 +370,11 @@ struct ClientHost {
     /// TCP only: queued c2s segment seq → call key, resolved by the
     /// segment engine's deferred [`TcpEvent`]s.
     c2s_seq: HashMap<u64, u64>,
-    /// TCP only: queued s2c segment seq → (call key, eio flag).
-    s2c_seq: HashMap<u64, (u64, bool)>,
+    /// TCP only: queued s2c segment seq → (call key, eio flag, verifier).
+    s2c_seq: HashMap<u64, (u64, bool, u64)>,
+    /// Write-behind dirty cache, by inode (async write path only; always
+    /// empty on FILE_SYNC mounts).
+    wb: HashMap<u64, WbFile>,
     /// Earliest [`Ev::TcpTick`] currently scheduled per direction
     /// (`SimTime::MAX` = none), so redundant ticks stay bounded.
     c2s_tick: SimTime,
@@ -375,6 +455,39 @@ struct ServerHost {
     reply_scratch: Vec<u8>,
     /// Test hook: number of upcoming replies to count but not transmit.
     sabotage_drop_replies: u32,
+    /// Server identity folded into the write verifier.
+    instance: u64,
+    /// Boot count; a restart bumps it and with it the verifier.
+    boot_epoch: u64,
+    /// Current RFC 1813 write verifier (pure function of instance+epoch).
+    verf: u64,
+    /// Layout draws for file extension (aging only; fresh fs never draws).
+    alloc_rng: SimRng,
+    /// Dirty pool: ino → blocks stashed by UNSTABLE WRITEs awaiting a
+    /// gather-window flush, COMMIT, or pressure. Ordered both ways so
+    /// flush coalescing and restart loss accounting are deterministic.
+    dirty: BTreeMap<u64, BTreeSet<u64>>,
+    /// In-flight dirty flush spans, by flush tag (sans [`FLUSH_KEY_BIT`]).
+    flushing: HashMap<u64, FlushSpan>,
+    next_flush: u64,
+    /// Outstanding flush I/Os per ino (COMMIT replies wait on zero).
+    flush_outstanding: HashMap<u64, usize>,
+    /// Inodes whose async flush hit EIO; latched until the next COMMIT
+    /// reports it (RFC 1813: async write errors surface at commit time).
+    flush_errors: HashSet<u64>,
+    /// COMMIT call keys parked until their ino's flushes complete.
+    pending_commits: HashMap<u64, Vec<u64>>,
+    /// Blocks known to be on stable storage, for crash-consistency
+    /// oracles: `(ino, blk)` enters on a completed FILE_SYNC write or
+    /// dirty flush and never leaves (the model carries no data contents).
+    durable: HashSet<(u64, u64)>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct FlushSpan {
+    ino: u64,
+    first_blk: u64,
+    nblocks: u64,
 }
 
 /// The whole simulated NFS installation: N client hosts, one server.
@@ -455,6 +568,7 @@ impl NfsWorld {
                     s2c_seq: HashMap::new(),
                     c2s_tick: SimTime::MAX,
                     s2c_tick: SimTime::MAX,
+                    wb: HashMap::new(),
                 }
             })
             .collect();
@@ -477,6 +591,17 @@ impl NfsWorld {
                 stats: ServerStats::default(),
                 reply_scratch: Vec::new(),
                 sabotage_drop_replies: 0,
+                instance: seed,
+                boot_epoch: 0,
+                verf: write_verf(seed, 0),
+                alloc_rng: SimRng::from_seed_and_stream(seed, SERVER_STREAM),
+                dirty: BTreeMap::new(),
+                flushing: HashMap::new(),
+                next_flush: 0,
+                flush_outstanding: HashMap::new(),
+                flush_errors: HashSet::new(),
+                pending_commits: HashMap::new(),
+                durable: HashSet::new(),
             },
             ops: HashMap::new(),
             ready: Vec::new(),
@@ -769,6 +894,54 @@ impl NfsWorld {
         self.server.sabotage_drop_replies += n;
     }
 
+    /// Crashes and reboots the server: the write verifier changes (RFC
+    /// 1813 §4.7 — clients comparing it learn their UNSTABLE data may be
+    /// gone), every block still in the dirty pool is lost, async-error
+    /// latches clear, and the server's caches come up cold. In-flight
+    /// disk I/O completes (it had left RAM), queued RPCs survive (they
+    /// live on the wire, not in server memory), and the `nfsd` pool size
+    /// is untouched — pair with [`NfsWorld::set_nfsds`] to model the
+    /// outage window itself.
+    pub fn restart_server(&mut self, _now: SimTime) {
+        self.server.boot_epoch += 1;
+        self.server.verf = write_verf(self.server.instance, self.server.boot_epoch);
+        self.server.stats.restarts += 1;
+        for (_ino, blks) in std::mem::take(&mut self.server.dirty) {
+            self.server.stats.dirty_blocks_lost += blks.len() as u64;
+        }
+        self.server.flush_errors.clear();
+        self.server.fs.flush_caches();
+    }
+
+    /// The server's current write verifier (changes iff it restarts).
+    pub fn server_write_verf(&self) -> u64 {
+        self.server.verf
+    }
+
+    /// Whether a file block is known to be on the server's stable
+    /// storage — the crash-consistency oracle's ground truth. A block
+    /// becomes durable when a FILE_SYNC/DATA_SYNC write or a dirty-pool
+    /// flush covering it completes without error.
+    pub fn is_durable(&self, fh: FileHandle, blk: u64) -> bool {
+        self.server.durable.contains(&(fh.ino, blk))
+    }
+
+    /// Blocks currently sitting in the server's dirty pool (a gauge; the
+    /// dirty books balance as `stashed == flushed + lost + this`).
+    pub fn server_dirty_blocks(&self) -> u64 {
+        self.server.dirty.values().map(|b| b.len() as u64).sum()
+    }
+
+    /// Blocks in one client's write-behind cache not yet known committed
+    /// (dirty, in flight, or acked only UNSTABLE).
+    pub fn client_uncommitted_blocks(&self, client: usize) -> u64 {
+        self.clients[client]
+            .wb
+            .values()
+            .map(|f| f.blocks.len() as u64)
+            .sum()
+    }
+
     /// Issues a process-level read of `len` bytes at `offset` on client 0.
     ///
     /// # Panics
@@ -879,21 +1052,29 @@ impl NfsWorld {
     }
 
     /// Issues a process-level write of `len` bytes at `offset` on client 0
-    /// (used by the mixed-workload extension; data content is elided,
-    /// sizes are real).
+    /// (data content is elided, sizes are real). A write past EOF extends
+    /// the file, as real NFS clients do.
     ///
     /// # Panics
     ///
-    /// Panics on an unknown handle or a write beyond EOF.
+    /// Panics on an unknown handle.
     pub fn write(&mut self, now: SimTime, fh: FileHandle, offset: u64, len: u64, tag: u64) -> OpId {
         self.write_from(0, now, fh, offset, len, tag)
     }
 
     /// Issues a process-level write on the given client host.
     ///
+    /// On a FILE_SYNC mount (the default) this is the historical
+    /// synchronous write-through path: one WRITE RPC, the op completes
+    /// when the server's disk acks. With [`StableHow::Unstable`]
+    /// configured, the write lands in the client's write-behind cache and
+    /// the op completes locally; dirty runs are pushed to the server as
+    /// UNSTABLE WRITEs through the `nfsiod` pool and only
+    /// [`NfsWorld::close_from`] guarantees durability.
+    ///
     /// # Panics
     ///
-    /// Panics on an unknown handle or a write beyond EOF.
+    /// Panics on an unknown handle.
     pub fn write_from(
         &mut self,
         client: usize,
@@ -906,15 +1087,50 @@ impl NfsWorld {
         assert!(len > 0, "zero-length write");
         let cpu = self.cpu;
         let cl = &mut self.clients[client];
-        let file = *cl.files.get(&fh.ino).expect("write to unmounted file");
-        assert!(offset + len <= file.size, "write beyond EOF");
+        let file = cl.files.get_mut(&fh.ino).expect("write to unmounted file");
+        if offset + len > file.size {
+            // Extending write: grow the client's view; the server extends
+            // the inode when the WRITE arrives.
+            file.size = offset + len;
+        }
         let id = OpId(self.next_op);
         self.next_op += 1;
         cl.stats.ops += 1;
-        // Write-through: drop the written blocks from the client cache.
+        // Write-through the read cache either way: the written blocks'
+        // cached contents are stale.
         let rsize = u64::from(self.config.rsize);
-        for blk in (offset / rsize)..=((offset + len - 1) / rsize) {
+        let first_blk = offset / rsize;
+        let last_blk = (offset + len - 1) / rsize;
+        for blk in first_blk..=last_blk {
             cl.cache.invalidate((fh.ino, blk));
+        }
+        if self.config.stable_how == StableHow::Unstable {
+            // Async write path: dirty the blocks and return immediately;
+            // durability waits for close(). A block overwritten while a
+            // WRITE for it is in flight drops back to Dirty — the old
+            // in-flight ack must not mark the new data clean.
+            let wbf = cl.wb.entry(fh.ino).or_insert_with(|| WbFile {
+                fh,
+                blocks: BTreeMap::new(),
+                close: None,
+            });
+            for blk in first_blk..=last_blk {
+                wbf.blocks.insert(blk, WbState::Dirty);
+            }
+            self.ops.insert(
+                id,
+                OpState {
+                    client,
+                    tag,
+                    issued_at: now,
+                    outstanding_blocks: 0,
+                    timed_out: None,
+                    eio: None,
+                },
+            );
+            self.finish_op(id, now + SimDuration::from_secs_f64(cpu.client_complete));
+            self.wb_push(client, now, fh.ino);
+            return id;
         }
         self.ops.insert(
             id,
@@ -935,9 +1151,73 @@ impl NfsWorld {
                 fh,
                 offset,
                 count: u32::try_from(len).expect("write fits u32"),
+                stable: self.config.stable_how,
             },
         );
         self.clients[client].rpc_waiters.insert(xid, id);
+        id
+    }
+
+    /// Closes `fh` on client 0 (see [`NfsWorld::close_from`]).
+    pub fn close(&mut self, now: SimTime, fh: FileHandle, tag: u64) -> OpId {
+        self.close_from(0, now, fh, tag)
+    }
+
+    /// Closes `fh` on the given client host: close-to-open consistency.
+    ///
+    /// On the async write path this flushes every dirty block as UNSTABLE
+    /// WRITEs, then COMMITs and compares the returned verifier against
+    /// the one each block was acked under. A mismatch means the server
+    /// restarted while the data sat in its dirty pool — those blocks are
+    /// re-dirtied, rewritten, and re-COMMITted until the verifier holds.
+    /// The op completes `Ok` only once every block written to this file
+    /// is on the server's stable storage; a WRITE/COMMIT error fails it
+    /// (`Eio`/`RpcTimedOut`) and drops the file's write-behind tracking,
+    /// as a soft mount does. On a FILE_SYNC mount every write was already
+    /// stable, so close completes immediately.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown handle.
+    pub fn close_from(&mut self, client: usize, now: SimTime, fh: FileHandle, tag: u64) -> OpId {
+        let cpu = self.cpu;
+        let cl = &mut self.clients[client];
+        assert!(cl.files.contains_key(&fh.ino), "close of unmounted file");
+        let id = OpId(self.next_op);
+        self.next_op += 1;
+        cl.stats.ops += 1;
+        cl.stats.closes += 1;
+        self.ops.insert(
+            id,
+            OpState {
+                client,
+                tag,
+                issued_at: now,
+                outstanding_blocks: 0,
+                timed_out: None,
+                eio: None,
+            },
+        );
+        let cl = &mut self.clients[client];
+        match cl.wb.get_mut(&fh.ino) {
+            Some(wbf) if !wbf.blocks.is_empty() => {
+                assert!(
+                    wbf.close.is_none(),
+                    "two concurrent closes of one file on one client"
+                );
+                wbf.close = Some(CloseState {
+                    op: id,
+                    commit_xid: None,
+                    snapshot: Vec::new(),
+                });
+                self.close_step(client, now, fh.ino);
+            }
+            _ => {
+                // Nothing outstanding: close is a local no-op.
+                cl.wb.remove(&fh.ino);
+                self.finish_op(id, now + SimDuration::from_secs_f64(cpu.client_complete));
+            }
+        }
         id
     }
 
@@ -1086,13 +1366,310 @@ impl NfsWorld {
         xid
     }
 
+    // ------------------------------------------------------------------
+    // Client write-behind (async write path).
+    // ------------------------------------------------------------------
+
+    /// First run of consecutive dirty blocks in `wbf`, capped at 8 blocks
+    /// (one 64 KB WRITE), as `(first, last)`.
+    fn first_dirty_run(wbf: &WbFile) -> Option<(u64, u64)> {
+        let (&first, _) = wbf.blocks.iter().find(|(_, s)| **s == WbState::Dirty)?;
+        let mut last = first;
+        while last - first + 1 < 8 && wbf.blocks.get(&(last + 1)) == Some(&WbState::Dirty) {
+            last += 1;
+        }
+        Some((first, last))
+    }
+
+    /// Sends one UNSTABLE WRITE covering blocks `first..=last` of `ino`,
+    /// marking them in flight. `send_at` already includes marshalling.
+    fn wb_issue_write(&mut self, client: usize, send_at: SimTime, ino: u64, first: u64, last: u64) {
+        let rsize = u64::from(self.config.rsize);
+        let cl = &mut self.clients[client];
+        let fh = cl.wb.get(&ino).expect("write-behind file present").fh;
+        cl.stats.write_rpcs += 1;
+        let count = u32::try_from((last - first + 1) * rsize).expect("run fits u32");
+        let xid = self.issue_call(
+            client,
+            send_at,
+            NfsCall::Write {
+                fh,
+                offset: first * rsize,
+                count,
+                stable: StableHow::Unstable,
+            },
+        );
+        let wbf = self.clients[client]
+            .wb
+            .get_mut(&ino)
+            .expect("present above");
+        for blk in first..=last {
+            wbf.blocks.insert(blk, WbState::InFlight { xid });
+        }
+    }
+
+    /// Pushes dirty runs of `ino` toward the server. Each run rides a
+    /// free nfsiod like read-ahead does; once the client's dirty total
+    /// exceeds its ceiling the runs go out in process context instead
+    /// (the writing process throttles itself).
+    fn wb_push(&mut self, client: usize, now: SimTime, ino: u64) {
+        let cpu = self.cpu;
+        let max_dirty = self.config.client_dirty_max_blocks;
+        loop {
+            let cl = &mut self.clients[client];
+            let dirty_total: usize = cl
+                .wb
+                .values()
+                .map(|f| f.blocks.values().filter(|s| **s == WbState::Dirty).count())
+                .sum();
+            let Some(wbf) = cl.wb.get(&ino) else { return };
+            let Some((first, last)) = Self::first_dirty_run(wbf) else {
+                return;
+            };
+            let pressure = dirty_total > max_dirty;
+            let base = if pressure {
+                now
+            } else if let Some(iod) = cl.acquire_iod(now) {
+                iod
+            } else {
+                cl.stats.iod_starved += 1;
+                return;
+            };
+            let send_at = base + cl.marshal_delay(cpu);
+            if !pressure {
+                cl.set_iod_busy_until(send_at);
+            }
+            self.wb_issue_write(client, send_at, ino, first, last);
+        }
+    }
+
+    /// Advances an active close: push remaining dirty runs (process
+    /// context — close blocks its caller), wait out in-flight WRITEs,
+    /// COMMIT once everything is merely uncommitted, and finish when the
+    /// tracking map empties.
+    fn close_step(&mut self, client: usize, now: SimTime, ino: u64) {
+        let cpu = self.cpu;
+        {
+            let cl = &mut self.clients[client];
+            let Some(wbf) = cl.wb.get(&ino) else { return };
+            let Some(close) = wbf.close.as_ref() else {
+                return;
+            };
+            if close.commit_xid.is_some() {
+                return; // The COMMIT reply re-enters here.
+            }
+            if wbf.blocks.is_empty() {
+                let op = close.op;
+                cl.wb.remove(&ino);
+                self.finish_op(op, now + SimDuration::from_secs_f64(cpu.client_complete));
+                return;
+            }
+        }
+        loop {
+            let cl = &mut self.clients[client];
+            let wbf = cl.wb.get(&ino).expect("checked above");
+            let Some((first, last)) = Self::first_dirty_run(wbf) else {
+                break;
+            };
+            let send_at = now + cl.marshal_delay(cpu);
+            self.wb_issue_write(client, send_at, ino, first, last);
+        }
+        let cl = &mut self.clients[client];
+        let wbf = cl.wb.get_mut(&ino).expect("checked above");
+        if wbf
+            .blocks
+            .values()
+            .any(|s| matches!(s, WbState::InFlight { .. }))
+        {
+            return; // WRITE replies drive the next step.
+        }
+        // Everything acked UNSTABLE: commit, remembering exactly which
+        // (block, verifier) pairs this COMMIT may retire.
+        let fh = wbf.fh;
+        let snapshot: Vec<(u64, u64)> = wbf
+            .blocks
+            .iter()
+            .map(|(&b, s)| match s {
+                WbState::Uncommitted { verf } => (b, *verf),
+                _ => unreachable!("no dirty or in-flight blocks remain"),
+            })
+            .collect();
+        let send_at = now + cl.marshal_delay(cpu);
+        cl.stats.commit_rpcs += 1;
+        let xid = self.issue_call(
+            client,
+            send_at,
+            NfsCall::Commit {
+                fh,
+                offset: 0,
+                count: 0,
+            },
+        );
+        let close = self.clients[client]
+            .wb
+            .get_mut(&ino)
+            .expect("checked above")
+            .close
+            .as_mut()
+            .expect("active close");
+        close.commit_xid = Some(xid);
+        close.snapshot = snapshot;
+    }
+
+    /// Fails an active close (soft-mount semantics) and drops the file's
+    /// write-behind tracking.
+    fn fail_close(&mut self, client: usize, at: SimTime, ino: u64, xid: u32, timeout: bool) {
+        let cpu = self.cpu;
+        let Some(wbf) = self.clients[client].wb.remove(&ino) else {
+            return;
+        };
+        let Some(close) = wbf.close else { return };
+        if let Some(op) = self.ops.get_mut(&close.op) {
+            if timeout {
+                op.timed_out = Some(xid);
+            } else {
+                op.eio = Some(xid);
+            }
+            self.finish_op(
+                close.op,
+                at + SimDuration::from_secs_f64(cpu.client_complete),
+            );
+        }
+    }
+
+    /// An UNSTABLE WRITE reply landed: blocks still in flight under this
+    /// xid become uncommitted-under-`verf` (or fail the close on EIO).
+    #[allow(clippy::too_many_arguments)]
+    fn wb_write_reply(
+        &mut self,
+        at: SimTime,
+        client: usize,
+        xid: u32,
+        ino: u64,
+        offset: u64,
+        count: u32,
+        eio: bool,
+        verf: u64,
+    ) {
+        let rsize = u64::from(self.config.rsize);
+        let cl = &mut self.clients[client];
+        let Some(wbf) = cl.wb.get_mut(&ino) else {
+            return;
+        };
+        let first = offset / rsize;
+        let last = (offset + u64::from(count) - 1) / rsize;
+        if eio {
+            if wbf.close.is_some() {
+                self.fail_close(client, at, ino, xid, false);
+            } else {
+                // Write-behind error outside a close: re-dirty so the
+                // close retries (and surfaces the error if it persists).
+                for blk in first..=last {
+                    if wbf.blocks.get(&blk) == Some(&WbState::InFlight { xid }) {
+                        wbf.blocks.insert(blk, WbState::Dirty);
+                    }
+                }
+            }
+            return;
+        }
+        for blk in first..=last {
+            if wbf.blocks.get(&blk) == Some(&WbState::InFlight { xid }) {
+                wbf.blocks.insert(blk, WbState::Uncommitted { verf });
+            }
+        }
+        if wbf.close.is_some() {
+            self.close_step(client, at, ino);
+        }
+    }
+
+    /// An UNSTABLE WRITE exhausted its retransmissions: with a close
+    /// active the close fails soft-mount style; otherwise the blocks
+    /// drop back to dirty for the eventual close to retry.
+    fn wb_write_timeout(
+        &mut self,
+        at: SimTime,
+        client: usize,
+        xid: u32,
+        ino: u64,
+        offset: u64,
+        count: u32,
+    ) {
+        let rsize = u64::from(self.config.rsize);
+        let cl = &mut self.clients[client];
+        let Some(wbf) = cl.wb.get_mut(&ino) else {
+            return;
+        };
+        if wbf.close.is_some() {
+            self.fail_close(client, at, ino, xid, true);
+            return;
+        }
+        let first = offset / rsize;
+        let last = (offset + u64::from(count) - 1) / rsize;
+        for blk in first..=last {
+            if wbf.blocks.get(&blk) == Some(&WbState::InFlight { xid }) {
+                wbf.blocks.insert(blk, WbState::Dirty);
+            }
+        }
+    }
+
+    /// A COMMIT reply landed: snapshot blocks whose ack verifier matches
+    /// the server's are durable and leave the tracking map; a mismatch
+    /// means the server rebooted with the data in its dirty pool — those
+    /// blocks re-dirty, count as rewrites, and the close loops.
+    fn wb_commit_reply(
+        &mut self,
+        at: SimTime,
+        client: usize,
+        xid: u32,
+        ino: u64,
+        eio: bool,
+        verf: u64,
+    ) {
+        let cl = &mut self.clients[client];
+        let Some(wbf) = cl.wb.get_mut(&ino) else {
+            return;
+        };
+        let snapshot = {
+            let Some(close) = wbf.close.as_mut() else {
+                return;
+            };
+            if close.commit_xid != Some(xid) {
+                return;
+            }
+            close.commit_xid = None;
+            std::mem::take(&mut close.snapshot)
+        };
+        if eio {
+            self.fail_close(client, at, ino, xid, false);
+            return;
+        }
+        let mut rewrites = 0u64;
+        for (blk, v) in snapshot {
+            if wbf.blocks.get(&blk) != Some(&WbState::Uncommitted { verf: v }) {
+                continue; // Re-dirtied since the COMMIT left; handled anew.
+            }
+            if v == verf {
+                wbf.blocks.remove(&blk);
+            } else {
+                wbf.blocks.insert(blk, WbState::Dirty);
+                rewrites += 1;
+            }
+        }
+        if rewrites > 0 {
+            cl.stats.verifier_mismatches += 1;
+            cl.stats.blocks_rewritten += rewrites;
+        }
+        self.close_step(client, at, ino);
+    }
+
     fn handle(&mut self, at: SimTime, ev: Ev) {
         match ev {
             Ev::Send { key } => self.do_send(at, key),
             Ev::CallArrive { key } => self.server_call_arrive(at, key),
-            Ev::ReplyArrive { key, eio } => self.client_reply_arrive(at, key, eio),
+            Ev::ReplyArrive { key, eio, verf } => self.client_reply_arrive(at, key, eio, verf),
             Ev::Retransmit { key, attempt } => self.check_retransmit(at, key, attempt),
             Ev::TcpTick { client, c2s } => self.tcp_tick(at, client, c2s),
+            Ev::GatherExpire { ino } => self.server_flush_ino(at, ino),
         }
     }
 
@@ -1137,8 +1714,9 @@ impl NfsWorld {
                         let key = cl.c2s_seq.remove(&seq).expect("queued seq mapped");
                         self.queue.schedule_at(t, Ev::CallArrive { key });
                     } else {
-                        let (key, eio) = cl.s2c_seq.remove(&seq).expect("queued seq mapped");
-                        self.queue.schedule_at(t, Ev::ReplyArrive { key, eio });
+                        let (key, eio, verf) = cl.s2c_seq.remove(&seq).expect("queued seq mapped");
+                        self.queue
+                            .schedule_at(t, Ev::ReplyArrive { key, eio, verf });
                     }
                 }
                 TcpEvent::Aborted { seq } => {
@@ -1232,6 +1810,29 @@ impl NfsWorld {
             }
             return;
         }
+        match call {
+            NfsCall::Write {
+                fh,
+                offset,
+                count,
+                stable: StableHow::Unstable,
+            } => {
+                self.wb_write_timeout(at, client, xid, fh.ino, offset, count);
+                return;
+            }
+            NfsCall::Commit { fh, .. } => {
+                let committing = self.clients[client]
+                    .wb
+                    .get(&fh.ino)
+                    .and_then(|w| w.close.as_ref())
+                    .is_some_and(|c| c.commit_xid == Some(xid));
+                if committing {
+                    self.fail_close(client, at, fh.ino, xid, true);
+                }
+                return;
+            }
+            _ => {}
+        }
         let NfsCall::Read { fh, offset, count } = call else {
             return;
         };
@@ -1258,7 +1859,7 @@ impl NfsWorld {
         }
     }
 
-    fn client_reply_arrive(&mut self, at: SimTime, key: u64, eio: bool) {
+    fn client_reply_arrive(&mut self, at: SimTime, key: u64, eio: bool, verf: u64) {
         let client = key_client(key);
         let xid = key_xid(key);
         let cpu = self.cpu;
@@ -1289,6 +1890,22 @@ impl NfsWorld {
             }
             self.finish_op(id, done);
             return;
+        }
+        match call {
+            NfsCall::Write {
+                fh,
+                offset,
+                count,
+                stable: StableHow::Unstable,
+            } => {
+                self.wb_write_reply(at, client, xid, fh.ino, offset, count, eio, verf);
+                return;
+            }
+            NfsCall::Commit { fh, .. } => {
+                self.wb_commit_reply(at, client, xid, fh.ino, eio, verf);
+                return;
+            }
+            _ => {}
         }
         let NfsCall::Read { fh, offset, count } = call else {
             return;
@@ -1442,10 +2059,66 @@ impl NfsWorld {
                     .fs
                     .read(t1, fh.ino, offset, u64::from(count), seqcount, key);
             }
-            NfsCall::Write { fh, offset, count } => {
-                self.server
-                    .fs
-                    .write(t1, fh.ino, offset, u64::from(count), key);
+            NfsCall::Write {
+                fh,
+                offset,
+                count,
+                stable,
+            } => {
+                self.server_extend(fh.ino, offset + u64::from(count));
+                if stable == StableHow::Unstable {
+                    // Async write: stash the blocks in the dirty pool and
+                    // reply immediately — that early reply *is* the NFSv3
+                    // async win. The data reaches disk when the gather
+                    // window expires, the pool hits its ceiling, or a
+                    // COMMIT forces it.
+                    self.server.stats.unstable_writes += 1;
+                    let bs = u64::from(self.config.rsize);
+                    let first = offset / bs;
+                    let last = (offset + u64::from(count) - 1) / bs;
+                    let pool = self.server.dirty.entry(fh.ino).or_default();
+                    for blk in first..=last {
+                        if pool.insert(blk) {
+                            self.server.stats.dirty_blocks_stashed += 1;
+                        }
+                    }
+                    if self.server_dirty_blocks() > self.config.server_dirty_max_blocks as u64 {
+                        self.server_flush_ino(t1, fh.ino);
+                    } else {
+                        self.queue.schedule_at(
+                            t1 + self.config.gather_window,
+                            Ev::GatherExpire { ino: fh.ino },
+                        );
+                    }
+                    self.server_fs_done(key, t1, false);
+                } else {
+                    // FILE_SYNC / DATA_SYNC: write through to disk; the
+                    // reply waits for the platter, as NFSv2 always did.
+                    self.server
+                        .fs
+                        .write(t1, fh.ino, offset, u64::from(count), key);
+                }
+            }
+            NfsCall::Commit { fh, .. } => {
+                self.server.stats.commits += 1;
+                self.server_flush_ino(t1, fh.ino);
+                if self
+                    .server
+                    .flush_outstanding
+                    .get(&fh.ino)
+                    .is_none_or(|n| *n == 0)
+                {
+                    let eio = self.server.flush_errors.remove(&fh.ino);
+                    self.server_fs_done(key, t1, eio);
+                } else {
+                    // The nfsd parks on the in-flight flush, exactly as a
+                    // sync WRITE parks on the disk.
+                    self.server
+                        .pending_commits
+                        .entry(fh.ino)
+                        .or_default()
+                        .push(key);
+                }
             }
             NfsCall::Getattr { .. } | NfsCall::Lookup { .. } => {
                 // Metadata served from in-core state: reply immediately.
@@ -1454,11 +2127,106 @@ impl NfsWorld {
         }
     }
 
+    /// Grows the server's inode to cover `end_bytes` — NFSv3 WRITEs past
+    /// EOF extend the file (RFC 1813 §3.3.7).
+    fn server_extend(&mut self, ino: u64, end_bytes: u64) {
+        if self
+            .server
+            .fs
+            .inode(ino)
+            .is_some_and(|i| end_bytes > i.size)
+        {
+            self.server
+                .fs
+                .extend_file(ino, end_bytes, &mut self.server.alloc_rng);
+        }
+    }
+
+    /// Flushes `ino`'s gathered dirty blocks to disk as coalesced runs
+    /// (write gathering: adjacent UNSTABLE writes become one disk write).
+    fn server_flush_ino(&mut self, at: SimTime, ino: u64) {
+        let Some(pool) = self.server.dirty.remove(&ino) else {
+            return; // Already flushed (stale gather timer) or restarted.
+        };
+        let bs = u64::from(self.config.rsize);
+        let blocks: Vec<u64> = pool.into_iter().collect();
+        let mut i = 0;
+        while i < blocks.len() {
+            let mut j = i;
+            while j + 1 < blocks.len() && blocks[j + 1] == blocks[j] + 1 {
+                j += 1;
+            }
+            let first_blk = blocks[i];
+            let nblocks = (j - i + 1) as u64;
+            let tag = self.server.next_flush;
+            self.server.next_flush += 1;
+            self.server.flushing.insert(
+                tag,
+                FlushSpan {
+                    ino,
+                    first_blk,
+                    nblocks,
+                },
+            );
+            *self.server.flush_outstanding.entry(ino).or_insert(0) += 1;
+            self.server.stats.gather_flushes += 1;
+            self.server.stats.dirty_blocks_flushed += nblocks;
+            self.server
+                .fs
+                .write(at, ino, first_blk * bs, nblocks * bs, FLUSH_KEY_BIT | tag);
+            i = j + 1;
+        }
+    }
+
+    /// A server-initiated flush finished: mark its span durable (or latch
+    /// the error for the next COMMIT) and, once the inode has no flushes
+    /// left in flight, release any COMMITs parked on it.
+    fn server_flush_done(&mut self, key: u64, at: SimTime, eio: bool) {
+        let tag = key & !FLUSH_KEY_BIT;
+        let span = self
+            .server
+            .flushing
+            .remove(&tag)
+            .expect("unknown flush tag");
+        if eio {
+            self.server.flush_errors.insert(span.ino);
+        } else {
+            for blk in span.first_blk..span.first_blk + span.nblocks {
+                self.server.durable.insert((span.ino, blk));
+            }
+        }
+        let n = self
+            .server
+            .flush_outstanding
+            .get_mut(&span.ino)
+            .expect("flush accounted");
+        *n -= 1;
+        if *n == 0 {
+            self.server.flush_outstanding.remove(&span.ino);
+            let parked = self
+                .server
+                .pending_commits
+                .remove(&span.ino)
+                .unwrap_or_default();
+            let e = self.server.flush_errors.remove(&span.ino);
+            for k in parked {
+                self.server_fs_done(k, at, e);
+            }
+        }
+    }
+
     fn server_fs_done(&mut self, key: u64, at: SimTime, eio: bool) {
+        if key & FLUSH_KEY_BIT != 0 {
+            // Not a client call: a gathered-write flush the server issued
+            // on its own behalf. No nfsd or reply is involved.
+            self.server_flush_done(key, at, eio);
+            return;
+        }
         let client = key_client(key);
         let xid = key_xid(key);
         let t = self.server.cpu_free.max(at) + SimDuration::from_secs_f64(self.cpu.server_reply);
         self.server.cpu_free = t;
+        let mut durable_span: Option<(u64, u64, u64)> = None;
         let cl = &self.clients[client];
         let reply = match cl.rpcs.get(&xid).map(|r| &r.call) {
             Some(NfsCall::Read { fh, offset, count }) => {
@@ -1479,9 +2247,32 @@ impl NfsWorld {
                     }
                 }
             }
-            Some(NfsCall::Write { count, .. }) => NfsReply::Write {
+            Some(NfsCall::Write {
+                fh,
+                offset,
+                count,
+                stable,
+            }) => {
+                if !eio && *stable != StableHow::Unstable {
+                    // The platter acked a sync write: stable storage.
+                    let bs = u64::from(self.config.rsize);
+                    durable_span =
+                        Some((fh.ino, offset / bs, (offset + u64::from(*count) - 1) / bs));
+                }
+                NfsReply::Write {
+                    status: if eio { NfsStatus::Io } else { NfsStatus::Ok },
+                    count: if eio { 0 } else { *count },
+                    committed: if *stable == StableHow::Unstable {
+                        StableHow::Unstable
+                    } else {
+                        StableHow::FileSync
+                    },
+                    verf: self.server.verf,
+                }
+            }
+            Some(NfsCall::Commit { .. }) => NfsReply::Commit {
                 status: if eio { NfsStatus::Io } else { NfsStatus::Ok },
-                count: if eio { 0 } else { *count },
+                verf: self.server.verf,
             },
             Some(NfsCall::Getattr { fh }) => NfsReply::Getattr {
                 status: NfsStatus::Ok,
@@ -1504,6 +2295,11 @@ impl NfsWorld {
                 return;
             }
         };
+        if let Some((ino, first, last)) = durable_span {
+            for blk in first..=last {
+                self.server.durable.insert((ino, blk));
+            }
+        }
         self.server.stats.replies += 1;
         if eio {
             self.server.stats.disk_eios += 1;
@@ -1520,13 +2316,17 @@ impl NfsWorld {
             // never sees it.
             self.server.sabotage_drop_replies -= 1;
         } else {
+            let verf = match &reply {
+                NfsReply::Write { verf, .. } | NfsReply::Commit { verf, .. } => *verf,
+                _ => 0,
+            };
             match self.clients[client].s2c.send(t, reply.wire_bytes()) {
-                TxOutcome::Delivered(arrive) => {
-                    self.queue.schedule_at(arrive, Ev::ReplyArrive { key, eio })
-                }
+                TxOutcome::Delivered(arrive) => self
+                    .queue
+                    .schedule_at(arrive, Ev::ReplyArrive { key, eio, verf }),
                 TxOutcome::Lost => {} // UDP: client will retransmit the call.
                 TxOutcome::Queued(seq) => {
-                    self.clients[client].s2c_seq.insert(seq, (key, eio));
+                    self.clients[client].s2c_seq.insert(seq, (key, eio, verf));
                     self.schedule_tcp_tick(client, false);
                 }
             }
@@ -2354,5 +3154,255 @@ mod tests {
             (mbs.to_bits(), format!("{:?}", w.client_stats()))
         };
         assert_eq!(run(false), run(true));
+    }
+
+    // ------------------------------------------------------------------
+    // Async write path (UNSTABLE / COMMIT / write gathering).
+    // ------------------------------------------------------------------
+
+    fn async_config() -> WorldConfig {
+        WorldConfig {
+            stable_how: StableHow::Unstable,
+            client_readahead_blocks: 0,
+            ..WorldConfig::default()
+        }
+    }
+
+    /// Drives the world until the given op completes.
+    fn drive_op(w: &mut NfsWorld, id: OpId) -> OpDone {
+        loop {
+            let t = w.next_event().expect("pending op must progress");
+            for d in w.advance(t) {
+                if d.id == id {
+                    return d;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unstable_writes_complete_locally_and_gather_into_one_disk_write() {
+        let mut w = make_world(async_config(), 20);
+        let fh = w.create_file(512 * 1024);
+        // Four adjacent 8 KB writes: four WRITE RPCs, but one disk write.
+        for i in 0..4u64 {
+            w.write(SimTime::ZERO, fh, i * 8_192, 8_192, i);
+        }
+        let done = w.advance(SimTime::ZERO + SimDuration::from_millis(200));
+        assert_eq!(done.len(), 4);
+        for d in &done {
+            assert!(d.outcome.is_ok(), "{:?}", d.outcome);
+            // The op returned from the local cache, not the wire: it never
+            // waited on the server (a sync WRITE takes milliseconds).
+            let lat = d.done_at.since(d.issued_at);
+            assert!(
+                lat < SimDuration::from_micros(100),
+                "async write must complete locally, took {lat:?}"
+            );
+        }
+        let s = w.server_stats();
+        assert_eq!(s.unstable_writes, 4, "{s:?}");
+        assert_eq!(s.commits, 0, "{s:?}");
+        // Write gathering: the 30 ms window coalesced all four blocks into
+        // a single contiguous flush.
+        assert_eq!(s.gather_flushes, 1, "{s:?}");
+        assert_eq!(s.dirty_blocks_stashed, 4, "{s:?}");
+        assert_eq!(s.dirty_blocks_flushed, 4, "{s:?}");
+        assert_eq!(s.dirty_blocks_lost, 0, "{s:?}");
+        assert_eq!(w.server_dirty_blocks(), 0);
+        for blk in 0..4 {
+            assert!(w.is_durable(fh, blk), "block {blk} must be on disk");
+        }
+        assert_eq!(w.client_stats().write_rpcs, 4);
+    }
+
+    #[test]
+    fn close_commits_uncommitted_data_and_books_balance() {
+        let cfg = WorldConfig {
+            // A window far beyond the test horizon: only COMMIT can flush.
+            gather_window: SimDuration::from_secs(100),
+            ..async_config()
+        };
+        let mut w = make_world(cfg, 21);
+        let fh = w.create_file(512 * 1024);
+        for i in 0..8u64 {
+            w.write(SimTime::ZERO, fh, i * 8_192, 8_192, i);
+        }
+        let now = SimTime::ZERO + SimDuration::from_millis(50);
+        w.advance(now);
+        // All acked UNSTABLE, nothing flushed, nothing durable yet.
+        assert_eq!(w.client_uncommitted_blocks(0), 8);
+        assert_eq!(w.server_dirty_blocks(), 8);
+        assert!(!w.is_durable(fh, 0));
+        let id = w.close(now, fh, 99);
+        let d = drive_op(&mut w, id);
+        assert!(d.outcome.is_ok(), "{:?}", d.outcome);
+        let c = w.client_stats();
+        assert_eq!(c.closes, 1);
+        assert_eq!(c.commit_rpcs, 1);
+        assert_eq!(c.verifier_mismatches, 0);
+        assert_eq!(w.client_uncommitted_blocks(0), 0);
+        let s = w.server_stats();
+        assert_eq!(s.commits, 1, "{s:?}");
+        for blk in 0..8 {
+            assert!(w.is_durable(fh, blk), "block {blk} must be on disk");
+        }
+        // Dirty-page conservation: every stashed block was flushed or lost
+        // or still sits in the pool.
+        assert_eq!(
+            s.dirty_blocks_stashed,
+            s.dirty_blocks_flushed + s.dirty_blocks_lost + w.server_dirty_blocks(),
+            "{s:?}"
+        );
+    }
+
+    #[test]
+    fn server_restart_forces_verifier_mismatch_and_rewrite() {
+        let cfg = WorldConfig {
+            gather_window: SimDuration::from_secs(100),
+            ..async_config()
+        };
+        let mut w = make_world(cfg, 22);
+        let fh = w.create_file(512 * 1024);
+        for i in 0..8u64 {
+            w.write(SimTime::ZERO, fh, i * 8_192, 8_192, i);
+        }
+        let now = SimTime::ZERO + SimDuration::from_millis(50);
+        w.advance(now);
+        assert_eq!(w.client_uncommitted_blocks(0), 8);
+        let verf_before = w.server_write_verf();
+        // The server reboots with eight dirty blocks in its pool: they are
+        // gone, and the verifier says so.
+        w.restart_server(now);
+        assert_ne!(w.server_write_verf(), verf_before);
+        assert_eq!(w.server_dirty_blocks(), 0);
+        let s = w.server_stats();
+        assert_eq!(s.restarts, 1);
+        assert_eq!(s.dirty_blocks_lost, 8, "{s:?}");
+        assert!(!w.is_durable(fh, 0));
+        // close(): COMMIT sees the new verifier, re-dirties every block,
+        // rewrites, re-COMMITs, and still returns Ok — no data lost.
+        let id = w.close(now, fh, 99);
+        let d = drive_op(&mut w, id);
+        assert!(d.outcome.is_ok(), "{:?}", d.outcome);
+        let c = w.client_stats();
+        assert_eq!(c.verifier_mismatches, 1, "{c:?}");
+        assert_eq!(c.blocks_rewritten, 8, "{c:?}");
+        assert_eq!(c.commit_rpcs, 2, "{c:?}");
+        for blk in 0..8 {
+            assert!(w.is_durable(fh, blk), "block {blk} must be on disk");
+        }
+        let s = w.server_stats();
+        assert_eq!(
+            s.dirty_blocks_stashed,
+            s.dirty_blocks_flushed + s.dirty_blocks_lost + w.server_dirty_blocks(),
+            "{s:?}"
+        );
+    }
+
+    #[test]
+    fn committed_data_survives_a_restart() {
+        let mut w = make_world(async_config(), 23);
+        let fh = w.create_file(512 * 1024);
+        for i in 0..4u64 {
+            w.write(SimTime::ZERO, fh, i * 8_192, 8_192, i);
+        }
+        let now = SimTime::ZERO + SimDuration::from_millis(50);
+        w.advance(now);
+        let id = w.close(now, fh, 99);
+        let d = drive_op(&mut w, id);
+        assert!(d.outcome.is_ok(), "{:?}", d.outcome);
+        w.restart_server(d.done_at);
+        // Nothing was in the dirty pool: a crash after a successful close
+        // loses nothing.
+        assert_eq!(w.server_stats().dirty_blocks_lost, 0);
+        for blk in 0..4 {
+            assert!(w.is_durable(fh, blk), "block {blk} survives the crash");
+        }
+    }
+
+    #[test]
+    fn flush_errors_are_latched_and_surface_at_commit() {
+        let cfg = WorldConfig {
+            gather_window: SimDuration::from_secs(100),
+            ..async_config()
+        };
+        let mut w = make_world(cfg, 24);
+        let fh = w.create_file(512 * 1024);
+        w.write(SimTime::ZERO, fh, 0, 8_192, 0);
+        let now = SimTime::ZERO + SimDuration::from_millis(50);
+        w.advance(now);
+        assert_eq!(w.client_uncommitted_blocks(0), 1);
+        // The first disk command — the COMMIT-forced flush — fails hard.
+        // The WRITE already succeeded (it only reached the pool), so the
+        // error must be latched and reported by COMMIT, failing close().
+        w.set_disk_fault_model(Some(scripted_fail(diskmodel::DiskErrorKind::HardMedia)));
+        let id = w.close(now, fh, 99);
+        let d = drive_op(&mut w, id);
+        assert!(
+            matches!(d.outcome, OpOutcome::Eio { .. }),
+            "lost async write must surface at COMMIT: {:?}",
+            d.outcome
+        );
+        assert!(w.client_stats().eio_replies >= 1);
+        // Soft-mount semantics: the failed file's tracking is dropped.
+        assert_eq!(w.client_uncommitted_blocks(0), 0);
+    }
+
+    #[test]
+    fn extending_write_grows_the_file_on_both_ends() {
+        // Regression: writes past EOF used to panic ("write beyond EOF");
+        // NFSv3 WRITE extends the file instead (RFC 1813 §3.3.7).
+        let cfg = WorldConfig {
+            client_readahead_blocks: 0,
+            ..WorldConfig::default()
+        };
+        let mut w = make_world(cfg, 25);
+        let fh = w.create_file(64 * 1024);
+        let id = w.write(SimTime::ZERO, fh, 64 * 1024, 8_192, 0);
+        let d = drive_op(&mut w, id);
+        assert!(d.outcome.is_ok(), "extending write: {:?}", d.outcome);
+        // The sync write-through put the new block on disk.
+        assert!(w.is_durable(fh, 8));
+        // And the extended region is readable end to end.
+        let id = w.read(d.done_at, fh, 64 * 1024, 8_192, 1);
+        let d = drive_op(&mut w, id);
+        assert!(d.outcome.is_ok(), "read of extension: {:?}", d.outcome);
+        // On a FILE_SYNC mount close is a local no-op: no COMMIT traffic.
+        let id = w.close(d.done_at, fh, 2);
+        let d = drive_op(&mut w, id);
+        assert!(d.outcome.is_ok(), "{:?}", d.outcome);
+        let c = w.client_stats();
+        assert_eq!(c.commit_rpcs, 0);
+        assert_eq!(c.closes, 1);
+        assert_eq!(w.server_stats().commits, 0);
+    }
+
+    #[test]
+    fn async_write_worlds_are_deterministic() {
+        let run = |seed| {
+            let cfg = WorldConfig {
+                gather_window: SimDuration::from_millis(5),
+                ..async_config()
+            };
+            let mut w = make_world(cfg, seed);
+            let fh = w.create_file(512 * 1024);
+            for i in 0..16u64 {
+                w.write(SimTime::ZERO, fh, i * 8_192, 8_192, i);
+            }
+            let now = SimTime::ZERO + SimDuration::from_millis(20);
+            w.advance(now);
+            w.restart_server(now);
+            let id = w.close(now, fh, 99);
+            let d = drive_op(&mut w, id);
+            assert!(d.outcome.is_ok(), "{:?}", d.outcome);
+            (
+                d.done_at,
+                format!("{:?}", w.client_stats()),
+                format!("{:?}", w.server_stats()),
+            )
+        };
+        assert_eq!(run(30), run(30));
+        assert_ne!(run(30), run(31));
     }
 }

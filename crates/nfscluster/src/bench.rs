@@ -123,6 +123,11 @@ fn diff_client(after: ClientStats, before: ClientStats) -> ClientStats {
         replies_received: after.replies_received - before.replies_received,
         duplicate_replies: after.duplicate_replies - before.duplicate_replies,
         eio_replies: after.eio_replies - before.eio_replies,
+        write_rpcs: after.write_rpcs - before.write_rpcs,
+        commit_rpcs: after.commit_rpcs - before.commit_rpcs,
+        closes: after.closes - before.closes,
+        verifier_mismatches: after.verifier_mismatches - before.verifier_mismatches,
+        blocks_rewritten: after.blocks_rewritten - before.blocks_rewritten,
         tcp_c2s: diff_tcp(after.tcp_c2s, before.tcp_c2s),
         tcp_s2c: diff_tcp(after.tcp_s2c, before.tcp_s2c),
     }
@@ -153,6 +158,13 @@ fn diff_server(after: ServerStats, before: ServerStats) -> ServerStats {
         heur_misses: after.heur_misses - before.heur_misses,
         heur_ejections: after.heur_ejections - before.heur_ejections,
         disk_eios: after.disk_eios - before.disk_eios,
+        unstable_writes: after.unstable_writes - before.unstable_writes,
+        commits: after.commits - before.commits,
+        gather_flushes: after.gather_flushes - before.gather_flushes,
+        dirty_blocks_stashed: after.dirty_blocks_stashed - before.dirty_blocks_stashed,
+        dirty_blocks_flushed: after.dirty_blocks_flushed - before.dirty_blocks_flushed,
+        dirty_blocks_lost: after.dirty_blocks_lost - before.dirty_blocks_lost,
+        restarts: after.restarts - before.restarts,
         // A gauge, not a counter: report the end-of-run value.
         heur_occupancy: after.heur_occupancy,
     }

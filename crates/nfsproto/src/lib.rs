@@ -14,7 +14,7 @@ mod messages;
 mod xdr;
 
 pub use messages::{
-    Fattr3, FileHandle, NfsCall, NfsProc, NfsReply, NfsStatus, NFS_PROGRAM, NFS_VERSION,
-    RPC_CALL_HEADER_BYTES, RPC_REPLY_HEADER_BYTES,
+    write_verf, Fattr3, FileHandle, NfsCall, NfsProc, NfsReply, NfsStatus, StableHow, NFS_PROGRAM,
+    NFS_VERSION, RPC_CALL_HEADER_BYTES, RPC_REPLY_HEADER_BYTES,
 };
 pub use xdr::{XdrDecoder, XdrEncoder, XdrError, MAX_OPAQUE};

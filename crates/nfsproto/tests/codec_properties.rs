@@ -6,7 +6,7 @@
 //! the workspace builds offline; every failure message carries the case
 //! index, which together with the fixed seed reproduces the input.
 
-use nfsproto::{Fattr3, FileHandle, NfsCall, NfsProc, NfsReply, NfsStatus};
+use nfsproto::{write_verf, Fattr3, FileHandle, NfsCall, NfsProc, NfsReply, NfsStatus, StableHow};
 use simcore::SimRng;
 
 const CASES: u64 = 300;
@@ -27,6 +27,15 @@ fn arb_name(rng: &mut SimRng) -> String {
         .collect()
 }
 
+fn arb_stable(rng: &mut SimRng) -> StableHow {
+    *rng.choose(&[
+        StableHow::Unstable,
+        StableHow::DataSync,
+        StableHow::FileSync,
+    ])
+    .expect("non-empty")
+}
+
 /// One call of each variant, fields randomized.
 fn arb_calls(rng: &mut SimRng) -> Vec<NfsCall> {
     vec![
@@ -44,6 +53,12 @@ fn arb_calls(rng: &mut SimRng) -> Vec<NfsCall> {
             fh: arb_fh(rng),
             offset: rng.next_u64(),
             count: rng.gen_range(1u32..65_536),
+            stable: arb_stable(rng),
+        },
+        NfsCall::Commit {
+            fh: arb_fh(rng),
+            offset: rng.next_u64(),
+            count: rng.gen_range(0u32..65_536),
         },
     ]
 }
@@ -95,6 +110,8 @@ fn arb_replies(rng: &mut SimRng) -> Vec<(NfsProc, NfsReply)> {
             NfsReply::Write {
                 status: NfsStatus::Ok,
                 count: rng.gen_range(0u32..1_048_576),
+                committed: arb_stable(rng),
+                verf: rng.next_u64(),
             },
         ),
         (
@@ -102,6 +119,22 @@ fn arb_replies(rng: &mut SimRng) -> Vec<(NfsProc, NfsReply)> {
             NfsReply::Write {
                 status: NfsStatus::Io,
                 count: 0,
+                committed: StableHow::FileSync,
+                verf: rng.next_u64(),
+            },
+        ),
+        (
+            NfsProc::Commit,
+            NfsReply::Commit {
+                status: NfsStatus::Ok,
+                verf: rng.next_u64(),
+            },
+        ),
+        (
+            NfsProc::Commit,
+            NfsReply::Commit {
+                status: NfsStatus::Io,
+                verf: rng.next_u64(),
             },
         ),
     ]
@@ -202,6 +235,47 @@ fn random_garbage_never_panics() {
         let _ = NfsCall::decode(&buf);
         let _ = NfsReply::decode(NfsProc::Read, &buf);
         let _ = NfsReply::decode(NfsProc::Getattr, &buf);
+    }
+}
+
+/// Verifier semantics: the RFC 1813 cookie is a pure function of the
+/// server instance and its boot epoch, changes on every restart, and
+/// survives a WRITE-reply → COMMIT-reply wire round trip bit-exactly (a
+/// client can only detect a crash window if the cookie it compares is
+/// the one the server sent).
+#[test]
+fn commit_verifier_changes_iff_server_restart() {
+    let mut rng = SimRng::new(0x5E12F);
+    for case in 0..CASES {
+        let instance = rng.next_u64();
+        let epoch = rng.gen_range(0u64..1_000);
+        let v = write_verf(instance, epoch);
+        assert_eq!(
+            v,
+            write_verf(instance, epoch),
+            "case {case}: same boot must reuse the same verifier"
+        );
+        let restarts = rng.gen_range(1u64..16);
+        assert_ne!(
+            v,
+            write_verf(instance, epoch + restarts),
+            "case {case}: {restarts} restart(s) must change the verifier"
+        );
+        // The cookie travels opaquely through both reply forms.
+        let wr = NfsReply::Write {
+            status: NfsStatus::Ok,
+            count: rng.gen_range(0u32..1_048_576),
+            committed: arb_stable(&mut rng),
+            verf: v,
+        };
+        let (_, dec) = NfsReply::decode(NfsProc::Write, &wr.encode(1)).expect("well-formed");
+        assert_eq!(dec, wr, "case {case}");
+        let cr = NfsReply::Commit {
+            status: NfsStatus::Ok,
+            verf: v,
+        };
+        let (_, dec) = NfsReply::decode(NfsProc::Commit, &cr.encode(2)).expect("well-formed");
+        assert_eq!(dec, cr, "case {case}");
     }
 }
 

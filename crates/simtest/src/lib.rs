@@ -45,17 +45,35 @@
 //! the one shared server, and the conservation oracles reconcile the
 //! *summed* per-host books against the server's.
 //!
+//! With [`RunOptions::write_loss`] the mount switches to the NFSv3 async
+//! write path (UNSTABLE WRITEs, server-side write gathering, COMMIT on
+//! close) and the workload becomes write-heavy with interleaved closes.
+//! Every `nfsd`-outage batch turns into a *crash*: the run drains only a
+//! few milliseconds — less than the gather window, so UNSTABLE data is
+//! still sitting in the server's dirty pool — then the server loses its
+//! pool and changes its write verifier. Three crash-consistency oracles
+//! join the set:
+//!
+//! - **no committed loss**: every block a completed `close()` reported
+//!   stable is actually on the server's stable storage;
+//! - **dirty books**: blocks stashed in the server's dirty pool equal
+//!   blocks flushed + blocks lost to crashes + the live gauge, at every
+//!   batch boundary;
+//! - **crash detection**: a verifier mismatch implies a restart happened,
+//!   a rewritten block implies a mismatch was detected, and (in clean
+//!   runs) the async machinery never wakes on a FILE_SYNC mount.
+//!
 //! Every failure message carries a one-line reproduction command:
 //! `SIMTEST_SEED=<n> cargo run -p simtest -- --seed <n>` (plus
-//! `--clients N` / `--overlap` / `--disk-faults` when those modes were
-//! active).
+//! `--clients N` / `--overlap` / `--disk-faults` / `--write-loss` when
+//! those modes were active).
 
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::fmt;
 
 use diskfault::{FaultPlan, FaultState};
 use netsim::{LinkProfile, LinkStats, TransportKind};
-use nfsproto::FileHandle;
+use nfsproto::{FileHandle, StableHow};
 use nfssim::{BlockState, ClientHostConfig, ClientStats, NfsWorld, OpId, OpOutcome, WorldConfig};
 use simcore::{SimDuration, SimRng, SimTime};
 use testbed::Rig;
@@ -195,6 +213,11 @@ pub struct RunOptions {
     /// Shuffle the [`FaultKind::DISK`] kinds into the fault schedule
     /// (lengthening the run to [`DISK_BATCHES`]).
     pub disk_faults: bool,
+    /// Mount UNSTABLE (the NFSv3 async write path), run a write-heavy
+    /// workload with interleaved closes, and turn every `nfsd`-outage
+    /// batch into a mid-gather server crash (dirty pool lost, write
+    /// verifier changed). Adds the crash-consistency oracle set.
+    pub write_loss: bool,
 }
 
 impl Default for RunOptions {
@@ -203,6 +226,7 @@ impl Default for RunOptions {
             sabotage_replies: 0,
             clients: 1,
             disk_faults: false,
+            write_loss: false,
         }
     }
 }
@@ -238,6 +262,22 @@ pub struct RunReport {
     pub overlap: bool,
     /// Whether disk fault kinds were in the schedule.
     pub disk_faults: bool,
+    /// Whether the run used the async write path with crash injection.
+    pub write_loss: bool,
+    /// UNSTABLE WRITE calls the server stashed without touching disk.
+    pub unstable_writes: u64,
+    /// COMMIT calls the server received.
+    pub commits: u64,
+    /// Dirty-pool flushes the server submitted (one per coalesced run).
+    pub gather_flushes: u64,
+    /// Blocks dropped from the dirty pool by server crashes.
+    pub dirty_blocks_lost: u64,
+    /// COMMIT replies whose verifier betrayed a server crash window.
+    pub verifier_mismatches: u64,
+    /// Blocks rewritten after a verifier mismatch.
+    pub blocks_rewritten: u64,
+    /// Server restarts injected (each one changes the write verifier).
+    pub restarts: u64,
     /// Order-sensitive hash of every completion and the final counters;
     /// equal across runs of the same seed iff the world is deterministic.
     pub fingerprint: u64,
@@ -260,6 +300,8 @@ pub struct OracleFailure {
     pub overlap: bool,
     /// Whether the failing run scheduled disk fault kinds.
     pub disk_faults: bool,
+    /// Whether the failing run used the async write path with crashes.
+    pub write_loss: bool,
     /// Whether (and how) the failing run forced the transport axis.
     pub forced_transport: Option<TransportKind>,
 }
@@ -279,6 +321,9 @@ impl fmt::Display for OracleFailure {
         }
         if self.disk_faults {
             write!(f, " --disk-faults")?;
+        }
+        if self.write_loss {
+            write!(f, " --write-loss")?;
         }
         match self.forced_transport {
             Some(TransportKind::Tcp) => write!(f, " --transport tcp")?,
@@ -416,6 +461,7 @@ pub fn run_seed_checked_forced(
             clients: opts.clients,
             overlap,
             disk_faults: opts.disk_faults,
+            write_loss: opts.write_loss,
             forced_transport: forced,
         });
     }
@@ -427,12 +473,167 @@ struct IssueRec {
     at: SimTime,
 }
 
+/// The run's mutable accounting state, threaded through every drain so the
+/// crash-injection path can drain in several pieces (a partial drain up to
+/// a horizon, then the post-crash drain) without duplicating the oracle
+/// bookkeeping. The recording order inside [`drain_until`] is exactly the
+/// old inline loop's, so clean-mode fingerprints are unmoved.
+struct Books {
+    issued: BTreeMap<OpId, IssueRec>,
+    completed: HashSet<OpId>,
+    predicted_demand: u64,
+    ok_ops: u64,
+    timed_out_ops: u64,
+    eio_ops: u64,
+    next_tag: u64,
+    fp: u64,
+    last_now: SimTime,
+    steps: u64,
+}
+
 fn mix(fp: &mut u64, v: u64) {
     // FNV-1a over the 8 bytes of `v`.
     for b in v.to_le_bytes() {
         *fp ^= u64::from(b);
         *fp = fp.wrapping_mul(0x0000_0100_0000_01b3);
     }
+}
+
+/// Drains events, checking the per-event oracles (bounded progress,
+/// monotone time, op accounting) and folding each completion into the
+/// fingerprint. With a `horizon` the drain stops *before* the first event
+/// past it — the crash path uses this to freeze the world mid-gather.
+/// Returns each completion as `(op, completed_ok)` so the caller can run
+/// mode-specific bookkeeping (the crash-consistency close oracles) on top.
+fn drain_until<F>(
+    w: &mut NfsWorld,
+    bk: &mut Books,
+    horizon: Option<SimTime>,
+    batch: usize,
+    fail: &F,
+) -> Result<Vec<(OpId, bool)>, OracleFailure>
+where
+    F: Fn(&'static str, String) -> OracleFailure,
+{
+    let mut done = Vec::new();
+    while let Some(t) = w.next_event() {
+        if horizon.is_some_and(|h| t > h) {
+            break;
+        }
+        bk.steps += 1;
+        if bk.steps > STEP_BUDGET {
+            return Err(fail(
+                "bounded-progress",
+                format!(
+                    "event budget exhausted in batch {batch}; outstanding xids {:?}",
+                    w.outstanding_xids()
+                ),
+            ));
+        }
+        if t < bk.last_now {
+            return Err(fail(
+                "monotone-time",
+                format!("event time regressed: {t} after {}", bk.last_now),
+            ));
+        }
+        bk.last_now = t;
+        for d in w.advance(t) {
+            if !bk.completed.insert(d.id) {
+                return Err(fail(
+                    "op-accounting",
+                    format!("operation {:?} completed twice", d.id),
+                ));
+            }
+            let Some(rec) = bk.issued.get(&d.id) else {
+                return Err(fail(
+                    "op-accounting",
+                    format!("completion for never-issued operation {:?}", d.id),
+                ));
+            };
+            if d.tag != rec.tag {
+                return Err(fail(
+                    "op-accounting",
+                    format!(
+                        "operation {:?} returned tag {} != issued {}",
+                        d.id, d.tag, rec.tag
+                    ),
+                ));
+            }
+            if d.done_at < rec.at {
+                return Err(fail(
+                    "monotone-time",
+                    format!(
+                        "operation {:?} finished at {} before issue at {}",
+                        d.id, d.done_at, rec.at
+                    ),
+                ));
+            }
+            let outcome_code = match d.outcome {
+                OpOutcome::Ok => {
+                    bk.ok_ops += 1;
+                    0
+                }
+                OpOutcome::RpcTimedOut { xid } => {
+                    bk.timed_out_ops += 1;
+                    u64::from(xid) << 1 | 1
+                }
+                OpOutcome::Eio { xid } => {
+                    bk.eio_ops += 1;
+                    u64::from(xid) << 2 | 2
+                }
+            };
+            mix(&mut bk.fp, d.id.0);
+            mix(&mut bk.fp, d.tag);
+            mix(&mut bk.fp, d.done_at.as_nanos());
+            mix(&mut bk.fp, outcome_code);
+            done.push((d.id, outcome_code == 0));
+        }
+    }
+    Ok(done)
+}
+
+/// Crash-consistency bookkeeping for one drain's completions: a `close()`
+/// that completed `Ok` promised every block written *before it was issued*
+/// (its shadow snapshot) is on stable storage. Blocks written after the
+/// close started stay in the ongoing shadow for the file's next close to
+/// account for. A close that failed (`Eio`/`RpcTimedOut`) made no promise
+/// — the soft mount dropped the file's entire write-behind tracking,
+/// later-issued writes included — so both its snapshot and the ongoing
+/// shadow are discarded without the check.
+fn settle_closes<F>(
+    w: &NfsWorld,
+    done: &[(OpId, bool)],
+    close_ops: &mut HashMap<OpId, (usize, usize, BTreeSet<u64>)>,
+    close_pending: &mut HashSet<(usize, usize)>,
+    shadow: &mut HashMap<(usize, usize), BTreeSet<u64>>,
+    fhs: &[Vec<FileHandle>],
+    fail: &F,
+) -> Result<(), OracleFailure>
+where
+    F: Fn(&'static str, String) -> OracleFailure,
+{
+    for &(id, ok) in done {
+        let Some((cl, f, snap)) = close_ops.remove(&id) else {
+            continue;
+        };
+        close_pending.remove(&(cl, f));
+        if !ok {
+            shadow.remove(&(cl, f));
+            continue;
+        }
+        for blk in snap {
+            if !w.is_durable(fhs[cl][f], blk) {
+                return Err(fail(
+                    "no-committed-loss",
+                    format!(
+                        "close {id:?} on client {cl} file {f} completed Ok \
+                         but block {blk} is not on stable storage"
+                    ),
+                ));
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Applies one classic (non-disk) fault to the world. Disk kinds go
@@ -558,6 +759,11 @@ fn sum_client_stats(w: &NfsWorld) -> ClientStats {
         total.transmissions += s.transmissions;
         total.replies_received += s.replies_received;
         total.duplicate_replies += s.duplicate_replies;
+        total.write_rpcs += s.write_rpcs;
+        total.commit_rpcs += s.commit_rpcs;
+        total.closes += s.closes;
+        total.verifier_mismatches += s.verifier_mismatches;
+        total.blocks_rewritten += s.blocks_rewritten;
     }
     total
 }
@@ -580,6 +786,7 @@ pub fn run_plan(plan: &SimPlan, opts: RunOptions) -> Result<RunReport, OracleFai
     let clients = opts.clients.max(1);
     let overlap = plan.overlap;
     let disk_faults = plan.disk_faults;
+    let write_loss = opts.write_loss;
     let forced_transport = plan.forced_transport;
     let fail = move |oracle: &'static str, detail: String| OracleFailure {
         seed,
@@ -588,11 +795,17 @@ pub fn run_plan(plan: &SimPlan, opts: RunOptions) -> Result<RunReport, OracleFai
         clients,
         overlap,
         disk_faults,
+        write_loss,
         forced_transport,
     };
 
     let base = WorldConfig {
         transport: plan.transport,
+        stable_how: if write_loss {
+            StableHow::Unstable
+        } else {
+            StableHow::FileSync
+        },
         ..WorldConfig::default()
     };
     let mut rng = SimRng::from_seed_and_stream(seed, 0x574F_524B_4C44); // "WORKLD"
@@ -607,17 +820,27 @@ pub fn run_plan(plan: &SimPlan, opts: RunOptions) -> Result<RunReport, OracleFai
         })
         .collect();
     let mut cursors = vec![[0u64; FILES]; clients];
+    // Write-loss bookkeeping: independent sequential write cursors, the
+    // shadow set of every block written per (client, file) since its last
+    // settled close, the in-flight close per file (the world forbids two
+    // concurrent closes of one file), and which op is a close of what.
+    let mut wcursors = vec![[0u64; FILES]; clients];
+    let mut shadow: HashMap<(usize, usize), BTreeSet<u64>> = HashMap::new();
+    let mut close_pending: HashSet<(usize, usize)> = HashSet::new();
+    let mut close_ops: HashMap<OpId, (usize, usize, BTreeSet<u64>)> = HashMap::new();
 
-    let mut issued: BTreeMap<OpId, IssueRec> = BTreeMap::new();
-    let mut completed: HashSet<OpId> = HashSet::new();
-    let mut predicted_demand = 0u64;
-    let mut ok_ops = 0u64;
-    let mut timed_out_ops = 0u64;
-    let mut eio_ops = 0u64;
-    let mut next_tag = 0u64;
-    let mut fp = 0xcbf2_9ce4_8422_2325u64;
-    let mut last_now = SimTime::ZERO;
-    let mut steps = 0u64;
+    let mut bk = Books {
+        issued: BTreeMap::new(),
+        completed: HashSet::new(),
+        predicted_demand: 0,
+        ok_ops: 0,
+        timed_out_ops: 0,
+        eio_ops: 0,
+        next_tag: 0,
+        fp: 0xcbf2_9ce4_8422_2325u64,
+        last_now: SimTime::ZERO,
+        steps: 0,
+    };
     let mut fault_active = false;
     let mut fault_log = Vec::new();
     // Disk error completions seen at the last batch boundary where no
@@ -717,32 +940,103 @@ pub fn run_plan(plan: &SimPlan, opts: RunOptions) -> Result<RunReport, OracleFai
             };
             let f = rng.gen_range(0usize..FILES);
             let fh = fhs[cl][f];
-            let tag = next_tag;
-            next_tag += 1;
-            let id = match rng.gen_range(0u32..10) {
-                0 => {
-                    let blk = rng.gen_range(0u64..FILE_BLOCKS);
-                    w.write_from(cl, now, fh, blk * BS, BS, tag)
-                }
-                1 => w.getattr_from(cl, now, fh, tag),
-                _ => {
-                    let len_blocks = rng.gen_range(1u64..4);
-                    let start = if rng.chance(0.7) {
-                        cursors[cl][f]
-                    } else {
-                        rng.gen_range(0u64..FILE_BLOCKS)
+            let tag = bk.next_tag;
+            bk.next_tag += 1;
+            let id = if write_loss {
+                // Write-heavy async-path mix: sequential dirty runs feed
+                // the server's write gathering, closes force COMMITs (and
+                // verifier comparisons) mid-run, reads keep the demand
+                // books honest. Only write-loss runs take this arm, so the
+                // clean-mode RNG stream — and its pinned fingerprints —
+                // never sees the extra draws.
+                match rng.gen_range(0u32..10) {
+                    0..=3 => {
+                        let len = rng.gen_range(1u64..5);
+                        let start = wcursors[cl][f].min(FILE_BLOCKS - len);
+                        wcursors[cl][f] = (start + len) % FILE_BLOCKS;
+                        shadow
+                            .entry((cl, f))
+                            .or_default()
+                            .extend(start..start + len);
+                        w.write_from(cl, now, fh, start * BS, len * BS, tag)
                     }
-                    .min(FILE_BLOCKS - len_blocks);
-                    cursors[cl][f] = (start + len_blocks) % FILE_BLOCKS;
-                    for blk in start..start + len_blocks {
-                        if w.block_state_for(cl, fh, blk) == BlockState::Absent {
-                            predicted_demand += 1;
+                    4 if !close_pending.contains(&(cl, f)) => {
+                        close_pending.insert((cl, f));
+                        let snap = shadow.remove(&(cl, f)).unwrap_or_default();
+                        let id = w.close_from(cl, now, fh, tag);
+                        close_ops.insert(id, (cl, f, snap));
+                        id
+                    }
+                    5 => w.getattr_from(cl, now, fh, tag),
+                    _ => {
+                        let len_blocks = rng.gen_range(1u64..4);
+                        let start = if rng.chance(0.7) {
+                            cursors[cl][f]
+                        } else {
+                            rng.gen_range(0u64..FILE_BLOCKS)
                         }
+                        .min(FILE_BLOCKS - len_blocks);
+                        cursors[cl][f] = (start + len_blocks) % FILE_BLOCKS;
+                        for blk in start..start + len_blocks {
+                            if w.block_state_for(cl, fh, blk) == BlockState::Absent {
+                                bk.predicted_demand += 1;
+                            }
+                        }
+                        w.read_from(cl, now, fh, start * BS, len_blocks * BS, tag)
                     }
-                    w.read_from(cl, now, fh, start * BS, len_blocks * BS, tag)
+                }
+            } else {
+                match rng.gen_range(0u32..10) {
+                    0 => {
+                        let blk = rng.gen_range(0u64..FILE_BLOCKS);
+                        w.write_from(cl, now, fh, blk * BS, BS, tag)
+                    }
+                    1 => w.getattr_from(cl, now, fh, tag),
+                    _ => {
+                        let len_blocks = rng.gen_range(1u64..4);
+                        let start = if rng.chance(0.7) {
+                            cursors[cl][f]
+                        } else {
+                            rng.gen_range(0u64..FILE_BLOCKS)
+                        }
+                        .min(FILE_BLOCKS - len_blocks);
+                        cursors[cl][f] = (start + len_blocks) % FILE_BLOCKS;
+                        for blk in start..start + len_blocks {
+                            if w.block_state_for(cl, fh, blk) == BlockState::Absent {
+                                bk.predicted_demand += 1;
+                            }
+                        }
+                        w.read_from(cl, now, fh, start * BS, len_blocks * BS, tag)
+                    }
                 }
             };
-            issued.insert(id, IssueRec { tag, at: now });
+            bk.issued.insert(id, IssueRec { tag, at: now });
+        }
+
+        // Crash batches: in write-loss mode every `nfsd` outage becomes a
+        // server crash. Drain only a few milliseconds first — less than
+        // the 30 ms gather window, so the batch's UNSTABLE WRITEs have
+        // reached the server's dirty pool but the pool has not flushed —
+        // then (below, once the outage is in force) lose the pool and
+        // change the verifier. Data acked UNSTABLE before the crash is
+        // exactly the data RFC 1813 lets a server lose.
+        let crash_batch = write_loss
+            && plan
+                .faults
+                .iter()
+                .any(|&(b, k)| b == batch && k == FaultKind::NfsdOutage);
+        if crash_batch {
+            let horizon = w.now() + SimDuration::from_millis(rng.gen_range(2u64..20));
+            let done = drain_until(&mut w, &mut bk, Some(horizon), batch, &fail)?;
+            settle_closes(
+                &w,
+                &done,
+                &mut close_ops,
+                &mut close_pending,
+                &mut shadow,
+                &fhs,
+                &fail,
+            )?;
         }
 
         // Inject this batch's classic fault(s) while those operations are
@@ -758,6 +1052,13 @@ pub fn run_plan(plan: &SimPlan, opts: RunOptions) -> Result<RunReport, OracleFai
                 fault_log.push(kind);
             }
         }
+        if crash_batch {
+            // The outage is now in force (zero nfsds: nothing serves) and
+            // the gather window has not expired: crash. The dirty pool is
+            // lost, the verifier changes, in-flight disk I/O completes,
+            // and parked calls survive to be served after the restore.
+            w.restart_server(w.now());
+        }
         if batch == 1 && opts.sabotage_replies > 0 {
             w.sabotage_drop_next_replies(opts.sabotage_replies);
         }
@@ -770,74 +1071,17 @@ pub fn run_plan(plan: &SimPlan, opts: RunOptions) -> Result<RunReport, OracleFai
         // parked call is answered or retired stale before the
         // end-of-batch oracles run.
         loop {
-            while let Some(t) = w.next_event() {
-                steps += 1;
-                if steps > STEP_BUDGET {
-                    return Err(fail(
-                        "bounded-progress",
-                        format!(
-                            "event budget exhausted in batch {batch}; outstanding xids {:?}",
-                            w.outstanding_xids()
-                        ),
-                    ));
-                }
-                if t < last_now {
-                    return Err(fail(
-                        "monotone-time",
-                        format!("event time regressed: {t} after {last_now}"),
-                    ));
-                }
-                last_now = t;
-                for d in w.advance(t) {
-                    if !completed.insert(d.id) {
-                        return Err(fail(
-                            "op-accounting",
-                            format!("operation {:?} completed twice", d.id),
-                        ));
-                    }
-                    let Some(rec) = issued.get(&d.id) else {
-                        return Err(fail(
-                            "op-accounting",
-                            format!("completion for never-issued operation {:?}", d.id),
-                        ));
-                    };
-                    if d.tag != rec.tag {
-                        return Err(fail(
-                            "op-accounting",
-                            format!(
-                                "operation {:?} returned tag {} != issued {}",
-                                d.id, d.tag, rec.tag
-                            ),
-                        ));
-                    }
-                    if d.done_at < rec.at {
-                        return Err(fail(
-                            "monotone-time",
-                            format!(
-                                "operation {:?} finished at {} before issue at {}",
-                                d.id, d.done_at, rec.at
-                            ),
-                        ));
-                    }
-                    let outcome_code = match d.outcome {
-                        OpOutcome::Ok => {
-                            ok_ops += 1;
-                            0
-                        }
-                        OpOutcome::RpcTimedOut { xid } => {
-                            timed_out_ops += 1;
-                            u64::from(xid) << 1 | 1
-                        }
-                        OpOutcome::Eio { xid } => {
-                            eio_ops += 1;
-                            u64::from(xid) << 2 | 2
-                        }
-                    };
-                    mix(&mut fp, d.id.0);
-                    mix(&mut fp, d.tag);
-                    mix(&mut fp, d.done_at.as_nanos());
-                    mix(&mut fp, outcome_code);
-                }
+            let done = drain_until(&mut w, &mut bk, None, batch, &fail)?;
+            if write_loss {
+                settle_closes(
+                    &w,
+                    &done,
+                    &mut close_ops,
+                    &mut close_pending,
+                    &mut shadow,
+                    &fhs,
+                    &fail,
+                )?;
             }
             if outage_pending {
                 outage_pending = false;
@@ -855,6 +1099,26 @@ pub fn run_plan(plan: &SimPlan, opts: RunOptions) -> Result<RunReport, OracleFai
                     "batch {batch} quiesced with operations {:?} hung on xids {:?}",
                     w.outstanding_ops(),
                     w.outstanding_xids()
+                ),
+            ));
+        }
+
+        // Dirty-page books, at every batch boundary: every block that ever
+        // entered the server's dirty pool was flushed to disk, lost to a
+        // crash, or is still sitting in the pool. Cheap and always on —
+        // in clean mode all four terms are zero.
+        let ss = w.server_stats();
+        if ss.dirty_blocks_stashed
+            != ss.dirty_blocks_flushed + ss.dirty_blocks_lost + w.server_dirty_blocks()
+        {
+            return Err(fail(
+                "dirty-books",
+                format!(
+                    "batch {batch}: stashed {} != flushed {} + lost {} + pooled {}",
+                    ss.dirty_blocks_stashed,
+                    ss.dirty_blocks_flushed,
+                    ss.dirty_blocks_lost,
+                    w.server_dirty_blocks()
                 ),
             ));
         }
@@ -882,6 +1146,60 @@ pub fn run_plan(plan: &SimPlan, opts: RunOptions) -> Result<RunReport, OracleFai
         }
     }
 
+    // Write-loss epilogue: close every file on every client, so each
+    // client's write-behind cache must drain — every block still dirty or
+    // acked-only-UNSTABLE gets pushed, COMMITted, and verifier-checked
+    // (rewriting after any crash the run injected) before the end-of-run
+    // books are read. Any fault still active from the final batch is
+    // reverted first; the closes run against a healthy world.
+    if write_loss {
+        if fault_active {
+            let now = w.now();
+            w.set_link_profile(base.link);
+            w.set_nfsds(now, base.nfsds);
+            w.set_nfsiods(base.nfsiods);
+            w.set_disk_fault_model(None);
+            fault_active = false;
+        }
+        let now = w.now();
+        for (cl, row) in fhs.iter().enumerate().take(clients) {
+            for (f, &fh) in row.iter().enumerate().take(FILES) {
+                if close_pending.contains(&(cl, f)) {
+                    continue;
+                }
+                let tag = bk.next_tag;
+                bk.next_tag += 1;
+                close_pending.insert((cl, f));
+                let snap = shadow.remove(&(cl, f)).unwrap_or_default();
+                let id = w.close_from(cl, now, fh, tag);
+                close_ops.insert(id, (cl, f, snap));
+                bk.issued.insert(id, IssueRec { tag, at: now });
+            }
+        }
+        let done = drain_until(&mut w, &mut bk, None, plan.batches, &fail)?;
+        settle_closes(
+            &w,
+            &done,
+            &mut close_ops,
+            &mut close_pending,
+            &mut shadow,
+            &fhs,
+            &fail,
+        )?;
+        for cl in 0..clients {
+            if w.client_uncommitted_blocks(cl) != 0 {
+                return Err(fail(
+                    "write-behind-drained",
+                    format!(
+                        "client {cl} still tracks {} uncommitted blocks after every file closed",
+                        w.client_uncommitted_blocks(cl)
+                    ),
+                ));
+            }
+        }
+    }
+    let _ = fault_active;
+
     // ------------------------------------------------------------------
     // End-of-run oracles, over the cluster-wide summed books.
     // ------------------------------------------------------------------
@@ -890,8 +1208,12 @@ pub fn run_plan(plan: &SimPlan, opts: RunOptions) -> Result<RunReport, OracleFai
     let c2s = sum_link_stats((0..clients).map(|i| w.c2s_stats_for(i)));
     let s2c = sum_link_stats((0..clients).map(|i| w.s2c_stats_for(i)));
 
-    if issued.len() != completed.len() {
-        let hung: Vec<&OpId> = issued.keys().filter(|id| !completed.contains(id)).collect();
+    if bk.issued.len() != bk.completed.len() {
+        let hung: Vec<&OpId> = bk
+            .issued
+            .keys()
+            .filter(|id| !bk.completed.contains(id))
+            .collect();
         return Err(fail(
             "no-stuck-ops",
             format!(
@@ -911,12 +1233,12 @@ pub fn run_plan(plan: &SimPlan, opts: RunOptions) -> Result<RunReport, OracleFai
 
     // Block conservation: every predicted demand miss produced exactly one
     // READ RPC, and every other READ RPC was a read-ahead.
-    if c.rpcs != predicted_demand + c.readahead_rpcs {
+    if c.rpcs != bk.predicted_demand + c.readahead_rpcs {
         return Err(fail(
             "block-conservation",
             format!(
                 "READ RPCs {} != predicted demand misses {} + read-aheads {}",
-                c.rpcs, predicted_demand, c.readahead_rpcs
+                c.rpcs, bk.predicted_demand, c.readahead_rpcs
             ),
         ));
     }
@@ -1111,6 +1433,69 @@ pub fn run_plan(plan: &SimPlan, opts: RunOptions) -> Result<RunReport, OracleFai
         }
     }
 
+    // Async-write books. The dirty-page identity was checked per batch;
+    // here the crash-detection implications close the loop: the only way
+    // a client sees a verifier mismatch is an injected restart, the only
+    // way a block is rewritten is a detected mismatch, and a FILE_SYNC
+    // run must never wake the async machinery at all.
+    if s.dirty_blocks_stashed
+        != s.dirty_blocks_flushed + s.dirty_blocks_lost + w.server_dirty_blocks()
+    {
+        return Err(fail(
+            "dirty-books",
+            format!(
+                "stashed {} != flushed {} + lost {} + pooled {}",
+                s.dirty_blocks_stashed,
+                s.dirty_blocks_flushed,
+                s.dirty_blocks_lost,
+                w.server_dirty_blocks()
+            ),
+        ));
+    }
+    if c.verifier_mismatches > 0 && s.restarts == 0 {
+        return Err(fail(
+            "crash-detection",
+            format!(
+                "{} verifier mismatches with zero server restarts",
+                c.verifier_mismatches
+            ),
+        ));
+    }
+    if c.blocks_rewritten > 0 && c.verifier_mismatches == 0 {
+        return Err(fail(
+            "crash-detection",
+            format!(
+                "{} blocks rewritten with no verifier mismatch detected",
+                c.blocks_rewritten
+            ),
+        ));
+    }
+    if !write_loss
+        && (s.unstable_writes != 0
+            || s.commits != 0
+            || s.dirty_blocks_stashed != 0
+            || c.write_rpcs != 0
+            || c.commit_rpcs != 0
+            || c.verifier_mismatches != 0
+            || c.blocks_rewritten != 0)
+    {
+        return Err(fail(
+            "async-dormancy",
+            format!(
+                "FILE_SYNC run touched the async write path: server \
+                 unstable {} commits {} stashed {}, client write RPCs {} \
+                 commit RPCs {} mismatches {} rewritten {}",
+                s.unstable_writes,
+                s.commits,
+                s.dirty_blocks_stashed,
+                c.write_rpcs,
+                c.commit_rpcs,
+                c.verifier_mismatches,
+                c.blocks_rewritten
+            ),
+        ));
+    }
+
     for v in [
         c.ops,
         c.rpcs,
@@ -1121,15 +1506,35 @@ pub fn run_plan(plan: &SimPlan, opts: RunOptions) -> Result<RunReport, OracleFai
         s.reads,
         s.replies,
         s.reordered,
-        last_now.as_nanos(),
+        bk.last_now.as_nanos(),
     ] {
-        mix(&mut fp, v);
+        mix(&mut bk.fp, v);
     }
     if plan.disk_faults {
         // Disk-fault runs fold the error books into the fingerprint too.
         // Conditional so disk-free fingerprints stay pinned.
         for v in [bio.error_completions, bio.retries, bio.eio, s.disk_eios] {
-            mix(&mut fp, v);
+            mix(&mut bk.fp, v);
+        }
+    }
+    if write_loss {
+        // Write-loss runs fold the async write path's books in, so the
+        // determinism oracle covers gathering, crashes, and rewrites too.
+        // Conditional so clean-mode fingerprints stay pinned.
+        for v in [
+            s.unstable_writes,
+            s.commits,
+            s.gather_flushes,
+            s.dirty_blocks_stashed,
+            s.dirty_blocks_flushed,
+            s.dirty_blocks_lost,
+            s.restarts,
+            c.write_rpcs,
+            c.commit_rpcs,
+            c.verifier_mismatches,
+            c.blocks_rewritten,
+        ] {
+            mix(&mut bk.fp, v);
         }
     }
     if plan.transport == TransportKind::Tcp {
@@ -1158,7 +1563,7 @@ pub fn run_plan(plan: &SimPlan, opts: RunOptions) -> Result<RunReport, OracleFai
             tsum.rto_backoffs,
             tsum.lost_tracked,
         ] {
-            mix(&mut fp, v);
+            mix(&mut bk.fp, v);
         }
     }
 
@@ -1166,9 +1571,9 @@ pub fn run_plan(plan: &SimPlan, opts: RunOptions) -> Result<RunReport, OracleFai
         seed,
         transport: plan.transport,
         ops: c.ops,
-        ok_ops,
-        timed_out_ops,
-        eio_ops,
+        ok_ops: bk.ok_ops,
+        timed_out_ops: bk.timed_out_ops,
+        eio_ops: bk.eio_ops,
         disk_retries: bio.retries,
         disk_eios: s.disk_eios,
         retransmits: c.retransmits,
@@ -1177,7 +1582,15 @@ pub fn run_plan(plan: &SimPlan, opts: RunOptions) -> Result<RunReport, OracleFai
         clients,
         overlap,
         disk_faults: plan.disk_faults,
-        fingerprint: fp,
-        sim_nanos: last_now.as_nanos(),
+        write_loss,
+        unstable_writes: s.unstable_writes,
+        commits: s.commits,
+        gather_flushes: s.gather_flushes,
+        dirty_blocks_lost: s.dirty_blocks_lost,
+        verifier_mismatches: c.verifier_mismatches,
+        blocks_rewritten: c.blocks_rewritten,
+        restarts: s.restarts,
+        fingerprint: bk.fp,
+        sim_nanos: bk.last_now.as_nanos(),
     })
 }

@@ -10,6 +10,7 @@
 //! cargo run -p simtest -- --seeds 50 --overlap       # fault pairs
 //! cargo run -p simtest -- --seeds 50 --disk-faults   # + disk faults
 //! cargo run -p simtest -- --seeds 50 --transport tcp # force TCP (+blackout)
+//! cargo run -p simtest -- --seeds 50 --write-loss    # async writes + crashes
 //! ```
 //!
 //! Every seed is run twice (the determinism oracle compares fingerprints).
@@ -61,6 +62,7 @@ fn main() -> ExitCode {
         .unwrap_or(1);
     let overlap = args.iter().any(|a| a == "--overlap");
     let disk_faults = args.iter().any(|a| a == "--disk-faults");
+    let write_loss = args.iter().any(|a| a == "--write-loss");
     let forced = parse_transport(&args);
 
     let seeds: Vec<u64> = match single {
@@ -70,6 +72,7 @@ fn main() -> ExitCode {
     let opts = RunOptions {
         clients,
         disk_faults,
+        write_loss,
         ..RunOptions::default()
     };
 
@@ -80,20 +83,32 @@ fn main() -> ExitCode {
     let mut failures = 0u64;
     let mut total_ops = 0u64;
     let mut total_timeouts = 0u64;
+    let mut total_lost = 0u64;
+    let mut total_rewritten = 0u64;
     let mut kinds_seen: Vec<FaultKind> = Vec::new();
     for res in results {
         match res {
             Ok(r) => {
                 total_ops += r.ops;
                 total_timeouts += r.timed_out_ops;
+                total_lost += r.dirty_blocks_lost;
+                total_rewritten += r.blocks_rewritten;
                 for k in &r.faults {
                     if !kinds_seen.contains(k) {
                         kinds_seen.push(*k);
                     }
                 }
                 let faults: Vec<&str> = r.faults.iter().map(|k| k.label()).collect();
+                let crash = if r.write_loss {
+                    format!(
+                        " lost={:<3} mism={:<2} rewr={:<3}",
+                        r.dirty_blocks_lost, r.verifier_mismatches, r.blocks_rewritten
+                    )
+                } else {
+                    String::new()
+                };
                 println!(
-                    "seed {:>6} [{:?}] ops={:<4} ok={:<4} timeout={:<3} eio={:<3} retx={:<4} rpc_to={:<3} sim={:>8.1}s fp={:#018x} faults={}",
+                    "seed {:>6} [{:?}] ops={:<4} ok={:<4} timeout={:<3} eio={:<3} retx={:<4} rpc_to={:<3}{} sim={:>8.1}s fp={:#018x} faults={}",
                     r.seed,
                     r.transport,
                     r.ops,
@@ -102,6 +117,7 @@ fn main() -> ExitCode {
                     r.eio_ops,
                     r.retransmits,
                     r.rpc_timeouts,
+                    crash,
                     r.sim_nanos as f64 / 1e9,
                     r.fingerprint,
                     faults.join(",")
@@ -115,10 +131,11 @@ fn main() -> ExitCode {
     }
     let labels: Vec<&str> = kinds_seen.iter().map(|k| k.label()).collect();
     println!(
-        "swept {} seed(s) [clients={clients}{}{}{}]: {} failed, {} ops, {} timed out, fault kinds exercised: {}",
+        "swept {} seed(s) [clients={clients}{}{}{}{}]: {} failed, {} ops, {} timed out{}, fault kinds exercised: {}",
         seeds.len(),
         if overlap { ", overlap" } else { "" },
         if disk_faults { ", disk-faults" } else { "" },
+        if write_loss { ", write-loss" } else { "" },
         match forced {
             Some(TransportKind::Tcp) => ", transport=tcp",
             Some(TransportKind::Udp) => ", transport=udp",
@@ -127,6 +144,11 @@ fn main() -> ExitCode {
         failures,
         total_ops,
         total_timeouts,
+        if write_loss {
+            format!(", {total_lost} blocks crash-lost, {total_rewritten} rewritten")
+        } else {
+            String::new()
+        },
         labels.join(",")
     );
     if failures > 0 {

@@ -60,6 +60,7 @@ pub mod prelude {
     pub use iosched::SchedulerKind;
     pub use netsim::{LinkProfile, TransportKind};
     pub use nfscluster::{ClusterBench, ClusterConfig};
+    pub use nfsproto::StableHow;
     pub use nfssim::{NfsWorld, WorldConfig};
     pub use readahead_core::{NfsHeur, NfsHeurConfig, ReadaheadPolicy, SharedCursorPool};
     pub use simcore::{SimDuration, SimRng, SimTime};
