@@ -18,7 +18,7 @@ use std::hint::black_box;
 use std::time::Instant;
 
 use nfs_bench::perf::{BenchResult, PerfReport};
-use nfscluster::{ClusterBench, ClusterConfig};
+use nfscluster::{ClusterBench, ClusterConfig, FleetConfig, FleetReport, FleetWorld};
 use nfssim::WorldConfig;
 use readahead_core::{NfsHeurConfig, ReadaheadPolicy};
 use testbed::{LocalBench, NfsBench, Rig, StrideBench};
@@ -175,6 +175,45 @@ fn main() {
         );
         black_box(simtest::run_plan(&p, simtest::RunOptions::default()).expect("oracles hold"));
     });
+
+    // Fleet scale: the sharded world at real client counts. One
+    // iteration per case — a 100k-client fleet is seconds of wall clock,
+    // and the case exists to catch regressions in the SoA arena, the
+    // barrier engine, and the streaming histograms, not micro-noise.
+    // Test mode proves the path on a tiny fleet; quick mode (the CI
+    // smoke) runs 10k; full mode records 10k and the headline 100k.
+    let scale_cases: &[(&str, usize)] = if testing {
+        &[("cluster_scale/1k_clients", 1_000)]
+    } else if quick {
+        &[("cluster_scale/10k_clients", 10_000)]
+    } else {
+        &[
+            ("cluster_scale/10k_clients", 10_000),
+            ("cluster_scale/100k_clients", 100_000),
+        ]
+    };
+    for &(name, clients) in scale_cases {
+        let cfg = FleetConfig::scale(clients);
+        let mut last: Option<FleetReport> = None;
+        bench(out, name, 1, || {
+            let r = FleetWorld::new(&cfg, 1).run();
+            assert!(r.shard_stats.completed, "fleet must quiesce");
+            black_box(r.fingerprint);
+            last = Some(r);
+        });
+        let r = last.expect("bench ran");
+        println!(
+            "#   {clients} clients: p50={:.2} ms  p99={:.2} ms  p99.9={:.2} ms  \
+             {} B/client (full host: {} B, {:.0}x)  migrations={}",
+            r.latency_ms(0.50).unwrap_or(0.0),
+            r.latency_ms(0.99).unwrap_or(0.0),
+            r.latency_ms(0.999).unwrap_or(0.0),
+            r.mem.per_client_bytes,
+            r.mem.full_host_bytes,
+            r.mem.reduction,
+            r.migrations,
+        );
+    }
 
     let mut report = PerfReport {
         suite: "e2e".to_string(),

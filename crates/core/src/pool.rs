@@ -13,13 +13,6 @@
 use crate::policy::CursorConfig;
 use crate::record::{Cursor, SEQCOUNT_INIT};
 
-/// A pool entry: which file the cursor belongs to, plus the cursor itself.
-#[derive(Debug, Clone, Copy)]
-struct PooledCursor {
-    key: u64,
-    cursor: Cursor,
-}
-
 /// Counters.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct PoolStats {
@@ -32,11 +25,17 @@ pub struct PoolStats {
 }
 
 /// A fixed-size cursor pool shared across every active file handle.
+///
+/// Stored structure-of-arrays: the scan that dominates [`observe`]
+/// (`SharedCursorPool::observe`) walks the packed `keys` array and only
+/// touches a cursor when its key matches, instead of striding over
+/// key+cursor pairs.
 #[derive(Debug)]
 pub struct SharedCursorPool {
     capacity: usize,
     window_bytes: u64,
-    cursors: Vec<PooledCursor>,
+    keys: Vec<u64>,
+    cursors: Vec<Cursor>,
     clock: u64,
     stats: PoolStats,
 }
@@ -52,6 +51,7 @@ impl SharedCursorPool {
         SharedCursorPool {
             capacity,
             window_bytes,
+            keys: Vec::with_capacity(capacity),
             cursors: Vec::with_capacity(capacity),
             clock: 0,
             stats: PoolStats::default(),
@@ -82,19 +82,31 @@ impl SharedCursorPool {
     pub fn observe(&mut self, key: u64, offset: u64, len: u64) -> u32 {
         self.clock += 1;
         let clock = self.clock;
-        // Exact match, then nearest within the window — only cursors of the
-        // same file handle are eligible.
-        let candidate = self
-            .cursors
-            .iter()
-            .enumerate()
-            .filter(|(_, p)| p.key == key)
-            .filter(|(_, p)| p.cursor.next_offset.abs_diff(offset) <= self.window_bytes)
-            .min_by_key(|(_, p)| p.cursor.next_offset.abs_diff(offset))
-            .map(|(i, _)| i);
-        if let Some(i) = candidate {
+        // One fused scan finds both the nearest same-file cursor within the
+        // window (first minimum wins; an exact match can stop immediately)
+        // and the global LRU victim needed if the lookup misses.
+        let mut best: Option<(usize, u64)> = None;
+        let mut lru = 0usize;
+        let mut lru_use = u64::MAX;
+        for (i, &k) in self.keys.iter().enumerate() {
+            let c = &self.cursors[i];
+            if c.last_use < lru_use {
+                lru_use = c.last_use;
+                lru = i;
+            }
+            if k == key {
+                let diff = c.next_offset.abs_diff(offset);
+                if diff <= self.window_bytes && best.is_none_or(|(_, d)| diff < d) {
+                    best = Some((i, diff));
+                    if diff == 0 {
+                        break;
+                    }
+                }
+            }
+        }
+        if let Some((i, _)) = best {
             self.stats.matches += 1;
-            let c = &mut self.cursors[i].cursor;
+            let c = &mut self.cursors[i];
             if offset == c.next_offset {
                 c.grow();
                 c.next_offset = offset + len;
@@ -105,22 +117,14 @@ impl SharedCursorPool {
             return c.seqcount;
         }
         // Allocate or recycle the globally least recently used cursor.
-        let fresh = PooledCursor {
-            key,
-            cursor: Cursor::fresh(offset + len, clock),
-        };
-        if self.cursors.len() < self.capacity {
+        let fresh = Cursor::fresh(offset + len, clock);
+        if self.keys.len() < self.capacity {
             self.stats.allocations += 1;
+            self.keys.push(key);
             self.cursors.push(fresh);
         } else {
             self.stats.recycles += 1;
-            let lru = self
-                .cursors
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, p)| p.cursor.last_use)
-                .map(|(i, _)| i)
-                .expect("capacity > 0");
+            self.keys[lru] = key;
             self.cursors[lru] = fresh;
         }
         SEQCOUNT_INIT
@@ -128,6 +132,7 @@ impl SharedCursorPool {
 
     /// Drops every cursor.
     pub fn clear(&mut self) {
+        self.keys.clear();
         self.cursors.clear();
     }
 }

@@ -82,6 +82,16 @@ impl CursorVec {
         !self.spill.is_empty()
     }
 
+    /// Resets to exactly one cursor **in place**: only `inline[0]` and the
+    /// length are written, so reusing a record under table churn touches a
+    /// couple of words instead of memcpy'ing the whole inline array (the
+    /// difference shows in the `nfsheur/thrash_*` micro benches).
+    pub fn reset_to(&mut self, c: Cursor) {
+        self.spill.clear();
+        self.inline[0] = c;
+        self.len = 1;
+    }
+
     /// Appends a cursor, moving all cursors to the heap if the inline
     /// capacity is exceeded (elements stay contiguous either way).
     pub fn push(&mut self, c: Cursor) {
@@ -157,6 +167,12 @@ impl HeurRecord {
         let mut cursors = CursorVec::new();
         cursors.push(Cursor::fresh(next_offset, now));
         HeurRecord { cursors }
+    }
+
+    /// Re-initializes an existing record in place, equivalent to (but far
+    /// cheaper than) overwriting it with [`HeurRecord::fresh`].
+    pub fn reset(&mut self, next_offset: u64, now: u64) {
+        self.cursors.reset_to(Cursor::fresh(next_offset, now));
     }
 
     /// The primary cursor (single-cursor heuristics).

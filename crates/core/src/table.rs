@@ -190,11 +190,23 @@ impl NfsHeur {
         }
         // A new entry starts at the initial count with the expected offset
         // just past this read — the paper's "initial sequentiality metric".
-        self.slots[i] = Some(Slot {
-            key,
-            rec: HeurRecord::fresh(offset + len, clock),
-            last_use: clock,
-        });
+        // Ejections reuse the victim's record in place: a `HeurRecord` is
+        // ~200 bytes of mostly-idle inline cursor storage, and rebuilding
+        // one per miss is what the thrash benches pay for most.
+        match &mut self.slots[i] {
+            Some(s) => {
+                s.key = key;
+                s.last_use = clock;
+                s.rec.reset(offset + len, clock);
+            }
+            empty => {
+                *empty = Some(Slot {
+                    key,
+                    rec: HeurRecord::fresh(offset + len, clock),
+                    last_use: clock,
+                });
+            }
+        }
         (
             crate::record::SEQCOUNT_INIT,
             ProbeOutcome {

@@ -69,6 +69,16 @@ impl BufferCache {
         (self.hits, self.misses)
     }
 
+    /// Approximate heap bytes behind this cache (hash-map backing store,
+    /// estimated from its capacity). Used for fleet-scale memory
+    /// accounting; excludes `size_of::<BufferCache>()` itself.
+    pub fn approx_heap_bytes(&self) -> usize {
+        self.map.capacity()
+            * (std::mem::size_of::<BlockKey>()
+                + std::mem::size_of::<Entry>()
+                + std::mem::size_of::<u64>())
+    }
+
     /// Looks up a block for a read, bumping LRU on hit.
     /// Returns `true` if the block is valid in cache.
     pub fn lookup(&mut self, key: BlockKey) -> bool {

@@ -83,7 +83,7 @@ impl Default for WorldConfig {
 /// these per host; the single-client constructor derives one from the
 /// [`WorldConfig`] via [`ClientHostConfig::from_world`], so a 1-host
 /// cluster is configured — and behaves — exactly like the classic world.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ClientHostConfig {
     /// This host's link to the server (both directions are symmetric).
     pub link: LinkProfile,

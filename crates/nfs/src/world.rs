@@ -348,13 +348,41 @@ struct CloseState {
     snapshot: Vec<(u64, u64)>,
 }
 
-/// One client host: its mount state, caches, daemons, links, and RNG.
+/// Hot per-client state, split out of [`ClientHost`] into a packed
+/// parallel array (`NfsWorld::hot`): every RPC issue touches the xid
+/// counter and RNG, and the TCP tick guards are read on every timer, so
+/// packing them structure-of-arrays keeps the per-call working set to one
+/// cache line per client instead of striding over the ~full [`ClientHost`]
+/// (transports, caches, maps). The host's *configuration* is a flyweight:
+/// `cfg` indexes `NfsWorld::host_cfgs`, where equal configs share one
+/// entry — a uniform 100k-host fleet stores one config, not 100k.
+#[derive(Debug)]
+struct ClientHot {
+    rng: SimRng,
+    next_xid: u32,
+    /// Index into `NfsWorld::host_cfgs`.
+    cfg: u32,
+    /// Earliest [`Ev::TcpTick`] currently scheduled per direction
+    /// (`SimTime::MAX` = none), so redundant ticks stay bounded.
+    c2s_tick: SimTime,
+    s2c_tick: SimTime,
+}
+
+impl ClientHot {
+    fn marshal_delay(&mut self, cfgs: &[ClientHostConfig], cpu: CpuModel) -> SimDuration {
+        let busy_factor = 1.0 + f64::from(cfgs[self.cfg as usize].busy_loops) * 0.9;
+        let jitter = self.rng.exponential(cpu.client_jitter_mean * busy_factor);
+        SimDuration::from_secs_f64(cpu.client_marshal + jitter)
+    }
+}
+
+/// One client host's cold bulk: mount state, caches, daemons, links.
+/// The per-call hot fields live in [`ClientHot`]; the shared config in
+/// `NfsWorld::host_cfgs`.
 #[derive(Debug)]
 struct ClientHost {
-    cfg: ClientHostConfig,
     c2s: Transport,
     s2c: Transport,
-    rng: SimRng,
     cache: BufferCache,
     files: HashMap<u64, ClientFile>,
     rpcs: HashMap<u32, Rpc>,
@@ -362,7 +390,6 @@ struct ClientHost {
     op_waiters: HashMap<(u64, u64), Vec<OpId>>,
     /// Non-READ operations waiting directly on an RPC reply.
     rpc_waiters: HashMap<u32, OpId>,
-    next_xid: u32,
     stats: ClientStats,
     /// Retired call-encoding buffers, recycled by `issue_call` so the
     /// per-RPC marshal path stops allocating once warm.
@@ -375,21 +402,11 @@ struct ClientHost {
     /// Write-behind dirty cache, by inode (async write path only; always
     /// empty on FILE_SYNC mounts).
     wb: HashMap<u64, WbFile>,
-    /// Earliest [`Ev::TcpTick`] currently scheduled per direction
-    /// (`SimTime::MAX` = none), so redundant ticks stay bounded.
-    c2s_tick: SimTime,
-    s2c_tick: SimTime,
 }
 
 impl ClientHost {
     /// Caps the recycled-buffer pool; beyond this, retired buffers drop.
     const BUF_POOL_MAX: usize = 256;
-
-    fn marshal_delay(&mut self, cpu: CpuModel) -> SimDuration {
-        let busy_factor = 1.0 + f64::from(self.cfg.busy_loops) * 0.9;
-        let jitter = self.rng.exponential(cpu.client_jitter_mean * busy_factor);
-        SimDuration::from_secs_f64(cpu.client_marshal + jitter)
-    }
 
     /// Returns `Some(now)` iff an nfsiod slot is free at `now`. (A slot
     /// whose busy-until time has passed is usable immediately; there is no
@@ -501,6 +518,12 @@ pub struct NfsWorld {
     /// simulated time without popping the queue.
     clock: SimTime,
     clients: Vec<ClientHost>,
+    /// Hot per-client fields (RNG, xid, TCP tick guards), parallel to
+    /// `clients` and packed contiguously — see [`ClientHot`].
+    hot: Vec<ClientHot>,
+    /// Deduplicated host configurations (flyweight); `ClientHot::cfg`
+    /// indexes this. A uniform cluster of any size stores one entry.
+    host_cfgs: Vec<ClientHostConfig>,
     server: ServerHost,
     /// Process-level operations across every client (OpIds are global).
     ops: HashMap<OpId, OpState>,
@@ -540,44 +563,55 @@ impl NfsWorld {
         seed: u64,
     ) -> Self {
         assert!(!hosts.is_empty(), "a cluster needs at least one client");
-        let clients: Vec<ClientHost> = hosts
-            .iter()
-            .enumerate()
-            .map(|(i, hc)| {
-                let mut rng = SimRng::from_seed_and_stream(
-                    seed,
-                    CLIENT_STREAM_BASE.wrapping_add(CLIENT_STREAM_GAMMA.wrapping_mul(i as u64)),
-                );
-                let c2s = Transport::new(config.transport, hc.link, hc.rtt, rng.derive(1));
-                let s2c = Transport::new(config.transport, hc.link, hc.rtt, rng.derive(2));
-                ClientHost {
-                    cfg: *hc,
-                    c2s,
-                    s2c,
-                    rng,
-                    cache: BufferCache::new(hc.client_cache_blocks),
-                    files: HashMap::new(),
-                    rpcs: HashMap::new(),
-                    iod_free: vec![SimTime::ZERO; hc.nfsiods],
-                    op_waiters: HashMap::new(),
-                    rpc_waiters: HashMap::new(),
-                    next_xid: 1,
-                    stats: ClientStats::default(),
-                    buf_pool: Vec::new(),
-                    c2s_seq: HashMap::new(),
-                    s2c_seq: HashMap::new(),
-                    c2s_tick: SimTime::MAX,
-                    s2c_tick: SimTime::MAX,
-                    wb: HashMap::new(),
+        let mut host_cfgs: Vec<ClientHostConfig> = Vec::new();
+        let mut clients: Vec<ClientHost> = Vec::with_capacity(hosts.len());
+        let mut hot: Vec<ClientHot> = Vec::with_capacity(hosts.len());
+        for (i, hc) in hosts.iter().enumerate() {
+            // Flyweight: equal host configs share one arena entry.
+            let cfg = match host_cfgs.iter().position(|c| c == hc) {
+                Some(j) => j as u32,
+                None => {
+                    host_cfgs.push(*hc);
+                    (host_cfgs.len() - 1) as u32
                 }
-            })
-            .collect();
+            };
+            let mut rng = SimRng::from_seed_and_stream(
+                seed,
+                CLIENT_STREAM_BASE.wrapping_add(CLIENT_STREAM_GAMMA.wrapping_mul(i as u64)),
+            );
+            let c2s = Transport::new(config.transport, hc.link, hc.rtt, rng.derive(1));
+            let s2c = Transport::new(config.transport, hc.link, hc.rtt, rng.derive(2));
+            hot.push(ClientHot {
+                rng,
+                next_xid: 1,
+                cfg,
+                c2s_tick: SimTime::MAX,
+                s2c_tick: SimTime::MAX,
+            });
+            clients.push(ClientHost {
+                c2s,
+                s2c,
+                cache: BufferCache::new(hc.client_cache_blocks),
+                files: HashMap::new(),
+                rpcs: HashMap::new(),
+                iod_free: vec![SimTime::ZERO; hc.nfsiods],
+                op_waiters: HashMap::new(),
+                rpc_waiters: HashMap::new(),
+                stats: ClientStats::default(),
+                buf_pool: Vec::new(),
+                c2s_seq: HashMap::new(),
+                s2c_seq: HashMap::new(),
+                wb: HashMap::new(),
+            });
+        }
         let contention = vec![ContentionStats::default(); clients.len()];
         NfsWorld {
             cpu: CpuModel::for_transport(config.transport),
             queue: EventQueue::new(),
             clock: SimTime::ZERO,
             clients,
+            hot,
+            host_cfgs,
             server: ServerHost {
                 fs,
                 fsid: 1,
@@ -617,6 +651,35 @@ impl NfsWorld {
         self.clients.len()
     }
 
+    /// Approximate resident bytes of per-client state across the cluster:
+    /// the cold [`ClientHost`] bulk, the packed hot array, and each host's
+    /// heap (block cache, tracking maps, recycled marshal buffers). The
+    /// flyweight config arena is counted once, however many hosts share
+    /// it. Hash-map backing stores are estimated from `capacity()`, so
+    /// this is scale accounting, not allocator truth.
+    pub fn client_state_bytes(&self) -> usize {
+        use std::mem::size_of;
+        fn map_bytes<K, V>(m: &HashMap<K, V>) -> usize {
+            m.capacity() * (size_of::<K>() + size_of::<V>() + size_of::<u64>())
+        }
+        let mut total = self.host_cfgs.capacity() * size_of::<ClientHostConfig>()
+            + self.hot.capacity() * size_of::<ClientHot>()
+            + self.clients.capacity() * size_of::<ClientHost>();
+        for cl in &self.clients {
+            total += cl.cache.approx_heap_bytes()
+                + cl.iod_free.capacity() * size_of::<SimTime>()
+                + cl.buf_pool.iter().map(Vec::capacity).sum::<usize>()
+                + map_bytes(&cl.files)
+                + map_bytes(&cl.rpcs)
+                + map_bytes(&cl.op_waiters)
+                + map_bytes(&cl.rpc_waiters)
+                + map_bytes(&cl.c2s_seq)
+                + map_bytes(&cl.s2c_seq)
+                + map_bytes(&cl.wb);
+        }
+        total
+    }
+
     /// Creates a file on the server and "mounts" it on client 0,
     /// returning the handle processes read through.
     pub fn create_file(&mut self, size: u64) -> FileHandle {
@@ -627,7 +690,7 @@ impl NfsWorld {
     /// Layout draws come from that client's RNG stream, so each host's
     /// file placement is independent of the others'.
     pub fn create_file_for(&mut self, client: usize, size: u64) -> FileHandle {
-        let mut alloc_rng = self.clients[client].rng.derive(0xA110C);
+        let mut alloc_rng = self.hot[client].rng.derive(0xA110C);
         let ino = self.server.fs.create_file(size, &mut alloc_rng);
         self.clients[client].files.insert(
             ino,
@@ -997,7 +1060,7 @@ impl NfsWorld {
             cl.cache.mark_pending(key);
             cl.op_waiters.entry(key).or_default().push(id);
             outstanding += 1;
-            let send_at = now + cl.marshal_delay(cpu);
+            let send_at = now + self.hot[client].marshal_delay(&self.host_cfgs, cpu);
             self.issue_rpc(client, send_at, fh, blk * rsize, self.config.rsize, false);
         }
 
@@ -1013,7 +1076,8 @@ impl NfsWorld {
         f.next_offset = offset + len;
         let seqcount = f.seqcount;
         if seqcount >= 2 {
-            let window = u64::from(seqcount).min(cl.cfg.client_readahead_blocks);
+            let ra_blocks = self.host_cfgs[self.hot[client].cfg as usize].client_readahead_blocks;
+            let window = u64::from(seqcount).min(ra_blocks);
             let max_blk = (file.size - 1) / rsize;
             for blk in (last_blk + 1)..=(last_blk + window).min(max_blk) {
                 let key = (ino, blk);
@@ -1026,7 +1090,7 @@ impl NfsWorld {
                     cl.stats.iod_starved += 1;
                     break;
                 };
-                let send_at = iod + cl.marshal_delay(cpu);
+                let send_at = iod + self.hot[client].marshal_delay(&self.host_cfgs, cpu);
                 cl.set_iod_busy_until(send_at);
                 cl.cache.mark_pending(key);
                 self.issue_rpc(client, send_at, fh, blk * rsize, self.config.rsize, true);
@@ -1143,7 +1207,7 @@ impl NfsWorld {
                 eio: None,
             },
         );
-        let send_at = now + self.clients[client].marshal_delay(cpu);
+        let send_at = now + self.hot[client].marshal_delay(&self.host_cfgs, cpu);
         let xid = self.issue_call(
             client,
             send_at,
@@ -1256,7 +1320,7 @@ impl NfsWorld {
                 eio: None,
             },
         );
-        let send_at = now + self.clients[client].marshal_delay(cpu);
+        let send_at = now + self.hot[client].marshal_delay(&self.host_cfgs, cpu);
         let xid = self.issue_call(client, send_at, NfsCall::Getattr { fh });
         self.clients[client].rpc_waiters.insert(xid, id);
         id
@@ -1341,9 +1405,10 @@ impl NfsWorld {
     }
 
     fn issue_call(&mut self, client: usize, send_at: SimTime, call: NfsCall) -> u32 {
+        let hot = &mut self.hot[client];
+        let xid = hot.next_xid;
+        hot.next_xid = hot.next_xid.wrapping_add(1).max(1);
         let cl = &mut self.clients[client];
-        let xid = cl.next_xid;
-        cl.next_xid = cl.next_xid.wrapping_add(1).max(1);
         let ino = call.fh().ino;
         let f = cl.files.get_mut(&ino).expect("mounted");
         f.submit_counter += 1;
@@ -1435,9 +1500,9 @@ impl NfsWorld {
                 cl.stats.iod_starved += 1;
                 return;
             };
-            let send_at = base + cl.marshal_delay(cpu);
+            let send_at = base + self.hot[client].marshal_delay(&self.host_cfgs, cpu);
             if !pressure {
-                cl.set_iod_busy_until(send_at);
+                self.clients[client].set_iod_busy_until(send_at);
             }
             self.wb_issue_write(client, send_at, ino, first, last);
         }
@@ -1471,7 +1536,7 @@ impl NfsWorld {
             let Some((first, last)) = Self::first_dirty_run(wbf) else {
                 break;
             };
-            let send_at = now + cl.marshal_delay(cpu);
+            let send_at = now + self.hot[client].marshal_delay(&self.host_cfgs, cpu);
             self.wb_issue_write(client, send_at, ino, first, last);
         }
         let cl = &mut self.clients[client];
@@ -1494,7 +1559,7 @@ impl NfsWorld {
                 _ => unreachable!("no dirty or in-flight blocks remain"),
             })
             .collect();
-        let send_at = now + cl.marshal_delay(cpu);
+        let send_at = now + self.hot[client].marshal_delay(&self.host_cfgs, cpu);
         cl.stats.commit_rpcs += 1;
         let xid = self.issue_call(
             client,
@@ -1677,11 +1742,12 @@ impl NfsWorld {
     /// retransmission deadline, unless an earlier tick is already in the
     /// queue. (A stale later tick fires as a harmless no-op.)
     fn schedule_tcp_tick(&mut self, client: usize, c2s: bool) {
-        let cl = &mut self.clients[client];
+        let cl = &self.clients[client];
+        let hot = &mut self.hot[client];
         let (transport, tick) = if c2s {
-            (&cl.c2s, &mut cl.c2s_tick)
+            (&cl.c2s, &mut hot.c2s_tick)
         } else {
-            (&cl.s2c, &mut cl.s2c_tick)
+            (&cl.s2c, &mut hot.s2c_tick)
         };
         let Some(at) = transport.next_timer() else {
             return;
@@ -1698,12 +1764,12 @@ impl NfsWorld {
     /// aborts fail the RPC with soft-mount timeout semantics — TCP's
     /// connection-drop proxy.
     fn tcp_tick(&mut self, at: SimTime, client: usize, c2s: bool) {
-        let cl = &mut self.clients[client];
         if c2s {
-            cl.c2s_tick = SimTime::MAX;
+            self.hot[client].c2s_tick = SimTime::MAX;
         } else {
-            cl.s2c_tick = SimTime::MAX;
+            self.hot[client].s2c_tick = SimTime::MAX;
         }
+        let cl = &mut self.clients[client];
         let transport = if c2s { &mut cl.c2s } else { &mut cl.s2c };
         let events = transport.on_timer(at);
         for ev in events {
@@ -1788,7 +1854,7 @@ impl NfsWorld {
         }
         rpc.attempt += 1;
         cl.stats.retransmits += 1;
-        let send_at = at + cl.marshal_delay(cpu);
+        let send_at = at + self.hot[key_client(key)].marshal_delay(&self.host_cfgs, cpu);
         self.queue.schedule_at(send_at, Ev::Send { key });
     }
 
@@ -1939,8 +2005,10 @@ impl NfsWorld {
             }
             return;
         }
-        let wake_jitter = if cl.cfg.busy_loops > 0 {
-            SimDuration::from_secs_f64(cl.rng.uniform01() * 60e-6 * f64::from(cl.cfg.busy_loops))
+        let hot = &mut self.hot[client];
+        let busy_loops = self.host_cfgs[hot.cfg as usize].busy_loops;
+        let wake_jitter = if busy_loops > 0 {
+            SimDuration::from_secs_f64(hot.rng.uniform01() * 60e-6 * f64::from(busy_loops))
         } else {
             SimDuration::ZERO
         };

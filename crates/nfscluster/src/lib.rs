@@ -20,6 +20,11 @@
 //!   the one event clock.
 //! - [`experiments`]: the client-count × table-size grid behind the
 //!   `EXPERIMENTS.md` contention table.
+//! - [`fleet`]: [`FleetWorld`] — the 100k-client scale tier: fleet
+//!   clients as ~24-byte struct-of-arrays arena entries multiplexed onto
+//!   a bounded host set per group, groups sharded under
+//!   [`simfleet::run_sharded`] with barrier-synchronized load-shed
+//!   migration and streaming [`simcore::LogHist`] tail latencies.
 //!
 //! Determinism contract: a cluster run is a pure function of
 //! `(ClusterConfig, seed)`. Each host derives its RNG stream from the
@@ -33,8 +38,10 @@
 pub mod bench;
 pub mod config;
 pub mod experiments;
+pub mod fleet;
 pub mod mix;
 
 pub use bench::{ClientReport, ClusterBench, ClusterRunResult};
 pub use config::{clients_from_env, ClusterConfig, CLIENTS_ENV};
+pub use fleet::{FleetConfig, FleetMem, FleetReport, FleetWorld, Migrant};
 pub use mix::{ClientWorkload, MixBench, MixResult};

@@ -11,6 +11,8 @@
 //! * [`OnlineStats`] / [`Summary`] / [`Histogram`] — the statistics used to
 //!   report benchmark results the way the paper does (mean over >= 10 runs
 //!   with standard deviation);
+//! * [`LogHist`] — a streaming log-bucketed latency histogram with bounded
+//!   memory and exact shard merging, for tail quantiles at fleet scale;
 //! * [`Trace`] — diagnostic counters that can be switched off for timed
 //!   runs, mirroring the paper's instrumentation discipline.
 //!
@@ -28,6 +30,6 @@ mod trace;
 
 pub use event::{Control, EventQueue, Executor};
 pub use rng::{SampleRange, SimRng, UniformSample};
-pub use stats::{quantile, Histogram, OnlineStats, Summary};
+pub use stats::{quantile, Histogram, LogHist, OnlineStats, Summary};
 pub use time::{SimDuration, SimTime};
 pub use trace::{Trace, TraceLevel};

@@ -1,0 +1,155 @@
+//! Property tests for the streaming log-bucketed histogram.
+//!
+//! Pins the two contracts the fleet engine depends on:
+//!
+//! 1. **Quantile relative-error bound** — for any sample, every reported
+//!    quantile is within `1/64` (one sub-bucket) of the exact order
+//!    statistic, across uniform, exponential, and bimodal shapes.
+//! 2. **Shard-merge algebra** — `merge(a, b) == merge(b, a)`, merging is
+//!    associative, and a histogram merged from arbitrary shard splits is
+//!    bit-identical (PartialEq *and* fingerprint) to one built
+//!    sequentially. This is what makes per-shard tail accounting safe.
+
+use simcore::{LogHist, SimRng};
+
+/// Exact lower empirical quantile: `sorted[floor(q * (n-1))]`, matching
+/// the rank LogHist::quantile targets.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = (q * (sorted.len() - 1) as f64).floor() as usize;
+    sorted[rank]
+}
+
+fn check_error_bound(samples: &[u64], label: &str) {
+    let mut h = LogHist::new();
+    for &v in samples {
+        h.add(v);
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    for &q in &[0.0, 0.1, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+        let got = h.quantile(q).unwrap();
+        let want = exact_quantile(&sorted, q);
+        // The reported value is the midpoint of the bucket containing the
+        // exact order statistic; buckets are at most `value/64` wide, so
+        // allow one bucket of relative error (plus 1 for integer rounding
+        // near zero).
+        let tol = want / 64 + 1;
+        assert!(
+            got.abs_diff(want) <= tol,
+            "{label}: q={q} got={got} want={want} tol={tol}"
+        );
+    }
+}
+
+#[test]
+fn quantile_error_bounded_uniform() {
+    let mut rng = SimRng::from_seed_and_stream(0xA11CE, 1);
+    for trial in 0..20 {
+        let n = 100 + trial * 217;
+        let samples: Vec<u64> = (0..n).map(|_| rng.gen_range(0..50_000_000u64)).collect();
+        check_error_bound(&samples, "uniform");
+    }
+}
+
+#[test]
+fn quantile_error_bounded_exponential_tail() {
+    let mut rng = SimRng::from_seed_and_stream(0xB0B, 2);
+    for _ in 0..20 {
+        let samples: Vec<u64> = (0..5_000)
+            .map(|_| (rng.exponential(1.0) * 2_000_000.0) as u64)
+            .collect();
+        check_error_bound(&samples, "exponential");
+    }
+}
+
+#[test]
+fn quantile_error_bounded_bimodal() {
+    // The fleet's actual shape: a fast mode (healthy groups) plus a slow
+    // mode (fail-slow groups) three orders of magnitude out.
+    let mut rng = SimRng::from_seed_and_stream(0xCAFE, 3);
+    for _ in 0..20 {
+        let samples: Vec<u64> = (0..4_000)
+            .map(|_| {
+                if rng.chance(0.05) {
+                    1_000_000_000 + rng.gen_range(0..500_000_000u64)
+                } else {
+                    800_000 + rng.gen_range(0..400_000u64)
+                }
+            })
+            .collect();
+        check_error_bound(&samples, "bimodal");
+    }
+}
+
+#[test]
+fn merge_commutes_and_associates() {
+    let mut rng = SimRng::from_seed_and_stream(0xD00D, 4);
+    for _ in 0..50 {
+        let mk = |rng: &mut SimRng| {
+            let mut h = LogHist::new();
+            for _ in 0..rng.gen_range(0..200usize) {
+                let shift = rng.gen_range(0..40u32);
+                h.add(rng.gen_range(0..u64::MAX >> shift));
+            }
+            h
+        };
+        let (a, b, c) = (mk(&mut rng), mk(&mut rng), mk(&mut rng));
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "merge must commute");
+
+        let mut ab_c = ab.clone();
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc, "merge must associate");
+        assert_eq!(ab_c.fingerprint(), a_bc.fingerprint());
+    }
+}
+
+#[test]
+fn sharded_build_is_bit_identical_to_sequential() {
+    let mut rng = SimRng::from_seed_and_stream(0x5EED, 5);
+    for shards in [1usize, 2, 3, 4, 7, 16] {
+        let samples: Vec<u64> = (0..10_000)
+            .map(|_| rng.gen_range(0..10_000_000_000u64))
+            .collect();
+
+        let mut sequential = LogHist::new();
+        for &v in &samples {
+            sequential.add(v);
+        }
+
+        let mut parts = vec![LogHist::new(); shards];
+        for (i, &v) in samples.iter().enumerate() {
+            parts[i % shards].add(v);
+        }
+        let mut merged = LogHist::new();
+        for p in &parts {
+            merged.merge(p);
+        }
+
+        assert_eq!(merged, sequential, "shards={shards}");
+        assert_eq!(merged.fingerprint(), sequential.fingerprint());
+        assert_eq!(merged.total(), 10_000);
+        assert_eq!(merged.sum(), sequential.sum());
+        assert_eq!(merged.quantile(0.99), sequential.quantile(0.99));
+    }
+}
+
+#[test]
+fn add_n_equals_repeated_add() {
+    let mut a = LogHist::new();
+    let mut b = LogHist::new();
+    a.add_n(12_345, 1_000);
+    for _ in 0..1_000 {
+        b.add(12_345);
+    }
+    assert_eq!(a, b);
+    assert_eq!(a.bytes(), b.bytes());
+}

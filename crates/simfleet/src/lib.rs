@@ -14,6 +14,11 @@
 //! simtest fingerprints — is identical whether the jobs ran on one thread
 //! or sixteen. The determinism argument is spelled out in DESIGN.md §9.
 //!
+//! [`run_sharded`] extends the same contract from independent runs to one
+//! *sharded world*: sub-worlds that exchange typed messages at fixed time
+//! barriers, bit-identical at any shard count (the [`run_sharded`] docs
+//! spell out the determinism argument).
+//!
 //! Threading is std-only (scoped threads, atomics, channels) and confined
 //! to this crate; the simulator itself stays single-threaded per run.
 //!
@@ -26,6 +31,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+mod shard;
+
+pub use shard::{run_sharded, set_shards_override, shards, ShardRunStats, ShardWorld, SHARDS_ENV};
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;

@@ -1,0 +1,261 @@
+//! Barrier-synchronized sharded execution of one logical world.
+//!
+//! [`run_indexed`](crate::run_indexed) parallelizes *independent* runs;
+//! this module parallelizes a *single* run that is too large for one
+//! event loop. The world is split into `n` sub-worlds ("groups"), each a
+//! self-contained deterministic simulator. Time advances in fixed
+//! **epochs**: within an epoch every group runs independently up to the
+//! epoch's barrier time; anything one group wants to tell another is
+//! emitted as a typed message and delivered *at the next barrier*.
+//!
+//! The determinism contract — the whole point of the design — is that the
+//! output is bit-identical at any shard count:
+//!
+//! 1. A group's `step` depends only on its own state and its inbox.
+//! 2. Outboxes are collected **per group index**, not per thread.
+//! 3. After the barrier, messages are routed serially in (source group,
+//!    emission order) — a total order independent of which thread ran
+//!    which group, or how groups were packed into shards.
+//!
+//! So each group observes an identical message sequence whether the epoch
+//! ran on 1 thread or 16, and induction over epochs gives bit-identical
+//! final states. This is the same contract the `jobs=1 ≡ jobs=4` tests
+//! pin for independent runs, extended to communicating worlds.
+//!
+//! The shard count comes from [`set_shards_override`], else the
+//! `NFS_FLEET_SHARDS` environment variable, else the jobs resolution of
+//! [`jobs`](crate::jobs) (shards cost nothing when idle, so defaulting to
+//! the machine width is safe).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Environment variable naming the number of shard worker threads.
+pub const SHARDS_ENV: &str = "NFS_FLEET_SHARDS";
+
+/// `0` = no override; otherwise the override value (set by tests).
+static SHARDS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the shard count for the current process, taking precedence
+/// over `NFS_FLEET_SHARDS` and the default. `None` removes the override.
+/// Intended for tests that compare `shards=1` against `shards=N`.
+pub fn set_shards_override(shards: Option<usize>) {
+    SHARDS_OVERRIDE.store(shards.unwrap_or(0), Ordering::SeqCst);
+}
+
+/// Resolves the shard count (always ≥ 1): the test override, else
+/// `NFS_FLEET_SHARDS`, else the [`jobs`](crate::jobs) resolution.
+pub fn shards() -> usize {
+    let o = SHARDS_OVERRIDE.load(Ordering::SeqCst);
+    if o > 0 {
+        return o;
+    }
+    if let Ok(v) = std::env::var(SHARDS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    crate::jobs()
+}
+
+/// One shard-steppable group of a sharded world.
+pub trait ShardWorld: Send {
+    /// Cross-group event type (delivered at the *next* barrier).
+    type Msg: Send;
+
+    /// Advances this group through epoch `epoch` up to the barrier,
+    /// consuming the messages delivered at this barrier (already in the
+    /// deterministic (source group, emission order) total order) and
+    /// returning `(destination group, message)` pairs to deliver at the
+    /// next barrier.
+    fn step(&mut self, epoch: u64, inbox: Vec<Self::Msg>) -> Vec<(usize, Self::Msg)>;
+
+    /// Whether this group has no pending work. The run ends at the first
+    /// barrier where every group is idle and no messages are in flight.
+    fn idle(&self) -> bool;
+}
+
+/// What a sharded run did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRunStats {
+    /// Epochs executed before quiescence (or the cap).
+    pub epochs: u64,
+    /// Cross-group messages routed across all barriers.
+    pub messages: u64,
+    /// Whether the run reached quiescence within `max_epochs`.
+    pub completed: bool,
+}
+
+/// Runs `groups` to quiescence (or `max_epochs`) with barrier-synchronized
+/// message exchange, on [`shards`]-many scoped threads. Groups are packed
+/// into contiguous index ranges per shard; see the module docs for why the
+/// result is bit-identical at any shard count.
+///
+/// # Panics
+///
+/// Panics if a message names a destination group out of range, or if any
+/// group's `step` panics (propagated after the scope joins).
+pub fn run_sharded<W: ShardWorld>(groups: &mut [W], max_epochs: u64) -> ShardRunStats {
+    let n = groups.len();
+    let mut inboxes: Vec<Vec<W::Msg>> = Vec::with_capacity(n);
+    inboxes.resize_with(n, Vec::new);
+    let mut stats = ShardRunStats {
+        epochs: 0,
+        messages: 0,
+        completed: false,
+    };
+    for epoch in 0..max_epochs {
+        if inboxes.iter().all(Vec::is_empty) && groups.iter().all(ShardWorld::idle) {
+            stats.completed = true;
+            return stats;
+        }
+        stats.epochs = epoch + 1;
+        let width = shards().min(n.max(1));
+        let mut outboxes: Vec<Vec<(usize, W::Msg)>> = Vec::with_capacity(n);
+        outboxes.resize_with(n, Vec::new);
+        if width <= 1 || n <= 1 {
+            for (i, g) in groups.iter_mut().enumerate() {
+                outboxes[i] = g.step(epoch, std::mem::take(&mut inboxes[i]));
+            }
+        } else {
+            let chunk = n.div_ceil(width);
+            std::thread::scope(|scope| {
+                for ((gs, ins), outs) in groups
+                    .chunks_mut(chunk)
+                    .zip(inboxes.chunks_mut(chunk))
+                    .zip(outboxes.chunks_mut(chunk))
+                {
+                    scope.spawn(move || {
+                        for ((g, inbox), out) in gs.iter_mut().zip(ins).zip(outs) {
+                            *out = g.step(epoch, std::mem::take(inbox));
+                        }
+                    });
+                }
+            });
+        }
+        // Serial routing in (source group, emission order): the total
+        // order every group's next inbox is built from, independent of
+        // scheduling above.
+        for ob in &mut outboxes {
+            for (dst, msg) in ob.drain(..) {
+                assert!(dst < n, "message routed to group {dst} of {n}");
+                inboxes[dst].push(msg);
+                stats.messages += 1;
+            }
+        }
+    }
+    stats.completed = inboxes.iter().all(Vec::is_empty) && groups.iter().all(ShardWorld::idle);
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serialize tests that touch the process-global override.
+    static OVERRIDE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn with_shards<R>(s: usize, f: impl FnOnce() -> R) -> R {
+        let _g = OVERRIDE_LOCK.lock().unwrap();
+        set_shards_override(Some(s));
+        let r = f();
+        set_shards_override(None);
+        r
+    }
+
+    /// A toy deterministic group: hashes its inbox into its state each
+    /// epoch and gossips to a pseudo-random peer while it has work left.
+    struct Gossip {
+        id: usize,
+        n: usize,
+        state: u64,
+        remaining: u32,
+    }
+
+    impl ShardWorld for Gossip {
+        type Msg = u64;
+        fn step(&mut self, epoch: u64, inbox: Vec<u64>) -> Vec<(usize, u64)> {
+            for m in inbox {
+                self.state = self
+                    .state
+                    .rotate_left(7)
+                    .wrapping_mul(0x100_0000_01b3)
+                    .wrapping_add(m);
+            }
+            if self.remaining == 0 {
+                return Vec::new();
+            }
+            self.remaining -= 1;
+            self.state = self.state.wrapping_add(epoch ^ 0x9E37_79B9_7F4A_7C15);
+            let dst = (self.state >> 17) as usize % self.n;
+            vec![(dst, self.state ^ self.id as u64)]
+        }
+        fn idle(&self) -> bool {
+            self.remaining == 0
+        }
+    }
+
+    fn fleet(n: usize) -> Vec<Gossip> {
+        (0..n)
+            .map(|id| Gossip {
+                id,
+                n,
+                state: id as u64 * 0x9E37_79B9,
+                remaining: 8 + (id as u32 % 5),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn shard_counts_agree_bitwise() {
+        let run = |s: usize| {
+            with_shards(s, || {
+                let mut gs = fleet(13);
+                let stats = run_sharded(&mut gs, 1_000);
+                assert!(stats.completed);
+                (stats, gs.iter().map(|g| g.state).collect::<Vec<_>>())
+            })
+        };
+        let base = run(1);
+        for s in [2, 4, 7] {
+            assert_eq!(run(s), base, "shards={s}");
+        }
+    }
+
+    #[test]
+    fn quiescence_terminates_early() {
+        let stats = with_shards(2, || {
+            let mut gs = fleet(4);
+            run_sharded(&mut gs, 1_000)
+        });
+        assert!(stats.completed);
+        assert!(stats.epochs < 100, "{stats:?}");
+        assert!(stats.messages > 0);
+    }
+
+    #[test]
+    fn epoch_cap_reports_incomplete() {
+        let mut gs = fleet(4);
+        let stats = with_shards(1, || run_sharded(&mut gs, 2));
+        assert!(!stats.completed);
+        assert_eq!(stats.epochs, 2);
+    }
+
+    #[test]
+    fn empty_fleet_is_immediately_quiescent() {
+        let mut gs: Vec<Gossip> = Vec::new();
+        let stats = run_sharded(&mut gs, 10);
+        assert!(stats.completed);
+        assert_eq!(stats.epochs, 0);
+    }
+
+    #[test]
+    fn shards_override_takes_precedence_and_clears() {
+        let _g = OVERRIDE_LOCK.lock().unwrap();
+        set_shards_override(Some(5));
+        assert_eq!(shards(), 5);
+        set_shards_override(None);
+        assert!(shards() >= 1);
+    }
+}

@@ -1,0 +1,96 @@
+//! Regression tests for the sharded-fleet determinism contract: a
+//! [`nfscluster::FleetWorld`] run must be bit-identical whether its
+//! groups execute on one shard thread or four — including when the
+//! fleet's disk-fault and TCP machinery is fully lit. The fingerprint
+//! folds every completion `(client, done_at, outcome)` in completion
+//! order plus the per-group histogram fingerprints, so any divergence in
+//! event order, migration routing, fault timing, or retransmission
+//! schedules shows up as a changed fingerprint.
+
+use std::sync::Mutex;
+
+use netsim::TransportKind;
+use nfscluster::{FleetConfig, FleetWorld};
+use simcore::SimDuration;
+
+/// The shards override is process-global; serialize tests that flip it.
+static SHARDS_LOCK: Mutex<()> = Mutex::new(());
+
+fn with_shards<T>(shards: usize, f: impl FnOnce() -> T) -> T {
+    let _guard = SHARDS_LOCK.lock().unwrap();
+    simfleet::set_shards_override(Some(shards));
+    let out = f();
+    simfleet::set_shards_override(None);
+    out
+}
+
+/// A deliberately hot little fleet: the 2 s arrival window overloads the
+/// groups, so load-shed migration (the only cross-shard traffic) is
+/// exercised for real, not vacuously.
+fn hot_fleet(clients: usize) -> FleetConfig {
+    let mut cfg = FleetConfig::scale(clients);
+    cfg.groups = cfg.groups.max(3);
+    cfg.arrival_window = SimDuration::from_secs(2);
+    cfg
+}
+
+fn digest(cfg: &FleetConfig, seed: u64, shards: usize) -> (u64, u64, u64, u64, u64, u64) {
+    let r = with_shards(shards, || FleetWorld::new(cfg, seed).run());
+    assert!(
+        r.shard_stats.completed,
+        "fleet must quiesce: {:?}",
+        r.shard_stats
+    );
+    (
+        r.fingerprint,
+        r.hist.fingerprint(),
+        r.ops_ok,
+        r.ops_eio,
+        r.migrations,
+        r.shard_stats.messages,
+    )
+}
+
+#[test]
+fn fleet_is_bit_identical_across_shard_counts() {
+    let cfg = hot_fleet(240);
+    let base = digest(&cfg, 17, 1);
+    assert_eq!(digest(&cfg, 17, 4), base, "shards=4 diverged from shards=1");
+}
+
+/// Every group degraded: the seeded fail-slow disk-fault machinery runs
+/// in every shard's event loop, and the extra latency drives heavy
+/// shedding. Fault timing must not leak across shard boundaries.
+#[test]
+fn fleet_with_disk_faults_is_bit_identical_across_shard_counts() {
+    let mut cfg = hot_fleet(240);
+    cfg.degraded_every = 1;
+    let base = digest(&cfg, 23, 1);
+    assert!(
+        base.4 > 0,
+        "overloaded fail-slow fleet should migrate: {base:?}"
+    );
+    assert_eq!(digest(&cfg, 23, 4), base, "shards=4 diverged from shards=1");
+}
+
+/// Forced TCP: the timed segment engine's retransmission timers and
+/// connection bookkeeping run inside every group's world. Same contract.
+#[test]
+fn fleet_under_tcp_is_bit_identical_across_shard_counts() {
+    let mut cfg = hot_fleet(180);
+    cfg.world.transport = TransportKind::Tcp;
+    let base = digest(&cfg, 29, 1);
+    assert_eq!(digest(&cfg, 29, 4), base, "shards=4 diverged from shards=1");
+}
+
+/// TCP and universal disk faults together, at a third shard width, with
+/// migration traffic asserted live — the full machinery in one pot.
+#[test]
+fn fleet_tcp_plus_faults_is_bit_identical_across_shard_counts() {
+    let mut cfg = hot_fleet(180);
+    cfg.world.transport = TransportKind::Tcp;
+    cfg.degraded_every = 1;
+    let base = digest(&cfg, 31, 1);
+    let wide = digest(&cfg, 31, 3);
+    assert_eq!(wide, base, "shards=3 diverged from shards=1");
+}
