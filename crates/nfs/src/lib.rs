@@ -21,5 +21,6 @@ mod world;
 
 pub use config::{ClientHostConfig, CpuModel, WorldConfig};
 pub use world::{
-    BlockState, ClientStats, ContentionStats, NfsWorld, OpDone, OpId, OpOutcome, ServerStats,
+    BlockState, ClientStats, ContentionStats, ExtReply, NfsWorld, OpDone, OpId, OpOutcome,
+    ServerEvent, ServerStats,
 };

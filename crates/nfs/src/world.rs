@@ -52,6 +52,13 @@ const SERVER_STREAM: u64 = 0x4E46_5352_5600; // "NFSRV"
 /// are `client << 32 | xid` with small client indices, so bit 63 is free.
 const FLUSH_KEY_BIT: u64 = 1 << 63;
 
+/// Bit 62 of a routing key marks a call injected by an *external* ingress
+/// (the real-socket `nfsd` endpoint) rather than a simulated client host.
+/// External calls flow through the same nfsd pool, `nfsheur` table, dirty
+/// pool, and disk as simulated ones, but their replies land in
+/// [`NfsWorld::take_external_replies`] instead of a simulated transport.
+const EXT_KEY_BIT: u64 = 1 << 62;
+
 /// Packs a client index and an RPC xid into one event/FS routing key.
 /// Client 0 keys are numerically equal to the bare xid, which keeps the
 /// single-client world's disk-event tags identical to the historical ones.
@@ -60,11 +67,27 @@ fn call_key(client: usize, xid: u32) -> u64 {
 }
 
 fn key_client(key: u64) -> usize {
+    debug_assert_eq!(key & EXT_KEY_BIT, 0, "external key routed as client");
     (key >> 32) as usize
 }
 
 fn key_xid(key: u64) -> u32 {
     key as u32
+}
+
+/// Routing key for an external-ingress call.
+fn ext_key(ext: usize, xid: u32) -> u64 {
+    EXT_KEY_BIT | ((ext as u64) << 32) | u64::from(xid)
+}
+
+/// Whether a (non-flush) routing key belongs to an external ingress.
+fn is_ext(key: u64) -> bool {
+    key & EXT_KEY_BIT != 0
+}
+
+/// External-connection index of an external key.
+fn ext_index(key: u64) -> usize {
+    ((key >> 32) & ((1 << 30) - 1)) as usize
 }
 
 /// Identifies a process-level operation (one `read()` system call).
@@ -114,6 +137,56 @@ pub struct OpDone {
     pub done_at: SimTime,
     /// Success or typed failure.
     pub outcome: OpOutcome,
+}
+
+/// A reply produced for an external-ingress call (the real-socket
+/// endpoint): the server half finished the work and this is what would
+/// go on the wire. Collected via [`NfsWorld::take_external_replies`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExtReply {
+    /// External connection index (from
+    /// [`NfsWorld::register_external_client`]).
+    pub ext: usize,
+    /// RPC transaction id of the call this answers.
+    pub xid: u32,
+    /// Simulated instant the reply left the server.
+    pub at: SimTime,
+    /// Whether the reply carries `NFS3ERR_IO`.
+    pub eio: bool,
+    /// The reply body.
+    pub reply: NfsReply,
+}
+
+/// One entry of the server-side event log (see
+/// [`NfsWorld::enable_server_event_log`]): the order-sensitive actions
+/// the clock-adapter tests compare between virtual-clock and wall-clock
+/// drivers. Recording is off by default and the log is behind an
+/// `Option`, so worlds that never enable it are bit-identical to
+/// historical behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerEvent {
+    /// A READ probed the `nfsheur` table.
+    HeurRead {
+        /// File probed.
+        ino: u64,
+        /// Whether the probe hit a live cursor.
+        hit: bool,
+        /// Whether the probe ejected a victim cursor.
+        ejected: bool,
+    },
+    /// The dirty pool for `ino` flushed (gather window, pressure, or
+    /// COMMIT), writing `blocks` gathered blocks to disk.
+    GatherFlush {
+        /// File flushed.
+        ino: u64,
+        /// Dirty blocks in the flush.
+        blocks: u64,
+    },
+    /// A reply left the server (any origin — simulated or external).
+    Reply {
+        /// Transaction id answered.
+        xid: u32,
+    },
 }
 
 /// State of one client-cache block, for external invariant checks.
@@ -531,9 +604,23 @@ pub struct NfsWorld {
     next_op: u64,
     /// Which client host "owns" (mounted) each inode, for attributing
     /// server-side contention. With one client this maps everything to 0.
+    /// External connections own their exports under index
+    /// `clients.len() + ext`.
     ino_owner: HashMap<u64, usize>,
-    /// Per-client contention counters, indexed by client id.
+    /// Per-client contention counters, indexed by client id; external
+    /// connections append entries after the simulated hosts.
     contention: Vec<ContentionStats>,
+    /// Number of external-ingress connections registered.
+    ext_clients: usize,
+    /// Calls injected by an external ingress, by full routing key, held
+    /// until their reply is produced (the external analogue of
+    /// `ClientHost::rpcs`).
+    ext_rpcs: HashMap<u64, NfsCall>,
+    /// Replies to external calls awaiting collection.
+    ext_outbox: Vec<ExtReply>,
+    /// Order-sensitive server action log; `None` (the default) records
+    /// nothing.
+    server_events: Option<Vec<ServerEvent>>,
 }
 
 impl NfsWorld {
@@ -642,6 +729,10 @@ impl NfsWorld {
             next_op: 0,
             ino_owner: HashMap::new(),
             contention,
+            ext_clients: 0,
+            ext_rpcs: HashMap::new(),
+            ext_outbox: Vec::new(),
+            server_events: None,
             config,
         }
     }
@@ -707,6 +798,92 @@ impl NfsWorld {
             ino,
             generation: 1,
         }
+    }
+
+    // ------------------------------------------------------------------
+    // External ingress (real-socket endpoint).
+    //
+    // The `nfsd` crate feeds calls decoded off real TCP connections into
+    // the simulated server half through these hooks. External calls share
+    // the nfsd pool, duplicate cache, `nfsheur` table, dirty pool, and
+    // disk with simulated traffic, but never touch a simulated client
+    // host, so a world that registers no external connection behaves
+    // bit-identically to one built before these hooks existed.
+    // ------------------------------------------------------------------
+
+    /// Registers an external connection (one real TCP client), returning
+    /// its connection index. Contention books for it live at index
+    /// `n_clients() + ext` of [`NfsWorld::contention_stats`].
+    pub fn register_external_client(&mut self) -> usize {
+        let ext = self.ext_clients;
+        self.ext_clients += 1;
+        self.contention.push(ContentionStats::default());
+        ext
+    }
+
+    /// Creates a file on the server owned by external connection `ext`
+    /// (layout draws come from the server's own RNG stream, so exports
+    /// never perturb simulated client schedules), returning its handle.
+    pub fn create_export_file(&mut self, ext: usize, size: u64) -> FileHandle {
+        assert!(ext < self.ext_clients, "unregistered external connection");
+        let mut alloc_rng = self.server.alloc_rng.derive(0xE4_90_27 ^ ext as u64);
+        let ino = self.server.fs.create_file(size, &mut alloc_rng);
+        self.ino_owner.insert(ino, self.clients.len() + ext);
+        FileHandle {
+            fsid: self.server.fsid,
+            ino,
+            generation: 1,
+        }
+    }
+
+    /// Injects a call from external connection `ext` arriving at the
+    /// server at `now`. The reply appears in
+    /// [`NfsWorld::take_external_replies`] once the server half finishes
+    /// (immediately for metadata and UNSTABLE writes, after disk I/O for
+    /// reads, sync writes, and COMMITs). A retransmitted xid still in
+    /// service is dropped, as the duplicate request cache would.
+    pub fn external_call(&mut self, now: SimTime, ext: usize, xid: u32, call: NfsCall) {
+        assert!(ext < self.ext_clients, "unregistered external connection");
+        let key = ext_key(ext, xid);
+        if !self.server.in_service.insert(key) {
+            self.server.stats.duplicates_dropped += 1;
+            self.contention[self.clients.len() + ext].duplicate_cache_hits += 1;
+            return;
+        }
+        if let NfsCall::Read { .. } = &call {
+            self.server.stats.reads += 1;
+        } else {
+            self.server.stats.other_calls += 1;
+        }
+        self.ext_rpcs.insert(key, call.clone());
+        if self.server.nfsd_busy >= self.server.nfsd_total {
+            self.server.call_queue.push_back((now, key));
+            return;
+        }
+        self.server.nfsd_busy += 1;
+        self.nfsd_process(now, key, call);
+    }
+
+    /// Drains the replies produced for external calls, in the order the
+    /// server finished them.
+    pub fn take_external_replies(&mut self) -> Vec<ExtReply> {
+        std::mem::take(&mut self.ext_outbox)
+    }
+
+    /// Turns on the server-side event log ([`ServerEvent`]). Worlds that
+    /// never call this record nothing and pay nothing.
+    pub fn enable_server_event_log(&mut self) {
+        if self.server_events.is_none() {
+            self.server_events = Some(Vec::new());
+        }
+    }
+
+    /// Drains the server event log (empty if logging is off).
+    pub fn take_server_events(&mut self) -> Vec<ServerEvent> {
+        self.server_events.take().map_or_else(Vec::new, |v| {
+            self.server_events = Some(Vec::new());
+            v
+        })
     }
 
     /// Server counters. The `nfsheur` table counters are folded in from
@@ -2099,7 +2276,13 @@ impl NfsWorld {
         self.server.cpu_free = t1;
         match call {
             NfsCall::Read { fh, offset, count } => {
-                let client = key_client(key);
+                // Contention attribution index: simulated hosts by id,
+                // external connections after them.
+                let client = if is_ext(key) {
+                    self.clients.len() + ext_index(key)
+                } else {
+                    key_client(key)
+                };
                 let policy = self.config.policy;
                 let ino_owner = &self.ino_owner;
                 let contention = &mut self.contention;
@@ -2122,6 +2305,13 @@ impl NfsWorld {
                             self.contention[client].cross_client_ejections += 1;
                         }
                     }
+                }
+                if let Some(log) = &mut self.server_events {
+                    log.push(ServerEvent::HeurRead {
+                        ino: fh.ino,
+                        hit: probe.hit,
+                        ejected: probe.ejected.is_some(),
+                    });
                 }
                 self.server
                     .fs
@@ -2218,6 +2408,12 @@ impl NfsWorld {
         };
         let bs = u64::from(self.config.rsize);
         let blocks: Vec<u64> = pool.into_iter().collect();
+        if let Some(log) = &mut self.server_events {
+            log.push(ServerEvent::GatherFlush {
+                ino,
+                blocks: blocks.len() as u64,
+            });
+        }
         let mut i = 0;
         while i < blocks.len() {
             let mut j = i;
@@ -2288,6 +2484,10 @@ impl NfsWorld {
             // Not a client call: a gathered-write flush the server issued
             // on its own behalf. No nfsd or reply is involved.
             self.server_flush_done(key, at, eio);
+            return;
+        }
+        if is_ext(key) {
+            self.ext_fs_done(key, at, eio);
             return;
         }
         let client = key_client(key);
@@ -2369,6 +2569,9 @@ impl NfsWorld {
             }
         }
         self.server.stats.replies += 1;
+        if let Some(log) = &mut self.server_events {
+            log.push(ServerEvent::Reply { xid });
+        }
         if eio {
             self.server.stats.disk_eios += 1;
             self.contention[client].disk_eios_suffered += 1;
@@ -2403,6 +2606,100 @@ impl NfsWorld {
         self.release_nfsd(t);
     }
 
+    /// The external twin of the tail of [`NfsWorld::server_fs_done`]:
+    /// builds the reply for an external call (file sizes come from the
+    /// server's own inodes — there is no simulated client to ask) and
+    /// parks it in the outbox instead of a simulated transport.
+    fn ext_fs_done(&mut self, key: u64, at: SimTime, eio: bool) {
+        let ext = ext_index(key);
+        let xid = key_xid(key);
+        let t = self.server.cpu_free.max(at) + SimDuration::from_secs_f64(self.cpu.server_reply);
+        self.server.cpu_free = t;
+        let Some(call) = self.ext_rpcs.remove(&key) else {
+            // Unlike simulated clients, an external ingress never retires
+            // a call early; a missing entry would be a routing bug.
+            debug_assert!(false, "external call vanished before reply");
+            self.server.stats.stale_drops += 1;
+            self.server.in_service.remove(&key);
+            self.release_nfsd(at);
+            return;
+        };
+        let size_of = |fs: &FileSystem, ino: u64| fs.inode(ino).map_or(0, |i| i.size);
+        let reply = match &call {
+            NfsCall::Read { fh, offset, count } => {
+                if eio {
+                    NfsReply::Read {
+                        status: NfsStatus::Io,
+                        count: 0,
+                        eof: false,
+                    }
+                } else {
+                    let size = size_of(&self.server.fs, fh.ino);
+                    NfsReply::Read {
+                        status: NfsStatus::Ok,
+                        count: *count,
+                        eof: offset + u64::from(*count) >= size,
+                    }
+                }
+            }
+            NfsCall::Write {
+                fh,
+                offset,
+                count,
+                stable,
+            } => {
+                if !eio && *stable != StableHow::Unstable {
+                    let bs = u64::from(self.config.rsize);
+                    for blk in offset / bs..=(offset + u64::from(*count) - 1) / bs {
+                        self.server.durable.insert((fh.ino, blk));
+                    }
+                }
+                NfsReply::Write {
+                    status: if eio { NfsStatus::Io } else { NfsStatus::Ok },
+                    count: if eio { 0 } else { *count },
+                    committed: if *stable == StableHow::Unstable {
+                        StableHow::Unstable
+                    } else {
+                        StableHow::FileSync
+                    },
+                    verf: self.server.verf,
+                }
+            }
+            NfsCall::Commit { .. } => NfsReply::Commit {
+                status: if eio { NfsStatus::Io } else { NfsStatus::Ok },
+                verf: self.server.verf,
+            },
+            NfsCall::Getattr { fh } => NfsReply::Getattr {
+                status: NfsStatus::Ok,
+                attrs: Some(nfsproto::Fattr3 {
+                    size: size_of(&self.server.fs, fh.ino),
+                    fileid: fh.ino,
+                }),
+            },
+            NfsCall::Lookup { dir, .. } => NfsReply::Lookup {
+                status: NfsStatus::Ok,
+                fh: Some(*dir),
+            },
+        };
+        self.server.stats.replies += 1;
+        if let Some(log) = &mut self.server_events {
+            log.push(ServerEvent::Reply { xid });
+        }
+        if eio {
+            self.server.stats.disk_eios += 1;
+            self.contention[self.clients.len() + ext].disk_eios_suffered += 1;
+        }
+        self.ext_outbox.push(ExtReply {
+            ext,
+            xid,
+            at: t,
+            eio,
+            reply,
+        });
+        self.server.in_service.remove(&key);
+        self.release_nfsd(t);
+    }
+
     fn release_nfsd(&mut self, at: SimTime) {
         self.server.nfsd_busy = self.server.nfsd_busy.saturating_sub(1);
         self.drain_call_queue(at);
@@ -2415,6 +2712,14 @@ impl NfsWorld {
             let Some((arrived, key)) = self.server.call_queue.pop_front() else {
                 return;
             };
+            if is_ext(key) {
+                // External calls are never retired while queued; the
+                // stashed decoded call is the source of truth.
+                let call = self.ext_rpcs.get(&key).expect("queued ext call").clone();
+                self.server.nfsd_busy += 1;
+                self.nfsd_process(at.max(arrived), key, call);
+                continue;
+            }
             let Some(rpc) = self.clients[key_client(key)].rpcs.get(&key_xid(key)) else {
                 self.server.stats.stale_drops += 1;
                 self.server.in_service.remove(&key);

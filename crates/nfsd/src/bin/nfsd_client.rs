@@ -1,0 +1,68 @@
+//! Mounts a running `nfsd` and replays a seed-derived trace, printing
+//! per-op latency quantiles.
+//!
+//! ```text
+//! nfsd_client --addr 127.0.0.1:PORT [--seed 42] [--files 8]
+//!             [--file-blocks 256] [--unstable] [--paced]
+//! ```
+
+use nfsd::NfsClient;
+use nfsproto::StableHow;
+use nfstrace::synth::{self, SequentialSpec};
+use simcore::SimRng;
+use testbed::render_endpoint_line;
+
+fn main() {
+    let mut addr = None;
+    let mut seed = 42u64;
+    let mut files = 8u32;
+    let mut file_blocks = 256u64;
+    let mut unstable = false;
+    let mut paced = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--addr" => addr = args.next(),
+            "--seed" => seed = args.next().and_then(|v| v.parse().ok()).expect("--seed N"),
+            "--files" => files = args.next().and_then(|v| v.parse().ok()).expect("--files N"),
+            "--file-blocks" => {
+                file_blocks = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--file-blocks N")
+            }
+            "--unstable" => unstable = true,
+            "--paced" => paced = true,
+            other => {
+                eprintln!("unknown flag: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let addr = addr.expect("--addr HOST:PORT is required");
+
+    let spec = SequentialSpec {
+        files,
+        blocks_per_file: file_blocks,
+        ..SequentialSpec::default()
+    };
+    let mut rng = SimRng::new(seed);
+    let trace = synth::sequential(spec, &mut rng).records;
+
+    let stable = if unstable {
+        StableHow::Unstable
+    } else {
+        StableHow::FileSync
+    };
+    let mut client = NfsClient::connect(&addr).expect("connect");
+    let stats = client.replay(&trace, stable, paced).expect("replay");
+
+    println!(
+        "replayed {} calls against {addr} ({} nfs errors)",
+        stats.calls, stats.nfs_errors
+    );
+    println!("{}", render_endpoint_line("read", &stats.read));
+    println!("{}", render_endpoint_line("write", &stats.write));
+    println!("{}", render_endpoint_line("meta", &stats.meta));
+}

@@ -1,0 +1,280 @@
+//! A synchronous NFSv3/MOUNT test client speaking real TCP.
+//!
+//! This is the measuring half of the differential harness: it mounts the
+//! endpoint's export, resolves file handles with LOOKUP, replays a
+//! [`nfstrace`] workload one RPC at a time, and collects per-operation
+//! wall-clock latency into a [`LogHist`] — the same histogram type the
+//! simulator uses, so real and simulated latency distributions print and
+//! fingerprint identically.
+
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+use nfsproto::{frame_record, FileHandle, NfsCall, RecordReader, StableHow};
+use nfstrace::{TraceOp, TraceRecord};
+use simcore::LogHist;
+
+use crate::endpoint::EXPORT_PATH;
+use crate::wire;
+
+/// A client-side RPC failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The reply did not parse, or the server rejected the call.
+    Proto(nfsproto::XdrError),
+    /// Record framing violated by the server.
+    Framing(nfsproto::RecordError),
+    /// The server replied to a different xid than the one in flight.
+    XidMismatch {
+        /// What we sent.
+        sent: u32,
+        /// What came back.
+        got: u32,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Proto(e) => write!(f, "protocol: {e}"),
+            ClientError::Framing(e) => write!(f, "framing: {e}"),
+            ClientError::XidMismatch { sent, got } => {
+                write!(f, "xid mismatch: sent {sent}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<nfsproto::XdrError> for ClientError {
+    fn from(e: nfsproto::XdrError) -> Self {
+        ClientError::Proto(e)
+    }
+}
+
+/// Per-op latency books from a replay.
+#[derive(Debug, Clone, Default)]
+pub struct ReplayStats {
+    /// READ latencies.
+    pub read: LogHist,
+    /// WRITE latencies.
+    pub write: LogHist,
+    /// GETATTR (and COMMIT) latencies.
+    pub meta: LogHist,
+    /// RPCs sent.
+    pub calls: u64,
+    /// Replies with a non-OK NFS status.
+    pub nfs_errors: u64,
+}
+
+/// A blocking NFSv3 client over one TCP connection.
+pub struct NfsClient {
+    stream: TcpStream,
+    reader: RecordReader,
+    next_xid: u32,
+}
+
+impl NfsClient {
+    /// Connects and performs the RPC NULL ping.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        let mut c = NfsClient {
+            stream,
+            reader: RecordReader::new(),
+            next_xid: 1,
+        };
+        let xid = c.fresh_xid();
+        c.call_raw(&wire::encode_null_call(
+            xid,
+            nfsproto::NFS_PROGRAM,
+            nfsproto::NFS_VERSION,
+        ))?;
+        Ok(c)
+    }
+
+    fn fresh_xid(&mut self) -> u32 {
+        let xid = self.next_xid;
+        self.next_xid = self.next_xid.wrapping_add(1).max(1);
+        xid
+    }
+
+    /// Sends one framed call and blocks for the matching reply record.
+    fn call_raw(&mut self, msg: &[u8]) -> Result<Vec<u8>, ClientError> {
+        let mut framed = Vec::with_capacity(msg.len() + 4);
+        frame_record(msg, &mut framed);
+        self.stream.write_all(&framed)?;
+        let mut buf = [0u8; 64 * 1024];
+        loop {
+            if let Some(record) = self.reader.next_record() {
+                return Ok(record);
+            }
+            let n = self.stream.read(&mut buf)?;
+            if n == 0 {
+                return Err(ClientError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed connection",
+                )));
+            }
+            self.reader.push(&buf[..n]).map_err(ClientError::Framing)?;
+        }
+    }
+
+    fn check_xid(&self, sent: u32, got: u32) -> Result<(), ClientError> {
+        if sent == got {
+            Ok(())
+        } else {
+            Err(ClientError::XidMismatch { sent, got })
+        }
+    }
+
+    /// MOUNTs the export, returning the root directory handle.
+    pub fn mount(&mut self) -> Result<FileHandle, ClientError> {
+        let xid = self.fresh_xid();
+        let reply = self.call_raw(&wire::encode_mnt_call(xid, EXPORT_PATH))?;
+        let (got, fh) = wire::decode_mnt_reply(&reply)?;
+        self.check_xid(xid, got)?;
+        Ok(fh)
+    }
+
+    /// LOOKUPs `name` under `dir`.
+    pub fn lookup(&mut self, dir: FileHandle, name: &str) -> Result<FileHandle, ClientError> {
+        let xid = self.fresh_xid();
+        let call = NfsCall::Lookup {
+            dir,
+            name: name.to_string(),
+        };
+        let reply = self.call_raw(&call.encode(xid))?;
+        let (got, fh, _attr) = wire::decode_lookup_reply(&reply)?;
+        self.check_xid(xid, got)?;
+        Ok(fh)
+    }
+
+    /// GETATTR.
+    pub fn getattr(&mut self, fh: FileHandle) -> Result<wire::DecodedAttr, ClientError> {
+        let xid = self.fresh_xid();
+        let call = NfsCall::Getattr { fh };
+        let reply = self.call_raw(&call.encode(xid))?;
+        let (got, attr) = wire::decode_getattr_reply(&reply)?;
+        self.check_xid(xid, got)?;
+        Ok(attr)
+    }
+
+    /// READ `count` bytes at `offset`.
+    pub fn read(
+        &mut self,
+        fh: FileHandle,
+        offset: u64,
+        count: u32,
+    ) -> Result<wire::ReadReply, ClientError> {
+        let xid = self.fresh_xid();
+        let call = NfsCall::Read { fh, offset, count };
+        let reply = self.call_raw(&call.encode(xid))?;
+        let r = wire::decode_read_reply(&reply)?;
+        self.check_xid(xid, r.xid)?;
+        Ok(r)
+    }
+
+    /// WRITE `count` (zero-filled) bytes at `offset` — sent in the full
+    /// RFC 1813 form, payload included.
+    pub fn write(
+        &mut self,
+        fh: FileHandle,
+        offset: u64,
+        count: u32,
+        stable: StableHow,
+    ) -> Result<wire::WriteReply, ClientError> {
+        let xid = self.fresh_xid();
+        let reply = self.call_raw(&wire::encode_write_call(xid, &fh, offset, count, stable))?;
+        let r = wire::decode_write_reply(&reply)?;
+        self.check_xid(xid, r.xid)?;
+        Ok(r)
+    }
+
+    /// COMMIT the whole file.
+    pub fn commit(&mut self, fh: FileHandle) -> Result<(u32, u64), ClientError> {
+        let xid = self.fresh_xid();
+        let call = NfsCall::Commit {
+            fh,
+            offset: 0,
+            count: 0,
+        };
+        let reply = self.call_raw(&call.encode(xid))?;
+        let (got, status, verf) = wire::decode_commit_reply(&reply)?;
+        self.check_xid(xid, got)?;
+        Ok((status, verf))
+    }
+
+    /// Mounts, resolves every `f{i}` the trace touches, and replays the
+    /// trace synchronously. Trace handles (`0x1000 + i` from the
+    /// synthesizers) map to export file `f{i}`.
+    ///
+    /// With `paced`, the client honours the trace's inter-arrival gaps
+    /// (sleeping to each record's `time_us`); without it, the replay is
+    /// closed-loop: each call is issued the moment the previous reply
+    /// lands — the server-visible *order* is the same either way, which
+    /// is what the differential harness depends on.
+    pub fn replay(
+        &mut self,
+        trace: &[TraceRecord],
+        stable: StableHow,
+        paced: bool,
+    ) -> Result<ReplayStats, ClientError> {
+        let root = self.mount()?;
+        let max_file = trace
+            .iter()
+            .map(|r| r.fh.saturating_sub(0x1000))
+            .max()
+            .unwrap_or(0);
+        let mut handles = Vec::with_capacity(max_file as usize + 1);
+        for i in 0..=max_file {
+            handles.push(self.lookup(root, &format!("f{i}"))?);
+        }
+
+        let mut stats = ReplayStats::default();
+        let epoch = Instant::now();
+        for rec in trace {
+            if paced {
+                let target = Duration::from_micros(rec.time_us);
+                if let Some(gap) = target.checked_sub(epoch.elapsed()) {
+                    std::thread::sleep(gap);
+                }
+            }
+            let fh = handles[rec.fh.saturating_sub(0x1000) as usize];
+            let start = Instant::now();
+            let (hist, status) = match rec.op {
+                TraceOp::Read => {
+                    let r = self.read(fh, rec.offset, rec.len)?;
+                    (&mut stats.read, r.status)
+                }
+                TraceOp::Write => {
+                    let r = self.write(fh, rec.offset, rec.len, stable)?;
+                    (&mut stats.write, r.status)
+                }
+                TraceOp::Getattr => {
+                    self.getattr(fh)?;
+                    (&mut stats.meta, 0)
+                }
+            };
+            let us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+            hist.add(us);
+            stats.calls += 1;
+            if status != 0 {
+                stats.nfs_errors += 1;
+            }
+        }
+        Ok(stats)
+    }
+}

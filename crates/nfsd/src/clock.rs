@@ -1,0 +1,106 @@
+//! Virtual-clock-to-wall-clock adapter.
+//!
+//! The simulated server stack schedules everything — SlowDown stall
+//! windows, gather-window flush timers, disk completions — on
+//! [`SimTime`], a virtual nanosecond axis that normally advances by
+//! event-queue leaps. The real-socket endpoint instead anchors `SimTime`
+//! zero at process start and maps *wall* time onto the same axis: every
+//! pump of the world advances the virtual clock to "now" as measured by
+//! a [`Clock`], so timers fire on real deadlines while the server logic
+//! stays byte-for-byte the simulated one.
+//!
+//! [`WallClock`] is the production implementation (monotonic
+//! `Instant`-based). [`ManualClock`] is a test double that only moves
+//! when told to, which is what lets the clock-adapter tests replay the
+//! same trace through a wall-clock-shaped driver and the virtual event
+//! loop and compare event orders exactly.
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use simcore::SimTime;
+
+/// A source of "now" on the simulated time axis.
+pub trait Clock: Send {
+    /// Current instant. Must be monotone non-decreasing.
+    fn now(&self) -> SimTime;
+}
+
+/// Maps monotonic wall time onto the simulated axis, with `SimTime::ZERO`
+/// at construction.
+#[derive(Debug, Clone)]
+pub struct WallClock {
+    epoch: Instant,
+}
+
+impl WallClock {
+    /// Starts the clock; this instant becomes `SimTime::ZERO`.
+    pub fn start() -> Self {
+        WallClock {
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl Clock for WallClock {
+    fn now(&self) -> SimTime {
+        let ns = self.epoch.elapsed().as_nanos();
+        SimTime::from_nanos(u64::try_from(ns).unwrap_or(u64::MAX))
+    }
+}
+
+/// A clock that only advances when a test advances it. Shared handles
+/// (`Clone`) observe the same time, so a driver thread and a test
+/// harness can coordinate.
+#[derive(Debug, Clone, Default)]
+pub struct ManualClock {
+    now: Arc<Mutex<SimTime>>,
+}
+
+impl ManualClock {
+    /// Creates a clock at `SimTime::ZERO`.
+    pub fn new() -> Self {
+        ManualClock::default()
+    }
+
+    /// Moves the clock forward to `t` (backward moves are ignored — the
+    /// clock is monotone like the real one).
+    pub fn advance_to(&self, t: SimTime) {
+        let mut now = self.now.lock().expect("clock lock");
+        if t > *now {
+            *now = t;
+        }
+    }
+}
+
+impl Clock for ManualClock {
+    fn now(&self) -> SimTime {
+        *self.now.lock().expect("clock lock")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_is_monotone_and_starts_near_zero() {
+        let c = WallClock::start();
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+        assert!(a.as_secs_f64() < 1.0, "epoch must be construction time");
+    }
+
+    #[test]
+    fn manual_clock_moves_only_forward_on_command() {
+        let c = ManualClock::new();
+        assert_eq!(c.now(), SimTime::ZERO);
+        c.advance_to(SimTime::from_nanos(50));
+        c.advance_to(SimTime::from_nanos(10)); // ignored
+        assert_eq!(c.now(), SimTime::from_nanos(50));
+        let c2 = c.clone();
+        c2.advance_to(SimTime::from_nanos(99));
+        assert_eq!(c.now(), SimTime::from_nanos(99), "handles share time");
+    }
+}

@@ -1,0 +1,545 @@
+//! The protocol brain of the real-socket server: decodes ONC RPC records,
+//! answers MOUNT and NFS metadata immediately, and routes data-path calls
+//! (GETATTR / READ / WRITE / COMMIT) through the simulated server stack.
+//!
+//! [`Endpoint`] is transport-agnostic: `server.rs` feeds it reassembled
+//! records off real TCP connections and a wall clock, the loopback tests
+//! feed it the same records with a [`crate::ManualClock`], and both get
+//! byte-identical replies. Each TCP connection maps to one *external
+//! client* of the [`NfsWorld`] — it shares the `nfsd` pool, duplicate
+//! request cache, `nfsheur` table, write-gathering dirty pool, and disk
+//! with any simulated traffic, which is exactly what makes the
+//! sim-vs-real differential harness meaningful.
+
+use std::collections::HashMap;
+
+use ffs::{FileSystem, FsConfig};
+use iosched::SchedulerKind;
+use nfsproto::{AcceptStat, CallHeader, FileHandle, NfsCall, NfsReply, NfsStatus, XdrDecoder};
+use nfssim::{NfsWorld, WorldConfig};
+use simcore::{SimRng, SimTime};
+
+use crate::wire;
+
+/// Inode sentinel for the export root directory. The directory is
+/// synthetic — the simulated file system has no namespace — so the
+/// endpoint answers for it directly and never routes its handle into the
+/// world.
+pub const ROOT_INO: u64 = u64::MAX;
+
+/// The export path the MOUNT program answers for.
+pub const EXPORT_PATH: &str = "/export";
+
+/// Shape of the export every connection sees.
+#[derive(Debug, Clone, Copy)]
+pub struct ExportSpec {
+    /// Files created per connection, named `f0`, `f1`, ….
+    pub files: usize,
+    /// Size of each file in bytes.
+    pub file_size: u64,
+}
+
+impl Default for ExportSpec {
+    fn default() -> Self {
+        ExportSpec {
+            files: 8,
+            file_size: 256 * 8_192,
+        }
+    }
+}
+
+/// Endpoint-level counters (RPC layer, above the world's own books).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EndpointStats {
+    /// Well-formed calls received.
+    pub calls: u64,
+    /// Replies answered at the endpoint without touching the world
+    /// (MOUNT, NULL, ACCESS, LOOKUP, FSINFO, FSSTAT, PATHCONF).
+    pub immediate_replies: u64,
+    /// Calls routed into the simulated server stack.
+    pub routed_calls: u64,
+    /// RPC-level error replies sent (prog/proc unavailable, garbage args).
+    pub rpc_errors: u64,
+}
+
+struct Conn {
+    /// Export files for this connection, index `i` answering to name `f{i}`.
+    exports: Vec<FileHandle>,
+    /// Root directory handle handed out by MOUNT.
+    root: FileHandle,
+    /// Calls in flight in the world, keyed by xid, so the pump can build
+    /// full RFC replies (attributes need the target handle).
+    pending: HashMap<u32, FileHandle>,
+}
+
+/// Builds the standard benchmarking world the endpoint serves: the
+/// paper's WD WD200BB IDE disk, the second quarter partition, an elevator
+/// scheduler, and the given [`WorldConfig`]. The differential harness
+/// calls this twice with the same seed — once under the endpoint, once
+/// for the pure-virtual replay — so both sides see the same disk layout.
+pub fn build_world(config: WorldConfig, seed: u64) -> NfsWorld {
+    let disk = diskmodel::DriveModel::WdWd200bbIde.build(SimRng::new(seed));
+    let part = diskmodel::PartitionTable::quarters(disk.geometry()).get(1);
+    let fs = FileSystem::format(disk, part, SchedulerKind::Elevator, FsConfig::default());
+    NfsWorld::new(config, fs, seed)
+}
+
+/// The record-in, records-out NFSv3 endpoint over a simulated world.
+pub struct Endpoint {
+    world: NfsWorld,
+    spec: ExportSpec,
+    conns: Vec<Conn>,
+    stats: EndpointStats,
+}
+
+impl Endpoint {
+    /// Wraps a world. The world may already carry simulated clients;
+    /// external connections ride alongside them.
+    pub fn new(world: NfsWorld, spec: ExportSpec) -> Self {
+        Endpoint {
+            world,
+            spec,
+            conns: Vec::new(),
+            stats: EndpointStats::default(),
+        }
+    }
+
+    /// Registers a new TCP connection, creating its export files.
+    /// Returns the connection id used by [`Endpoint::handle_record`].
+    pub fn connect(&mut self) -> usize {
+        let ext = self.world.register_external_client();
+        debug_assert_eq!(ext, self.conns.len());
+        let exports: Vec<FileHandle> = (0..self.spec.files)
+            .map(|_| self.world.create_export_file(ext, self.spec.file_size))
+            .collect();
+        let root = FileHandle {
+            fsid: exports.first().map_or(0, |fh| fh.fsid),
+            ino: ROOT_INO,
+            generation: 1,
+        };
+        self.conns.push(Conn {
+            exports,
+            root,
+            pending: HashMap::new(),
+        });
+        ext
+    }
+
+    /// Handles one reassembled RPC record from connection `conn` arriving
+    /// at `now`, returning any replies ready immediately. Replies for
+    /// routed calls surface later from [`Endpoint::pump`].
+    pub fn handle_record(&mut self, now: SimTime, conn: usize, record: &[u8]) -> Vec<Vec<u8>> {
+        let mut d = XdrDecoder::new(record);
+        let hdr = match CallHeader::decode(&mut d) {
+            Ok(h) => h,
+            Err(_) => {
+                // Not even an RPC call header — nothing to address a
+                // reply to. Drop the record; the framing layer already
+                // guarantees it was a complete record, so this is a
+                // protocol error by the peer.
+                self.stats.rpc_errors += 1;
+                return Vec::new();
+            }
+        };
+        self.stats.calls += 1;
+        match hdr.prog {
+            wire::MOUNT_PROGRAM => vec![self.handle_mount(conn, &hdr, &mut d)],
+            nfsproto::NFS_PROGRAM => self
+                .handle_nfs(now, conn, &hdr, &mut d)
+                .map_or_else(Vec::new, |r| vec![r]),
+            _ => {
+                self.stats.rpc_errors += 1;
+                vec![wire::accept_error_res(hdr.xid, AcceptStat::ProgUnavail)]
+            }
+        }
+    }
+
+    fn handle_mount(&mut self, conn: usize, hdr: &CallHeader, d: &mut XdrDecoder<'_>) -> Vec<u8> {
+        if hdr.vers != wire::MOUNT_VERSION {
+            self.stats.rpc_errors += 1;
+            return wire::accept_error_res(
+                hdr.xid,
+                AcceptStat::ProgMismatch {
+                    low: wire::MOUNT_VERSION,
+                    high: wire::MOUNT_VERSION,
+                },
+            );
+        }
+        match hdr.proc_num {
+            wire::MOUNTPROC_NULL | wire::MOUNTPROC_UMNT => {
+                self.stats.immediate_replies += 1;
+                wire::void_res(hdr.xid)
+            }
+            wire::MOUNTPROC_MNT => match d.get_string() {
+                Ok(path) if path == EXPORT_PATH => {
+                    self.stats.immediate_replies += 1;
+                    wire::mnt_res_ok(hdr.xid, &self.conns[conn].root)
+                }
+                Ok(_) => {
+                    self.stats.immediate_replies += 1;
+                    wire::mnt_res_err(hdr.xid, wire::MNT_ERR_NOENT)
+                }
+                Err(_) => {
+                    self.stats.rpc_errors += 1;
+                    wire::accept_error_res(hdr.xid, AcceptStat::GarbageArgs)
+                }
+            },
+            _ => {
+                self.stats.rpc_errors += 1;
+                wire::accept_error_res(hdr.xid, AcceptStat::ProcUnavail)
+            }
+        }
+    }
+
+    /// NFS program dispatch. `None` means the call was routed into the
+    /// world and will reply via [`Endpoint::pump`].
+    fn handle_nfs(
+        &mut self,
+        now: SimTime,
+        conn: usize,
+        hdr: &CallHeader,
+        d: &mut XdrDecoder<'_>,
+    ) -> Option<Vec<u8>> {
+        if hdr.vers != nfsproto::NFS_VERSION {
+            self.stats.rpc_errors += 1;
+            return Some(wire::accept_error_res(
+                hdr.xid,
+                AcceptStat::ProgMismatch {
+                    low: nfsproto::NFS_VERSION,
+                    high: nfsproto::NFS_VERSION,
+                },
+            ));
+        }
+        match hdr.proc_num {
+            wire::NFSPROC_NULL => {
+                self.stats.immediate_replies += 1;
+                Some(wire::void_res(hdr.xid))
+            }
+            wire::NFSPROC_ACCESS => {
+                let (fh, bits) = match (FileHandle::decode(d), d.get_u32()) {
+                    (Ok(fh), Ok(bits)) => (fh, bits),
+                    _ => return Some(self.garbage(hdr.xid)),
+                };
+                self.stats.immediate_replies += 1;
+                match self.attr_for(conn, &fh) {
+                    Some(a) => Some(wire::access_res(hdr.xid, &a, bits & wire::ACCESS_ALL)),
+                    None => Some(wire::read_res_err(hdr.xid, 70, None)), // same shape as ACCESS3resfail
+                }
+            }
+            wire::NFSPROC_FSINFO | wire::NFSPROC_FSSTAT | wire::NFSPROC_PATHCONF => {
+                let fh = match FileHandle::decode(d) {
+                    Ok(fh) => fh,
+                    Err(_) => return Some(self.garbage(hdr.xid)),
+                };
+                self.stats.immediate_replies += 1;
+                let a = self
+                    .attr_for(conn, &fh)
+                    .unwrap_or_else(|| self.root_attr(conn));
+                Some(match hdr.proc_num {
+                    wire::NFSPROC_FSINFO => wire::fsinfo_res(hdr.xid, &a, 8_192),
+                    wire::NFSPROC_FSSTAT => wire::fsstat_res(hdr.xid, &a),
+                    _ => wire::pathconf_res(hdr.xid, &a),
+                })
+            }
+            // Procedures the shared codec models.
+            1 | 3 | 6 | 7 | 21 => {
+                let proc_ = nfsproto::NfsProc::from_number(hdr.proc_num).expect("modelled proc");
+                let call = match NfsCall::decode_args(proc_, d) {
+                    Ok(c) => c,
+                    Err(_) => return Some(self.garbage(hdr.xid)),
+                };
+                self.dispatch_call(now, conn, hdr.xid, call)
+            }
+            _ => {
+                self.stats.rpc_errors += 1;
+                Some(wire::accept_error_res(hdr.xid, AcceptStat::ProcUnavail))
+            }
+        }
+    }
+
+    fn dispatch_call(
+        &mut self,
+        now: SimTime,
+        conn: usize,
+        xid: u32,
+        call: NfsCall,
+    ) -> Option<Vec<u8>> {
+        match call {
+            // LOOKUP resolves against the synthetic export namespace —
+            // answered here; the simulated world has no directories.
+            NfsCall::Lookup { dir, name } => {
+                self.stats.immediate_replies += 1;
+                if dir.ino != ROOT_INO {
+                    return Some(wire::lookup_res_err(xid, 20, None)); // NFS3ERR_NOTDIR
+                }
+                let idx = name
+                    .strip_prefix('f')
+                    .and_then(|n| n.parse::<usize>().ok())
+                    .filter(|&i| i < self.conns[conn].exports.len());
+                match idx {
+                    Some(i) => {
+                        let fh = self.conns[conn].exports[i];
+                        let obj = self.attr_for(conn, &fh).unwrap_or(wire::FileAttr {
+                            fileid: fh.ino,
+                            size: 0,
+                            fsid: u64::from(fh.fsid),
+                            is_dir: false,
+                        });
+                        let dir_attr = self.root_attr(conn);
+                        Some(wire::lookup_res_ok(xid, &fh, &obj, &dir_attr))
+                    }
+                    None => Some(wire::lookup_res_err(
+                        xid,
+                        2, // NFS3ERR_NOENT
+                        Some(&self.root_attr(conn)),
+                    )),
+                }
+            }
+            // GETATTR on the synthetic root is also endpoint business.
+            NfsCall::Getattr { fh } if fh.ino == ROOT_INO => {
+                self.stats.immediate_replies += 1;
+                Some(wire::getattr_res(xid, &self.root_attr(conn)))
+            }
+            // Everything else is the data path: into the world, sharing
+            // nfsds, the heuristic table, and the disk.
+            NfsCall::Getattr { fh }
+            | NfsCall::Read { fh, .. }
+            | NfsCall::Write { fh, .. }
+            | NfsCall::Commit { fh, .. } => {
+                self.stats.routed_calls += 1;
+                self.conns[conn].pending.insert(xid, fh);
+                self.world.external_call(now, conn, xid, call);
+                None
+            }
+        }
+    }
+
+    /// Advances the world to `now` and drains finished external calls as
+    /// `(connection, encoded reply)` pairs, in server completion order.
+    pub fn pump(&mut self, now: SimTime) -> Vec<(usize, Vec<u8>)> {
+        self.world.advance(now);
+        let replies = self.world.take_external_replies();
+        let mut out = Vec::with_capacity(replies.len());
+        for r in replies {
+            let fh = self.conns[r.ext].pending.remove(&r.xid);
+            out.push((r.ext, self.encode_reply(r.ext, r.xid, fh, &r.reply)));
+        }
+        out
+    }
+
+    /// The next instant the world has work scheduled (disk completion,
+    /// gather-window expiry). The socket loop sleeps no longer than this.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.world.next_event()
+    }
+
+    fn encode_reply(
+        &self,
+        conn: usize,
+        xid: u32,
+        fh: Option<FileHandle>,
+        reply: &NfsReply,
+    ) -> Vec<u8> {
+        let attr = fh.and_then(|fh| self.attr_for(conn, &fh));
+        match *reply {
+            NfsReply::Getattr { status, attrs } => match (status, attrs) {
+                (NfsStatus::Ok, Some(a)) => {
+                    let full = wire::FileAttr {
+                        fileid: a.fileid,
+                        size: a.size,
+                        fsid: fh.map_or(0, |fh| u64::from(fh.fsid)),
+                        is_dir: false,
+                    };
+                    wire::getattr_res(xid, &full)
+                }
+                _ => wire::getattr_res_err(xid, status_code(status)),
+            },
+            NfsReply::Read { status, count, eof } => match (status, &attr) {
+                (NfsStatus::Ok, Some(a)) => wire::read_res_ok(xid, a, count, eof),
+                _ => wire::read_res_err(xid, status_code(status), attr.as_ref()),
+            },
+            NfsReply::Write {
+                status,
+                count,
+                committed,
+                verf,
+            } => wire::write_res(
+                xid,
+                status_code(status),
+                attr.as_ref(),
+                count,
+                committed,
+                verf,
+            ),
+            NfsReply::Commit { status, verf } => {
+                wire::commit_res(xid, status_code(status), attr.as_ref(), verf)
+            }
+            // The world never answers LOOKUP for external calls (the
+            // endpoint resolves names), but encode it defensively.
+            NfsReply::Lookup { status, fh: obj } => match obj {
+                Some(obj) if status == NfsStatus::Ok => {
+                    let a = self.attr_for(conn, &obj).unwrap_or(wire::FileAttr {
+                        fileid: obj.ino,
+                        size: 0,
+                        fsid: u64::from(obj.fsid),
+                        is_dir: false,
+                    });
+                    wire::lookup_res_ok(xid, &obj, &a, &self.root_attr(conn))
+                }
+                _ => wire::lookup_res_err(xid, status_code(status), None),
+            },
+        }
+    }
+
+    fn attr_for(&self, conn: usize, fh: &FileHandle) -> Option<wire::FileAttr> {
+        if fh.ino == ROOT_INO {
+            return Some(self.root_attr(conn));
+        }
+        let inode = self.world.fs().inode(fh.ino)?;
+        Some(wire::FileAttr {
+            fileid: fh.ino,
+            size: inode.size,
+            fsid: u64::from(fh.fsid),
+            is_dir: false,
+        })
+    }
+
+    fn root_attr(&self, conn: usize) -> wire::FileAttr {
+        wire::FileAttr {
+            fileid: ROOT_INO,
+            size: 4_096,
+            fsid: u64::from(self.conns[conn].root.fsid),
+            is_dir: true,
+        }
+    }
+
+    fn garbage(&mut self, xid: u32) -> Vec<u8> {
+        self.stats.rpc_errors += 1;
+        wire::accept_error_res(xid, AcceptStat::GarbageArgs)
+    }
+
+    /// Endpoint-level counters.
+    pub fn stats(&self) -> EndpointStats {
+        self.stats
+    }
+
+    /// The export files of a connection (what LOOKUP `f{i}` resolves to).
+    pub fn exports(&self, conn: usize) -> &[FileHandle] {
+        &self.conns[conn].exports
+    }
+
+    /// The world under the endpoint (heuristic books, server stats).
+    pub fn world(&self) -> &NfsWorld {
+        &self.world
+    }
+
+    /// Mutable world access (tests enable the server event log with it).
+    pub fn world_mut(&mut self) -> &mut NfsWorld {
+        &mut self.world
+    }
+}
+
+fn status_code(s: NfsStatus) -> u32 {
+    match s {
+        NfsStatus::Ok => 0,
+        NfsStatus::NoEnt => 2,
+        NfsStatus::Io => 5,
+        NfsStatus::Stale => 70,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfsproto::StableHow;
+
+    fn endpoint() -> Endpoint {
+        Endpoint::new(
+            build_world(WorldConfig::default(), 7),
+            ExportSpec {
+                files: 2,
+                file_size: 64 * 8_192,
+            },
+        )
+    }
+
+    #[test]
+    fn mount_lookup_read_through_records() {
+        let mut ep = endpoint();
+        let conn = ep.connect();
+        // MNT.
+        let rec = wire::encode_mnt_call(1, EXPORT_PATH);
+        let replies = ep.handle_record(SimTime::ZERO, conn, &rec);
+        let (_, root) = wire::decode_mnt_reply(&replies[0]).unwrap();
+        assert_eq!(root.ino, ROOT_INO);
+        // LOOKUP f1.
+        let call = NfsCall::Lookup {
+            dir: root,
+            name: "f1".into(),
+        };
+        let replies = ep.handle_record(SimTime::ZERO, conn, &call.encode(2));
+        let (_, fh, attr) = wire::decode_lookup_reply(&replies[0]).unwrap();
+        assert_eq!(fh, ep.exports(conn)[1]);
+        assert_eq!(attr.unwrap().size, 64 * 8_192);
+        // READ routes into the world; the reply surfaces from pump().
+        let call = NfsCall::Read {
+            fh,
+            offset: 0,
+            count: 8_192,
+        };
+        assert!(ep
+            .handle_record(SimTime::ZERO, conn, &call.encode(3))
+            .is_empty());
+        let out = ep.pump(SimTime::from_nanos(u64::MAX / 2));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, conn);
+        let r = wire::decode_read_reply(&out[0].1).unwrap();
+        assert_eq!((r.xid, r.status, r.count), (3, 0, 8_192));
+        assert_eq!(ep.world().server_stats().reads, 1);
+    }
+
+    #[test]
+    fn unknown_program_and_proc_get_rpc_errors() {
+        let mut ep = endpoint();
+        let conn = ep.connect();
+        let rec = wire::encode_null_call(5, 100_099, 1);
+        let replies = ep.handle_record(SimTime::ZERO, conn, &rec);
+        assert_eq!(replies.len(), 1);
+        assert!(wire::decode_mnt_reply(&replies[0]).is_err());
+        let rec = wire::encode_fh_call(6, 17, &ep.exports(conn)[0]); // READDIRPLUS-ish: unmodelled
+        let replies = ep.handle_record(SimTime::ZERO, conn, &rec);
+        assert_eq!(replies.len(), 1);
+        assert_eq!(ep.stats().rpc_errors, 2);
+    }
+
+    #[test]
+    fn unstable_write_then_commit_reuses_gather_machinery() {
+        let mut ep = endpoint();
+        let conn = ep.connect();
+        let fh = ep.exports(conn)[0];
+        let w = NfsCall::Write {
+            fh,
+            offset: 0,
+            count: 8_192,
+            stable: StableHow::Unstable,
+        };
+        ep.handle_record(SimTime::ZERO, conn, &w.encode(10));
+        let out = ep.pump(SimTime::from_nanos(1_000_000_000));
+        let w = wire::decode_write_reply(&out[0].1).unwrap();
+        assert_eq!(w.committed, StableHow::Unstable);
+        let c = NfsCall::Commit {
+            fh,
+            offset: 0,
+            count: 0,
+        };
+        ep.handle_record(SimTime::from_nanos(1_000_000_000), conn, &c.encode(11));
+        let out = ep.pump(SimTime::from_nanos(60_000_000_000));
+        let (_, status, verf) = wire::decode_commit_reply(&out[0].1).unwrap();
+        assert_eq!(status, 0);
+        assert_eq!(verf, w.verf, "write and commit verifiers must match");
+        let s = ep.world().server_stats();
+        assert_eq!(s.unstable_writes, 1);
+        assert_eq!(s.commits, 1);
+        assert!(s.gather_flushes >= 1);
+    }
+}

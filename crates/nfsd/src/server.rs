@@ -1,0 +1,199 @@
+//! The real TCP front of the endpoint: a nonblocking listener, one
+//! [`RecordReader`] per connection, and a wall-clock pump loop.
+//!
+//! std-only by design (no async runtime, no polling crate): the loop
+//! accepts, reads, and writes with nonblocking sockets, pumps the
+//! [`Endpoint`] up to "now" on every lap, and sleeps only as long as the
+//! world's next deadline allows — so gather-window expiries and disk
+//! completions fire on real wall-clock schedule.
+
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use nfsproto::{frame_record, RecordReader};
+use simcore::SimTime;
+
+use crate::clock::Clock;
+use crate::endpoint::Endpoint;
+
+/// How long the loop sleeps when the world has nothing scheduled.
+const IDLE_SLEEP: Duration = Duration::from_micros(200);
+/// Per-lap read buffer.
+const READ_CHUNK: usize = 64 * 1024;
+
+struct ConnIo {
+    stream: TcpStream,
+    reader: RecordReader,
+    /// Encoded records waiting for the socket to accept them.
+    outbox: VecDeque<Vec<u8>>,
+    /// Bytes of the front outbox record already written.
+    written: usize,
+    dead: bool,
+}
+
+impl ConnIo {
+    fn new(stream: TcpStream) -> std::io::Result<Self> {
+        stream.set_nonblocking(true)?;
+        stream.set_nodelay(true)?;
+        Ok(ConnIo {
+            stream,
+            reader: RecordReader::new(),
+            outbox: VecDeque::new(),
+            written: 0,
+            dead: false,
+        })
+    }
+
+    /// Drains the outbox as far as the socket allows.
+    fn flush(&mut self) {
+        while let Some(front) = self.outbox.front() {
+            match self.stream.write(&front[self.written..]) {
+                Ok(0) => {
+                    self.dead = true;
+                    return;
+                }
+                Ok(n) => {
+                    self.written += n;
+                    if self.written == front.len() {
+                        self.outbox.pop_front();
+                        self.written = 0;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Serves `endpoint` on `listener` until `stop` goes true, returning the
+/// endpoint (with its final books) when the loop exits.
+///
+/// Every accepted connection becomes one external client of the world.
+/// Connections that hang up or violate record framing are dropped; the
+/// endpoint keeps running.
+pub fn serve(
+    listener: TcpListener,
+    mut endpoint: Endpoint,
+    clock: impl Clock,
+    stop: Arc<AtomicBool>,
+) -> Endpoint {
+    listener
+        .set_nonblocking(true)
+        .expect("nonblocking listener");
+    let mut conns: Vec<Option<ConnIo>> = Vec::new();
+
+    while !stop.load(Ordering::Relaxed) {
+        let mut progressed = false;
+
+        // Accept.
+        loop {
+            match listener.accept() {
+                Ok((stream, _addr)) => match ConnIo::new(stream) {
+                    Ok(io) => {
+                        let id = endpoint.connect();
+                        debug_assert_eq!(id, conns.len());
+                        conns.push(Some(io));
+                        progressed = true;
+                    }
+                    Err(_) => continue,
+                },
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+
+        // Read and decode.
+        let now = clock.now();
+        let mut buf = [0u8; READ_CHUNK];
+        for (id, slot) in conns.iter_mut().enumerate() {
+            let Some(io) = slot else { continue };
+            loop {
+                match io.stream.read(&mut buf) {
+                    Ok(0) => {
+                        io.dead = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        progressed = true;
+                        if io.reader.push(&buf[..n]).is_err() {
+                            io.dead = true; // framing violation: drop peer
+                            break;
+                        }
+                        while let Some(record) = io.reader.next_record() {
+                            for reply in endpoint.handle_record(now, id, &record) {
+                                io.outbox.push_back(frame(&reply));
+                            }
+                        }
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        io.dead = true;
+                        break;
+                    }
+                }
+            }
+        }
+
+        // Pump the world to "now" and route finished replies.
+        for (conn, reply) in endpoint.pump(clock.now()) {
+            if let Some(io) = conns.get_mut(conn).and_then(Option::as_mut) {
+                io.outbox.push_back(frame(&reply));
+                progressed = true;
+            }
+        }
+
+        // Write, then reap the dead.
+        for slot in conns.iter_mut() {
+            if let Some(io) = slot {
+                io.flush();
+                if io.dead {
+                    *slot = None; // keep indices stable: conn id == ext id
+                }
+            }
+        }
+
+        if !progressed {
+            // Sleep until the world's next deadline, capped at the idle
+            // tick so new connections and stop flags stay responsive.
+            let sleep = match endpoint.next_deadline() {
+                Some(t) => {
+                    let now = clock.now();
+                    if t <= now {
+                        continue;
+                    }
+                    Duration::from_nanos(t.as_nanos() - now.as_nanos()).min(IDLE_SLEEP)
+                }
+                None => IDLE_SLEEP,
+            };
+            std::thread::sleep(sleep);
+        }
+    }
+
+    // Final pump so books are settled when the caller reads them.
+    endpoint.pump(clock.now().max(SimTime::from_nanos(1)));
+    endpoint
+}
+
+/// Binds a listener on `addr` (port 0 = ephemeral), returning it with the
+/// actual bound address.
+pub fn bind(addr: &str) -> std::io::Result<(TcpListener, SocketAddr)> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    Ok((listener, local))
+}
+
+fn frame(reply: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(reply.len() + 4);
+    frame_record(reply, &mut out);
+    out
+}

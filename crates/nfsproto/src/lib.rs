@@ -11,10 +11,19 @@
 #![warn(missing_docs)]
 
 mod messages;
+mod record;
+mod rpc;
 mod xdr;
 
 pub use messages::{
     write_verf, Fattr3, FileHandle, NfsCall, NfsProc, NfsReply, NfsStatus, StableHow, NFS_PROGRAM,
     NFS_VERSION, RPC_CALL_HEADER_BYTES, RPC_REPLY_HEADER_BYTES,
+};
+pub use record::{
+    frame_record, frame_record_split, RecordError, RecordReader, LAST_FRAGMENT, MAX_FRAGMENT,
+    MAX_RECORD,
+};
+pub use rpc::{
+    AcceptStat, CallHeader, ReplyHeader, AUTH_NONE, AUTH_UNIX, MSG_CALL, MSG_REPLY, RPC_VERSION,
 };
 pub use xdr::{XdrDecoder, XdrEncoder, XdrError, MAX_OPAQUE};

@@ -6,6 +6,7 @@
 //! time, not content — but every header field is really encoded and decoded
 //! so wire sizes are honest.
 
+use crate::rpc::{AcceptStat, CallHeader, ReplyHeader};
 use crate::xdr::{XdrDecoder, XdrEncoder, XdrError};
 
 /// The NFS program number.
@@ -265,20 +266,13 @@ impl NfsCall {
     /// the largest message, re-encoding into it touches no allocator.
     pub fn encode_into(&self, xid: u32, buf: Vec<u8>) -> Vec<u8> {
         let mut e = XdrEncoder::into_buf(buf);
-        // RPC call header: xid, CALL(0), rpcvers=2, prog, vers, proc,
-        // AUTH_UNIX stub (flavor + length 8 + uid + gid), verf AUTH_NONE.
-        e.put_u32(xid)
-            .put_u32(0)
-            .put_u32(2)
-            .put_u32(NFS_PROGRAM)
-            .put_u32(NFS_VERSION)
-            .put_u32(self.proc().number())
-            .put_u32(1) // AUTH_UNIX
-            .put_u32(8)
-            .put_u32(0) // uid
-            .put_u32(0) // gid
-            .put_u32(0) // verf flavor AUTH_NONE
-            .put_u32(0); // verf length
+        CallHeader {
+            xid,
+            prog: NFS_PROGRAM,
+            vers: NFS_VERSION,
+            proc_num: self.proc().number(),
+        }
+        .encode(&mut e);
         debug_assert_eq!(e.len() as u64, RPC_CALL_HEADER_BYTES + 8);
         match self {
             NfsCall::Getattr { fh } => fh.encode(&mut e),
@@ -315,42 +309,58 @@ impl NfsCall {
     /// Decodes a call, returning `(xid, call)`.
     pub fn decode(buf: &[u8]) -> Result<(u32, NfsCall), XdrError> {
         let mut d = XdrDecoder::new(buf);
-        let xid = d.get_u32()?;
-        let mtype = d.get_u32()?;
-        if mtype != 0 {
-            return Err(XdrError::BadLength(mtype));
-        }
-        let _rpcvers = d.get_u32()?;
-        let _prog = d.get_u32()?;
-        let _vers = d.get_u32()?;
-        let procnum = d.get_u32()?;
-        // Skip auth: flavor, body (counted), verf flavor + length.
-        let _flavor = d.get_u32()?;
-        let _body = d.get_opaque()?;
-        let _vflavor = d.get_u32()?;
-        let _vlen = d.get_u32()?;
-        let proc_ = NfsProc::from_number(procnum).ok_or(XdrError::BadLength(procnum))?;
+        let hdr = CallHeader::decode(&mut d)?;
+        let proc_ = NfsProc::from_number(hdr.proc_num).ok_or(XdrError::BadEnum {
+            what: "NFS procedure",
+            value: hdr.proc_num,
+        })?;
+        let call = NfsCall::decode_args(proc_, &mut d)?;
+        Ok((hdr.xid, call))
+    }
+
+    /// Decodes just the procedure arguments, the decoder already
+    /// positioned past an RPC call header.
+    ///
+    /// This is the piece the real-socket endpoint shares: it decodes the
+    /// [`CallHeader`] itself (it must route on program/version before
+    /// trusting the body), then hands the argument bytes here. The WRITE
+    /// arm reads the payload's declared length and skips any carried
+    /// bytes, so both the simulator's length-only encoding and a real
+    /// client's full payload parse identically.
+    pub fn decode_args(proc_: NfsProc, d: &mut XdrDecoder<'_>) -> Result<NfsCall, XdrError> {
         let call = match proc_ {
             NfsProc::Getattr => NfsCall::Getattr {
-                fh: FileHandle::decode(&mut d)?,
+                fh: FileHandle::decode(d)?,
             },
             NfsProc::Lookup => {
-                let dir = FileHandle::decode(&mut d)?;
+                let dir = FileHandle::decode(d)?;
                 let name = d.get_string()?.to_string();
                 NfsCall::Lookup { dir, name }
             }
             NfsProc::Read => NfsCall::Read {
-                fh: FileHandle::decode(&mut d)?,
+                fh: FileHandle::decode(d)?,
                 offset: d.get_u64()?,
                 count: d.get_u32()?,
             },
             NfsProc::Write => {
-                let fh = FileHandle::decode(&mut d)?;
+                let fh = FileHandle::decode(d)?;
                 let offset = d.get_u64()?;
                 let count = d.get_u32()?;
-                let stable =
-                    StableHow::from_code(d.get_u32()?).ok_or(XdrError::BadLength(u32::MAX))?;
-                let _len = d.get_u32()?;
+                let stable_code = d.get_u32()?;
+                let stable = StableHow::from_code(stable_code).ok_or(XdrError::BadEnum {
+                    what: "stable_how",
+                    value: stable_code,
+                })?;
+                // Payload: the simulator encodes the length word only; a
+                // real client's WRITE3args carries the bytes too. Accept
+                // both by skipping whatever of the declared payload is
+                // actually present.
+                let len = d.get_u32()?;
+                if len > crate::xdr::MAX_OPAQUE {
+                    return Err(XdrError::BadLength(len));
+                }
+                let carried = (len as usize).min(d.remaining());
+                d.get_opaque_fixed(carried).ok();
                 NfsCall::Write {
                     fh,
                     offset,
@@ -359,12 +369,12 @@ impl NfsCall {
                 }
             }
             NfsProc::Commit => NfsCall::Commit {
-                fh: FileHandle::decode(&mut d)?,
+                fh: FileHandle::decode(d)?,
                 offset: d.get_u64()?,
                 count: d.get_u32()?,
             },
         };
-        Ok((xid, call))
+        Ok(call)
     }
 
     /// Wire size in bytes, data payload included for writes.
@@ -448,13 +458,7 @@ impl NfsReply {
     /// See [`NfsCall::encode_into`]; same contract.
     pub fn encode_into(&self, xid: u32, buf: Vec<u8>) -> Vec<u8> {
         let mut e = XdrEncoder::into_buf(buf);
-        // xid, REPLY(1), MSG_ACCEPTED(0), verf AUTH_NONE, SUCCESS(0).
-        e.put_u32(xid)
-            .put_u32(1)
-            .put_u32(0)
-            .put_u32(0)
-            .put_u32(0)
-            .put_u32(0);
+        ReplyHeader::success(xid).encode(&mut e);
         debug_assert_eq!(e.len() as u64, RPC_REPLY_HEADER_BYTES);
         match self {
             NfsReply::Getattr { status, attrs } => {
@@ -498,16 +502,19 @@ impl NfsReply {
     /// Decodes a reply to the given procedure, returning `(xid, reply)`.
     pub fn decode(proc_: NfsProc, buf: &[u8]) -> Result<(u32, NfsReply), XdrError> {
         let mut d = XdrDecoder::new(buf);
-        let xid = d.get_u32()?;
-        let mtype = d.get_u32()?;
-        if mtype != 1 {
-            return Err(XdrError::BadLength(mtype));
+        let hdr = ReplyHeader::decode(&mut d)?;
+        if hdr.stat != AcceptStat::Success {
+            return Err(XdrError::BadEnum {
+                what: "accept_stat (expected SUCCESS)",
+                value: hdr.stat.code(),
+            });
         }
-        let _accepted = d.get_u32()?;
-        let _vflavor = d.get_u32()?;
-        let _vlen = d.get_u32()?;
-        let _accept_stat = d.get_u32()?;
-        let status = NfsStatus::from_code(d.get_u32()?).ok_or(XdrError::BadLength(u32::MAX))?;
+        let xid = hdr.xid;
+        let status_code = d.get_u32()?;
+        let status = NfsStatus::from_code(status_code).ok_or(XdrError::BadEnum {
+            what: "nfsstat3",
+            value: status_code,
+        })?;
         let reply = match proc_ {
             NfsProc::Getattr => NfsReply::Getattr {
                 status,
@@ -536,8 +543,11 @@ impl NfsReply {
             }
             NfsProc::Write => {
                 let count = d.get_u32()?;
-                let committed =
-                    StableHow::from_code(d.get_u32()?).ok_or(XdrError::BadLength(u32::MAX))?;
+                let committed_code = d.get_u32()?;
+                let committed = StableHow::from_code(committed_code).ok_or(XdrError::BadEnum {
+                    what: "stable_how (committed)",
+                    value: committed_code,
+                })?;
                 let verf = d.get_u64()?;
                 NfsReply::Write {
                     status,

@@ -1,0 +1,262 @@
+//! XDR record marking over a byte stream (RFC 5531 §11).
+//!
+//! TCP is a byte stream; RPC messages are records. Record marking frames
+//! each record as a sequence of fragments, each preceded by a 4-byte
+//! marker whose high bit flags the last fragment and whose low 31 bits
+//! give the fragment length. A sender may split a record anywhere
+//! (including 1-byte fragments); a receiver must reassemble the fragments
+//! bit-identically regardless of how the stream was chopped up by the
+//! network.
+//!
+//! [`frame_record`] produces the common single-fragment form,
+//! [`frame_record_split`] exercises arbitrary fragmentation (for tests
+//! and for senders with small buffers), and [`RecordReader`] is the
+//! receive-side state machine: feed it raw stream bytes as they arrive,
+//! pull complete records out.
+
+/// High bit of the record marker: set on the final fragment of a record.
+pub const LAST_FRAGMENT: u32 = 0x8000_0000;
+
+/// Largest single fragment we accept (31-bit length field notwithstanding).
+///
+/// Bounds memory committed per fragment before its bytes arrive. Big
+/// enough for a 1 MiB opaque plus headers.
+pub const MAX_FRAGMENT: u32 = (1 << 20) + 4096;
+
+/// Largest reassembled record we accept across all fragments.
+pub const MAX_RECORD: usize = (1 << 21) as usize;
+
+/// Receive-side framing error. All conditions are typed; the reader
+/// never panics on hostile input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordError {
+    /// A fragment declared a length above [`MAX_FRAGMENT`].
+    FragmentTooLarge {
+        /// Declared fragment length.
+        len: u32,
+    },
+    /// Accumulated fragments exceeded [`MAX_RECORD`].
+    RecordTooLarge {
+        /// Total bytes the record would have reached.
+        len: usize,
+    },
+}
+
+impl std::fmt::Display for RecordError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecordError::FragmentTooLarge { len } => {
+                write!(f, "record-mark fragment of {len} bytes exceeds limit")
+            }
+            RecordError::RecordTooLarge { len } => {
+                write!(f, "reassembled record of {len} bytes exceeds limit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecordError {}
+
+/// Frames `msg` as a single-fragment record (marker + bytes appended to
+/// `out`). This is what every practical sender does for messages that
+/// fit in one fragment.
+pub fn frame_record(msg: &[u8], out: &mut Vec<u8>) {
+    debug_assert!(msg.len() as u64 <= u64::from(u32::MAX >> 1));
+    out.extend_from_slice(&(LAST_FRAGMENT | msg.len() as u32).to_be_bytes());
+    out.extend_from_slice(msg);
+}
+
+/// Frames `msg` split into fragments of at most `max_frag` bytes each.
+///
+/// A zero-length message still emits one empty final fragment so the
+/// receiver sees a record at all. `max_frag` of 0 is treated as 1.
+pub fn frame_record_split(msg: &[u8], max_frag: usize, out: &mut Vec<u8>) {
+    let max_frag = max_frag.max(1);
+    if msg.is_empty() {
+        out.extend_from_slice(&LAST_FRAGMENT.to_be_bytes());
+        return;
+    }
+    let mut rest = msg;
+    while !rest.is_empty() {
+        let take = rest.len().min(max_frag);
+        let (frag, tail) = rest.split_at(take);
+        let mut marker = frag.len() as u32;
+        if tail.is_empty() {
+            marker |= LAST_FRAGMENT;
+        }
+        out.extend_from_slice(&marker.to_be_bytes());
+        out.extend_from_slice(frag);
+        rest = tail;
+    }
+}
+
+/// Receive-side reassembly state machine.
+///
+/// Feed stream bytes in with [`RecordReader::push`] (any chop: one byte
+/// at a time, a whole socket read, markers split across pushes — framing
+/// keeps no alignment assumptions), then drain complete records with
+/// [`RecordReader::next_record`]. After an error the reader is poisoned:
+/// the connection cannot be resynchronised, so further pushes keep
+/// returning the error and the caller should drop the stream.
+#[derive(Debug, Default)]
+pub struct RecordReader {
+    /// Raw bytes not yet consumed into `record`.
+    pending: Vec<u8>,
+    /// Reassembled fragments of the record under construction.
+    record: Vec<u8>,
+    /// Completed records awaiting `next_record`.
+    ready: Vec<Vec<u8>>,
+    /// Remaining byte count of the fragment being copied, if mid-fragment.
+    frag_left: usize,
+    /// Whether the fragment being copied is the record's last.
+    frag_last: bool,
+    /// Sticky error.
+    failed: Option<RecordError>,
+}
+
+impl RecordReader {
+    /// Creates an empty reader.
+    pub fn new() -> Self {
+        RecordReader::default()
+    }
+
+    /// Feeds raw stream bytes; returns an error if framing is (or
+    /// previously was) violated.
+    pub fn push(&mut self, bytes: &[u8]) -> Result<(), RecordError> {
+        if let Some(e) = self.failed {
+            return Err(e);
+        }
+        self.pending.extend_from_slice(bytes);
+        let r = self.drain_pending();
+        if let Err(e) = r {
+            self.failed = Some(e);
+        }
+        r
+    }
+
+    /// Pops the next complete record, oldest first.
+    pub fn next_record(&mut self) -> Option<Vec<u8>> {
+        if self.ready.is_empty() {
+            None
+        } else {
+            Some(self.ready.remove(0))
+        }
+    }
+
+    /// Whether a partial fragment or record is buffered (useful for
+    /// detecting a peer that hung up mid-record).
+    pub fn mid_record(&self) -> bool {
+        self.frag_left > 0 || !self.record.is_empty() || !self.pending.is_empty()
+    }
+
+    fn drain_pending(&mut self) -> Result<(), RecordError> {
+        let mut pos = 0;
+        loop {
+            if self.frag_left > 0 {
+                let avail = self.pending.len() - pos;
+                let take = self.frag_left.min(avail);
+                self.record
+                    .extend_from_slice(&self.pending[pos..pos + take]);
+                pos += take;
+                self.frag_left -= take;
+                if self.record.len() > MAX_RECORD {
+                    return Err(RecordError::RecordTooLarge {
+                        len: self.record.len(),
+                    });
+                }
+                if self.frag_left > 0 {
+                    break; // need more stream bytes
+                }
+                if self.frag_last {
+                    self.ready.push(std::mem::take(&mut self.record));
+                }
+                continue;
+            }
+            // At a marker boundary.
+            if self.pending.len() - pos < 4 {
+                break;
+            }
+            let m = u32::from_be_bytes(
+                self.pending[pos..pos + 4]
+                    .try_into()
+                    .expect("length checked"),
+            );
+            pos += 4;
+            let len = m & !LAST_FRAGMENT;
+            if len > MAX_FRAGMENT {
+                return Err(RecordError::FragmentTooLarge { len });
+            }
+            self.frag_last = m & LAST_FRAGMENT != 0;
+            self.frag_left = len as usize;
+            if self.frag_left == 0 && self.frag_last {
+                // Empty final fragment: completes the record as-is.
+                self.ready.push(std::mem::take(&mut self.record));
+            }
+        }
+        self.pending.drain(..pos);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_fragment_roundtrip() {
+        let msg = b"hello record marking".to_vec();
+        let mut wire = Vec::new();
+        frame_record(&msg, &mut wire);
+        assert_eq!(wire.len(), 4 + msg.len());
+        let mut r = RecordReader::new();
+        r.push(&wire).unwrap();
+        assert_eq!(r.next_record(), Some(msg));
+        assert_eq!(r.next_record(), None);
+        assert!(!r.mid_record());
+    }
+
+    #[test]
+    fn empty_record_roundtrip() {
+        let mut wire = Vec::new();
+        frame_record_split(&[], 8, &mut wire);
+        let mut r = RecordReader::new();
+        r.push(&wire).unwrap();
+        assert_eq!(r.next_record(), Some(Vec::new()));
+    }
+
+    #[test]
+    fn oversized_fragment_is_typed_error_and_sticky() {
+        let marker = (LAST_FRAGMENT | (MAX_FRAGMENT + 1)).to_be_bytes();
+        let mut r = RecordReader::new();
+        assert_eq!(
+            r.push(&marker),
+            Err(RecordError::FragmentTooLarge {
+                len: MAX_FRAGMENT + 1
+            })
+        );
+        // Poisoned: even innocent bytes keep failing.
+        assert!(r.push(&[0; 4]).is_err());
+    }
+
+    #[test]
+    fn oversized_record_across_fragments_rejected() {
+        let mut r = RecordReader::new();
+        let frag = vec![0u8; 1 << 20];
+        let mut wire = Vec::new();
+        // Non-final max-size fragments until the record cap trips.
+        let mut pushed = 0usize;
+        loop {
+            wire.clear();
+            wire.extend_from_slice(&(frag.len() as u32).to_be_bytes());
+            wire.extend_from_slice(&frag);
+            pushed += frag.len();
+            match r.push(&wire) {
+                Ok(()) => assert!(pushed <= MAX_RECORD),
+                Err(e) => {
+                    assert_eq!(e, RecordError::RecordTooLarge { len: pushed });
+                    break;
+                }
+            }
+        }
+    }
+}

@@ -20,6 +20,21 @@ pub enum XdrError {
     BadLength(u32),
     /// A string was not valid UTF-8.
     BadUtf8,
+    /// A discriminant (message type, procedure number, enum code…) had a
+    /// value outside its legal set. `what` names the field.
+    BadEnum {
+        /// The field whose discriminant was illegal.
+        what: &'static str,
+        /// The offending wire value.
+        value: u32,
+    },
+    /// The peer sent an RPC reply with `reply_stat` MSG_DENIED (auth
+    /// failure or RPC version mismatch); the payload carries no result.
+    RpcDenied {
+        /// The `rejected_reply` discriminant (0 = RPC_MISMATCH, 1 =
+        /// AUTH_ERROR).
+        reason: u32,
+    },
 }
 
 impl fmt::Display for XdrError {
@@ -31,6 +46,12 @@ impl fmt::Display for XdrError {
             XdrError::BadBool(v) => write!(f, "XDR boolean with value {v}"),
             XdrError::BadLength(v) => write!(f, "XDR length {v} exceeds limit"),
             XdrError::BadUtf8 => write!(f, "XDR string is not UTF-8"),
+            XdrError::BadEnum { what, value } => {
+                write!(f, "XDR {what} discriminant {value} is illegal")
+            }
+            XdrError::RpcDenied { reason } => {
+                write!(f, "RPC reply was MSG_DENIED (rejected_reply {reason})")
+            }
         }
     }
 }

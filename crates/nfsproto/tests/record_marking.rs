@@ -1,0 +1,187 @@
+//! Property tests for XDR record marking: arbitrary messages split
+//! across arbitrary fragment boundaries — including 1-byte fragments and
+//! multi-fragment records — reassemble bit-identically however the
+//! resulting byte stream is chopped up for delivery, and oversized
+//! fragments are rejected with a typed error.
+
+use nfsproto::{
+    frame_record, frame_record_split, RecordError, RecordReader, LAST_FRAGMENT, MAX_FRAGMENT,
+    MAX_RECORD,
+};
+use simcore::SimRng;
+
+const CASES: u64 = 200;
+
+fn arb_msg(rng: &mut SimRng) -> Vec<u8> {
+    let len = match rng.gen_range(0u32..4) {
+        0 => rng.gen_range(0usize..8),
+        1 => rng.gen_range(8usize..256),
+        2 => rng.gen_range(256usize..4096),
+        _ => rng.gen_range(4096usize..32_768),
+    };
+    (0..len).map(|_| rng.next_u64() as u8).collect()
+}
+
+/// Delivers `wire` to `reader` in random-size chunks, mimicking how TCP
+/// hands bytes to the application with no respect for message framing.
+fn deliver_chopped(reader: &mut RecordReader, wire: &[u8], rng: &mut SimRng) {
+    let mut pos = 0;
+    while pos < wire.len() {
+        let take = rng.gen_range(1usize..=(wire.len() - pos).min(1500));
+        reader.push(&wire[pos..pos + take]).expect("legal framing");
+        pos += take;
+    }
+}
+
+#[test]
+fn arbitrary_fragmentation_reassembles_bit_identically() {
+    let mut rng = SimRng::new(0xF2A6);
+    for case in 0..CASES {
+        let msg = arb_msg(&mut rng);
+        // Fragment size from pathological (1 byte) to "whole message".
+        let max_frag = match rng.gen_range(0u32..4) {
+            0 => 1,
+            1 => rng.gen_range(2usize..16),
+            2 => rng.gen_range(16usize..1024),
+            _ => msg.len().max(1),
+        };
+        let mut wire = Vec::new();
+        frame_record_split(&msg, max_frag, &mut wire);
+        let mut reader = RecordReader::new();
+        deliver_chopped(&mut reader, &wire, &mut rng);
+        assert_eq!(
+            reader.next_record(),
+            Some(msg),
+            "case {case}: max_frag {max_frag}"
+        );
+        assert_eq!(reader.next_record(), None, "case {case}: phantom record");
+        assert!(!reader.mid_record(), "case {case}: residue");
+    }
+}
+
+#[test]
+fn one_byte_fragments_and_one_byte_delivery() {
+    // The double-pathological case: every fragment is 1 byte AND every
+    // socket read is 1 byte, so each marker arrives across 4 pushes.
+    let msg: Vec<u8> = (0u16..600).map(|i| (i % 251) as u8).collect();
+    let mut wire = Vec::new();
+    frame_record_split(&msg, 1, &mut wire);
+    assert_eq!(wire.len(), msg.len() * 5, "4-byte marker per 1-byte frag");
+    let mut reader = RecordReader::new();
+    for b in &wire {
+        reader.push(std::slice::from_ref(b)).expect("legal framing");
+    }
+    assert_eq!(reader.next_record(), Some(msg));
+}
+
+#[test]
+fn back_to_back_records_on_one_stream_stay_ordered() {
+    let mut rng = SimRng::new(0xF2A7);
+    for case in 0..CASES {
+        let msgs: Vec<Vec<u8>> = (0..rng.gen_range(2usize..8))
+            .map(|_| arb_msg(&mut rng))
+            .collect();
+        let mut wire = Vec::new();
+        for m in &msgs {
+            if rng.chance(0.5) {
+                frame_record(m, &mut wire);
+            } else {
+                let frag = rng.gen_range(1usize..=m.len().max(1));
+                frame_record_split(m, frag, &mut wire);
+            }
+        }
+        let mut reader = RecordReader::new();
+        deliver_chopped(&mut reader, &wire, &mut rng);
+        for (i, m) in msgs.iter().enumerate() {
+            assert_eq!(
+                reader.next_record().as_ref(),
+                Some(m),
+                "case {case}: record {i} out of order or corrupted"
+            );
+        }
+        assert_eq!(reader.next_record(), None, "case {case}");
+    }
+}
+
+#[test]
+fn single_and_split_framings_decode_identically() {
+    let mut rng = SimRng::new(0xF2A8);
+    for case in 0..CASES {
+        let msg = arb_msg(&mut rng);
+        let mut single = Vec::new();
+        frame_record(&msg, &mut single);
+        let mut split = Vec::new();
+        frame_record_split(&msg, rng.gen_range(1usize..64), &mut split);
+
+        let mut ra = RecordReader::new();
+        ra.push(&single).unwrap();
+        let mut rb = RecordReader::new();
+        rb.push(&split).unwrap();
+        assert_eq!(ra.next_record(), rb.next_record(), "case {case}");
+    }
+}
+
+#[test]
+fn oversized_fragment_rejected_with_typed_error() {
+    let mut rng = SimRng::new(0xF2A9);
+    for case in 0..64 {
+        let len = rng.gen_range(MAX_FRAGMENT + 1..=!LAST_FRAGMENT);
+        let last = rng.chance(0.5);
+        let marker = (if last { LAST_FRAGMENT } else { 0 } | len).to_be_bytes();
+        let mut reader = RecordReader::new();
+        assert_eq!(
+            reader.push(&marker),
+            Err(RecordError::FragmentTooLarge { len }),
+            "case {case}"
+        );
+        // The reader is poisoned after a framing violation — the stream
+        // cannot be resynchronised, so subsequent pushes keep failing.
+        assert!(reader.push(&[0u8; 8]).is_err(), "case {case}: unpoisoned");
+        assert_eq!(reader.next_record(), None, "case {case}");
+    }
+}
+
+#[test]
+fn record_cap_applies_across_fragments_not_just_per_fragment() {
+    // Each fragment is individually legal; their sum is not.
+    let frag_len = MAX_FRAGMENT as usize;
+    let frags_needed = MAX_RECORD / frag_len + 2;
+    let mut reader = RecordReader::new();
+    let frag = vec![0u8; frag_len];
+    let mut tripped = false;
+    for i in 0..frags_needed {
+        let mut wire = Vec::with_capacity(4 + frag_len);
+        wire.extend_from_slice(&(frag_len as u32).to_be_bytes());
+        wire.extend_from_slice(&frag);
+        match reader.push(&wire) {
+            Ok(()) => assert!((i + 1) * frag_len <= MAX_RECORD),
+            Err(RecordError::RecordTooLarge { len }) => {
+                assert!(len > MAX_RECORD);
+                tripped = true;
+                break;
+            }
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+    assert!(tripped, "record cap never enforced");
+}
+
+#[test]
+fn empty_record_framings() {
+    // An empty message still forms a record: one empty final fragment.
+    let mut wire = Vec::new();
+    frame_record(&[], &mut wire);
+    assert_eq!(wire, LAST_FRAGMENT.to_be_bytes());
+    let mut reader = RecordReader::new();
+    reader.push(&wire).unwrap();
+    assert_eq!(reader.next_record(), Some(Vec::new()));
+
+    // Empty final fragment terminating a non-empty record.
+    let mut wire = Vec::new();
+    wire.extend_from_slice(&3u32.to_be_bytes());
+    wire.extend_from_slice(b"abc");
+    wire.extend_from_slice(&LAST_FRAGMENT.to_be_bytes());
+    let mut reader = RecordReader::new();
+    reader.push(&wire).unwrap();
+    assert_eq!(reader.next_record(), Some(b"abc".to_vec()));
+}

@@ -4,7 +4,7 @@
 use diskmodel::DiskStats;
 use netsim::TcpStats;
 use nfssim::ServerStats;
-use simcore::Summary;
+use simcore::{LogHist, Summary};
 
 /// One curve of a figure: throughput (or time) against reader count.
 #[derive(Debug, Clone)]
@@ -129,6 +129,24 @@ pub fn render_disk_line(stats: &DiskStats) -> String {
         ));
     }
     line
+}
+
+/// Renders one operation class of a real-socket endpoint replay as a
+/// one-line summary: call volume and the wall-clock latency quantiles
+/// the client measured ([`LogHist`] in microseconds, the same histogram
+/// the simulator's latency books use). Quiet classes (no calls) render
+/// as an explicit "idle" so reports show what was *not* exercised.
+pub fn render_endpoint_line(op: &str, h: &LogHist) -> String {
+    if h.total() == 0 {
+        return format!("endpoint {op}: idle");
+    }
+    format!(
+        "endpoint {op}: {} calls, p50 {}us, p99 {}us, max {}us",
+        h.total(),
+        h.quantile(0.50).unwrap_or(0),
+        h.quantile(0.99).unwrap_or(0),
+        h.max().unwrap_or(0),
+    )
 }
 
 /// Renders one direction of a client's TCP segment-engine counters as a
@@ -276,6 +294,20 @@ mod tests {
             render_tcp_line("c2s", &TcpStats::default()).contains("(0.0%)"),
             "idle stream must not divide by zero"
         );
+    }
+
+    #[test]
+    fn endpoint_line_reports_quantiles_and_idle_classes() {
+        let mut h = LogHist::default();
+        assert_eq!(render_endpoint_line("write", &h), "endpoint write: idle");
+        for us in [100u64, 200, 400, 12_000] {
+            h.add(us);
+        }
+        let line = render_endpoint_line("read", &h);
+        assert!(line.contains("endpoint read: 4 calls"), "{line}");
+        assert!(line.contains("p50"), "{line}");
+        assert!(line.contains("p99"), "{line}");
+        assert!(!line.contains("NaN"), "{line}");
     }
 
     #[test]
