@@ -42,7 +42,7 @@ fn bench(out: &mut Vec<BenchResult>, name: &str, iters: u64, mut f: impl FnMut()
 
 /// Every e2e case is gated by `--check`; the simulator has no cold paths
 /// worth exempting here.
-const GATED_PREFIXES: &[&str] = &["simulate", "cluster", "degraded"];
+const GATED_PREFIXES: &[&str] = &["simulate", "cluster", "degraded", "ssd", "autotune"];
 const GATE_FACTOR: f64 = 3.0;
 
 fn main() {
@@ -174,6 +174,128 @@ fn main() {
             Some(netsim::TransportKind::Tcp),
         );
         black_box(simtest::run_plan(&p, simtest::RunOptions::default()).expect("oracles hold"));
+    });
+
+    // SSD end-to-end: the same NFS pipeline with the flash backend
+    // underneath — the cost of the channel/die completion math on the
+    // hot path.
+    bench(out, "ssd_seq_read/tlc_4_readers_8mb", iters, || {
+        let mut b = NfsBench::new(Rig::ssd(1), WorldConfig::default(), &[4], 8, 1);
+        black_box(b.run(4).throughput_mbs);
+    });
+
+    // GC interference at the device layer: overwrite a small drive's LBA
+    // space until the FTL runs out of free blocks and garbage-collects,
+    // then read through the pause windows — the cost of the GC victim
+    // scan and wait attribution.
+    bench(out, "ssd_gc_interference/overwrite_8mb", iters, || {
+        use diskmodel::{DeviceModel, DiskRequest, SsdParams};
+        let params = SsdParams {
+            channels: 2,
+            dies_per_channel: 2,
+            page_sectors: 16,
+            pages_per_block: 16,
+            total_sectors: 16 * 1024, // 8 MB
+            overprovision: 0.25,
+            read_us: 60.0,
+            program_us: 600.0,
+            erase_ms: 3.0,
+            channel_mb_s: 400.0,
+            gc_low_water_blocks: 2,
+            gc_jitter_us: 100.0,
+            queue_depth: 32,
+        };
+        let mut d = ssd::Ssd::new(params, simcore::SimRng::new(1));
+        let mut now = simcore::SimTime::ZERO;
+        let mut drive = |d: &mut ssd::Ssd, req: DiskRequest| {
+            d.submit(now, req);
+            while let Some(t) = d.next_completion() {
+                now = t;
+                black_box(d.advance(t));
+            }
+        };
+        for pass in 0..3u64 {
+            for lba in (0..params.total_sectors).step_by(16) {
+                drive(&mut d, DiskRequest::write(lba, 16, pass << 32 | lba));
+            }
+        }
+        for lba in (0..params.total_sectors).step_by(16) {
+            drive(&mut d, DiskRequest::read(lba, 16, lba));
+        }
+        assert!(
+            d.stats().gc_runs > 0,
+            "the overwrite passes must trigger GC"
+        );
+    });
+
+    // The online tuner in the loop: an SSD-backed world driven with the
+    // hill-climber closing 2 ms windows — the cost of histogram windowing,
+    // scoring, and knob re-actuation on top of the pipeline.
+    bench(out, "autotune_converge/ssd_4_streams", iters, || {
+        use autotune::{Controller, Knobs, TuneConfig, WindowedTuner};
+        use diskmodel::{DeviceModel, PartitionTable, SsdParams};
+        use ffs::{FileSystem, FsConfig};
+        use nfssim::NfsWorld;
+        use simcore::{SimDuration, SimRng, SimTime};
+        let params = SsdParams {
+            channels: 2,
+            dies_per_channel: 2,
+            page_sectors: 16,
+            pages_per_block: 16,
+            total_sectors: 64 * 1024, // 32 MB
+            overprovision: 0.25,
+            read_us: 60.0,
+            program_us: 600.0,
+            erase_ms: 3.0,
+            channel_mb_s: 400.0,
+            gc_low_water_blocks: 2,
+            gc_jitter_us: 100.0,
+            queue_depth: 32,
+        };
+        let drive = ssd::Ssd::new(params, SimRng::new(1));
+        let part = PartitionTable::quarters_of(drive.total_sectors()).get(1);
+        let fs = FileSystem::format_on(
+            Box::new(drive),
+            part,
+            iosched::SchedulerKind::Elevator,
+            FsConfig::default(),
+        );
+        let mut w = NfsWorld::new(WorldConfig::default(), fs, 1);
+        let size = 512 * 1024u64;
+        let fhs: Vec<_> = (0..4).map(|_| w.create_file(size)).collect();
+        let cfg = TuneConfig {
+            window: SimDuration::from_millis(2),
+            min_ops: 4,
+            ..TuneConfig::default()
+        };
+        let mut tuner = WindowedTuner::new(Controller::new(
+            cfg,
+            Knobs::stock(),
+            SimRng::from_seed_and_stream(1, 0x7),
+        ));
+        let mut now = SimTime::ZERO;
+        let block = 8_192u64;
+        for blk in 0..(size / block) {
+            for (i, fh) in fhs.iter().enumerate() {
+                w.read(now, *fh, blk * block, block, (i as u64) << 32 | blk);
+                while let Some(t) = w.next_event() {
+                    let done = w.advance(t);
+                    now = now.max(t);
+                    for d in &done {
+                        tuner.record(d);
+                    }
+                    tuner.poll(now, &mut w);
+                    if !done.is_empty() {
+                        break;
+                    }
+                }
+            }
+        }
+        assert!(
+            tuner.controller().decisions().len() > 4,
+            "the tuner must close enough windows to converge"
+        );
+        black_box(tuner.controller().fingerprint());
     });
 
     // Fleet scale: the sharded world at real client counts. One

@@ -16,7 +16,7 @@ use ffs::{FileSystem, FsConfig, IoStatus, OpDone, BLOCK_BYTES, MAX_IO_RETRIES};
 use iosched::SchedulerKind;
 use nfs_bench::BASE_SEED;
 use simcore::{SimRng, SimTime};
-use testbed::render_disk_line;
+use testbed::render_device_line;
 
 const READERS: usize = 4;
 
@@ -135,7 +135,7 @@ fn run_cell(sched: SchedulerKind, mode: Mode, per_mb: u64) -> Cell {
         recovered: bio.recovered,
         eio: bio.eio,
         max_attempts: bio.max_attempts,
-        disk_line: render_disk_line(&fs.bio().disk().stats()),
+        disk_line: render_device_line(&fs.bio().device().report()),
     }
 }
 

@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+mod device;
 mod disk;
 mod fault;
 mod geometry;
@@ -29,10 +30,11 @@ mod seek;
 mod types;
 
 pub use cache::{CacheConfig, CacheOutcome, Replacement, SegmentedCache};
+pub use device::{DeviceModel, DeviceReport, ReportBucket, ReportGauge};
 pub use disk::{Disk, DiskStats, MechParams, ServiceBreakdown, TcqConfig};
 pub use fault::{DiskError, DiskErrorKind, DiskOutcome, FaultDecision, FaultModel};
 pub use geometry::{Chs, DiskGeometry, Zone};
 pub use partition::{Partition, PartitionTable};
-pub use presets::DriveModel;
+pub use presets::{DriveModel, SsdParams};
 pub use seek::SeekModel;
 pub use types::{Completion, DiskOp, DiskRequest, Lba, RequestId, SECTOR_BYTES};

@@ -47,7 +47,12 @@ pub struct PartitionTable {
 impl PartitionTable {
     /// Splits a drive into four equal-sector partitions, outermost first.
     pub fn quarters(geometry: &DiskGeometry) -> Self {
-        let total = geometry.total_sectors();
+        Self::quarters_of(geometry.total_sectors())
+    }
+
+    /// Splits `total` sectors into four equal partitions — the geometry-free
+    /// form, for devices (SSDs) that have no cylinders to speak of.
+    pub fn quarters_of(total: u64) -> Self {
         let quarter = total / 4;
         let mut parts = [Partition {
             start: 0,
@@ -135,6 +140,16 @@ mod tests {
         let g = geom();
         let t = PartitionTable::quarters(&g);
         let _ = t.get(0);
+    }
+
+    #[test]
+    fn quarters_of_sectors_matches_geometry_form() {
+        let g = geom();
+        let a = PartitionTable::quarters(&g);
+        let b = PartitionTable::quarters_of(g.total_sectors());
+        for i in 1..=4 {
+            assert_eq!(a.get(i), b.get(i));
+        }
     }
 
     #[test]

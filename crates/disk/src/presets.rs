@@ -16,51 +16,176 @@ use crate::disk::{Disk, MechParams, TcqConfig};
 use crate::geometry::DiskGeometry;
 use crate::seek::SeekModel;
 
-/// Identifies one of the two modelled drives.
+/// Parameter set for a flash device (consumed by the `ssd` crate's
+/// backend; the data lives here so presets stay in one place and the
+/// dependency arrow keeps pointing from `ssd` to `diskmodel`).
+///
+/// All latencies are per *page*; capacity and page size are in 512-byte
+/// sectors like everything else in this crate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SsdParams {
+    /// Independent channel buses between controller and flash.
+    pub channels: u32,
+    /// NAND dies per channel (total parallelism = channels × dies).
+    pub dies_per_channel: u32,
+    /// Flash page size in sectors.
+    pub page_sectors: u64,
+    /// Pages per erase block.
+    pub pages_per_block: u64,
+    /// Host-visible capacity in sectors.
+    pub total_sectors: u64,
+    /// Physical over-provisioning as a fraction of host capacity.
+    pub overprovision: f64,
+    /// Page read (tR) latency, microseconds.
+    pub read_us: f64,
+    /// Page program (tProg) latency, microseconds.
+    pub program_us: f64,
+    /// Block erase latency, milliseconds.
+    pub erase_ms: f64,
+    /// Per-channel bus bandwidth, MB/s.
+    pub channel_mb_s: f64,
+    /// Free-block threshold per die below which GC kicks in.
+    pub gc_low_water_blocks: u64,
+    /// Magnitude of the seeded jitter added to each GC pause, microseconds
+    /// (firmware GC is not metronomic; the draw is deterministic per seed).
+    pub gc_jitter_us: f64,
+    /// Host queue depth (`can_accept` gate).
+    pub queue_depth: usize,
+}
+
+/// Identifies one of the modelled devices: the paper testbed's two 2003
+/// spinning drives, plus two modern flash parameter sets for the
+/// SSD-vs-HDD experiments.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DriveModel {
     /// IBM DDYS-T36950N: 36.9 GB, 10k RPM, Ultra160 SCSI, TCQ.
     IbmDdysScsi,
     /// Western Digital WD200BB: 20 GB, 7200 RPM, ATA66, no TCQ.
     WdWd200bbIde,
+    /// Consumer TLC SATA-class SSD: 240 GB, 4 channels × 2 dies, slow
+    /// program/erase, shallow over-provisioning (GC-pause prone).
+    ConsumerTlcSsd,
+    /// Datacenter NVMe-class SSD: 800 GB, 8 channels × 4 dies, fast NAND,
+    /// deep over-provisioning.
+    DatacenterSsd,
 }
 
 impl DriveModel {
-    /// Short name used in benchmark labels (`scsi`, `ide`).
+    /// Short name used in benchmark labels (`scsi`, `ide`, `tlc`, `dcssd`).
     pub fn label(self) -> &'static str {
         match self {
             DriveModel::IbmDdysScsi => "scsi",
             DriveModel::WdWd200bbIde => "ide",
+            DriveModel::ConsumerTlcSsd => "tlc",
+            DriveModel::DatacenterSsd => "dcssd",
         }
     }
 
-    /// Whether the drive supports tagged command queues at all.
+    /// Whether the drive supports tagged command queues at all. (SSDs
+    /// queue deeply, but through their own `queue_depth`, not the SCSI
+    /// TCQ knob the paper toggles.)
     pub fn supports_tcq(self) -> bool {
         matches!(self, DriveModel::IbmDdysScsi)
     }
 
+    /// Whether this model is a flash device (built via the `ssd` crate
+    /// rather than [`DriveModel::build`]).
+    pub fn is_ssd(self) -> bool {
+        self.ssd_params().is_some()
+    }
+
+    /// Flash parameter set, for the SSD models.
+    pub fn ssd_params(self) -> Option<SsdParams> {
+        match self {
+            DriveModel::ConsumerTlcSsd => Some(SsdParams {
+                channels: 4,
+                dies_per_channel: 2,
+                page_sectors: 16,           // 8 KB pages
+                pages_per_block: 256,       // 2 MB erase blocks
+                total_sectors: 468_750_000, // 240 GB
+                overprovision: 0.07,
+                read_us: 70.0,
+                program_us: 900.0,
+                erase_ms: 5.0,
+                channel_mb_s: 400.0,
+                gc_low_water_blocks: 4,
+                gc_jitter_us: 500.0,
+                queue_depth: 32,
+            }),
+            DriveModel::DatacenterSsd => Some(SsdParams {
+                channels: 8,
+                dies_per_channel: 4,
+                page_sectors: 16,
+                pages_per_block: 256,
+                total_sectors: 1_562_500_000, // 800 GB
+                overprovision: 0.28,
+                read_us: 50.0,
+                program_us: 400.0,
+                erase_ms: 3.0,
+                channel_mb_s: 600.0,
+                gc_low_water_blocks: 8,
+                gc_jitter_us: 200.0,
+                queue_depth: 64,
+            }),
+            _ => None,
+        }
+    }
+
+    fn expect_hdd(self, what: &str) {
+        assert!(
+            !self.is_ssd(),
+            "{} has no {what}; SSD presets build via the ssd crate",
+            self.label()
+        );
+    }
+
     /// The drive's geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics for the SSD models, which have no mechanical geometry.
     pub fn geometry(self) -> DiskGeometry {
+        self.expect_hdd("geometry");
         match self {
             // ~36.9 GB: 21000 cylinders x 10 heads, 424..260 spt, 10k RPM.
             DriveModel::IbmDdysScsi => DiskGeometry::zoned(21_000, 10, 10_000.0, 424, 260, 12),
             // ~20 GB: 18000 cylinders x 4 heads, 650..435 spt, 7200 RPM.
             DriveModel::WdWd200bbIde => DiskGeometry::zoned(18_000, 4, 7_200.0, 650, 435, 12),
+            _ => unreachable!(),
+        }
+    }
+
+    /// Host-visible capacity in sectors, for any device family.
+    pub fn total_sectors(self) -> u64 {
+        match self.ssd_params() {
+            Some(p) => p.total_sectors,
+            None => self.geometry().total_sectors(),
         }
     }
 
     /// The drive's seek profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics for the SSD models, which do not seek.
     pub fn seek(self) -> SeekModel {
+        self.expect_hdd("seek profile");
         match self {
             // 0.6 ms track-to-track, 4.9 ms average, 10.5 ms full stroke.
             DriveModel::IbmDdysScsi => SeekModel::from_datasheet(21_000, 0.0006, 0.0049, 0.0105),
             // 1.2 ms track-to-track, 8.9 ms average, 21 ms full stroke.
             DriveModel::WdWd200bbIde => SeekModel::from_datasheet(18_000, 0.0012, 0.0089, 0.021),
+            _ => unreachable!(),
         }
     }
 
     /// Command and interface overheads.
+    ///
+    /// # Panics
+    ///
+    /// Panics for the SSD models.
     pub fn mech(self) -> MechParams {
+        self.expect_hdd("mechanical parameters");
         match self {
             DriveModel::IbmDdysScsi => MechParams {
                 command_overhead: 0.00025,
@@ -74,6 +199,7 @@ impl DriveModel {
                 track_switch: 0.0012,
                 write_settle: 0.0010,
             },
+            _ => unreachable!(),
         }
     }
 
@@ -86,7 +212,7 @@ impl DriveModel {
                 depth: 64,
                 aging_factor: 2.0,
             },
-            DriveModel::WdWd200bbIde => TcqConfig::disabled(),
+            _ => TcqConfig::disabled(),
         }
     }
 
@@ -98,6 +224,7 @@ impl DriveModel {
     /// (modelled as random) replacement. The segment count is what makes
     /// `ide1` collapse at the 8-stride pattern in Figure 8 / Table 1.
     pub fn cache(self) -> CacheConfig {
+        self.expect_hdd("segmented prefetch cache");
         match self {
             DriveModel::IbmDdysScsi => CacheConfig {
                 segments: 16,
@@ -109,10 +236,15 @@ impl DriveModel {
                 segment_sectors: 512,
                 replacement: Replacement::Random,
             },
+            _ => unreachable!(),
         }
     }
 
     /// Builds a drive with default configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics for the SSD models; use the `ssd` crate's builder.
     pub fn build(self, rng: SimRng) -> Disk {
         Disk::new(
             self.geometry(),
@@ -198,5 +330,42 @@ mod tests {
     fn labels() {
         assert_eq!(DriveModel::IbmDdysScsi.label(), "scsi");
         assert_eq!(DriveModel::WdWd200bbIde.label(), "ide");
+        assert_eq!(DriveModel::ConsumerTlcSsd.label(), "tlc");
+        assert_eq!(DriveModel::DatacenterSsd.label(), "dcssd");
+    }
+
+    #[test]
+    fn ssd_params_are_sane() {
+        for m in [DriveModel::ConsumerTlcSsd, DriveModel::DatacenterSsd] {
+            assert!(m.is_ssd());
+            assert!(!m.supports_tcq(), "SSD queues are not SCSI TCQ");
+            let p = m.ssd_params().unwrap();
+            assert!(p.channels >= 1 && p.dies_per_channel >= 1);
+            assert!(p.overprovision > 0.0 && p.overprovision < 1.0);
+            assert!(p.program_us > p.read_us, "program slower than read");
+            assert!(p.erase_ms * 1e3 > p.program_us, "erase slower than program");
+            assert_eq!(m.total_sectors(), p.total_sectors);
+        }
+        // The datacenter part is the faster, deeper-OP device.
+        let tlc = DriveModel::ConsumerTlcSsd.ssd_params().unwrap();
+        let dc = DriveModel::DatacenterSsd.ssd_params().unwrap();
+        assert!(dc.channels * dc.dies_per_channel > tlc.channels * tlc.dies_per_channel);
+        assert!(dc.overprovision > tlc.overprovision);
+        assert!(dc.program_us < tlc.program_us);
+    }
+
+    #[test]
+    fn hdds_have_no_ssd_params() {
+        for m in [DriveModel::IbmDdysScsi, DriveModel::WdWd200bbIde] {
+            assert!(!m.is_ssd());
+            assert!(m.ssd_params().is_none());
+            assert_eq!(m.total_sectors(), m.geometry().total_sectors());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ssd crate")]
+    fn ssd_preset_refuses_mechanical_build() {
+        let _ = DriveModel::ConsumerTlcSsd.build(SimRng::new(1));
     }
 }

@@ -25,7 +25,9 @@
 //! Only the *final* completion of each request (success or EIO) leaves
 //! this layer; callers never see a request twice.
 
-use diskmodel::{Completion, Disk, DiskErrorKind, DiskOutcome, DiskRequest, Lba, TcqConfig};
+use diskmodel::{
+    Completion, DeviceModel, Disk, DiskErrorKind, DiskOutcome, DiskRequest, Lba, TcqConfig,
+};
 use iosched::{AnyScheduler, IoScheduler, QueuedRequest, SchedulerKind};
 use simcore::{SimDuration, SimTime};
 use std::collections::HashMap;
@@ -60,10 +62,10 @@ pub struct BioStats {
     pub max_attempts: u32,
 }
 
-/// Kernel-side block I/O layer wrapping a drive.
+/// Kernel-side block I/O layer wrapping a storage device.
 #[derive(Debug)]
 pub struct BioLayer {
-    disk: Disk,
+    device: Box<dyn DeviceModel>,
     sched: AnyScheduler,
     /// Kernel's idea of the head position: end of the last dispatched
     /// request (the kernel cannot see the drive's true state).
@@ -80,8 +82,13 @@ pub struct BioLayer {
 impl BioLayer {
     /// Wraps `disk` with a kernel scheduler of the given kind.
     pub fn new(disk: Disk, kind: SchedulerKind) -> Self {
+        Self::with_device(Box::new(disk), kind)
+    }
+
+    /// Wraps any storage device with a kernel scheduler of the given kind.
+    pub fn with_device(device: Box<dyn DeviceModel>, kind: SchedulerKind) -> Self {
         BioLayer {
-            disk,
+            device,
             sched: kind.build(),
             head: 0,
             next_seq: 0,
@@ -92,14 +99,41 @@ impl BioLayer {
         }
     }
 
-    /// Access to the underlying drive.
-    pub fn disk(&self) -> &Disk {
-        &self.disk
+    /// Access to the underlying device.
+    pub fn device(&self) -> &dyn DeviceModel {
+        self.device.as_ref()
     }
 
-    /// Mutable access to the underlying drive (cache flushes, TCQ toggles).
+    /// Mutable access to the underlying device (cache flushes, fault
+    /// models, TCQ toggles).
+    pub fn device_mut(&mut self) -> &mut dyn DeviceModel {
+        self.device.as_mut()
+    }
+
+    /// Access to the underlying spinning drive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device behind this layer is not a [`Disk`] — HDD-only
+    /// probes (geometry, TCQ state) should stay with HDD rigs; generic
+    /// code uses [`BioLayer::device`].
+    pub fn disk(&self) -> &Disk {
+        self.device
+            .as_any()
+            .downcast_ref::<Disk>()
+            .expect("device behind this bio layer is not a spinning disk")
+    }
+
+    /// Mutable access to the underlying spinning drive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device behind this layer is not a [`Disk`].
     pub fn disk_mut(&mut self) -> &mut Disk {
-        &mut self.disk
+        self.device
+            .as_any_mut()
+            .downcast_mut::<Disk>()
+            .expect("device behind this bio layer is not a spinning disk")
     }
 
     /// Switches the kernel scheduling algorithm at runtime.
@@ -112,9 +146,10 @@ impl BioLayer {
         self.sched.kind()
     }
 
-    /// Reconfigures the drive's tagged command queue.
+    /// Reconfigures the drive's tagged command queue (no-op on devices
+    /// without a host-visible TCQ knob).
     pub fn set_tcq(&mut self, tcq: TcqConfig) {
-        self.disk.set_tcq(tcq);
+        self.device.set_tcq(tcq);
     }
 
     /// Requests queued in the kernel (not yet in the drive).
@@ -153,7 +188,7 @@ impl BioLayer {
     /// or a deferred retry coming due.
     pub fn next_event(&self) -> Option<SimTime> {
         let retry = self.deferred.iter().map(|(due, _)| *due).min();
-        match (self.disk.next_completion(), retry) {
+        match (self.device.next_completion(), retry) {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
         }
@@ -166,7 +201,7 @@ impl BioLayer {
         let mut out = Vec::new();
         loop {
             let released = self.release_due_retries(now);
-            let done = self.disk.advance(now);
+            let done = self.device.advance(now);
             if done.is_empty() && !released {
                 break;
             }
@@ -239,7 +274,7 @@ impl BioLayer {
                         self.stats.hard_errors += 1;
                         self.stats.eio += 1;
                         self.stats.remaps += 1;
-                        self.disk.remap(c.request.lba, c.request.sectors);
+                        self.device.remap(c.request.lba, c.request.sectors);
                         self.attempts.remove(&c.request.tag);
                         out.push(c);
                     }
@@ -249,12 +284,12 @@ impl BioLayer {
     }
 
     fn kick(&mut self, now: SimTime) {
-        while self.disk.can_accept() && !self.sched.is_empty() {
+        while self.device.can_accept() && !self.sched.is_empty() {
             let Some(qr) = self.sched.dispatch(self.head) else {
                 break;
             };
             self.head = qr.req.end();
-            self.disk.submit(now, qr.req);
+            self.device.submit(now, qr.req);
             self.dispatched += 1;
         }
     }

@@ -15,7 +15,7 @@
 
 use std::collections::HashMap;
 
-use diskmodel::{Disk, DiskRequest, TcqConfig};
+use diskmodel::{DeviceModel, Disk, DiskRequest, TcqConfig};
 use iosched::SchedulerKind;
 use simcore::{SimRng, SimTime};
 
@@ -150,8 +150,18 @@ impl FileSystem {
         sched: SchedulerKind,
         config: FsConfig,
     ) -> Self {
+        Self::format_on(Box::new(disk), partition, sched, config)
+    }
+
+    /// Formats a file system on `partition` of any storage device.
+    pub fn format_on(
+        device: Box<dyn DeviceModel>,
+        partition: diskmodel::Partition,
+        sched: SchedulerKind,
+        config: FsConfig,
+    ) -> Self {
         FileSystem {
-            bio: BioLayer::new(disk, sched),
+            bio: BioLayer::with_device(device, sched),
             alloc: Allocator::new(partition, config.alloc),
             inodes: HashMap::new(),
             cache: BufferCache::new(config.cache_blocks),
@@ -219,6 +229,18 @@ impl FileSystem {
         self.bio.set_scheduler(kind);
     }
 
+    /// The current tuning parameters.
+    pub fn config(&self) -> FsConfig {
+        self.config
+    }
+
+    /// Adjusts the read-ahead window ceiling at runtime (the `autotune`
+    /// controller's server-side knob). In-flight read-ahead is unaffected;
+    /// the new ceiling applies from the next read.
+    pub fn set_max_readahead_blocks(&mut self, blocks: u64) {
+        self.config.max_readahead_blocks = blocks;
+    }
+
     /// Reconfigures the drive's tagged command queue.
     pub fn set_tcq(&mut self, tcq: TcqConfig) {
         self.bio.set_tcq(tcq);
@@ -228,7 +250,7 @@ impl FileSystem {
     /// cache-defeating discipline between benchmark runs).
     pub fn flush_caches(&mut self) {
         self.cache.flush();
-        self.bio.disk_mut().flush_cache();
+        self.bio.device_mut().flush_cache();
     }
 
     /// Starts a read of `bytes` at byte `offset` of `ino`.

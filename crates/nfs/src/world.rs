@@ -942,12 +942,12 @@ impl NfsWorld {
     /// drive. Fault kinds and plans live outside this crate — anything
     /// implementing [`diskmodel::FaultModel`] plugs in here.
     pub fn set_disk_fault_model(&mut self, model: Option<Box<dyn diskmodel::FaultModel>>) {
-        self.server.fs.bio_mut().disk_mut().set_fault_model(model);
+        self.server.fs.bio_mut().device_mut().set_fault_model(model);
     }
 
     /// Whether a disk fault model is currently installed on the server.
     pub fn disk_fault_active(&self) -> bool {
-        self.server.fs.bio().disk().fault_model_active()
+        self.server.fs.bio().device().fault_model_active()
     }
 
     /// Block-I/O retry / error-propagation counters for the server's disk.
@@ -956,8 +956,53 @@ impl NfsWorld {
     }
 
     /// Raw drive counters (service-time breakdown, media errors, remaps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server's device is not a spinning disk; generic code
+    /// uses [`NfsWorld::device_report`].
     pub fn disk_stats(&self) -> diskmodel::DiskStats {
         self.server.fs.bio().disk().stats()
+    }
+
+    /// Device-agnostic statistics for the server's storage device (HDD
+    /// seek/rotation or SSD GC-stall/die-wait breakdowns alike).
+    pub fn device_report(&self) -> diskmodel::DeviceReport {
+        self.server.fs.bio().device().report()
+    }
+
+    // ------------------------------------------------------------------
+    // Runtime tuning knobs (the autotune controller's actuation surface).
+    // ------------------------------------------------------------------
+
+    /// Switches the server's kernel disk scheduler at runtime.
+    pub fn set_scheduler(&mut self, kind: iosched::SchedulerKind) {
+        self.server.fs.set_scheduler(kind);
+    }
+
+    /// The server's active kernel disk scheduler.
+    pub fn scheduler_kind(&self) -> iosched::SchedulerKind {
+        self.server.fs.bio().scheduler_kind()
+    }
+
+    /// Adjusts the server file system's read-ahead window ceiling at
+    /// runtime (blocks).
+    pub fn set_server_readahead_blocks(&mut self, blocks: u64) {
+        self.server.fs.set_max_readahead_blocks(blocks);
+    }
+
+    /// The server file system's current read-ahead window ceiling.
+    pub fn server_readahead_blocks(&self) -> u64 {
+        self.server.fs.config().max_readahead_blocks
+    }
+
+    /// Rebuilds the server's `nfsheur` table with a new geometry — the
+    /// runtime analogue of patching `NFS_HEURISTIC_SLOTS` and rebooting.
+    /// As on a real reboot, accumulated table state (entries and their
+    /// hit/miss/ejection counters) is lost; per-handle sequentiality is
+    /// re-learned from the next READ on.
+    pub fn resize_heur(&mut self, config: readahead_core::NfsHeurConfig) {
+        self.server.heur = NfsHeur::new(config);
     }
 
     /// The LBA span holding everything allocated on the server's file

@@ -75,7 +75,7 @@ use diskfault::{FaultPlan, FaultState};
 use netsim::{LinkProfile, LinkStats, TransportKind};
 use nfsproto::{FileHandle, StableHow};
 use nfssim::{BlockState, ClientHostConfig, ClientStats, NfsWorld, OpId, OpOutcome, WorldConfig};
-use simcore::{SimDuration, SimRng, SimTime};
+use simcore::{LogHist, SimDuration, SimRng, SimTime};
 use testbed::Rig;
 
 /// Batches per run with the default options: seven fault batches (one per
@@ -218,6 +218,12 @@ pub struct RunOptions {
     /// batch into a mid-gather server crash (dirty pool lost, write
     /// verifier changed). Adds the crash-consistency oracle set.
     pub write_loss: bool,
+    /// Record every operation's latency into a [`LogHist`] alongside an
+    /// exact list, and run the latency-histogram oracle at end of run:
+    /// counts reconcile, quantiles are monotone, the streaming p50/p99/
+    /// p99.9 agree with the exact order statistics within the histogram's
+    /// documented relative-error bound, and the tail is inside the run.
+    pub hist_oracle: bool,
 }
 
 impl Default for RunOptions {
@@ -227,6 +233,7 @@ impl Default for RunOptions {
             clients: 1,
             disk_faults: false,
             write_loss: false,
+            hist_oracle: false,
         }
     }
 }
@@ -278,6 +285,12 @@ pub struct RunReport {
     pub blocks_rewritten: u64,
     /// Server restarts injected (each one changes the write verifier).
     pub restarts: u64,
+    /// Streaming p99 operation latency, nanoseconds (0 unless the run
+    /// collected the latency histogram — [`RunOptions::hist_oracle`]).
+    pub lat_p99_ns: u64,
+    /// Streaming p99.9 operation latency, nanoseconds (0 unless the run
+    /// collected the latency histogram).
+    pub lat_p999_ns: u64,
     /// Order-sensitive hash of every completion and the final counters;
     /// equal across runs of the same seed iff the world is deterministic.
     pub fingerprint: u64,
@@ -481,6 +494,9 @@ struct IssueRec {
 struct Books {
     issued: BTreeMap<OpId, IssueRec>,
     completed: HashSet<OpId>,
+    /// Latency collection for the hist oracle; `None` when the oracle is
+    /// off, so default runs do no extra work and no extra allocation.
+    lat: Option<(LogHist, Vec<u64>)>,
     predicted_demand: u64,
     ok_ops: u64,
     timed_out_ops: u64,
@@ -567,6 +583,11 @@ where
                         d.id, d.done_at, rec.at
                     ),
                 ));
+            }
+            if let Some((hist, exact)) = bk.lat.as_mut() {
+                let lat = d.done_at.since(rec.at).as_nanos();
+                hist.add(lat);
+                exact.push(lat);
             }
             let outcome_code = match d.outcome {
                 OpOutcome::Ok => {
@@ -832,6 +853,7 @@ pub fn run_plan(plan: &SimPlan, opts: RunOptions) -> Result<RunReport, OracleFai
     let mut bk = Books {
         issued: BTreeMap::new(),
         completed: HashSet::new(),
+        lat: opts.hist_oracle.then(|| (LogHist::new(), Vec::new())),
         predicted_demand: 0,
         ok_ops: 0,
         timed_out_ops: 0,
@@ -1567,6 +1589,79 @@ pub fn run_plan(plan: &SimPlan, opts: RunOptions) -> Result<RunReport, OracleFai
         }
     }
 
+    // ------------------------------------------------------------------
+    // Latency-histogram oracle: the streaming LogHist the tail-latency
+    // instrumentation is built on must agree with ground truth.
+    // ------------------------------------------------------------------
+    let mut lat_p99_ns = 0;
+    let mut lat_p999_ns = 0;
+    if let Some((hist, mut exact)) = bk.lat.take() {
+        if hist.total() != exact.len() as u64 {
+            return Err(fail(
+                "latency-histogram",
+                format!(
+                    "histogram count {} != completions recorded {}",
+                    hist.total(),
+                    exact.len()
+                ),
+            ));
+        }
+        if !exact.is_empty() {
+            exact.sort_unstable();
+            if hist.max() != exact.last().copied() || hist.min() != exact.first().copied() {
+                return Err(fail(
+                    "latency-histogram",
+                    format!(
+                        "extremes drifted: hist {:?}..{:?} vs exact {}..{}",
+                        hist.min(),
+                        hist.max(),
+                        exact.first().expect("non-empty"),
+                        exact.last().expect("non-empty")
+                    ),
+                ));
+            }
+            // Monotone quantiles, each within the documented relative
+            // error (1/64 bucket width; allow 1/32 plus a nanosecond of
+            // slack for midpoint reporting) of the exact order statistic.
+            let mut prev = 0u64;
+            for q in [0.50, 0.90, 0.99, 0.999] {
+                let h = hist.quantile(q).expect("non-empty");
+                if h < prev {
+                    return Err(fail(
+                        "latency-histogram",
+                        format!("quantiles not monotone at p{}", q * 100.0),
+                    ));
+                }
+                prev = h;
+                let rank = (q * (exact.len() - 1) as f64).floor() as usize;
+                let e = exact[rank];
+                let tol = e / 32 + 1;
+                if h.abs_diff(e) > tol {
+                    return Err(fail(
+                        "latency-histogram",
+                        format!(
+                            "p{} drifted: streaming {h} vs exact {e} (tol {tol})",
+                            q * 100.0
+                        ),
+                    ));
+                }
+            }
+            let p999 = hist.quantile(0.999).expect("non-empty");
+            if p999 > bk.last_now.as_nanos() {
+                return Err(fail(
+                    "latency-histogram",
+                    format!(
+                        "p99.9 {} ns exceeds the whole run ({} ns)",
+                        p999,
+                        bk.last_now.as_nanos()
+                    ),
+                ));
+            }
+            lat_p99_ns = hist.quantile(0.99).expect("non-empty");
+            lat_p999_ns = p999;
+        }
+    }
+
     Ok(RunReport {
         seed,
         transport: plan.transport,
@@ -1590,6 +1685,8 @@ pub fn run_plan(plan: &SimPlan, opts: RunOptions) -> Result<RunReport, OracleFai
         verifier_mismatches: c.verifier_mismatches,
         blocks_rewritten: c.blocks_rewritten,
         restarts: s.restarts,
+        lat_p99_ns,
+        lat_p999_ns,
         fingerprint: bk.fp,
         sim_nanos: bk.last_now.as_nanos(),
     })

@@ -11,6 +11,7 @@
 //! cargo run -p simtest -- --seeds 50 --disk-faults   # + disk faults
 //! cargo run -p simtest -- --seeds 50 --transport tcp # force TCP (+blackout)
 //! cargo run -p simtest -- --seeds 50 --write-loss    # async writes + crashes
+//! cargo run -p simtest -- --seeds 50 --hist-oracle   # + latency-hist oracle
 //! ```
 //!
 //! Every seed is run twice (the determinism oracle compares fingerprints).
@@ -63,6 +64,7 @@ fn main() -> ExitCode {
     let overlap = args.iter().any(|a| a == "--overlap");
     let disk_faults = args.iter().any(|a| a == "--disk-faults");
     let write_loss = args.iter().any(|a| a == "--write-loss");
+    let hist_oracle = args.iter().any(|a| a == "--hist-oracle");
     let forced = parse_transport(&args);
 
     let seeds: Vec<u64> = match single {
@@ -73,6 +75,7 @@ fn main() -> ExitCode {
         clients,
         disk_faults,
         write_loss,
+        hist_oracle,
         ..RunOptions::default()
     };
 
@@ -107,8 +110,17 @@ fn main() -> ExitCode {
                 } else {
                     String::new()
                 };
+                let tail = if hist_oracle {
+                    format!(
+                        " p99={:>7.2}ms p999={:>7.2}ms",
+                        r.lat_p99_ns as f64 / 1e6,
+                        r.lat_p999_ns as f64 / 1e6
+                    )
+                } else {
+                    String::new()
+                };
                 println!(
-                    "seed {:>6} [{:?}] ops={:<4} ok={:<4} timeout={:<3} eio={:<3} retx={:<4} rpc_to={:<3}{} sim={:>8.1}s fp={:#018x} faults={}",
+                    "seed {:>6} [{:?}] ops={:<4} ok={:<4} timeout={:<3} eio={:<3} retx={:<4} rpc_to={:<3}{}{} sim={:>8.1}s fp={:#018x} faults={}",
                     r.seed,
                     r.transport,
                     r.ops,
@@ -118,6 +130,7 @@ fn main() -> ExitCode {
                     r.retransmits,
                     r.rpc_timeouts,
                     crash,
+                    tail,
                     r.sim_nanos as f64 / 1e9,
                     r.fingerprint,
                     faults.join(",")
@@ -131,11 +144,12 @@ fn main() -> ExitCode {
     }
     let labels: Vec<&str> = kinds_seen.iter().map(|k| k.label()).collect();
     println!(
-        "swept {} seed(s) [clients={clients}{}{}{}{}]: {} failed, {} ops, {} timed out{}, fault kinds exercised: {}",
+        "swept {} seed(s) [clients={clients}{}{}{}{}{}]: {} failed, {} ops, {} timed out{}, fault kinds exercised: {}",
         seeds.len(),
         if overlap { ", overlap" } else { "" },
         if disk_faults { ", disk-faults" } else { "" },
         if write_loss { ", write-loss" } else { "" },
+        if hist_oracle { ", hist-oracle" } else { "" },
         match forced {
             Some(TransportKind::Tcp) => ", transport=tcp",
             Some(TransportKind::Udp) => ", transport=udp",

@@ -23,7 +23,8 @@ pub use mixed::{run_mixed, MixRatios, MixedResult};
 pub use nfs::NfsBench;
 pub use replay::{replay, ReplayResult};
 pub use report::{
-    render_disk_line, render_endpoint_line, render_heur_line, render_tcp_line, Figure, Series,
+    render_device_line, render_disk_line, render_endpoint_line, render_heur_line, render_tcp_line,
+    Figure, Series,
 };
 pub use rig::Rig;
 pub use stride::{stride_order, StrideBench};

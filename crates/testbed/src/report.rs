@@ -1,7 +1,7 @@
 //! Result containers and plain-text rendering for the regenerated
 //! figures and tables.
 
-use diskmodel::DiskStats;
+use diskmodel::{DeviceReport, DiskStats};
 use netsim::TcpStats;
 use nfssim::ServerStats;
 use simcore::{LogHist, Summary};
@@ -98,13 +98,15 @@ pub fn render_heur_line(stats: &ServerStats) -> String {
     )
 }
 
-/// Renders the drive's per-op service-time breakdown as a one-line
-/// summary: where the busy time went (seek / rotation / transfer /
-/// fault stall, as percentages of busy), plus media errors and remapped
-/// sectors when the drive was degraded. Buckets need not sum to 100% —
+/// Renders any storage device's per-op service-time breakdown as a
+/// one-line summary: where the busy time went, as percentages of busy,
+/// with the device's own vocabulary — seek/rotation for a spinning
+/// drive, GC-stall/die-wait for flash — plus media errors and remapped
+/// sectors when the device was degraded, and any nonzero device gauges
+/// (seeks, GC runs, die conflicts...). Buckets need not sum to 100% —
 /// command overhead and write settle are not bucketed.
-pub fn render_disk_line(stats: &DiskStats) -> String {
-    let busy = stats.busy.as_secs_f64();
+pub fn render_device_line(report: &DeviceReport) -> String {
+    let busy = report.busy.as_secs_f64();
     let pct = |d: simcore::SimDuration| {
         if busy == 0.0 {
             0.0
@@ -112,23 +114,35 @@ pub fn render_disk_line(stats: &DiskStats) -> String {
             d.as_secs_f64() / busy * 100.0
         }
     };
-    let b = stats.breakdown;
+    let buckets: Vec<String> = report
+        .buckets
+        .iter()
+        .map(|(name, d)| format!("{name} {:.1}%", pct(*d)))
+        .collect();
     let mut line = format!(
-        "disk: {} cmds, busy {:.3}s (seek {:.1}%, rotation {:.1}%, transfer {:.1}%, fault stall {:.1}%)",
-        stats.reads + stats.writes,
-        busy,
-        pct(b.seek),
-        pct(b.rotation),
-        pct(b.transfer),
-        pct(b.fault_stall),
+        "{}: {} cmds, busy {busy:.3}s ({})",
+        report.kind,
+        report.commands(),
+        buckets.join(", "),
     );
-    if stats.media_errors > 0 || stats.remapped_sectors > 0 {
+    if report.media_errors > 0 || report.remapped_sectors > 0 {
         line.push_str(&format!(
             ", {} media errors, {} sectors remapped",
-            stats.media_errors, stats.remapped_sectors
+            report.media_errors, report.remapped_sectors
         ));
     }
+    for (name, v) in &report.gauges {
+        if *v > 0 {
+            line.push_str(&format!(", {name} {v}"));
+        }
+    }
     line
+}
+
+/// Renders a spinning drive's breakdown line. Kept as the HDD-typed
+/// entry point; delegates to the device-agnostic [`render_device_line`].
+pub fn render_disk_line(stats: &DiskStats) -> String {
+    render_device_line(&stats.report())
 }
 
 /// Renders one operation class of a real-socket endpoint replay as a
@@ -260,6 +274,36 @@ mod tests {
             !render_disk_line(&DiskStats::default()).contains("NaN"),
             "idle drive must not divide by zero"
         );
+    }
+
+    #[test]
+    fn device_line_speaks_the_device_vocabulary() {
+        use simcore::SimDuration;
+        let flash = DeviceReport {
+            kind: "ssd",
+            reads: 900,
+            writes: 100,
+            cache_hits: 0,
+            busy: SimDuration::from_millis(1_000),
+            media_errors: 0,
+            remapped_sectors: 0,
+            buckets: vec![
+                ("flash read", SimDuration::from_millis(400)),
+                ("gc stall", SimDuration::from_millis(250)),
+                ("die wait", SimDuration::from_millis(100)),
+            ],
+            gauges: vec![("gc runs", 7), ("die conflicts", 0)],
+        };
+        let line = render_device_line(&flash);
+        assert!(line.starts_with("ssd: 1000 cmds"), "{line}");
+        assert!(line.contains("gc stall 25.0%"), "{line}");
+        assert!(line.contains("die wait 10.0%"), "{line}");
+        assert!(line.contains("gc runs 7"), "{line}");
+        assert!(
+            !line.contains("die conflicts"),
+            "zero gauges stay quiet: {line}"
+        );
+        assert!(!line.contains("seek"), "no HDD vocabulary on flash: {line}");
     }
 
     #[test]

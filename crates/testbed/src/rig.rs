@@ -44,6 +44,27 @@ impl Rig {
         }
     }
 
+    /// `tlc<partition>`: the consumer TLC flash drive. (Queueing lives in
+    /// the SSD controller, not SCSI TCQ; `tagged_queues` is ignored.)
+    pub fn ssd(partition: usize) -> Self {
+        Rig {
+            drive: DriveModel::ConsumerTlcSsd,
+            partition,
+            tagged_queues: false,
+            scheduler: SchedulerKind::Elevator,
+        }
+    }
+
+    /// `dcssd<partition>`: the datacenter flash drive.
+    pub fn dcssd(partition: usize) -> Self {
+        Rig {
+            drive: DriveModel::DatacenterSsd,
+            partition,
+            tagged_queues: false,
+            scheduler: SchedulerKind::Elevator,
+        }
+    }
+
     /// Returns the rig with tagged queueing disabled.
     pub fn no_tags(mut self) -> Self {
         self.tagged_queues = false;
@@ -66,6 +87,17 @@ impl Rig {
     /// The server machine has 256 MB of RAM, most of it buffer cache —
     /// which the benchmark's 1.5 GB working set defeats by design.
     pub fn build_fs(&self, seed: u64) -> FileSystem {
+        let rng = SimRng::from_seed_and_stream(seed, 0xD15C);
+        if let Some(params) = self.drive.ssd_params() {
+            let device = ssd::Ssd::new(params, rng);
+            let part = PartitionTable::quarters_of(params.total_sectors).get(self.partition);
+            return FileSystem::format_on(
+                Box::new(device),
+                part,
+                self.scheduler,
+                FsConfig::default(),
+            );
+        }
         let tcq = if self.tagged_queues && self.drive.supports_tcq() {
             self.drive.default_tcq()
         } else {
@@ -77,7 +109,7 @@ impl Rig {
             self.drive.mech(),
             tcq,
             self.drive.cache(),
-            SimRng::from_seed_and_stream(seed, 0xD15C),
+            rng,
         );
         let part = PartitionTable::quarters(disk.geometry()).get(self.partition);
         FileSystem::format(disk, part, self.scheduler, FsConfig::default())
@@ -112,6 +144,18 @@ mod tests {
         };
         let fs = rig.build_fs(1);
         assert!(!fs.bio().disk().tcq().enabled, "WD200BB has no TCQ");
+    }
+
+    #[test]
+    fn ssd_rigs_build_flash_backed_filesystems() {
+        for rig in [Rig::ssd(1), Rig::dcssd(2)] {
+            let fs = rig.build_fs(1);
+            let report = fs.bio().device().report();
+            assert_eq!(report.kind, "ssd", "{}", rig.label());
+            assert!(report.buckets.iter().any(|(n, _)| *n == "gc stall"));
+        }
+        assert_eq!(Rig::ssd(1).label(), "tlc1");
+        assert_eq!(Rig::dcssd(2).label(), "dcssd2");
     }
 
     #[test]
