@@ -42,7 +42,9 @@ fn bench(out: &mut Vec<BenchResult>, name: &str, iters: u64, mut f: impl FnMut()
 
 /// Every e2e case is gated by `--check`; the simulator has no cold paths
 /// worth exempting here.
-const GATED_PREFIXES: &[&str] = &["simulate", "cluster", "degraded", "ssd", "autotune"];
+const GATED_PREFIXES: &[&str] = &[
+    "simulate", "cluster", "degraded", "ssd", "autotune", "metadata", "attr",
+];
 const GATE_FACTOR: f64 = 3.0;
 
 fn main() {
@@ -174,6 +176,47 @@ fn main() {
             Some(netsim::TransportKind::Tcp),
         );
         black_box(simtest::run_plan(&p, simtest::RunOptions::default()).expect("oracles hold"));
+    });
+
+    // Metadata end-to-end: the build-tree walk replayed through the full
+    // installation with the attribute cache armed — the cost of the
+    // READDIR/LOOKUP/GETATTR pipeline plus the cache's hit/revalidation
+    // bookkeeping on the hot path.
+    {
+        use nfstrace::tree::{build_tree, tree_walk, BuildSpec};
+        let spec = BuildSpec {
+            depth: 2,
+            dirs_per_dir: 3,
+            files_per_dir: 4,
+            clients: 8,
+            inter_arrival_us: 4_000.0,
+            ..BuildSpec::default()
+        };
+        let mut rng = simcore::SimRng::new(1);
+        let tree = build_tree(&spec, &mut rng);
+        let walk = tree_walk(&tree, &spec, &mut rng);
+        let cfg = WorldConfig {
+            attr_timeo_min: simcore::SimDuration::from_secs(3),
+            attr_timeo_max: simcore::SimDuration::from_secs(60),
+            ..WorldConfig::default()
+        };
+        bench(out, "metadata_walk/8_walkers_armed_cache", iters, || {
+            let r = testbed::replay(Rig::ide(1), cfg, &walk, 1);
+            assert!(r.attr_cache_hits > 0, "the armed cache must fire");
+            black_box(r.ops);
+        });
+    }
+
+    // The simtest meta-storm mode end-to-end: the full fault schedule
+    // under the metadata-heavy workload with the attribute cache armed —
+    // the cost of the storm mix plus the attrcache-books oracle set.
+    bench(out, "attr_storm/simtest_seed0", iters, || {
+        let p = simtest::plan(0, simtest::DEFAULT_BATCHES);
+        let opts = simtest::RunOptions {
+            meta_storm: true,
+            ..simtest::RunOptions::default()
+        };
+        black_box(simtest::run_plan(&p, opts).expect("oracles hold"));
     });
 
     // SSD end-to-end: the same NFS pipeline with the flash backend

@@ -52,6 +52,23 @@ pub struct WorldConfig {
     /// Client write-behind ceiling in blocks; above it dirty runs are
     /// pushed in process context even when every nfsiod is busy.
     pub client_dirty_max_blocks: usize,
+    /// Attribute-cache floor (`acregmin`): a freshly fetched attribute is
+    /// trusted at least this long. [`SimDuration::ZERO`] (the default)
+    /// disables the attribute cache entirely — every GETATTR goes to the
+    /// wire, exactly the pre-cache behaviour.
+    pub attr_timeo_min: SimDuration,
+    /// Attribute-cache ceiling (`acregmax`): the trust window doubles on
+    /// each revalidation that finds the file unchanged, saturating here.
+    pub attr_timeo_max: SimDuration,
+}
+
+impl WorldConfig {
+    /// Whether the client attribute cache is armed. Both timeouts must be
+    /// non-zero; the all-zero default keeps the cache off and the world
+    /// bit-identical to the pre-cache path.
+    pub fn attr_cache_enabled(&self) -> bool {
+        self.attr_timeo_min > SimDuration::ZERO && self.attr_timeo_max > SimDuration::ZERO
+    }
 }
 
 impl Default for WorldConfig {
@@ -73,6 +90,8 @@ impl Default for WorldConfig {
             gather_window: SimDuration::from_millis(30),
             server_dirty_max_blocks: 512,
             client_dirty_max_blocks: 64,
+            attr_timeo_min: SimDuration::ZERO,
+            attr_timeo_max: SimDuration::ZERO,
         }
     }
 }
@@ -173,6 +192,22 @@ mod tests {
         // async machinery only arms when a config opts into UNSTABLE.
         assert_eq!(c.stable_how, StableHow::FileSync);
         assert_eq!(c.gather_window, SimDuration::from_millis(30));
+        // The attribute cache ships disarmed: both timeouts zero, so the
+        // default world stays bit-identical to the pre-cache path.
+        assert_eq!(c.attr_timeo_min, SimDuration::ZERO);
+        assert_eq!(c.attr_timeo_max, SimDuration::ZERO);
+        assert!(!c.attr_cache_enabled());
+    }
+
+    #[test]
+    fn attr_cache_arms_only_with_both_timeouts() {
+        let mut c = WorldConfig {
+            attr_timeo_min: SimDuration::from_secs(3),
+            ..Default::default()
+        };
+        assert!(!c.attr_cache_enabled());
+        c.attr_timeo_max = SimDuration::from_secs(60);
+        assert!(c.attr_cache_enabled());
     }
 
     #[test]

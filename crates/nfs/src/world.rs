@@ -59,6 +59,14 @@ const FLUSH_KEY_BIT: u64 = 1 << 63;
 /// [`NfsWorld::take_external_replies`] instead of a simulated transport.
 const EXT_KEY_BIT: u64 = 1 << 62;
 
+/// Modeled wire bytes per plain READDIR entry: fileid + padded name +
+/// cookie (RFC 1813 `entry3`; names average a dozen bytes padded to 4).
+const READDIR_ENTRY_BYTES: u32 = 32;
+
+/// Additional wire bytes per READDIRPLUS entry: the post-op attributes
+/// and post-op file handle (`entryplus3` over `entry3`).
+const READDIRPLUS_EXTRA_BYTES: u32 = 44;
+
 /// Packs a client index and an RPC xid into one event/FS routing key.
 /// Client 0 keys are numerically equal to the bare xid, which keeps the
 /// single-client world's disk-event tags identical to the historical ones.
@@ -250,6 +258,12 @@ pub struct ServerStats {
     pub dirty_blocks_lost: u64,
     /// Server restarts (each one changes the write verifier).
     pub restarts: u64,
+    /// GETATTR calls served.
+    pub getattrs: u64,
+    /// LOOKUP calls served.
+    pub lookups: u64,
+    /// READDIR and READDIRPLUS calls served.
+    pub readdirs: u64,
 }
 
 impl ServerStats {
@@ -307,6 +321,27 @@ pub struct ClientStats {
     /// TCP segment-engine books for the server→client stream (all zero
     /// on UDP mounts).
     pub tcp_s2c: TcpStats,
+    /// GETATTR RPCs sent (first transmissions: cache misses,
+    /// revalidations, and — with the cache off — every getattr op).
+    pub getattr_rpcs: u64,
+    /// LOOKUP RPCs sent (first transmissions).
+    pub lookup_rpcs: u64,
+    /// READDIR/READDIRPLUS RPCs sent (first transmissions).
+    pub readdir_rpcs: u64,
+    /// getattr() ops answered from the attribute cache — no RPC. Always
+    /// zero with the cache off.
+    pub attr_cache_hits: u64,
+    /// getattr() ops that found no cache entry and fetched over the wire.
+    /// Always zero with the cache off.
+    pub attr_cache_misses: u64,
+    /// GETATTRs sent to revalidate an expired entry or at open()
+    /// (close-to-open consistency). Always zero with the cache off.
+    pub attr_revalidations: u64,
+    /// Revalidations whose reply showed the server's attributes had
+    /// changed under a live entry — the staleness window closing.
+    pub attr_stale_detected: u64,
+    /// Attribute entries dropped by this client's own writes and closes.
+    pub attr_invalidations: u64,
 }
 
 /// Per-client contention at the shared server, attributable by client id.
@@ -372,6 +407,37 @@ struct ClientFile {
     next_offset: u64,
     seqcount: u32,
     submit_counter: u64,
+}
+
+/// One client-side cached attribute record (NFS `acregmin/acregmax`
+/// model). The entry is trusted until `valid_until`; a getattr after that
+/// revalidates over the wire, and an unchanged answer doubles `timeo`
+/// toward `attr_timeo_max` while a changed one resets it to the floor.
+#[derive(Debug, Clone, Copy)]
+struct AttrEntry {
+    /// Server attribute version (`ServerHost::attr_seq`) the entry was
+    /// fetched under; a mismatch at revalidation is detected staleness.
+    version: u64,
+    /// Trusted strictly before this instant.
+    valid_until: SimTime,
+    /// Current adaptive timeout.
+    timeo: SimDuration,
+}
+
+/// Caller-declared shape of an outstanding READDIR(PLUS) chunk, keyed by
+/// xid. The simulated namespace lives in the workload layer (directories
+/// are ordinary handles), so the caller passes the chunk's entry count and
+/// children down and the server's reply builder reads them from here —
+/// the same peek-the-client trick the READ reply uses for file sizes.
+#[derive(Debug)]
+struct ReaddirPending {
+    /// Directory entries in this chunk.
+    entries: u32,
+    /// Whether this chunk ends the directory.
+    eof: bool,
+    /// READDIRPLUS only: children whose attributes ride in the reply and
+    /// prefill the attribute cache on arrival.
+    children: Vec<FileHandle>,
 }
 
 #[derive(Debug)]
@@ -475,6 +541,11 @@ struct ClientHost {
     /// Write-behind dirty cache, by inode (async write path only; always
     /// empty on FILE_SYNC mounts).
     wb: HashMap<u64, WbFile>,
+    /// Attribute cache, by inode. Always empty with the cache disabled
+    /// (the default), so the cache-off world carries no new state.
+    attrs: HashMap<u64, AttrEntry>,
+    /// Outstanding READDIR(PLUS) chunk shapes, by xid.
+    rd_pending: HashMap<u32, ReaddirPending>,
 }
 
 impl ClientHost {
@@ -571,6 +642,11 @@ struct ServerHost {
     /// oracles: `(ino, blk)` enters on a completed FILE_SYNC write or
     /// dirty flush and never leaves (the model carries no data contents).
     durable: HashSet<(u64, u64)>,
+    /// Per-inode attribute version, bumped on every WRITE that reaches
+    /// the server. Clients compare the version their cache entry was
+    /// fetched under against this at revalidation time — the model's
+    /// stand-in for mtime/ctime comparison.
+    attr_seq: HashMap<u64, u64>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -689,6 +765,8 @@ impl NfsWorld {
                 c2s_seq: HashMap::new(),
                 s2c_seq: HashMap::new(),
                 wb: HashMap::new(),
+                attrs: HashMap::new(),
+                rd_pending: HashMap::new(),
             });
         }
         let contention = vec![ContentionStats::default(); clients.len()];
@@ -723,6 +801,7 @@ impl NfsWorld {
                 flush_errors: HashSet::new(),
                 pending_commits: HashMap::new(),
                 durable: HashSet::new(),
+                attr_seq: HashMap::new(),
             },
             ops: HashMap::new(),
             ready: Vec::new(),
@@ -766,7 +845,9 @@ impl NfsWorld {
                 + map_bytes(&cl.rpc_waiters)
                 + map_bytes(&cl.c2s_seq)
                 + map_bytes(&cl.s2c_seq)
-                + map_bytes(&cl.wb);
+                + map_bytes(&cl.wb)
+                + map_bytes(&cl.attrs)
+                + map_bytes(&cl.rd_pending);
         }
         total
     }
@@ -926,6 +1007,20 @@ impl NfsWorld {
     /// Server-side contention attributed to one client host.
     pub fn contention_stats(&self, client: usize) -> ContentionStats {
         self.contention[client]
+    }
+
+    /// Live attribute-cache entries on one client host (a gauge; always
+    /// zero with the cache disabled). Oracles use this to prove cache-off
+    /// dormancy and to bound cache-on growth.
+    pub fn attr_cache_entries(&self, client: usize) -> usize {
+        self.clients[client].attrs.len()
+    }
+
+    /// The server's attribute version for `ino` (0 if never written).
+    /// Test oracles compare this against what a client acted on to bound
+    /// staleness by the configured timeout.
+    pub fn server_attr_version(&self, ino: u64) -> u64 {
+        self.server.attr_seq.get(&ino).copied().unwrap_or(0)
     }
 
     /// The server file system (disk and cache statistics).
@@ -1372,6 +1467,7 @@ impl NfsWorld {
     ) -> OpId {
         assert!(len > 0, "zero-length write");
         let cpu = self.cpu;
+        let attr_on = self.config.attr_cache_enabled();
         let cl = &mut self.clients[client];
         let file = cl.files.get_mut(&fh.ino).expect("write to unmounted file");
         if offset + len > file.size {
@@ -1389,6 +1485,11 @@ impl NfsWorld {
         let last_blk = (offset + len - 1) / rsize;
         for blk in first_blk..=last_blk {
             cl.cache.invalidate((fh.ino, blk));
+        }
+        // A local write makes the cached attributes (size, mtime stand-in)
+        // wrong: drop the entry so the next getattr refetches.
+        if attr_on && cl.attrs.remove(&fh.ino).is_some() {
+            cl.stats.attr_invalidations += 1;
         }
         if self.config.stable_how == StableHow::Unstable {
             // Async write path: dirty the blocks and return immediately;
@@ -1467,12 +1568,18 @@ impl NfsWorld {
     /// Panics on an unknown handle.
     pub fn close_from(&mut self, client: usize, now: SimTime, fh: FileHandle, tag: u64) -> OpId {
         let cpu = self.cpu;
+        let attr_on = self.config.attr_cache_enabled();
         let cl = &mut self.clients[client];
         assert!(cl.files.contains_key(&fh.ino), "close of unmounted file");
         let id = OpId(self.next_op);
         self.next_op += 1;
         cl.stats.ops += 1;
         cl.stats.closes += 1;
+        // Close-to-open: the closing side discards its attribute trust so
+        // the next open revalidates against whatever this close flushed.
+        if attr_on && cl.attrs.remove(&fh.ino).is_some() {
+            cl.stats.attr_invalidations += 1;
+        }
         self.ops.insert(
             id,
             OpState {
@@ -1519,6 +1626,12 @@ impl NfsWorld {
 
     /// Issues a GETATTR on the given client host.
     ///
+    /// With the attribute cache armed ([`WorldConfig::attr_cache_enabled`])
+    /// a live cache entry answers locally — no RPC, no RNG draw; an
+    /// expired or missing entry goes to the wire and the reply refreshes
+    /// the cache. With the cache off (the default) every getattr is a
+    /// wire round trip, exactly the pre-cache path.
+    ///
     /// # Panics
     ///
     /// Panics on an unknown handle.
@@ -1531,6 +1644,72 @@ impl NfsWorld {
         let id = OpId(self.next_op);
         self.next_op += 1;
         self.clients[client].stats.ops += 1;
+        if self.config.attr_cache_enabled() {
+            let cl = &mut self.clients[client];
+            if cl.attrs.get(&fh.ino).is_some_and(|e| now < e.valid_until) {
+                // Served from the cache: the op completes locally.
+                cl.stats.attr_cache_hits += 1;
+                self.ops.insert(
+                    id,
+                    OpState {
+                        client,
+                        tag,
+                        issued_at: now,
+                        outstanding_blocks: 0,
+                        timed_out: None,
+                        eio: None,
+                    },
+                );
+                self.finish_op(id, now + SimDuration::from_secs_f64(cpu.client_complete));
+                return id;
+            }
+            if cl.attrs.contains_key(&fh.ino) {
+                cl.stats.attr_revalidations += 1;
+            } else {
+                cl.stats.attr_cache_misses += 1;
+            }
+        }
+        self.getattr_rpc(client, now, fh, tag, id)
+    }
+
+    /// Opens `fh` on the given client host: close-to-open consistency's
+    /// other half. The open always revalidates over the wire — a forced
+    /// GETATTR that bypasses any live cache entry, so changes another
+    /// client closed are observed before this one reads (RFC 1813's
+    /// recommended CTO discipline). With the cache armed the reply
+    /// refreshes the entry and a changed version counts as detected
+    /// staleness.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown handle.
+    pub fn open_from(&mut self, client: usize, now: SimTime, fh: FileHandle, tag: u64) -> OpId {
+        assert!(
+            self.clients[client].files.contains_key(&fh.ino),
+            "open of unmounted file"
+        );
+        let id = OpId(self.next_op);
+        self.next_op += 1;
+        let cl = &mut self.clients[client];
+        cl.stats.ops += 1;
+        if self.config.attr_cache_enabled() {
+            cl.stats.attr_revalidations += 1;
+        }
+        self.getattr_rpc(client, now, fh, tag, id)
+    }
+
+    /// The shared wire half of getattr/open: one GETATTR RPC, op completes
+    /// on the reply.
+    fn getattr_rpc(
+        &mut self,
+        client: usize,
+        now: SimTime,
+        fh: FileHandle,
+        tag: u64,
+        id: OpId,
+    ) -> OpId {
+        let cpu = self.cpu;
+        self.clients[client].stats.getattr_rpcs += 1;
         self.ops.insert(
             id,
             OpState {
@@ -1545,6 +1724,182 @@ impl NfsWorld {
         let send_at = now + self.hot[client].marshal_delay(&self.host_cfgs, cpu);
         let xid = self.issue_call(client, send_at, NfsCall::Getattr { fh });
         self.clients[client].rpc_waiters.insert(xid, id);
+        id
+    }
+
+    /// Issues a LOOKUP of a `name_len`-byte component in directory `dir`
+    /// on the given client host (a metadata round trip; the simulated
+    /// namespace lives in the workload layer, so the name itself is
+    /// synthetic).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown directory handle.
+    pub fn lookup_from(
+        &mut self,
+        client: usize,
+        now: SimTime,
+        dir: FileHandle,
+        name_len: u32,
+        tag: u64,
+    ) -> OpId {
+        let cpu = self.cpu;
+        assert!(
+            self.clients[client].files.contains_key(&dir.ino),
+            "lookup in unmounted directory"
+        );
+        let id = OpId(self.next_op);
+        self.next_op += 1;
+        let cl = &mut self.clients[client];
+        cl.stats.ops += 1;
+        cl.stats.lookup_rpcs += 1;
+        self.ops.insert(
+            id,
+            OpState {
+                client,
+                tag,
+                issued_at: now,
+                outstanding_blocks: 1,
+                timed_out: None,
+                eio: None,
+            },
+        );
+        let send_at = now + self.hot[client].marshal_delay(&self.host_cfgs, cpu);
+        let name = "x".repeat(name_len.max(1) as usize);
+        let xid = self.issue_call(client, send_at, NfsCall::Lookup { dir, name });
+        self.clients[client].rpc_waiters.insert(xid, id);
+        id
+    }
+
+    /// Issues a READDIR chunk on directory `dir`: `entries` entries
+    /// starting at resume cookie `cookie`, `eof` marking the directory's
+    /// last chunk. The caller (the workload layer, which owns the
+    /// namespace) declares the chunk shape; the server's reply carries it
+    /// back with a wire size proportional to `entries`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown directory handle.
+    #[allow(clippy::too_many_arguments)]
+    pub fn readdir_from(
+        &mut self,
+        client: usize,
+        now: SimTime,
+        dir: FileHandle,
+        cookie: u64,
+        entries: u32,
+        eof: bool,
+        tag: u64,
+    ) -> OpId {
+        self.readdir_op(
+            client,
+            now,
+            dir,
+            cookie,
+            entries,
+            eof,
+            Vec::new(),
+            false,
+            tag,
+        )
+    }
+
+    /// Issues a READDIRPLUS chunk on directory `dir`. Like
+    /// [`NfsWorld::readdir_from`], but the reply also carries each child's
+    /// attributes and handle — with the attribute cache armed, arriving
+    /// children prefill it (the stat-flood killer READDIRPLUS exists for).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown directory handle.
+    #[allow(clippy::too_many_arguments)]
+    pub fn readdirplus_from(
+        &mut self,
+        client: usize,
+        now: SimTime,
+        dir: FileHandle,
+        cookie: u64,
+        children: &[FileHandle],
+        eof: bool,
+        tag: u64,
+    ) -> OpId {
+        let entries = u32::try_from(children.len()).expect("chunk fits u32");
+        self.readdir_op(
+            client,
+            now,
+            dir,
+            cookie,
+            entries,
+            eof,
+            children.to_vec(),
+            true,
+            tag,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn readdir_op(
+        &mut self,
+        client: usize,
+        now: SimTime,
+        dir: FileHandle,
+        cookie: u64,
+        entries: u32,
+        eof: bool,
+        children: Vec<FileHandle>,
+        plus: bool,
+        tag: u64,
+    ) -> OpId {
+        let cpu = self.cpu;
+        assert!(
+            self.clients[client].files.contains_key(&dir.ino),
+            "readdir on unmounted directory"
+        );
+        let id = OpId(self.next_op);
+        self.next_op += 1;
+        let cl = &mut self.clients[client];
+        cl.stats.ops += 1;
+        cl.stats.readdir_rpcs += 1;
+        self.ops.insert(
+            id,
+            OpState {
+                client,
+                tag,
+                issued_at: now,
+                outstanding_blocks: 1,
+                timed_out: None,
+                eio: None,
+            },
+        );
+        let send_at = now + self.hot[client].marshal_delay(&self.host_cfgs, cpu);
+        let count = self.config.rsize;
+        let call = if plus {
+            NfsCall::Readdirplus {
+                dir,
+                cookie,
+                cookieverf: 0,
+                dircount: count.min(4_096),
+                maxcount: count,
+            }
+        } else {
+            NfsCall::Readdir {
+                dir,
+                cookie,
+                cookieverf: 0,
+                count,
+            }
+        };
+        let xid = self.issue_call(client, send_at, call);
+        let cl = &mut self.clients[client];
+        cl.rd_pending.insert(
+            xid,
+            ReaddirPending {
+                entries,
+                eof,
+                children,
+            },
+        );
+        cl.rpc_waiters.insert(xid, id);
         id
     }
 
@@ -2089,6 +2444,7 @@ impl NfsWorld {
         let cl = &mut self.clients[client];
         let Rpc { call, encoded, .. } = cl.rpcs.remove(&xid).expect("caller checked presence");
         cl.recycle_buf(encoded);
+        cl.rd_pending.remove(&xid);
         cl.stats.rpc_timeouts += 1;
         let done = at + SimDuration::from_secs_f64(self.cpu.client_complete);
         if let Some(id) = self.clients[client].rpc_waiters.remove(&xid) {
@@ -2175,7 +2531,10 @@ impl NfsWorld {
                 if let Some(op) = self.ops.get_mut(&id) {
                     op.eio = Some(xid);
                 }
+            } else {
+                self.attr_reply_install(client, at, xid, &call);
             }
+            self.clients[client].rd_pending.remove(&xid);
             self.finish_op(id, done);
             return;
         }
@@ -2252,6 +2611,68 @@ impl NfsWorld {
                 }
             }
         }
+    }
+
+    /// Folds a successful metadata reply into the attribute cache: a
+    /// GETATTR refreshes its file's entry, a READDIRPLUS prefills one per
+    /// child it carried. A no-op with the cache disabled — the cache-off
+    /// world touches none of this state.
+    ///
+    /// The server's attribute version is peeked at reply-arrival time
+    /// (the sim owns both ends, so this is the value the reply carried);
+    /// `Ev::ReplyArrive` stays layout-compatible with the pre-cache world.
+    fn attr_reply_install(&mut self, client: usize, at: SimTime, xid: u32, call: &NfsCall) {
+        if !self.config.attr_cache_enabled() {
+            return;
+        }
+        match call {
+            NfsCall::Getattr { fh } => self.attr_refresh(client, at, fh.ino),
+            NfsCall::Readdirplus { .. } => {
+                let children: Vec<u64> = self.clients[client]
+                    .rd_pending
+                    .get(&xid)
+                    .map(|p| p.children.iter().map(|c| c.ino).collect())
+                    .unwrap_or_default();
+                let min = self.config.attr_timeo_min;
+                for ino in children {
+                    let version = self.server.attr_seq.get(&ino).copied().unwrap_or(0);
+                    // Prefill only: an existing entry (live or mid-decay)
+                    // keeps its adaptive state.
+                    self.clients[client].attrs.entry(ino).or_insert(AttrEntry {
+                        version,
+                        valid_until: at + min,
+                        timeo: min,
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Installs the post-fetch attribute entry for `ino`: an unchanged
+    /// version doubles the trust window toward `attr_timeo_max`, a changed
+    /// one is detected staleness and resets it to `attr_timeo_min`.
+    fn attr_refresh(&mut self, client: usize, at: SimTime, ino: u64) {
+        let version = self.server.attr_seq.get(&ino).copied().unwrap_or(0);
+        let cl = &mut self.clients[client];
+        let timeo = match cl.attrs.get(&ino) {
+            Some(e) if e.version == version => {
+                e.timeo.saturating_mul(2).min(self.config.attr_timeo_max)
+            }
+            Some(_) => {
+                cl.stats.attr_stale_detected += 1;
+                self.config.attr_timeo_min
+            }
+            None => self.config.attr_timeo_min,
+        };
+        cl.attrs.insert(
+            ino,
+            AttrEntry {
+                version,
+                valid_until: at + timeo,
+                timeo,
+            },
+        );
     }
 
     fn finish_op(&mut self, id: OpId, done_at: SimTime) {
@@ -2369,6 +2790,9 @@ impl NfsWorld {
                 stable,
             } => {
                 self.server_extend(fh.ino, offset + u64::from(count));
+                // Every WRITE advances the file's attribute version — the
+                // signal revalidating clients compare against (mtime).
+                *self.server.attr_seq.entry(fh.ino).or_insert(0) += 1;
                 if stable == StableHow::Unstable {
                     // Async write: stash the blocks in the dirty pool and
                     // reply immediately — that early reply *is* the NFSv3
@@ -2423,8 +2847,19 @@ impl NfsWorld {
                         .push(key);
                 }
             }
-            NfsCall::Getattr { .. } | NfsCall::Lookup { .. } => {
+            NfsCall::Getattr { .. } => {
                 // Metadata served from in-core state: reply immediately.
+                self.server.stats.getattrs += 1;
+                self.server_fs_done(key, t1, false);
+            }
+            NfsCall::Lookup { .. } => {
+                self.server.stats.lookups += 1;
+                self.server_fs_done(key, t1, false);
+            }
+            NfsCall::Readdir { .. } | NfsCall::Readdirplus { .. } => {
+                // Directory pages are in-core too; the reply's wire size
+                // carries the chunk's entry payload.
+                self.server.stats.readdirs += 1;
                 self.server_fs_done(key, t1, false);
             }
         }
@@ -2598,6 +3033,24 @@ impl NfsWorld {
                 status: NfsStatus::Ok,
                 fh: Some(*dir),
             },
+            Some(call @ (NfsCall::Readdir { .. } | NfsCall::Readdirplus { .. })) => {
+                // The chunk's shape was declared by the caller and parked
+                // in `rd_pending`; the reply carries it back with a wire
+                // size proportional to the entry payload.
+                let plus = matches!(call, NfsCall::Readdirplus { .. });
+                let pend = cl.rd_pending.get(&xid);
+                let entries = pend.map_or(0, |p| p.entries);
+                let eof = pend.is_none_or(|p| p.eof);
+                let per = READDIR_ENTRY_BYTES + if plus { READDIRPLUS_EXTRA_BYTES } else { 0 };
+                NfsReply::Readdir {
+                    status: NfsStatus::Ok,
+                    plus,
+                    cookieverf: self.server.verf,
+                    entries,
+                    bytes: entries * per,
+                    eof,
+                }
+            }
             None => {
                 // The RPC was retired client-side already (its reply raced
                 // a retransmission, or the client timed out): this
@@ -2725,6 +3178,19 @@ impl NfsWorld {
                 status: NfsStatus::Ok,
                 fh: Some(*dir),
             },
+            NfsCall::Readdir { .. } | NfsCall::Readdirplus { .. } => {
+                // External ingress carries no namespace shape: answer an
+                // empty, final chunk (a real server would say the same of
+                // an empty directory).
+                NfsReply::Readdir {
+                    status: NfsStatus::Ok,
+                    plus: matches!(call, NfsCall::Readdirplus { .. }),
+                    cookieverf: self.server.verf,
+                    entries: 0,
+                    bytes: 0,
+                    eof: true,
+                }
+            }
         };
         self.server.stats.replies += 1;
         if let Some(log) = &mut self.server_events {

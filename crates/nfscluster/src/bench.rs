@@ -130,6 +130,14 @@ fn diff_client(after: ClientStats, before: ClientStats) -> ClientStats {
         blocks_rewritten: after.blocks_rewritten - before.blocks_rewritten,
         tcp_c2s: diff_tcp(after.tcp_c2s, before.tcp_c2s),
         tcp_s2c: diff_tcp(after.tcp_s2c, before.tcp_s2c),
+        getattr_rpcs: after.getattr_rpcs - before.getattr_rpcs,
+        lookup_rpcs: after.lookup_rpcs - before.lookup_rpcs,
+        readdir_rpcs: after.readdir_rpcs - before.readdir_rpcs,
+        attr_cache_hits: after.attr_cache_hits - before.attr_cache_hits,
+        attr_cache_misses: after.attr_cache_misses - before.attr_cache_misses,
+        attr_revalidations: after.attr_revalidations - before.attr_revalidations,
+        attr_stale_detected: after.attr_stale_detected - before.attr_stale_detected,
+        attr_invalidations: after.attr_invalidations - before.attr_invalidations,
     }
 }
 
@@ -165,6 +173,9 @@ fn diff_server(after: ServerStats, before: ServerStats) -> ServerStats {
         dirty_blocks_flushed: after.dirty_blocks_flushed - before.dirty_blocks_flushed,
         dirty_blocks_lost: after.dirty_blocks_lost - before.dirty_blocks_lost,
         restarts: after.restarts - before.restarts,
+        getattrs: after.getattrs - before.getattrs,
+        lookups: after.lookups - before.lookups,
+        readdirs: after.readdirs - before.readdirs,
         // A gauge, not a counter: report the end-of-run value.
         heur_occupancy: after.heur_occupancy,
     }

@@ -89,6 +89,11 @@ pub struct FleetConfig {
     /// Every `degraded_every`-th group (counting from group index
     /// `degraded_every - 1`) gets a seeded fail-slow disk; `0` disables.
     pub degraded_every: usize,
+    /// Percent of each client's ops that are metadata probes (GETATTR,
+    /// LOOKUP, READDIR round-robin by a per-op hash) instead of reads.
+    /// `0` (the default) issues pure reads and is bit-identical to the
+    /// fleet before metadata mixes existed.
+    pub meta_ratio_pct: u8,
 }
 
 impl FleetConfig {
@@ -125,6 +130,7 @@ impl FleetConfig {
             shed_threshold: SimDuration::from_millis(30),
             shed_max: 64,
             degraded_every: 4,
+            meta_ratio_pct: 0,
         }
     }
 }
@@ -193,6 +199,7 @@ impl ClientArena {
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 struct GroupBooks {
     issued: u64,
+    meta: u64,
     ok: u64,
     eio: u64,
     timed_out: u64,
@@ -218,6 +225,7 @@ struct FleetGroup {
     file_blocks: u64,
     files_per_host: usize,
     hosts: usize,
+    meta_ratio_pct: u8,
     barrier: SimDuration,
     shed_threshold: SimDuration,
     shed_max: usize,
@@ -248,15 +256,42 @@ impl FleetGroup {
         slot
     }
 
-    /// Issues the next 8 KB read for the client in `slot` at `now`.
+    /// Issues the next op for the client in `slot` at `now`: an 8 KB
+    /// read, or — when the metadata mix is on — a hash-selected GETATTR,
+    /// LOOKUP, or READDIR probe. The choice is a pure function of the
+    /// client id and op cursor (no RNG draw), so a zero ratio issues the
+    /// exact pre-mix read stream.
     fn issue(&mut self, slot: usize, now: SimTime) {
         let host = self.arena.host[slot] as usize;
         let fh = self.files[host][self.arena.file[slot] as usize];
         let blk = u64::from(self.arena.next_blk[slot]) % self.file_blocks;
         self.arena.issued_at[slot] = now;
         self.books.issued += 1;
+        let tag = slot as u64;
+        if self.meta_ratio_pct > 0 {
+            let h = mix64(
+                (u64::from(self.arena.id[slot]) << 32)
+                    ^ u64::from(self.arena.next_blk[slot])
+                    ^ 0x4D45_7441,
+            );
+            if h % 100 < u64::from(self.meta_ratio_pct) {
+                self.books.meta += 1;
+                match (h / 100) % 3 {
+                    0 => {
+                        self.world.getattr_from(host, now, fh, tag);
+                    }
+                    1 => {
+                        self.world.lookup_from(host, now, fh, 8, tag);
+                    }
+                    _ => {
+                        self.world.readdir_from(host, now, fh, 0, 16, true, tag);
+                    }
+                }
+                return;
+            }
+        }
         self.world
-            .read_from(host, now, fh, blk * READ_BYTES, READ_BYTES, slot as u64);
+            .read_from(host, now, fh, blk * READ_BYTES, READ_BYTES, tag);
     }
 
     /// Handles one completed read: sample latency, advance or retire the
@@ -428,9 +463,11 @@ pub struct FleetMem {
 pub struct FleetReport {
     /// Clients that completed all their reads.
     pub clients_done: u64,
-    /// Reads issued fleet-wide.
+    /// Ops issued fleet-wide (reads plus metadata probes).
     pub ops_issued: u64,
-    /// Reads that completed `Ok`.
+    /// Metadata probes among them (zero unless the mix is on).
+    pub ops_meta: u64,
+    /// Ops that completed `Ok`.
     pub ops_ok: u64,
     /// Reads that failed with `EIO` (fail-slow disks remap, so usually 0).
     pub ops_eio: u64,
@@ -527,6 +564,7 @@ impl FleetWorld {
                     file_blocks: cfg.file_blocks,
                     files_per_host: cfg.files_per_host,
                     hosts: cfg.hosts_per_group,
+                    meta_ratio_pct: cfg.meta_ratio_pct,
                     barrier: cfg.barrier,
                     shed_threshold: cfg.shed_threshold,
                     shed_max: cfg.shed_max,
@@ -564,6 +602,7 @@ impl FleetWorld {
         for g in &self.groups {
             hist.merge(&g.hist);
             books.issued += g.books.issued;
+            books.meta += g.books.meta;
             books.ok += g.books.ok;
             books.eio += g.books.eio;
             books.timed_out += g.books.timed_out;
@@ -588,6 +627,7 @@ impl FleetWorld {
         FleetReport {
             clients_done,
             ops_issued: books.issued,
+            ops_meta: books.meta,
             ops_ok: books.ok,
             ops_eio: books.eio,
             clients_timed_out: books.timed_out,
@@ -660,6 +700,45 @@ mod tests {
         for s in [2, 4] {
             assert_eq!(run(s), base, "shards={s}");
         }
+    }
+
+    #[test]
+    fn metadata_mix_completes_and_stays_shard_identical() {
+        let _g = OVERRIDE_LOCK.lock().unwrap();
+        let mut cfg = tiny(200);
+        cfg.meta_ratio_pct = 40;
+        let run = |s: usize| {
+            set_shards_override(Some(s));
+            let r = FleetWorld::new(&cfg, 13).run();
+            set_shards_override(None);
+            r
+        };
+        let base = run(1);
+        assert!(base.shard_stats.completed, "{:?}", base.shard_stats);
+        assert!(
+            base.ops_meta > 0 && base.ops_meta < base.ops_issued,
+            "{base:?}"
+        );
+        assert_eq!(
+            base.clients_done + base.clients_timed_out,
+            cfg.clients as u64
+        );
+        let sharded = run(2);
+        assert_eq!(sharded.fingerprint, base.fingerprint);
+        assert_eq!(sharded.ops_meta, base.ops_meta);
+    }
+
+    #[test]
+    fn zero_meta_ratio_is_bit_identical_to_the_pre_mix_fleet() {
+        let _g = OVERRIDE_LOCK.lock().unwrap();
+        set_shards_override(Some(1));
+        let cfg = tiny(150);
+        let r = FleetWorld::new(&cfg, 21).run();
+        set_shards_override(None);
+        // The mix machinery leaves no trace when off: no probes, every
+        // issued op is a read.
+        assert_eq!(r.ops_meta, 0, "{r:?}");
+        assert_eq!(r.ops_ok + r.ops_eio, r.hist.total());
     }
 
     #[test]

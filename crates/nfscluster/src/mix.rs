@@ -42,6 +42,19 @@ pub enum ClientWorkload {
     /// Open-loop replay of a captured or synthesized trace at its own
     /// timestamps.
     Replay(Trace),
+    /// One serial process walking a directory of `files` files `rounds`
+    /// times: list the directory (READDIRPLUS when `plus`), then LOOKUP,
+    /// open, stat, and close each file — the metadata-heavy build-tree
+    /// shape, all namespace traffic and no data.
+    MetaWalk {
+        /// Files in the walked directory.
+        files: usize,
+        /// Full walks of the directory.
+        rounds: u32,
+        /// Use READDIRPLUS (children's attributes ride the listing)
+        /// instead of plain READDIR.
+        plus: bool,
+    },
 }
 
 /// Per-host outcome of a mixed run.
@@ -93,6 +106,55 @@ enum Plan {
         next: usize,
         outstanding: usize,
     },
+    MetaWalk {
+        dir: FileHandle,
+        files: Vec<FileHandle>,
+        plus: bool,
+        rounds: u32,
+        round: u32,
+        /// 0 = the directory listing; `1 + 4i + k` = file `i`'s step `k`
+        /// (lookup, open, getattr, close).
+        step: usize,
+        done: bool,
+    },
+}
+
+/// Issues the metadata-walk op for `step` on client `c`. Serial: the
+/// next step is issued when this one completes.
+fn issue_meta_step(
+    world: &mut NfsWorld,
+    c: usize,
+    at: SimTime,
+    dir: FileHandle,
+    files: &[FileHandle],
+    plus: bool,
+    step: usize,
+) {
+    let tag = step as u64;
+    if step == 0 {
+        if plus {
+            world.readdirplus_from(c, at, dir, 0, files, true, tag);
+        } else {
+            let entries = u32::try_from(files.len()).expect("directory fits u32");
+            world.readdir_from(c, at, dir, 0, entries, true, tag);
+        }
+        return;
+    }
+    let fh = files[(step - 1) / 4];
+    match (step - 1) % 4 {
+        0 => {
+            world.lookup_from(c, at, dir, 8, tag);
+        }
+        1 => {
+            world.open_from(c, at, fh, tag);
+        }
+        2 => {
+            world.getattr_from(c, at, fh, tag);
+        }
+        _ => {
+            world.close_from(c, at, fh, tag);
+        }
+    }
 }
 
 impl Plan {
@@ -106,6 +168,7 @@ impl Plan {
                 outstanding,
                 ..
             } => *next >= trace.len() && *outstanding == 0,
+            Plan::MetaWalk { done, .. } => *done,
         }
     }
 }
@@ -188,6 +251,26 @@ impl MixBench {
                         outstanding: 0,
                     }
                 }
+                ClientWorkload::MetaWalk {
+                    files,
+                    rounds,
+                    plus,
+                } => {
+                    assert!(*files > 0 && *rounds > 0, "an empty walk never finishes");
+                    let dir = world.create_file_for(c, 8_192);
+                    let fhs = (0..*files)
+                        .map(|_| world.create_file_for(c, 8 * READ_BYTES))
+                        .collect();
+                    Plan::MetaWalk {
+                        dir,
+                        files: fhs,
+                        plus: *plus,
+                        rounds: *rounds,
+                        round: 0,
+                        step: 0,
+                        done: false,
+                    }
+                }
             })
             .collect();
         MixBench { world, plans }
@@ -217,6 +300,13 @@ impl MixBench {
                         .read_from(c, start, fh, blk * READ_BYTES, READ_BYTES, blk);
                 }
                 Plan::Replay { .. } => {}
+                Plan::MetaWalk {
+                    dir, files, plus, ..
+                } => {
+                    let (dir, plus) = (*dir, *plus);
+                    let files = files.clone();
+                    issue_meta_step(&mut self.world, c, start, dir, &files, plus, 0);
+                }
             }
         }
 
@@ -270,6 +360,23 @@ impl MixBench {
                         }
                         TraceOp::Getattr => {
                             self.world.getattr_from(c, at, fh, tag);
+                        }
+                        TraceOp::Lookup => {
+                            self.world
+                                .lookup_from(c, at, fh, u32::try_from(len).unwrap_or(8), tag);
+                        }
+                        TraceOp::Readdir => {
+                            // len carries the entries requested; a replayed
+                            // chunk stands alone, so it closes its page.
+                            self.world.readdir_from(
+                                c,
+                                at,
+                                fh,
+                                offset,
+                                u32::try_from(len).unwrap_or(64),
+                                true,
+                                tag,
+                            );
                         }
                     }
                 }
@@ -325,6 +432,37 @@ impl MixBench {
                     }
                     Plan::Replay { outstanding, .. } => {
                         *outstanding -= 1;
+                    }
+                    Plan::MetaWalk {
+                        dir,
+                        files,
+                        plus,
+                        rounds,
+                        round,
+                        step,
+                        done,
+                    } => {
+                        debug_assert_eq!(d.tag, *step as u64, "meta walk is serial");
+                        *step += 1;
+                        if *step > 4 * files.len() {
+                            *step = 0;
+                            *round += 1;
+                            if *round >= *rounds {
+                                *done = true;
+                                continue;
+                            }
+                        }
+                        let (dir, plus, step) = (*dir, *plus, *step);
+                        let files = files.clone();
+                        issue_meta_step(
+                            &mut self.world,
+                            c,
+                            d.done_at + PROC_READ_CPU,
+                            dir,
+                            &files,
+                            plus,
+                            step,
+                        );
                     }
                 }
             }
@@ -411,6 +549,69 @@ mod tests {
             assert_eq!(x.finished_secs.to_bits(), y.finished_secs.to_bits());
             assert_eq!(x.contention, y.contention);
         }
+    }
+
+    #[test]
+    fn meta_walk_completes_with_the_expected_op_count() {
+        let workloads = vec![
+            ClientWorkload::MetaWalk {
+                files: 6,
+                rounds: 3,
+                plus: false,
+            },
+            ClientWorkload::Sequential { readers: 1, mb: 1 },
+        ];
+        let cluster = ClusterConfig::uniform(WorldConfig::default(), workloads.len());
+        let r = MixBench::new(Rig::ide(1), &cluster, &workloads, 19).run();
+        // Each round: one listing + 4 ops per file.
+        assert_eq!(r.clients[0].ops, 3 * (1 + 4 * 6));
+        let c = &r.clients[0].stats;
+        assert_eq!(c.readdir_rpcs, 3);
+        assert_eq!(c.lookup_rpcs, 3 * 6);
+        // Cache off: every open and stat hits the wire.
+        assert_eq!(c.getattr_rpcs, 2 * 3 * 6);
+        assert_eq!(c.closes, 3 * 6);
+        assert!(r.server.readdirs == 3 && r.server.lookups == 18);
+    }
+
+    #[test]
+    fn readdirplus_walk_with_armed_cache_cuts_getattr_wire_traffic() {
+        let run = |plus: bool, armed: bool| {
+            let workloads = vec![ClientWorkload::MetaWalk {
+                files: 8,
+                rounds: 4,
+                plus,
+            }];
+            let world = WorldConfig {
+                attr_timeo_min: if armed {
+                    simcore::SimDuration::from_secs(3)
+                } else {
+                    simcore::SimDuration::ZERO
+                },
+                attr_timeo_max: if armed {
+                    simcore::SimDuration::from_secs(60)
+                } else {
+                    simcore::SimDuration::ZERO
+                },
+                ..WorldConfig::default()
+            };
+            let cluster = ClusterConfig::uniform(world, 1);
+            MixBench::new(Rig::ide(1), &cluster, &workloads, 23).run()
+        };
+        let cold = run(false, false);
+        let warm = run(true, true);
+        // Same walk either way.
+        assert_eq!(cold.clients[0].ops, warm.clients[0].ops);
+        // READDIRPLUS prefills and the cache holds entries across the
+        // walk, so stats stop reaching the wire.
+        assert!(
+            warm.clients[0].stats.getattr_rpcs * 2 <= cold.clients[0].stats.getattr_rpcs,
+            "plus+cache must cut GETATTRs: {} vs {}",
+            warm.clients[0].stats.getattr_rpcs,
+            cold.clients[0].stats.getattr_rpcs
+        );
+        assert!(warm.clients[0].stats.attr_cache_hits > 0);
+        assert_eq!(cold.clients[0].stats.attr_cache_hits, 0);
     }
 
     #[test]

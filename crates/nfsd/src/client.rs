@@ -267,6 +267,13 @@ impl NfsClient {
                     self.getattr(fh)?;
                     (&mut stats.meta, 0)
                 }
+                TraceOp::Lookup | TraceOp::Readdir => {
+                    // The real endpoint's export namespace is flat (no
+                    // directories beyond the root), so namespace ops lower
+                    // to the same class of small metadata round trip.
+                    self.getattr(fh)?;
+                    (&mut stats.meta, 0)
+                }
             };
             let us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
             hist.add(us);

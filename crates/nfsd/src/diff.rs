@@ -206,6 +206,16 @@ pub fn sim_replay(
                 stable,
             },
             TraceOp::Getattr => nfsproto::NfsCall::Getattr { fh },
+            TraceOp::Lookup => nfsproto::NfsCall::Lookup {
+                dir: fh,
+                name: "x".repeat(rec.len.max(1) as usize),
+            },
+            TraceOp::Readdir => nfsproto::NfsCall::Readdir {
+                dir: fh,
+                cookie: rec.offset,
+                cookieverf: 0,
+                count: rec.len.max(1),
+            },
         };
         world.external_call(now, 0, xid, call);
         // Closed loop: run the world until the reply for this call lands.

@@ -311,6 +311,14 @@ impl Endpoint {
                 self.world.external_call(now, conn, xid, call);
                 None
             }
+            // The export namespace is flat and resolved at the endpoint
+            // (LOOKUP by name above); directory enumeration is not served
+            // over the real socket. Real mounts list via the same error
+            // they would get from a pre-READDIR server.
+            NfsCall::Readdir { .. } | NfsCall::Readdirplus { .. } => {
+                self.stats.rpc_errors += 1;
+                Some(wire::accept_error_res(xid, AcceptStat::ProcUnavail))
+            }
         }
     }
 
@@ -388,6 +396,9 @@ impl Endpoint {
                 }
                 _ => wire::lookup_res_err(xid, status_code(status), None),
             },
+            // Never produced for external calls (READDIR is refused at
+            // dispatch), but encode defensively as the same refusal.
+            NfsReply::Readdir { .. } => wire::accept_error_res(xid, AcceptStat::ProcUnavail),
         }
     }
 

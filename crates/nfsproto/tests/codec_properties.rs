@@ -55,12 +55,44 @@ fn arb_calls(rng: &mut SimRng) -> Vec<NfsCall> {
             count: rng.gen_range(1u32..65_536),
             stable: arb_stable(rng),
         },
+        NfsCall::Readdir {
+            dir: arb_fh(rng),
+            cookie: rng.next_u64(),
+            cookieverf: rng.next_u64(),
+            count: rng.gen_range(512u32..65_536),
+        },
+        NfsCall::Readdirplus {
+            dir: arb_fh(rng),
+            cookie: rng.next_u64(),
+            cookieverf: rng.next_u64(),
+            dircount: rng.gen_range(512u32..16_384),
+            maxcount: rng.gen_range(512u32..65_536),
+        },
         NfsCall::Commit {
             fh: arb_fh(rng),
             offset: rng.next_u64(),
             count: rng.gen_range(0u32..65_536),
         },
     ]
+}
+
+/// Bytes `wire_bytes()` counts that `encode()` elides: data payloads
+/// travel as lengths, so the wire size exceeds the encoding by exactly
+/// the payload.
+fn call_elided_payload(call: &NfsCall) -> u64 {
+    match call {
+        NfsCall::Write { count, .. } => u64::from(*count),
+        _ => 0,
+    }
+}
+
+/// Reply-side elided payload: READ data and READDIR(PLUS) entry lists.
+fn reply_elided_payload(reply: &NfsReply) -> u64 {
+    match reply {
+        NfsReply::Read { count, .. } => u64::from(*count),
+        NfsReply::Readdir { bytes, .. } => u64::from(*bytes),
+        _ => 0,
+    }
 }
 
 /// One reply of each variant (success and error forms), fields randomized.
@@ -124,6 +156,28 @@ fn arb_replies(rng: &mut SimRng) -> Vec<(NfsProc, NfsReply)> {
             },
         ),
         (
+            NfsProc::Readdir,
+            NfsReply::Readdir {
+                status: NfsStatus::Ok,
+                plus: false,
+                cookieverf: rng.next_u64(),
+                entries: rng.gen_range(0u32..512),
+                bytes: rng.gen_range(0u32..65_536),
+                eof: rng.chance(0.5),
+            },
+        ),
+        (
+            NfsProc::Readdirplus,
+            NfsReply::Readdir {
+                status: NfsStatus::Ok,
+                plus: true,
+                cookieverf: rng.next_u64(),
+                entries: rng.gen_range(0u32..512),
+                bytes: rng.gen_range(0u32..131_072),
+                eof: rng.chance(0.5),
+            },
+        ),
+        (
             NfsProc::Commit,
             NfsReply::Commit {
                 status: NfsStatus::Ok,
@@ -138,6 +192,33 @@ fn arb_replies(rng: &mut SimRng) -> Vec<(NfsProc, NfsReply)> {
             },
         ),
     ]
+}
+
+/// The wire-size honesty contract: for every call and reply variant,
+/// `wire_bytes()` equals the actual encoded length plus the elided data
+/// payload (zero for everything except WRITE calls, READ replies, and
+/// READDIR(PLUS) replies). This is the estimate the transport timing
+/// model runs on, so a drifting variant silently distorts every figure.
+#[test]
+fn wire_bytes_equal_encoded_length_plus_elided_payload() {
+    let mut rng = SimRng::new(0x3172E);
+    for case in 0..CASES {
+        let xid = rng.next_u64() as u32;
+        for call in arb_calls(&mut rng) {
+            assert_eq!(
+                call.wire_bytes(),
+                call.encode(xid).len() as u64 + call_elided_payload(&call),
+                "case {case}: {call:?}"
+            );
+        }
+        for (_, reply) in arb_replies(&mut rng) {
+            assert_eq!(
+                reply.wire_bytes(),
+                reply.encode(xid).len() as u64 + reply_elided_payload(&reply),
+                "case {case}: {reply:?}"
+            );
+        }
+    }
 }
 
 #[test]

@@ -46,6 +46,21 @@ fn corpus(rng: &mut SimRng) -> Vec<Vec<u8>> {
             count: 0,
         }
         .encode(xid),
+        NfsCall::Readdir {
+            dir: fh,
+            cookie: rng.next_u64(),
+            cookieverf: rng.next_u64(),
+            count: rng.gen_range(1u32..65_536),
+        }
+        .encode(xid),
+        NfsCall::Readdirplus {
+            dir: fh,
+            cookie: rng.next_u64(),
+            cookieverf: rng.next_u64(),
+            dircount: rng.gen_range(1u32..8_192),
+            maxcount: rng.gen_range(1u32..65_536),
+        }
+        .encode(xid),
         NfsReply::Getattr {
             status: NfsStatus::Ok,
             attrs: Some(nfsproto::Fattr3 {
@@ -72,7 +87,84 @@ fn corpus(rng: &mut SimRng) -> Vec<Vec<u8>> {
             verf: rng.next_u64(),
         }
         .encode(xid),
+        NfsReply::Readdir {
+            status: NfsStatus::Ok,
+            plus: false,
+            cookieverf: rng.next_u64(),
+            entries: rng.gen_range(0u32..200),
+            bytes: rng.gen_range(0u32..65_536),
+            eof: rng.chance(0.5),
+        }
+        .encode(xid),
+        NfsReply::Readdir {
+            status: NfsStatus::Ok,
+            plus: true,
+            cookieverf: rng.next_u64(),
+            entries: rng.gen_range(0u32..200),
+            bytes: rng.gen_range(0u32..65_536),
+            eof: rng.chance(0.5),
+        }
+        .encode(xid),
     ]
+}
+
+/// A captured-style text trace (the `nfstrace` import format) whose
+/// records are lowered to wire messages and folded into the fuzz corpus —
+/// the decoders must hold up against exactly the op mix an imported
+/// production trace replays.
+const IMPORTED_TRACE: &str = "\
+# time_us client op fh offset len
+0 1 readdir d10000 0 64
+40 1 lookup d10000 0 11
+55 1 getattr f10000 0 0
+90 1 read f10000 0 8192
+130 2 lookup d10001 3 7
+150 2 readdir d10001 64 64
+170 2 write f10003 8192 4096
+";
+
+/// Lowers one imported trace record to an encoded call message.
+fn trace_record_to_call(r: &nfstrace::TraceRecord, xid: u32) -> Vec<u8> {
+    let fh = FileHandle {
+        fsid: 1,
+        ino: r.fh,
+        generation: 1,
+    };
+    let call = match r.op {
+        nfstrace::TraceOp::Read => NfsCall::Read {
+            fh,
+            offset: r.offset,
+            count: r.len,
+        },
+        nfstrace::TraceOp::Write => NfsCall::Write {
+            fh,
+            offset: r.offset,
+            count: r.len,
+            stable: StableHow::Unstable,
+        },
+        nfstrace::TraceOp::Getattr => NfsCall::Getattr { fh },
+        nfstrace::TraceOp::Lookup => NfsCall::Lookup {
+            dir: fh,
+            name: "x".repeat(r.len.max(1) as usize),
+        },
+        nfstrace::TraceOp::Readdir => NfsCall::Readdir {
+            dir: fh,
+            cookie: r.offset,
+            cookieverf: 0,
+            count: r.len,
+        },
+    };
+    call.encode(xid)
+}
+
+fn imported_corpus() -> Vec<Vec<u8>> {
+    let trace = nfstrace::from_text(IMPORTED_TRACE).expect("embedded trace parses");
+    trace
+        .records
+        .iter()
+        .enumerate()
+        .map(|(i, r)| trace_record_to_call(r, i as u32))
+        .collect()
 }
 
 /// Applies one random mutation to `buf`.
@@ -118,19 +210,23 @@ fn mutate(buf: &mut Vec<u8>, rng: &mut SimRng) {
     }
 }
 
-const ALL_PROCS: [NfsProc; 5] = [
+const ALL_PROCS: [NfsProc; 7] = [
     NfsProc::Getattr,
     NfsProc::Lookup,
     NfsProc::Read,
     NfsProc::Write,
     NfsProc::Commit,
+    NfsProc::Readdir,
+    NfsProc::Readdirplus,
 ];
 
 #[test]
 fn mutated_corpus_never_panics_any_decoder() {
     let mut rng = SimRng::new(0xF022);
     for case in 0..500u64 {
-        for mut buf in corpus(&mut rng) {
+        let mut seeds = corpus(&mut rng);
+        seeds.extend(imported_corpus());
+        for mut buf in seeds {
             for _ in 0..rng.gen_range(1u32..4) {
                 mutate(&mut buf, &mut rng);
             }
@@ -202,6 +298,38 @@ fn short_opaques_are_typed_errors_not_silent_truncation() {
             ),
             "case {case}: truncated handle accepted"
         );
+    }
+}
+
+/// Imported-trace records lower to calls that decode back to the same
+/// procedure with the trace's own offsets and counts intact.
+#[test]
+fn imported_trace_records_decode_to_matching_calls() {
+    let trace = nfstrace::from_text(IMPORTED_TRACE).expect("embedded trace parses");
+    let bufs = imported_corpus();
+    assert_eq!(bufs.len(), trace.len());
+    for (i, (r, buf)) in trace.records.iter().zip(&bufs).enumerate() {
+        let (xid, call) = NfsCall::decode(buf).unwrap_or_else(|e| panic!("record {i}: {e}"));
+        assert_eq!(xid, i as u32);
+        match (r.op, &call) {
+            (nfstrace::TraceOp::Read, NfsCall::Read { offset, count, .. }) => {
+                assert_eq!((*offset, *count), (r.offset, r.len));
+            }
+            (nfstrace::TraceOp::Write, NfsCall::Write { offset, count, .. }) => {
+                assert_eq!((*offset, *count), (r.offset, r.len));
+            }
+            (nfstrace::TraceOp::Getattr, NfsCall::Getattr { fh }) => {
+                assert_eq!(fh.ino, r.fh);
+            }
+            (nfstrace::TraceOp::Lookup, NfsCall::Lookup { dir, name }) => {
+                assert_eq!(dir.ino, r.fh);
+                assert_eq!(name.len(), r.len.max(1) as usize);
+            }
+            (nfstrace::TraceOp::Readdir, NfsCall::Readdir { cookie, count, .. }) => {
+                assert_eq!((*cookie, *count), (r.offset, r.len));
+            }
+            other => panic!("record {i}: op/call mismatch {other:?}"),
+        }
     }
 }
 

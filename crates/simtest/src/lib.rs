@@ -63,10 +63,23 @@
 //!   a rewritten block implies a mismatch was detected, and (in clean
 //!   runs) the async machinery never wakes on a FILE_SYNC mount.
 //!
+//! With [`RunOptions::meta_storm`] the workload flips to a
+//! metadata-heavy mix (GETATTR pollers, open()-style revalidations,
+//! LOOKUPs, READDIR chunks, occasional writes) and the client attribute
+//! cache arms at the classic `acregmin=3,acregmax=60` timeouts. Two
+//! oracle families join the set:
+//!
+//! - **attrcache-books**: every getattr-class op is a cache hit or a wire
+//!   GETATTR; every wire GETATTR is a miss or a revalidation; staleness
+//!   detections never exceed revalidations;
+//! - **attrcache-dormancy** (always on in *non*-storm runs): with the
+//!   cache disarmed every attribute-cache counter is zero and the cache
+//!   holds no entries — the machinery is provably inert by default.
+//!
 //! Every failure message carries a one-line reproduction command:
 //! `SIMTEST_SEED=<n> cargo run -p simtest -- --seed <n>` (plus
-//! `--clients N` / `--overlap` / `--disk-faults` / `--write-loss` when
-//! those modes were active).
+//! `--clients N` / `--overlap` / `--disk-faults` / `--write-loss` /
+//! `--meta-storm` when those modes were active).
 
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::fmt;
@@ -218,6 +231,12 @@ pub struct RunOptions {
     /// batch into a mid-gather server crash (dirty pool lost, write
     /// verifier changed). Adds the crash-consistency oracle set.
     pub write_loss: bool,
+    /// Metadata-storm mode: the workload becomes GETATTR/LOOKUP/READDIR
+    /// heavy with open()-style forced revalidations, and the client
+    /// attribute cache arms at `acregmin=3s`/`acregmax=60s`. Adds the
+    /// attrcache-books oracle. Ignored when [`RunOptions::write_loss`] is
+    /// also set (the write workload wins and the cache stays off).
+    pub meta_storm: bool,
     /// Record every operation's latency into a [`LogHist`] alongside an
     /// exact list, and run the latency-histogram oracle at end of run:
     /// counts reconcile, quantiles are monotone, the streaming p50/p99/
@@ -233,6 +252,7 @@ impl Default for RunOptions {
             clients: 1,
             disk_faults: false,
             write_loss: false,
+            meta_storm: false,
             hist_oracle: false,
         }
     }
@@ -271,6 +291,18 @@ pub struct RunReport {
     pub disk_faults: bool,
     /// Whether the run used the async write path with crash injection.
     pub write_loss: bool,
+    /// Whether the run used the metadata-storm workload with the
+    /// attribute cache armed.
+    pub meta_storm: bool,
+    /// GETATTR RPCs the clients put on the wire (misses + revalidations).
+    pub getattr_rpcs: u64,
+    /// Getattr-class ops the attribute cache answered locally.
+    pub attr_cache_hits: u64,
+    /// Wire GETATTRs that revalidated an existing (expired or
+    /// open-forced) cache entry.
+    pub attr_revalidations: u64,
+    /// Revalidations that found the server's attributes had moved.
+    pub attr_stale_detected: u64,
     /// UNSTABLE WRITE calls the server stashed without touching disk.
     pub unstable_writes: u64,
     /// COMMIT calls the server received.
@@ -315,6 +347,8 @@ pub struct OracleFailure {
     pub disk_faults: bool,
     /// Whether the failing run used the async write path with crashes.
     pub write_loss: bool,
+    /// Whether the failing run used the metadata-storm workload.
+    pub meta_storm: bool,
     /// Whether (and how) the failing run forced the transport axis.
     pub forced_transport: Option<TransportKind>,
 }
@@ -337,6 +371,9 @@ impl fmt::Display for OracleFailure {
         }
         if self.write_loss {
             write!(f, " --write-loss")?;
+        }
+        if self.meta_storm {
+            write!(f, " --meta-storm")?;
         }
         match self.forced_transport {
             Some(TransportKind::Tcp) => write!(f, " --transport tcp")?,
@@ -475,6 +512,7 @@ pub fn run_seed_checked_forced(
             overlap,
             disk_faults: opts.disk_faults,
             write_loss: opts.write_loss,
+            meta_storm: opts.meta_storm,
             forced_transport: forced,
         });
     }
@@ -498,6 +536,10 @@ struct Books {
     /// off, so default runs do no extra work and no extra allocation.
     lat: Option<(LogHist, Vec<u64>)>,
     predicted_demand: u64,
+    /// Getattr-class ops (GETATTR polls + open()-style revalidations) the
+    /// meta-storm workload issued; the attrcache-books oracle checks every
+    /// one was either a cache hit or a wire GETATTR.
+    predicted_getattr_class: u64,
     ok_ops: u64,
     timed_out_ops: u64,
     eio_ops: u64,
@@ -785,6 +827,14 @@ fn sum_client_stats(w: &NfsWorld) -> ClientStats {
         total.closes += s.closes;
         total.verifier_mismatches += s.verifier_mismatches;
         total.blocks_rewritten += s.blocks_rewritten;
+        total.getattr_rpcs += s.getattr_rpcs;
+        total.lookup_rpcs += s.lookup_rpcs;
+        total.readdir_rpcs += s.readdir_rpcs;
+        total.attr_cache_hits += s.attr_cache_hits;
+        total.attr_cache_misses += s.attr_cache_misses;
+        total.attr_revalidations += s.attr_revalidations;
+        total.attr_stale_detected += s.attr_stale_detected;
+        total.attr_invalidations += s.attr_invalidations;
     }
     total
 }
@@ -808,6 +858,10 @@ pub fn run_plan(plan: &SimPlan, opts: RunOptions) -> Result<RunReport, OracleFai
     let overlap = plan.overlap;
     let disk_faults = plan.disk_faults;
     let write_loss = opts.write_loss;
+    // The write-loss workload wins when both modes are requested: the storm
+    // arm never runs and the attribute cache stays disarmed, so the
+    // crash-consistency close books keep their exact shape.
+    let meta_storm = opts.meta_storm && !write_loss;
     let forced_transport = plan.forced_transport;
     let fail = move |oracle: &'static str, detail: String| OracleFailure {
         seed,
@@ -817,6 +871,7 @@ pub fn run_plan(plan: &SimPlan, opts: RunOptions) -> Result<RunReport, OracleFai
         overlap,
         disk_faults,
         write_loss,
+        meta_storm,
         forced_transport,
     };
 
@@ -826,6 +881,19 @@ pub fn run_plan(plan: &SimPlan, opts: RunOptions) -> Result<RunReport, OracleFai
             StableHow::Unstable
         } else {
             StableHow::FileSync
+        },
+        // Storm runs arm the attribute cache at the classic NFS client
+        // defaults (acregmin=3s, acregmax=60s); everywhere else both stay
+        // ZERO and the cache machinery must be provably inert.
+        attr_timeo_min: if meta_storm {
+            SimDuration::from_secs(3)
+        } else {
+            SimDuration::ZERO
+        },
+        attr_timeo_max: if meta_storm {
+            SimDuration::from_secs(60)
+        } else {
+            SimDuration::ZERO
         },
         ..WorldConfig::default()
     };
@@ -855,6 +923,7 @@ pub fn run_plan(plan: &SimPlan, opts: RunOptions) -> Result<RunReport, OracleFai
         completed: HashSet::new(),
         lat: opts.hist_oracle.then(|| (LogHist::new(), Vec::new())),
         predicted_demand: 0,
+        predicted_getattr_class: 0,
         ok_ops: 0,
         timed_out_ops: 0,
         eio_ops: 0,
@@ -990,6 +1059,52 @@ pub fn run_plan(plan: &SimPlan, opts: RunOptions) -> Result<RunReport, OracleFai
                         id
                     }
                     5 => w.getattr_from(cl, now, fh, tag),
+                    _ => {
+                        let len_blocks = rng.gen_range(1u64..4);
+                        let start = if rng.chance(0.7) {
+                            cursors[cl][f]
+                        } else {
+                            rng.gen_range(0u64..FILE_BLOCKS)
+                        }
+                        .min(FILE_BLOCKS - len_blocks);
+                        cursors[cl][f] = (start + len_blocks) % FILE_BLOCKS;
+                        for blk in start..start + len_blocks {
+                            if w.block_state_for(cl, fh, blk) == BlockState::Absent {
+                                bk.predicted_demand += 1;
+                            }
+                        }
+                        w.read_from(cl, now, fh, start * BS, len_blocks * BS, tag)
+                    }
+                }
+            } else if meta_storm {
+                // Metadata-storm mix: a build-tree walker's wire profile —
+                // GETATTR polls dominate, open()-style forced revalidations
+                // and LOOKUP/READDIR traffic ride along, occasional writes
+                // move the server's attributes so revalidations can detect
+                // staleness. Only storm runs take this arm, so the classic
+                // stream — and its pinned fingerprints — never sees the
+                // extra draws.
+                match rng.gen_range(0u32..10) {
+                    0 => {
+                        let blk = rng.gen_range(0u64..FILE_BLOCKS);
+                        w.write_from(cl, now, fh, blk * BS, BS, tag)
+                    }
+                    1 => {
+                        let name_len = rng.gen_range(3u32..16);
+                        w.lookup_from(cl, now, fh, name_len, tag)
+                    }
+                    2 => {
+                        let entries = rng.gen_range(4u32..32);
+                        w.readdir_from(cl, now, fh, 0, entries, true, tag)
+                    }
+                    3 | 4 => {
+                        bk.predicted_getattr_class += 1;
+                        w.open_from(cl, now, fh, tag)
+                    }
+                    5..=8 => {
+                        bk.predicted_getattr_class += 1;
+                        w.getattr_from(cl, now, fh, tag)
+                    }
                     _ => {
                         let len_blocks = rng.gen_range(1u64..4);
                         let start = if rng.chance(0.7) {
@@ -1518,6 +1633,66 @@ pub fn run_plan(plan: &SimPlan, opts: RunOptions) -> Result<RunReport, OracleFai
         ));
     }
 
+    // Attribute-cache books. In storm mode every getattr-class op the
+    // workload issued (GETATTR polls plus open()-style revalidations) is
+    // either a local cache hit or exactly one wire GETATTR, every wire
+    // GETATTR is a cold miss or a revalidation of a known entry, and a
+    // staleness detection can only come out of a revalidation. Outside
+    // storm mode the cache is disarmed and all of its counters — and its
+    // entry table — must be zero: the machinery is provably inert.
+    if meta_storm {
+        if c.attr_cache_hits + c.getattr_rpcs != bk.predicted_getattr_class {
+            return Err(fail(
+                "attrcache-books",
+                format!(
+                    "hits {} + wire GETATTRs {} != getattr-class ops issued {}",
+                    c.attr_cache_hits, c.getattr_rpcs, bk.predicted_getattr_class
+                ),
+            ));
+        }
+        if c.getattr_rpcs != c.attr_cache_misses + c.attr_revalidations {
+            return Err(fail(
+                "attrcache-books",
+                format!(
+                    "wire GETATTRs {} != misses {} + revalidations {}",
+                    c.getattr_rpcs, c.attr_cache_misses, c.attr_revalidations
+                ),
+            ));
+        }
+        if c.attr_stale_detected > c.attr_revalidations {
+            return Err(fail(
+                "attrcache-books",
+                format!(
+                    "{} staleness detections exceed {} revalidations",
+                    c.attr_stale_detected, c.attr_revalidations
+                ),
+            ));
+        }
+    } else {
+        let entries: usize = (0..clients).map(|i| w.attr_cache_entries(i)).sum();
+        if c.attr_cache_hits != 0
+            || c.attr_cache_misses != 0
+            || c.attr_revalidations != 0
+            || c.attr_stale_detected != 0
+            || c.attr_invalidations != 0
+            || entries != 0
+        {
+            return Err(fail(
+                "attrcache-dormancy",
+                format!(
+                    "disarmed cache moved: hits {} misses {} revalidations {} \
+                     stale {} invalidations {} entries {}",
+                    c.attr_cache_hits,
+                    c.attr_cache_misses,
+                    c.attr_revalidations,
+                    c.attr_stale_detected,
+                    c.attr_invalidations,
+                    entries
+                ),
+            ));
+        }
+    }
+
     for v in [
         c.ops,
         c.rpcs,
@@ -1555,6 +1730,26 @@ pub fn run_plan(plan: &SimPlan, opts: RunOptions) -> Result<RunReport, OracleFai
             c.commit_rpcs,
             c.verifier_mismatches,
             c.blocks_rewritten,
+        ] {
+            mix(&mut bk.fp, v);
+        }
+    }
+    if meta_storm {
+        // Storm runs fold the metadata and attribute-cache books in, so
+        // the determinism oracle covers hit/miss/revalidation scheduling.
+        // Conditional so classic fingerprints stay pinned.
+        for v in [
+            c.getattr_rpcs,
+            c.lookup_rpcs,
+            c.readdir_rpcs,
+            c.attr_cache_hits,
+            c.attr_cache_misses,
+            c.attr_revalidations,
+            c.attr_stale_detected,
+            c.attr_invalidations,
+            s.getattrs,
+            s.lookups,
+            s.readdirs,
         ] {
             mix(&mut bk.fp, v);
         }
@@ -1678,6 +1873,11 @@ pub fn run_plan(plan: &SimPlan, opts: RunOptions) -> Result<RunReport, OracleFai
         overlap,
         disk_faults: plan.disk_faults,
         write_loss,
+        meta_storm,
+        getattr_rpcs: c.getattr_rpcs,
+        attr_cache_hits: c.attr_cache_hits,
+        attr_revalidations: c.attr_revalidations,
+        attr_stale_detected: c.attr_stale_detected,
         unstable_writes: s.unstable_writes,
         commits: s.commits,
         gather_flushes: s.gather_flushes,

@@ -11,6 +11,7 @@
 //! cargo run -p simtest -- --seeds 50 --disk-faults   # + disk faults
 //! cargo run -p simtest -- --seeds 50 --transport tcp # force TCP (+blackout)
 //! cargo run -p simtest -- --seeds 50 --write-loss    # async writes + crashes
+//! cargo run -p simtest -- --seeds 50 --meta-storm    # metadata mix + attr cache
 //! cargo run -p simtest -- --seeds 50 --hist-oracle   # + latency-hist oracle
 //! ```
 //!
@@ -64,6 +65,7 @@ fn main() -> ExitCode {
     let overlap = args.iter().any(|a| a == "--overlap");
     let disk_faults = args.iter().any(|a| a == "--disk-faults");
     let write_loss = args.iter().any(|a| a == "--write-loss");
+    let meta_storm = args.iter().any(|a| a == "--meta-storm");
     let hist_oracle = args.iter().any(|a| a == "--hist-oracle");
     let forced = parse_transport(&args);
 
@@ -75,6 +77,7 @@ fn main() -> ExitCode {
         clients,
         disk_faults,
         write_loss,
+        meta_storm,
         hist_oracle,
         ..RunOptions::default()
     };
@@ -110,6 +113,14 @@ fn main() -> ExitCode {
                 } else {
                     String::new()
                 };
+                let meta = if r.meta_storm {
+                    format!(
+                        " gattr={:<4} hits={:<4} stale={:<3}",
+                        r.getattr_rpcs, r.attr_cache_hits, r.attr_stale_detected
+                    )
+                } else {
+                    String::new()
+                };
                 let tail = if hist_oracle {
                     format!(
                         " p99={:>7.2}ms p999={:>7.2}ms",
@@ -120,7 +131,7 @@ fn main() -> ExitCode {
                     String::new()
                 };
                 println!(
-                    "seed {:>6} [{:?}] ops={:<4} ok={:<4} timeout={:<3} eio={:<3} retx={:<4} rpc_to={:<3}{}{} sim={:>8.1}s fp={:#018x} faults={}",
+                    "seed {:>6} [{:?}] ops={:<4} ok={:<4} timeout={:<3} eio={:<3} retx={:<4} rpc_to={:<3}{}{}{} sim={:>8.1}s fp={:#018x} faults={}",
                     r.seed,
                     r.transport,
                     r.ops,
@@ -130,6 +141,7 @@ fn main() -> ExitCode {
                     r.retransmits,
                     r.rpc_timeouts,
                     crash,
+                    meta,
                     tail,
                     r.sim_nanos as f64 / 1e9,
                     r.fingerprint,
@@ -144,11 +156,12 @@ fn main() -> ExitCode {
     }
     let labels: Vec<&str> = kinds_seen.iter().map(|k| k.label()).collect();
     println!(
-        "swept {} seed(s) [clients={clients}{}{}{}{}{}]: {} failed, {} ops, {} timed out{}, fault kinds exercised: {}",
+        "swept {} seed(s) [clients={clients}{}{}{}{}{}{}]: {} failed, {} ops, {} timed out{}, fault kinds exercised: {}",
         seeds.len(),
         if overlap { ", overlap" } else { "" },
         if disk_faults { ", disk-faults" } else { "" },
         if write_loss { ", write-loss" } else { "" },
+        if meta_storm { ", meta-storm" } else { "" },
         if hist_oracle { ", hist-oracle" } else { "" },
         match forced {
             Some(TransportKind::Tcp) => ", transport=tcp",

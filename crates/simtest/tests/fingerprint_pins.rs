@@ -20,18 +20,19 @@ fn fnv(s: &str) -> u64 {
 
 const FIG6_QUICK_SEED7: u64 = 0x7f63_4807_1959_5f6f;
 
+// All eight re-pinned when `NfsReply::Write`'s wire size stopped eliding
+// the verifier (8 -> 20 bytes, the codec-honesty fix): every workload
+// writes, so every reply's s2c transmit time shifted. The jobs=1 / jobs=4
+// and shards=1 / shards=N identities held across the change.
 const SWEEP_FPS: [u64; 8] = [
-    0x0960_fde0_cf9b_0735,
-    0x7787_a23f_c6a3_0109,
-    0x6764_4516_bb32_f4fb,
-    // Seed 3 is the sweep's one TCP seed; re-pinned for the timed segment
-    // engine (faults now include real blackouts, and TCP fingerprints fold
-    // the segment books in). The seven UDP pins are untouched.
-    0x3187_9998_2141_6557,
-    0xe6d8_d53f_87b8_4800,
-    0x4d4a_5bbc_d8ef_15d8,
-    0xabf2_02cd_0a8e_b50a,
-    0xa494_546e_7e93_f9dc,
+    0x9389_3efa_26a3_993a,
+    0xb8c7_9852_25b0_0f55,
+    0x06d7_2d90_8252_7b20,
+    0xd36b_ac6b_638c_d604,
+    0x27e1_120d_afdb_c27a,
+    0x0064_87db_f131_6a92,
+    0x02c2_be0f_7bce_7f46,
+    0xe48b_576c_c121_3207,
 ];
 
 #[test]

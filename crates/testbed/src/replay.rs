@@ -29,6 +29,15 @@ pub struct ReplayResult {
     pub p99_ms: f64,
     /// Wall-clock (simulated) duration of the replay in seconds.
     pub elapsed_secs: f64,
+    /// GETATTR RPCs that went to the wire (with the attribute cache
+    /// armed: cold misses + revalidations; disarmed: every getattr op).
+    pub getattr_rpcs: u64,
+    /// Getattr-class ops the client attribute cache answered locally.
+    pub attr_cache_hits: u64,
+    /// LOOKUP RPCs sent.
+    pub lookup_rpcs: u64,
+    /// READDIR RPCs sent.
+    pub readdir_rpcs: u64,
 }
 
 /// Replays `trace` on a fresh world built from `rig` + `config`.
@@ -82,6 +91,14 @@ pub fn replay(rig: Rig, config: WorldConfig, trace: &Trace, seed: u64) -> Replay
             TraceOp::Getattr => {
                 world.getattr(at, fh, i as u64);
             }
+            TraceOp::Lookup => {
+                world.lookup_from(0, at, fh, r.len.max(1), i as u64);
+            }
+            TraceOp::Readdir => {
+                // The record's len is the entries requested; a standalone
+                // chunk is its directory's last from the replay's view.
+                world.readdir_from(0, at, fh, r.offset, r.len.max(1), true, i as u64);
+            }
         }
         outstanding += 1;
     }
@@ -94,12 +111,17 @@ pub fn replay(rig: Rig, config: WorldConfig, trace: &Trace, seed: u64) -> Replay
         }
     }
     let mean = latencies.iter().sum::<f64>() / latencies.len().max(1) as f64;
+    let cs = world.client_stats_for(0);
     ReplayResult {
         ops: latencies.len() as u64,
         mean_ms: mean,
         p50_ms: quantile(&latencies, 0.5).unwrap_or(0.0),
         p99_ms: quantile(&latencies, 0.99).unwrap_or(0.0),
         elapsed_secs: end_time.as_secs_f64(),
+        getattr_rpcs: cs.getattr_rpcs,
+        attr_cache_hits: cs.attr_cache_hits,
+        lookup_rpcs: cs.lookup_rpcs,
+        readdir_rpcs: cs.readdir_rpcs,
     }
 }
 

@@ -15,6 +15,7 @@
 
 pub mod analyze;
 pub mod synth;
+pub mod tree;
 
 mod record;
 mod text;
@@ -22,3 +23,4 @@ mod text;
 pub use analyze::{score, score_all, HeuristicQuality};
 pub use record::{Trace, TraceOp, TraceRecord};
 pub use text::{from_text, to_text, ParseError};
+pub use tree::{build_tree, build_workload, compile_burst, tree_walk, BuildSpec, Tree};

@@ -18,6 +18,12 @@ pub enum TraceOp {
     Write,
     /// GETATTR (offset/len are zero).
     Getattr,
+    /// LOOKUP of a child in directory `fh`; `offset` is the child's index
+    /// within the directory, `len` the component-name length in bytes.
+    Lookup,
+    /// READDIR(PLUS) chunk on directory `fh`; `offset` is the resume
+    /// cookie (entry index), `len` the number of entries requested.
+    Readdir,
 }
 
 impl TraceOp {
@@ -27,6 +33,8 @@ impl TraceOp {
             TraceOp::Read => "read",
             TraceOp::Write => "write",
             TraceOp::Getattr => "getattr",
+            TraceOp::Lookup => "lookup",
+            TraceOp::Readdir => "readdir",
         }
     }
 
@@ -36,6 +44,8 @@ impl TraceOp {
             "read" => Some(TraceOp::Read),
             "write" => Some(TraceOp::Write),
             "getattr" => Some(TraceOp::Getattr),
+            "lookup" => Some(TraceOp::Lookup),
+            "readdir" => Some(TraceOp::Readdir),
             _ => None,
         }
     }
@@ -152,7 +162,13 @@ mod tests {
 
     #[test]
     fn tokens_roundtrip() {
-        for op in [TraceOp::Read, TraceOp::Write, TraceOp::Getattr] {
+        for op in [
+            TraceOp::Read,
+            TraceOp::Write,
+            TraceOp::Getattr,
+            TraceOp::Lookup,
+            TraceOp::Readdir,
+        ] {
             assert_eq!(TraceOp::from_token(op.token()), Some(op));
         }
         assert_eq!(TraceOp::from_token("fsync"), None);

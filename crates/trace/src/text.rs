@@ -116,6 +116,22 @@ mod tests {
     }
 
     #[test]
+    fn metadata_ops_roundtrip() {
+        // LOOKUP/READDIR reuse offset/len as child-index/name-length and
+        // cookie/entry-count respectively; the text format carries them
+        // unchanged.
+        let text = "0 1 lookup 1a 3 12\n5 1 readdir 1a 0 64\n9 2 getattr 2b 0 0\n";
+        let t = from_text(text).expect("parse");
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.records[0].op, TraceOp::Lookup);
+        assert_eq!(t.records[0].offset, 3);
+        assert_eq!(t.records[0].len, 12);
+        assert_eq!(t.records[1].op, TraceOp::Readdir);
+        assert_eq!(t.records[1].len, 64);
+        assert_eq!(from_text(&to_text(&t)).expect("reparse"), t);
+    }
+
+    #[test]
     fn comments_and_blank_lines_ignored() {
         let text = "# header\n\n0 1 read a 0 8192  # trailing comment\n";
         let t = from_text(text).expect("parse");

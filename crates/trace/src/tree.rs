@@ -1,0 +1,494 @@
+//! Build-tree workload synthesis: deep directory hierarchies and the
+//! metadata-heavy request streams a source-tree build issues over them.
+//!
+//! The paper only ever measured few-large-file streaming reads; production
+//! NFS traffic (source-control checkouts, compile farms) is dominated by
+//! LOOKUP/GETATTR/READDIR storms over deep trees of small files. This
+//! module synthesises such trees from a seeded spec — depth, fanout and
+//! file-size distributions — and derives two request phases from them:
+//!
+//! * a **tree walk** (`find`/`stat -R` shape): READDIR chunks on every
+//!   directory, then LOOKUP + GETATTR per child;
+//! * a **compile-like read burst** (`make` shape): GETATTR then a full
+//!   sequential read of every file.
+//!
+//! Traces use the same [`TraceRecord`] schema as the rest of the crate, so
+//! they serialize through [`crate::to_text`] and replay through the
+//! cluster's trace-import path unchanged.
+
+use simcore::SimRng;
+
+use crate::record::{Trace, TraceOp, TraceRecord};
+
+/// Parameters for seeded directory-tree synthesis and the workload phases
+/// generated over the tree.
+#[derive(Debug, Clone, Copy)]
+pub struct BuildSpec {
+    /// Directory levels below the root (0 = root only).
+    pub depth: u32,
+    /// Subdirectories per non-leaf directory.
+    pub dirs_per_dir: u32,
+    /// Regular files per directory.
+    pub files_per_dir: u32,
+    /// Mean file size in blocks (exponential, min 1 block).
+    pub mean_file_blocks: f64,
+    /// Bytes per block / per READ request.
+    pub block_len: u32,
+    /// Directory entries requested per READDIR chunk.
+    pub readdir_chunk: u32,
+    /// Mean inter-arrival time per client stream, microseconds.
+    pub inter_arrival_us: f64,
+    /// Concurrent clients walking/building the same tree.
+    pub clients: u32,
+}
+
+impl Default for BuildSpec {
+    fn default() -> Self {
+        BuildSpec {
+            depth: 3,
+            dirs_per_dir: 4,
+            files_per_dir: 8,
+            mean_file_blocks: 4.0,
+            block_len: 8_192,
+            readdir_chunk: 64,
+            inter_arrival_us: 200.0,
+            clients: 4,
+        }
+    }
+}
+
+/// A regular file in the synthesised tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeFile {
+    /// File handle.
+    pub fh: u64,
+    /// Component-name length in bytes (carried in LOOKUP records).
+    pub name_len: u32,
+    /// File size in blocks of `BuildSpec::block_len`.
+    pub blocks: u64,
+}
+
+/// A directory in the synthesised tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeDir {
+    /// Directory file handle.
+    pub fh: u64,
+    /// Depth below the root (root = 0).
+    pub depth: u32,
+    /// Indices of child directories in [`Tree::dirs`].
+    pub subdirs: Vec<usize>,
+    /// Regular-file children.
+    pub files: Vec<TreeFile>,
+}
+
+/// A synthesised directory tree. `dirs[0]` is the root; children always
+/// appear after their parent (construction is breadth-first).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tree {
+    /// All directories, root first, in breadth-first order.
+    pub dirs: Vec<TreeDir>,
+    /// Block size the file sizes are denominated in.
+    pub block_len: u32,
+}
+
+impl Tree {
+    /// Number of directories.
+    pub fn dir_count(&self) -> usize {
+        self.dirs.len()
+    }
+
+    /// Number of regular files.
+    pub fn file_count(&self) -> usize {
+        self.dirs.iter().map(|d| d.files.len()).sum()
+    }
+
+    /// Total file payload in blocks.
+    pub fn total_blocks(&self) -> u64 {
+        self.dirs
+            .iter()
+            .flat_map(|d| d.files.iter())
+            .map(|f| f.blocks)
+            .sum()
+    }
+}
+
+/// Directory file handles live in their own range so replay layers can
+/// recognise them without a namespace.
+const DIR_FH_BASE: u64 = 0xD1_0000;
+/// Regular-file handle range.
+const FILE_FH_BASE: u64 = 0xF1_0000;
+
+/// Synthesises a directory tree from the spec. Deterministic in the RNG:
+/// the same seed always yields the same tree.
+pub fn build_tree(spec: &BuildSpec, rng: &mut SimRng) -> Tree {
+    let mut dirs = vec![TreeDir {
+        fh: DIR_FH_BASE,
+        depth: 0,
+        subdirs: Vec::new(),
+        files: Vec::new(),
+    }];
+    let mut next_file = FILE_FH_BASE;
+    let mut i = 0;
+    while i < dirs.len() {
+        let depth = dirs[i].depth;
+        for _ in 0..spec.files_per_dir {
+            let blocks = 1 + rng.exponential((spec.mean_file_blocks - 1.0).max(0.0)) as u64;
+            let name_len = rng.gen_range(3..24u32);
+            dirs[i].files.push(TreeFile {
+                fh: next_file,
+                name_len,
+                blocks,
+            });
+            next_file += 1;
+        }
+        if depth < spec.depth {
+            for _ in 0..spec.dirs_per_dir {
+                let child = dirs.len();
+                let fh = DIR_FH_BASE + child as u64;
+                dirs[i].subdirs.push(child);
+                dirs.push(TreeDir {
+                    fh,
+                    depth: depth + 1,
+                    subdirs: Vec::new(),
+                    files: Vec::new(),
+                });
+            }
+        }
+        i += 1;
+    }
+    Tree {
+        dirs,
+        block_len: spec.block_len,
+    }
+}
+
+/// One client's depth-first tree walk: READDIR chunks on each directory,
+/// then LOOKUP + GETATTR per child, appended to `out` starting at `t_us`.
+/// Returns the stream's end time.
+fn walk_client(
+    tree: &Tree,
+    spec: &BuildSpec,
+    client: u32,
+    t_us: f64,
+    rng: &mut SimRng,
+    out: &mut Vec<TraceRecord>,
+) -> f64 {
+    let mut t = t_us;
+    let mut tick = |rng: &mut SimRng| {
+        t += rng.exponential(spec.inter_arrival_us);
+        t as u64
+    };
+    let mut stack = vec![0usize];
+    while let Some(di) = stack.pop() {
+        let dir = &tree.dirs[di];
+        let entries = dir.subdirs.len() + dir.files.len();
+        // "." and ".." ride in the first chunk's budget; we count only
+        // real children.
+        let mut cookie = 0u64;
+        while cookie < entries as u64 {
+            out.push(TraceRecord {
+                time_us: tick(rng),
+                client,
+                op: TraceOp::Readdir,
+                fh: dir.fh,
+                offset: cookie,
+                len: spec.readdir_chunk,
+            });
+            cookie += u64::from(spec.readdir_chunk);
+        }
+        for (ci, &sub) in dir.subdirs.iter().enumerate() {
+            out.push(TraceRecord {
+                time_us: tick(rng),
+                client,
+                op: TraceOp::Lookup,
+                fh: dir.fh,
+                offset: ci as u64,
+                len: 8,
+            });
+            out.push(TraceRecord {
+                time_us: tick(rng),
+                client,
+                op: TraceOp::Getattr,
+                fh: tree.dirs[sub].fh,
+                offset: 0,
+                len: 0,
+            });
+        }
+        for (fi, f) in dir.files.iter().enumerate() {
+            out.push(TraceRecord {
+                time_us: tick(rng),
+                client,
+                op: TraceOp::Lookup,
+                fh: dir.fh,
+                offset: (dir.subdirs.len() + fi) as u64,
+                len: f.name_len,
+            });
+            out.push(TraceRecord {
+                time_us: tick(rng),
+                client,
+                op: TraceOp::Getattr,
+                fh: f.fh,
+                offset: 0,
+                len: 0,
+            });
+        }
+        // Depth-first: push children in reverse so the first child is
+        // visited first.
+        for &sub in dir.subdirs.iter().rev() {
+            stack.push(sub);
+        }
+    }
+    t
+}
+
+/// The tree-walk phase: every client stats the whole tree concurrently
+/// (the `find | xargs stat` / checkout-verification shape). Purely
+/// metadata — no READs.
+pub fn tree_walk(tree: &Tree, spec: &BuildSpec, rng: &mut SimRng) -> Trace {
+    let mut records = Vec::new();
+    for c in 0..spec.clients {
+        let mut crng = rng.derive(0x77A1_4000 + u64::from(c));
+        walk_client(tree, spec, c, 0.0, &mut crng, &mut records);
+    }
+    records.sort_by_key(|r| (r.time_us, r.client, r.fh, r.offset));
+    Trace { records }
+}
+
+/// The compile-like read-burst phase: every client GETATTRs each file
+/// (the `make` freshness check) and reads it fully, sequentially.
+pub fn compile_burst(tree: &Tree, spec: &BuildSpec, rng: &mut SimRng) -> Trace {
+    let mut records = Vec::new();
+    for c in 0..spec.clients {
+        let mut crng = rng.derive(0xC0_4D17E + u64::from(c));
+        let mut t = 0.0f64;
+        for dir in &tree.dirs {
+            for f in &dir.files {
+                t += crng.exponential(spec.inter_arrival_us);
+                records.push(TraceRecord {
+                    time_us: t as u64,
+                    client: c,
+                    op: TraceOp::Getattr,
+                    fh: f.fh,
+                    offset: 0,
+                    len: 0,
+                });
+                for b in 0..f.blocks {
+                    t += crng.exponential(spec.inter_arrival_us);
+                    records.push(TraceRecord::read(
+                        t as u64,
+                        c,
+                        f.fh,
+                        b * u64::from(spec.block_len),
+                        spec.block_len,
+                    ));
+                }
+            }
+        }
+    }
+    records.sort_by_key(|r| (r.time_us, r.client, r.fh, r.offset));
+    Trace { records }
+}
+
+/// The full build workload: synthesise a tree, walk it, then run the
+/// compile read burst over it. The burst starts after the last walk
+/// record so the phases stay distinct in the arrival stream.
+pub fn build_workload(spec: &BuildSpec, rng: &mut SimRng) -> Trace {
+    let tree = build_tree(spec, rng);
+    let mut walk = tree_walk(&tree, spec, rng);
+    let burst = compile_burst(&tree, spec, rng);
+    let gap = walk.records.last().map_or(0, |r| r.time_us + 1_000);
+    walk.records
+        .extend(burst.records.iter().map(|r| TraceRecord {
+            time_us: r.time_us + gap,
+            ..*r
+        }));
+    walk
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec() -> BuildSpec {
+        BuildSpec {
+            depth: 2,
+            dirs_per_dir: 3,
+            files_per_dir: 4,
+            clients: 2,
+            ..BuildSpec::default()
+        }
+    }
+
+    #[test]
+    fn tree_shape_matches_spec() {
+        let spec = small_spec();
+        let mut rng = SimRng::new(11);
+        let tree = build_tree(&spec, &mut rng);
+        // 1 + 3 + 9 directories, 4 files each.
+        assert_eq!(tree.dir_count(), 13);
+        assert_eq!(tree.file_count(), 52);
+        assert!(tree.total_blocks() >= 52);
+        for d in &tree.dirs {
+            assert!(d.depth <= spec.depth);
+            if d.depth < spec.depth {
+                assert_eq!(d.subdirs.len(), 3);
+            } else {
+                assert!(d.subdirs.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn tree_handles_are_unique_and_ranged() {
+        let spec = small_spec();
+        let mut rng = SimRng::new(12);
+        let tree = build_tree(&spec, &mut rng);
+        let mut fhs: Vec<u64> = tree.dirs.iter().map(|d| d.fh).collect();
+        fhs.extend(tree.dirs.iter().flat_map(|d| d.files.iter().map(|f| f.fh)));
+        let n = fhs.len();
+        fhs.sort_unstable();
+        fhs.dedup();
+        assert_eq!(fhs.len(), n, "file handles collide");
+        for d in &tree.dirs {
+            assert!(d.fh >= DIR_FH_BASE && d.fh < FILE_FH_BASE);
+            for f in &d.files {
+                assert!(f.fh >= FILE_FH_BASE);
+            }
+        }
+    }
+
+    #[test]
+    fn walk_is_pure_metadata_with_full_coverage() {
+        let spec = small_spec();
+        let mut rng = SimRng::new(13);
+        let tree = build_tree(&spec, &mut rng);
+        let walk = tree_walk(&tree, &spec, &mut rng);
+        assert_eq!(walk.reads().count(), 0);
+        let per_client_lookups = (tree.dir_count() - 1) + tree.file_count();
+        let lookups = walk
+            .records
+            .iter()
+            .filter(|r| r.op == TraceOp::Lookup)
+            .count();
+        let getattrs = walk
+            .records
+            .iter()
+            .filter(|r| r.op == TraceOp::Getattr)
+            .count();
+        let readdirs = walk
+            .records
+            .iter()
+            .filter(|r| r.op == TraceOp::Readdir)
+            .count();
+        assert_eq!(lookups, per_client_lookups * spec.clients as usize);
+        assert_eq!(getattrs, per_client_lookups * spec.clients as usize);
+        // Every directory fits one READDIR chunk at the default chunk size.
+        assert_eq!(readdirs, tree.dir_count() * spec.clients as usize);
+        assert!(walk
+            .records
+            .windows(2)
+            .all(|w| w[1].time_us >= w[0].time_us));
+    }
+
+    #[test]
+    fn readdir_chunks_cover_large_directories() {
+        let spec = BuildSpec {
+            depth: 0,
+            files_per_dir: 150,
+            readdir_chunk: 64,
+            clients: 1,
+            ..BuildSpec::default()
+        };
+        let mut rng = SimRng::new(14);
+        let tree = build_tree(&spec, &mut rng);
+        let walk = tree_walk(&tree, &spec, &mut rng);
+        let chunks: Vec<&TraceRecord> = walk
+            .records
+            .iter()
+            .filter(|r| r.op == TraceOp::Readdir)
+            .collect();
+        // 150 entries at 64 per chunk = 3 chunks, resume cookies 0/64/128.
+        assert_eq!(chunks.len(), 3);
+        let mut cookies: Vec<u64> = chunks.iter().map(|r| r.offset).collect();
+        cookies.sort_unstable();
+        assert_eq!(cookies, vec![0, 64, 128]);
+    }
+
+    #[test]
+    fn compile_burst_reads_every_block_once_per_client() {
+        let spec = small_spec();
+        let mut rng = SimRng::new(15);
+        let tree = build_tree(&spec, &mut rng);
+        let burst = compile_burst(&tree, &spec, &mut rng);
+        let reads = burst.reads().count() as u64;
+        assert_eq!(reads, tree.total_blocks() * u64::from(spec.clients));
+        // Per-file, per-client reads are whole-file sequential.
+        for d in &tree.dirs {
+            for f in &d.files {
+                for c in 0..spec.clients {
+                    let offsets: Vec<u64> = burst
+                        .reads()
+                        .filter(|r| r.fh == f.fh && r.client == c)
+                        .map(|r| r.offset)
+                        .collect();
+                    let want: Vec<u64> = (0..f.blocks)
+                        .map(|b| b * u64::from(spec.block_len))
+                        .collect();
+                    assert_eq!(offsets, want, "fh {:x} client {c}", f.fh);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn workload_is_metadata_dominated_then_reads() {
+        let spec = small_spec();
+        let mut rng = SimRng::new(16);
+        let t = build_workload(&spec, &mut rng);
+        let first_read = t
+            .records
+            .iter()
+            .position(|r| r.op == TraceOp::Read)
+            .expect("burst phase has reads");
+        // Phase boundary: no metadata-walk READDIRs after the first READ.
+        assert!(t.records[first_read..]
+            .iter()
+            .all(|r| r.op != TraceOp::Readdir));
+        let meta = t
+            .records
+            .iter()
+            .filter(|r| r.op != TraceOp::Read && r.op != TraceOp::Write)
+            .count();
+        assert!(
+            meta * 2 > t.len(),
+            "metadata ops should dominate: {meta}/{}",
+            t.len()
+        );
+        assert!(t.records.windows(2).all(|w| w[1].time_us >= w[0].time_us));
+    }
+
+    #[test]
+    fn workload_is_deterministic_in_the_seed() {
+        let spec = BuildSpec::default();
+        let a = build_workload(&spec, &mut SimRng::new(99));
+        let b = build_workload(&spec, &mut SimRng::new(99));
+        let c = build_workload(&spec, &mut SimRng::new(100));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn workload_roundtrips_through_text() {
+        let spec = BuildSpec {
+            depth: 1,
+            dirs_per_dir: 2,
+            files_per_dir: 2,
+            clients: 1,
+            ..BuildSpec::default()
+        };
+        let mut rng = SimRng::new(17);
+        let t = build_workload(&spec, &mut rng);
+        let parsed = crate::from_text(&crate::to_text(&t)).expect("parse");
+        assert_eq!(parsed, t);
+    }
+}
